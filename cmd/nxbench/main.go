@@ -1,0 +1,114 @@
+// Command nxbench regenerates every table and figure of the reproduction
+// (experiments E1–E17 per DESIGN.md) plus the design-choice ablations,
+// printing them as formatted text tables.
+//
+// Usage:
+//
+//	nxbench            # all experiments
+//	nxbench -only E7   # one experiment
+//	nxbench -ablations # the A1–A11 design sweeps
+//	nxbench -host      # also measure this host's software codec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nxzip/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment id (E1..E17, A1..A11)")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablation sweeps")
+	host := flag.Bool("host", false, "also measure the host software baseline")
+	flag.Parse()
+
+	var tables []*experiments.Table
+	switch {
+	case *only != "":
+		tables = runOne(strings.ToUpper(*only))
+		if tables == nil {
+			fmt.Fprintf(os.Stderr, "nxbench: unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+	case *ablations:
+		tables = experiments.Ablations()
+	default:
+		tables = experiments.All()
+		tables = append(tables, experiments.Ablations()...)
+	}
+	if *host {
+		tables = append(tables, experiments.EHostReference())
+	}
+
+	fmt.Println("nxzip experiment harness — reproduction of ISCA 2020 \"Data compression accelerator on IBM POWER9 and z15 processors\"")
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+}
+
+func runOne(id string) []*experiments.Table {
+	switch id {
+	case "E1":
+		return []*experiments.Table{experiments.E1CompressionRatio()}
+	case "E2":
+		return []*experiments.Table{experiments.E2ThroughputVsSize()}
+	case "E3":
+		return []*experiments.Table{experiments.E3SpeedupSingleCore()}
+	case "E4":
+		return []*experiments.Table{experiments.E4SpeedupWholeChip()}
+	case "E5":
+		return []*experiments.Table{experiments.E5Z15Doubling()}
+	case "E6":
+		return []*experiments.Table{experiments.E6SystemScaling()}
+	case "E7":
+		return []*experiments.Table{experiments.E7SparkTPCDS()}
+	case "E8":
+		return []*experiments.Table{experiments.E8LatencyBreakdown()}
+	case "E9":
+		return []*experiments.Table{experiments.E9MultiTenant()}
+	case "E10":
+		return []*experiments.Table{experiments.E10AreaPower()}
+	case "E11":
+		return []*experiments.Table{experiments.E11DHTStrategies()}
+	case "E12":
+		return []*experiments.Table{experiments.E12PageFaults()}
+	case "E13":
+		return []*experiments.Table{experiments.E13StreamComposition()}
+	case "E14":
+		return []*experiments.Table{experiments.E14MemoryExpansion()}
+	case "E15":
+		return []*experiments.Table{experiments.E15SubmissionInterfaces()}
+	case "E16":
+		return []*experiments.Table{experiments.E16QoS()}
+	case "E17":
+		return []*experiments.Table{experiments.E17SmallRequests()}
+	case "A1":
+		return []*experiments.Table{experiments.A1Banks()}
+	case "A2":
+		return []*experiments.Table{experiments.A2Ways()}
+	case "A3":
+		return []*experiments.Table{experiments.A3Lazy()}
+	case "A4":
+		return []*experiments.Table{experiments.A4Window()}
+	case "A5":
+		return []*experiments.Table{experiments.A5Width()}
+	case "A6":
+		return []*experiments.Table{experiments.A6SpecDecode()}
+	case "A7":
+		return []*experiments.Table{experiments.A7SampleSize()}
+	case "A8":
+		return []*experiments.Table{experiments.A8ERATSize()}
+	case "A9":
+		return []*experiments.Table{experiments.A9TableConstruction()}
+	case "A10":
+		return []*experiments.Table{experiments.A10ExpansionBound()}
+	case "A11":
+		return []*experiments.Table{experiments.A11ParseOptimality()}
+	case "H0":
+		return []*experiments.Table{experiments.EHostReference()}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Command nxzip is a gzip-like CLI driven by the accelerator model: it
+// compresses/decompresses files or stdin through the simulated POWER9 or
+// z15 engine and reports the device-side accounting (what the job *would*
+// have cost on the accelerator), alongside wall-clock host time.
+//
+// Usage:
+//
+//	nxzip [-d] [-chip p9|z15] [-fht] [-sw level] [-o out] [file]
+//
+// Examples:
+//
+//	nxzip -o corpus.gz corpus.txt        # compress via simulated P9 NX
+//	nxzip -d -o corpus.txt corpus.gz     # decompress
+//	nxzip -chip z15 -v corpus.txt        # z15 model, verbose accounting
+//	nxzip -sw 6 corpus.txt               # software baseline instead
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nxzip"
+	"nxzip/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "nxzip: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		decompress = flag.Bool("d", false, "decompress")
+		chip       = flag.String("chip", "p9", "accelerator model: p9 or z15")
+		fht        = flag.Bool("fht", false, "use the fixed Huffman table function code")
+		swLevel    = flag.Int("sw", 0, "bypass the accelerator; software codec at this level (1..9)")
+		format     = flag.String("format", "gzip", "stream format: gzip or 842")
+		stream     = flag.Bool("stream", false, "single-member streaming mode with 32 KiB history carry")
+		chunk      = flag.Int("chunk", 1<<20, "streaming request size in bytes")
+		outPath    = flag.String("o", "", "output file (default stdout)")
+		verbose    = flag.Bool("v", false, "print device accounting to stderr")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	src, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	start := time.Now()
+	var result []byte
+	var metrics *nxzip.Metrics
+
+	switch {
+	case *format == "842":
+		cfg := nxzip.P9()
+		acc := nxzip.Open(cfg)
+		defer acc.Close()
+		if *decompress {
+			result, metrics, err = acc.Decompress842(src, 0)
+		} else {
+			result, metrics, err = acc.Compress842(src)
+		}
+	case *swLevel > 0 && !*decompress:
+		result, err = nxzip.SoftwareGzip(src, *swLevel)
+	case *swLevel > 0 && *decompress:
+		result, err = nxzip.GunzipMulti(src)
+	default:
+		cfg := nxzip.P9()
+		if *chip == "z15" {
+			cfg = nxzip.Z15()
+		} else if *chip != "p9" {
+			return fmt.Errorf("unknown chip %q", *chip)
+		}
+		if *fht {
+			cfg.TableMode = nxzip.TableFixed
+		}
+		acc := nxzip.Open(cfg)
+		defer acc.Close()
+		if *decompress && *stream {
+			r := acc.NewStreamReader(bytes.NewReader(src), 0)
+			if _, cerr := io.Copy(out, r); cerr != nil {
+				return cerr
+			}
+			result = nil
+			metrics = &r.Stats
+		} else if *decompress {
+			result, err = nxzip.GunzipMulti(src) // accept multi-member
+			if err == nil {
+				// Account the work on the device model as one request per
+				// member equivalent; use the single-shot path when it is a
+				// single member for exact metrics.
+				if plain, m, derr := acc.DecompressGzip(src); derr == nil {
+					result, metrics = plain, m
+				}
+			}
+		} else if *stream && !*decompress {
+			// True streaming: compressed output flows to out as chunks
+			// complete; input is never fully buffered.
+			w := acc.NewStreamWriterChunk(out, *chunk)
+			if _, werr := w.Write(src); werr != nil {
+				return werr
+			}
+			if werr := w.Close(); werr != nil {
+				return werr
+			}
+			result = nil
+			metrics = &w.Stats
+		} else {
+			result, metrics, err = acc.CompressGzip(src)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if result != nil {
+		if _, err := out.Write(result); err != nil {
+			return err
+		}
+	}
+
+	if *verbose {
+		host := time.Since(start)
+		outLen := int64(len(result))
+		if result == nil && metrics != nil {
+			outLen = int64(metrics.OutBytes)
+		}
+		fmt.Fprintf(os.Stderr, "%s -> %s", stats.Bytes(int64(len(src))), stats.Bytes(outLen))
+		if !*decompress && outLen > 0 {
+			fmt.Fprintf(os.Stderr, " (ratio %.2f)", float64(len(src))/float64(outLen))
+		}
+		fmt.Fprintf(os.Stderr, "\nhost time  %v\n", host)
+		if metrics != nil {
+			fmt.Fprintf(os.Stderr, "device time %v (%d cycles, %d faults) = %s\n",
+				metrics.DeviceTime, metrics.DeviceCycles, metrics.Faults,
+				stats.Rate(metrics.Throughput()))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// memexpansion demonstrates the NX unit's second engine in its shipped
+// role: Active Memory Expansion. Cold pages are kept 842-compressed in a
+// memory pool and expanded on touch, trading engine cycles for logical
+// memory beyond the installed frames — the AIX feature the POWER 842
+// engine was built for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nxzip/internal/ame"
+	"nxzip/internal/corpus"
+	"nxzip/internal/stats"
+)
+
+func main() {
+	cfg := ame.DefaultConfig()
+	cfg.UncompressedTarget = 64 // only 64 frames stay expanded
+
+	fmt.Println("database-buffer-like pages (columnar rows), 256 logical pages, 64 hot frames")
+	pool := ame.New(cfg)
+	st, err := ame.Workload{
+		Pages:       256,
+		HotFraction: 0.2,
+		HotWeight:   0.9,
+		Accesses:    10000,
+		Seed:        1,
+	}.Run(pool, func(id int) []byte {
+		return corpus.Generate(corpus.Columnar, cfg.PageSize, int64(id))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	logical := st.LogicalBytes
+	physical := st.PoolBytes + st.UncompBytes
+	fmt.Printf("  logical memory   %s\n", stats.Bytes(logical))
+	fmt.Printf("  physical in use  %s (pool %s + resident %s)\n",
+		stats.Bytes(physical), stats.Bytes(st.PoolBytes), stats.Bytes(st.UncompBytes))
+	fmt.Printf("  expansion        %.2fx\n", st.ExpansionFactor())
+	fmt.Printf("  accesses         %d, of which %.1f%% expanded a cold page\n",
+		st.Accesses, st.ExpansionRate()*100)
+	fmt.Printf("  engine overhead  %.0f cycles/access (842 engine)\n",
+		float64(st.EngineCycles)/float64(st.Accesses))
+	fmt.Println()
+	fmt.Println("rule of thumb this reproduces: AME pays off when the working set")
+	fmt.Println("fits the uncompressed frames and the cold tail compresses well.")
+}

@@ -1,0 +1,3 @@
+module nxzip
+
+go 1.24

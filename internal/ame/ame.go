@@ -1,0 +1,228 @@
+// Package ame simulates Active Memory Expansion, the POWER use-case the
+// NX 842 engine exists for: the OS keeps cold pages 842-compressed in a
+// memory pool and expands them on access, presenting more logical memory
+// than physically installed. The simulator runs real 842
+// compression/decompression on page contents (so expansion factors are
+// honest, not assumed) and charges engine cycles through the pipeline
+// model, reproducing the expansion-vs-overhead trade-off curve that sizing
+// an AME deployment requires.
+package ame
+
+import (
+	"container/list"
+	"fmt"
+	"math/rand"
+
+	"nxzip/internal/pipeline"
+	"nxzip/internal/x842"
+)
+
+// Config sizes the simulated machine.
+type Config struct {
+	PageSize      int // bytes per page (POWER AME works on 4 KiB)
+	PhysicalPages int // physical page frames available
+	// UncompressedTarget is the number of frames kept for the working set
+	// (the rest hold the compressed pool).
+	UncompressedTarget int
+	// Engine is the 842 engine timing model.
+	Engine pipeline.Config
+}
+
+// DefaultConfig returns a small machine: 25% of frames uncompressed.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:           4096,
+		PhysicalPages:      1024,
+		UncompressedTarget: 256,
+		Engine:             pipeline.P9(),
+	}
+}
+
+// pageState tracks one logical page.
+type pageState struct {
+	id         int
+	data       []byte // uncompressed contents when resident
+	compressed []byte // 842 stream when in the pool
+	lruElem    *list.Element
+}
+
+// Stats accumulates simulation results.
+type Stats struct {
+	Accesses        int64
+	Expansions      int64 // compressed-page touches (decompress on access)
+	Compressions    int64 // pages pushed into the pool
+	EngineCycles    int64 // 842 engine work
+	PoolBytes       int64 // current compressed pool occupancy
+	UncompBytes     int64 // current resident bytes
+	LogicalBytes    int64 // total logical memory represented
+	FailedToCompact int64 // pages whose 842 stream did not fit (kept raw)
+}
+
+// ExpansionFactor is logical memory over physical memory in use.
+func (s Stats) ExpansionFactor() float64 {
+	phys := s.PoolBytes + s.UncompBytes
+	if phys == 0 {
+		return 1
+	}
+	return float64(s.LogicalBytes) / float64(phys)
+}
+
+// ExpansionRate is the fraction of accesses that had to decompress.
+func (s Stats) ExpansionRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Expansions) / float64(s.Accesses)
+}
+
+// Pool is the AME state machine.
+type Pool struct {
+	cfg   Config
+	pages map[int]*pageState
+	lru   *list.List // front = most recently used resident page
+	stats Stats
+}
+
+// New builds an empty pool.
+func New(cfg Config) *Pool {
+	if cfg.PageSize <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Pool{cfg: cfg, pages: make(map[int]*pageState), lru: list.New()}
+}
+
+// AddPage registers a logical page with the given contents. New pages
+// start resident; the pool compresses cold pages as pressure builds.
+func (p *Pool) AddPage(id int, contents []byte) error {
+	if len(contents) != p.cfg.PageSize {
+		return fmt.Errorf("ame: page %d is %d bytes, want %d", id, len(contents), p.cfg.PageSize)
+	}
+	if _, ok := p.pages[id]; ok {
+		return fmt.Errorf("ame: page %d already present", id)
+	}
+	ps := &pageState{id: id, data: append([]byte{}, contents...)}
+	p.pages[id] = ps
+	ps.lruElem = p.lru.PushFront(ps)
+	p.stats.LogicalBytes += int64(p.cfg.PageSize)
+	p.stats.UncompBytes += int64(p.cfg.PageSize)
+	p.balance()
+	return nil
+}
+
+// Touch accesses a page, expanding it if compressed. It returns the page
+// contents and the engine cycles charged for this access.
+func (p *Pool) Touch(id int) ([]byte, int64, error) {
+	ps, ok := p.pages[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("ame: no page %d", id)
+	}
+	p.stats.Accesses++
+	var cycles int64
+	if ps.data == nil {
+		// Expand: run the real 842 decode and charge decompress time.
+		out, err := x842.Decompress(ps.compressed, p.cfg.PageSize+64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ame: pool corruption on page %d: %w", id, err)
+		}
+		b := p.cfg.Engine.Decompress(len(ps.compressed), len(out), 0)
+		cycles = b.Total
+		p.stats.EngineCycles += cycles
+		p.stats.Expansions++
+		p.stats.PoolBytes -= int64(len(ps.compressed))
+		p.stats.UncompBytes += int64(p.cfg.PageSize)
+		ps.data = out
+		ps.compressed = nil
+	}
+	// LRU maintenance: an expanded page re-enters the resident list.
+	if ps.lruElem == nil {
+		ps.lruElem = p.lru.PushFront(ps)
+	} else {
+		p.lru.MoveToFront(ps.lruElem)
+	}
+	p.balance()
+	return ps.data, cycles, nil
+}
+
+// balance compresses LRU-tail pages until the resident set fits the
+// target.
+func (p *Pool) balance() {
+	for p.residentCount() > p.cfg.UncompressedTarget {
+		elem := p.lru.Back()
+		if elem == nil {
+			return
+		}
+		ps := elem.Value.(*pageState)
+		if ps.data == nil {
+			// Already compressed page lingering in the list; drop it from
+			// the LRU (it re-enters on expansion).
+			p.lru.Remove(elem)
+			ps.lruElem = nil
+			continue
+		}
+		comp := x842.Compress(ps.data)
+		b := p.cfg.Engine.Compress(len(ps.data), len(comp), int64(len(ps.data)/p.cfg.Engine.LZBytesPerCycle+1), 0, false)
+		p.stats.EngineCycles += b.Total
+		p.stats.Compressions++
+		if len(comp) >= p.cfg.PageSize {
+			// Incompressible page: keep it raw but move it off the hot end
+			// so balance doesn't spin on it.
+			p.stats.FailedToCompact++
+			p.lru.MoveToFront(ps.lruElem)
+			return
+		}
+		ps.compressed = comp
+		ps.data = nil
+		p.lru.Remove(elem)
+		ps.lruElem = nil
+		p.stats.PoolBytes += int64(len(comp))
+		p.stats.UncompBytes -= int64(p.cfg.PageSize)
+	}
+}
+
+// residentCount is the number of uncompressed pages.
+func (p *Pool) residentCount() int {
+	return p.lru.Len()
+}
+
+// Stats returns a snapshot.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Workload drives a pool with a skewed page-access pattern (a fraction of
+// hot pages receiving most accesses — the regime where AME wins).
+type Workload struct {
+	Pages       int
+	HotFraction float64 // fraction of pages that are hot
+	HotWeight   float64 // fraction of accesses going to hot pages
+	Accesses    int
+	Seed        int64
+}
+
+// Run populates a pool with pages built from contents (cycled) and plays
+// the access pattern, returning the final stats.
+func (w Workload) Run(p *Pool, pageContents func(id int) []byte) (Stats, error) {
+	for id := 0; id < w.Pages; id++ {
+		if err := p.AddPage(id, pageContents(id)); err != nil {
+			return Stats{}, err
+		}
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	hot := int(float64(w.Pages) * w.HotFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	for i := 0; i < w.Accesses; i++ {
+		var id int
+		if rng.Float64() < w.HotWeight {
+			id = rng.Intn(hot)
+		} else {
+			id = hot + rng.Intn(w.Pages-hot)
+		}
+		if id >= w.Pages {
+			id = w.Pages - 1
+		}
+		if _, _, err := p.Touch(id); err != nil {
+			return Stats{}, err
+		}
+	}
+	return p.Stats(), nil
+}

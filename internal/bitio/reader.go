@@ -1,0 +1,142 @@
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the input.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
+
+// Reader consumes bits LSB-first from a byte slice.
+type Reader struct {
+	data []byte
+	pos  int    // next byte index to load
+	acc  uint64 // bit accumulator
+	nacc uint   // valid bits in acc
+}
+
+// NewReader returns a Reader over data. The Reader does not copy data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// Reset re-points the Reader at data and rewinds it.
+func (r *Reader) Reset(data []byte) {
+	r.data = data
+	r.pos = 0
+	r.acc = 0
+	r.nacc = 0
+}
+
+// fill loads bytes into the accumulator until it holds at least want bits
+// or input is exhausted.
+func (r *Reader) fill(want uint) {
+	for r.nacc < want && r.pos < len(r.data) {
+		r.acc |= uint64(r.data[r.pos]) << r.nacc
+		r.pos++
+		r.nacc += 8
+	}
+}
+
+// ReadBits reads n bits (n <= 48) and returns them as the low bits of the
+// result. It returns ErrUnexpectedEOF if fewer than n bits remain.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 48 {
+		panic("bitio: ReadBits count out of range")
+	}
+	r.fill(n)
+	if r.nacc < n {
+		return 0, ErrUnexpectedEOF
+	}
+	v := r.acc & ((1 << n) - 1)
+	r.acc >>= n
+	r.nacc -= n
+	return v, nil
+}
+
+// PeekBits returns up to n bits without consuming them. If fewer than n
+// bits remain, the missing high bits are zero; ok reports how many bits
+// were actually available. Decoders use this for table lookups near EOF.
+func (r *Reader) PeekBits(n uint) (v uint64, avail uint) {
+	if n > 48 {
+		panic("bitio: PeekBits count out of range")
+	}
+	r.fill(n)
+	avail = r.nacc
+	if avail > n {
+		avail = n
+	}
+	return r.acc & ((1 << n) - 1), avail
+}
+
+// SkipBits discards n bits. It returns ErrUnexpectedEOF if fewer remain.
+func (r *Reader) SkipBits(n uint) error {
+	for n > 48 {
+		if _, err := r.ReadBits(48); err != nil {
+			return err
+		}
+		n -= 48
+	}
+	_, err := r.ReadBits(n)
+	return err
+}
+
+// ReadBool reads a single bit.
+func (r *Reader) ReadBool() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// AlignByte discards bits up to the next byte boundary and returns the
+// number discarded (0..7).
+func (r *Reader) AlignByte() uint {
+	drop := r.nacc % 8
+	r.acc >>= drop
+	r.nacc -= drop
+	return drop
+}
+
+// ReadBytes copies n whole bytes into p's first n entries after aligning is
+// the caller's responsibility; the stream must already be byte-aligned.
+func (r *Reader) ReadBytes(p []byte) error {
+	if r.nacc%8 != 0 {
+		panic("bitio: ReadBytes on unaligned stream")
+	}
+	for i := range p {
+		if r.nacc >= 8 {
+			p[i] = byte(r.acc)
+			r.acc >>= 8
+			r.nacc -= 8
+			continue
+		}
+		if r.pos >= len(r.data) {
+			return fmt.Errorf("%w: need %d more bytes", ErrUnexpectedEOF, len(p)-i)
+		}
+		p[i] = r.data[r.pos]
+		r.pos++
+	}
+	return nil
+}
+
+// BitsRemaining reports the number of unread bits.
+func (r *Reader) BitsRemaining() int {
+	return (len(r.data)-r.pos)*8 + int(r.nacc)
+}
+
+// BitsConsumed reports the number of bits consumed so far.
+func (r *Reader) BitsConsumed() int {
+	return len(r.data)*8 - r.BitsRemaining()
+}
+
+// Reverse returns the low n bits of v in reversed order. DEFLATE stores
+// Huffman codes MSB-first inside the LSB-first transport, so encoders
+// reverse each code once at table-build time.
+func Reverse(v uint32, n uint) uint32 {
+	var out uint32
+	for i := uint(0); i < n; i++ {
+		out = out<<1 | (v & 1)
+		v >>= 1
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package checksum
+
+// Adler-32 (RFC 1950 §8.2), the checksum embedded in zlib streams.
+
+const (
+	adlerMod = 65521
+	// adlerNMax is the largest n such that 255*n*(n+1)/2 + (n+1)*(mod-1)
+	// fits in a uint32; sums can be deferred that long before reduction.
+	adlerNMax = 5552
+)
+
+// Adler32 is an incremental Adler-32 accumulator. The zero value is NOT
+// ready to use (Adler-32 starts at 1); use NewAdler32 or call Reset.
+type Adler32 struct {
+	a, b uint32
+	live bool
+}
+
+// NewAdler32 returns an accumulator in the empty-message state.
+func NewAdler32() *Adler32 {
+	ad := &Adler32{}
+	ad.Reset()
+	return ad
+}
+
+// Reset returns the accumulator to the empty-message state (value 1).
+func (ad *Adler32) Reset() {
+	ad.a, ad.b = 1, 0
+	ad.live = true
+}
+
+// Update absorbs p.
+func (ad *Adler32) Update(p []byte) {
+	if !ad.live {
+		ad.Reset()
+	}
+	a, b := ad.a, ad.b
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > adlerNMax {
+			chunk = chunk[:adlerNMax]
+		}
+		p = p[len(chunk):]
+		for _, x := range chunk {
+			a += uint32(x)
+			b += a
+		}
+		a %= adlerMod
+		b %= adlerMod
+	}
+	ad.a, ad.b = a, b
+}
+
+// Sum returns the Adler-32 of everything absorbed so far.
+func (ad *Adler32) Sum() uint32 {
+	if !ad.live {
+		return 1
+	}
+	return ad.b<<16 | ad.a
+}
+
+// SumAdler32 is a convenience one-shot Adler-32.
+func SumAdler32(p []byte) uint32 {
+	ad := NewAdler32()
+	ad.Update(p)
+	return ad.Sum()
+}
+
+// Combine returns the Adler-32 of the concatenation of two messages given
+// their checksums and the length of the second. The accelerator uses this
+// to stitch checksums across resubmitted (page-faulted) requests without
+// rescanning data.
+func Combine(adler1, adler2 uint32, len2 int64) uint32 {
+	rem := uint32(len2 % adlerMod)
+	a1 := adler1 & 0xFFFF
+	b1 := adler1 >> 16 & 0xFFFF
+	a2 := adler2 & 0xFFFF
+	b2 := adler2 >> 16 & 0xFFFF
+	a := (a1 + a2 + adlerMod - 1) % adlerMod
+	b := (b1 + rem*a1%adlerMod + b2 + 2*adlerMod - rem) % adlerMod
+	return b<<16 | a
+}

@@ -1,0 +1,177 @@
+package checksum
+
+import (
+	"hash/adler32"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC32KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+	}{
+		{"", 0x00000000},
+		{"a", 0xE8B7BE43},
+		{"abc", 0x352441C2},
+		{"123456789", 0xCBF43926},
+		{"The quick brown fox jumps over the lazy dog", 0x414FA339},
+	}
+	for _, c := range cases {
+		if got := Sum32([]byte(c.in)); got != c.want {
+			t.Errorf("CRC32(%q) = %08x, want %08x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	f := func(p []byte) bool {
+		return Sum32(p) == crc32.ChecksumIEEE(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32Incremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 100000)
+	rng.Read(data)
+	whole := Sum32(data)
+	var c CRC32
+	pos := 0
+	for pos < len(data) {
+		n := rng.Intn(9000) + 1
+		if pos+n > len(data) {
+			n = len(data) - pos
+		}
+		c.Update(data[pos : pos+n])
+		pos += n
+	}
+	if c.Sum() != whole {
+		t.Fatalf("incremental %08x != whole %08x", c.Sum(), whole)
+	}
+	c.Reset()
+	if c.Sum() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestAdler32KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+	}{
+		{"", 0x00000001},
+		{"a", 0x00620062},
+		{"abc", 0x024D0127},
+		{"Wikipedia", 0x11E60398},
+	}
+	for _, c := range cases {
+		if got := SumAdler32([]byte(c.in)); got != c.want {
+			t.Errorf("Adler32(%q) = %08x, want %08x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAdler32MatchesStdlib(t *testing.T) {
+	f := func(p []byte) bool {
+		return SumAdler32(p) == adler32.Checksum(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdler32LargeBlockReduction(t *testing.T) {
+	// Exercise the deferred-reduction path with > nmax bytes of 0xFF.
+	data := make([]byte, 3*adlerNMax+17)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	if got, want := SumAdler32(data), adler32.Checksum(data); got != want {
+		t.Fatalf("got %08x want %08x", got, want)
+	}
+}
+
+func TestAdler32Incremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 50000)
+	rng.Read(data)
+	ad := NewAdler32()
+	pos := 0
+	for pos < len(data) {
+		n := rng.Intn(7777) + 1
+		if pos+n > len(data) {
+			n = len(data) - pos
+		}
+		ad.Update(data[pos : pos+n])
+		pos += n
+	}
+	if got, want := ad.Sum(), adler32.Checksum(data); got != want {
+		t.Fatalf("incremental %08x != %08x", got, want)
+	}
+}
+
+func TestAdlerCombine(t *testing.T) {
+	f := func(p1, p2 []byte) bool {
+		whole := SumAdler32(append(append([]byte{}, p1...), p2...))
+		return Combine(SumAdler32(p1), SumAdler32(p2), int64(len(p2))) == whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroValueCRC(t *testing.T) {
+	var c CRC32
+	if c.Sum() != 0 {
+		t.Fatal("zero-value CRC of empty message should be 0")
+	}
+	c.Update(nil)
+	if c.Sum() != 0 {
+		t.Fatal("CRC of empty update should be 0")
+	}
+}
+
+func BenchmarkCRC32(b *testing.B) {
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum32(data)
+	}
+}
+
+func BenchmarkAdler32(b *testing.B) {
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		SumAdler32(data)
+	}
+}
+
+func TestCombineCRC32(t *testing.T) {
+	f := func(p1, p2 []byte) bool {
+		whole := Sum32(append(append([]byte{}, p1...), p2...))
+		return CombineCRC32(Sum32(p1), Sum32(p2), int64(len(p2))) == whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Edge cases.
+	if CombineCRC32(0x12345678, 0, 0) != 0x12345678 {
+		t.Fatal("zero-length combine must be identity")
+	}
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	half := len(big) / 2
+	if got := CombineCRC32(Sum32(big[:half]), Sum32(big[half:]), int64(half)); got != Sum32(big) {
+		t.Fatalf("large combine %08x != %08x", got, Sum32(big))
+	}
+}

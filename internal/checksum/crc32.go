@@ -1,0 +1,154 @@
+// Package checksum implements the CRC-32 (IEEE 802.3, used by gzip) and
+// Adler-32 (used by zlib) checksums from scratch. The accelerator computes
+// these inline with compression/decompression; this package provides the
+// same incremental interface so the device model can account for them per
+// data beat.
+package checksum
+
+// CRC-32 with the IEEE polynomial, bit-reflected, as used by gzip.
+// Implemented with an 8-way slicing table for speed; the table is generated
+// at init from the polynomial rather than embedded, which both documents
+// the math and keeps the source small.
+
+// IEEEPoly is the reversed (bit-reflected) IEEE 802.3 polynomial.
+const IEEEPoly = 0xEDB88320
+
+var crcTable [8][256]uint32
+
+func init() {
+	for i := 0; i < 256; i++ {
+		c := uint32(i)
+		for j := 0; j < 8; j++ {
+			if c&1 != 0 {
+				c = c>>1 ^ IEEEPoly
+			} else {
+				c >>= 1
+			}
+		}
+		crcTable[0][i] = c
+	}
+	for i := 0; i < 256; i++ {
+		c := crcTable[0][i]
+		for k := 1; k < 8; k++ {
+			c = crcTable[0][c&0xFF] ^ c>>8
+			crcTable[k][i] = c
+		}
+	}
+}
+
+// CRC32 is an incremental CRC-32 accumulator. The zero value is ready to
+// use and corresponds to an empty message.
+type CRC32 struct {
+	state uint32 // pre-inverted running value
+	init  bool
+}
+
+// Update absorbs p into the checksum.
+func (c *CRC32) Update(p []byte) {
+	if !c.init {
+		c.state = ^uint32(0)
+		c.init = true
+	}
+	crc := c.state
+	// Slicing-by-8 main loop.
+	for len(p) >= 8 {
+		crc ^= uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+		crc = crcTable[7][crc&0xFF] ^
+			crcTable[6][crc>>8&0xFF] ^
+			crcTable[5][crc>>16&0xFF] ^
+			crcTable[4][crc>>24] ^
+			crcTable[3][p[4]] ^
+			crcTable[2][p[5]] ^
+			crcTable[1][p[6]] ^
+			crcTable[0][p[7]]
+		p = p[8:]
+	}
+	for _, b := range p {
+		crc = crcTable[0][byte(crc)^b] ^ crc>>8
+	}
+	c.state = crc
+}
+
+// Sum returns the checksum of everything absorbed so far.
+func (c *CRC32) Sum() uint32 {
+	if !c.init {
+		return 0
+	}
+	return ^c.state
+}
+
+// Reset returns the accumulator to the empty-message state.
+func (c *CRC32) Reset() { c.state = 0; c.init = false }
+
+// Sum32 is a convenience one-shot CRC-32.
+func Sum32(p []byte) uint32 {
+	var c CRC32
+	c.Update(p)
+	return c.Sum()
+}
+
+// CombineCRC32 returns the CRC-32 of the concatenation of two messages
+// given their individual CRCs and the length of the second. The
+// accelerator library uses this to stitch per-request checksums into a
+// stream checksum without rereading data (zlib's crc32_combine).
+//
+// The math: CRC is linear over GF(2), so appending len2 zero bytes to
+// message 1 transforms crc1 by a linear operator; that operator is the
+// len2*8-th power of the one-bit-shift matrix, computed here by repeated
+// squaring in O(log len2) 32x32 matrix products.
+func CombineCRC32(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1
+	}
+	// odd = shift-by-one-bit operator (including polynomial feedback).
+	var odd, even gf2Matrix
+	odd[0] = IEEEPoly
+	row := uint32(1)
+	for i := 1; i < 32; i++ {
+		odd[i] = row
+		row <<= 1
+	}
+	even.square(&odd)
+	odd.square(&even)
+	// Apply shift-by-8*len2: walk the bits of len2, alternating matrices.
+	n := uint64(len2)
+	for {
+		even.square(&odd)
+		if n&1 != 0 {
+			crc1 = even.times(crc1)
+		}
+		n >>= 1
+		if n == 0 {
+			break
+		}
+		odd.square(&even)
+		if n&1 != 0 {
+			crc1 = odd.times(crc1)
+		}
+		n >>= 1
+		if n == 0 {
+			break
+		}
+	}
+	return crc1 ^ crc2
+}
+
+// gf2Matrix is a 32x32 bit matrix over GF(2), one column per word.
+type gf2Matrix [32]uint32
+
+func (m *gf2Matrix) times(v uint32) uint32 {
+	var sum uint32
+	for i := 0; v != 0; i++ {
+		if v&1 != 0 {
+			sum ^= m[i]
+		}
+		v >>= 1
+	}
+	return sum
+}
+
+func (m *gf2Matrix) square(src *gf2Matrix) {
+	for i := 0; i < 32; i++ {
+		m[i] = src.times(src[i])
+	}
+}

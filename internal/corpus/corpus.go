@@ -1,0 +1,285 @@
+// Package corpus generates deterministic synthetic workloads standing in
+// for the corpora the paper evaluates on (Calgary/Canterbury/Silesia-class
+// files plus datacenter data). The generators are seeded and offline: the
+// same (kind, size, seed) always produces the same bytes, so experiments
+// are reproducible run to run.
+//
+// What matters for reproducing the paper's tables is not file identity but
+// *entropy class*: English-like text, markup, machine logs, columnar
+// database data, genomic strings, binary code, incompressible data, and
+// all-zero pages each exercise a distinct region of the ratio/throughput
+// space.
+package corpus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Kind identifies a data class.
+type Kind int
+
+const (
+	// Text is Markov-chain English prose (Calgary "book" class).
+	Text Kind = iota
+	// HTML is tag-heavy markup (Canterbury "html" class).
+	HTML
+	// JSONLogs is newline-delimited structured log records (cloud class).
+	JSONLogs
+	// Source is C-like program text (Calgary "progc" class).
+	Source
+	// Columnar is TPC-DS-like tabular data: sorted keys, enumerated
+	// dimensions, skewed numerics (the Spark shuffle payload class).
+	Columnar
+	// DNA is a 4-symbol genomic string (Silesia "dna" class).
+	DNA
+	// Binary is mixed executable-like content (Silesia "mozilla" class).
+	Binary
+	// Random is incompressible noise (worst case).
+	Random
+	// Zeros is the best case (empty pages, sparse files).
+	Zeros
+)
+
+// Kinds lists every generator in presentation order.
+func Kinds() []Kind {
+	return []Kind{Text, HTML, JSONLogs, Source, Columnar, DNA, Binary, Random, Zeros}
+}
+
+func (k Kind) String() string {
+	switch k {
+	case Text:
+		return "text"
+	case HTML:
+		return "html"
+	case JSONLogs:
+		return "jsonlogs"
+	case Source:
+		return "source"
+	case Columnar:
+		return "columnar"
+	case DNA:
+		return "dna"
+	case Binary:
+		return "binary"
+	case Random:
+		return "random"
+	case Zeros:
+		return "zeros"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind resolves a kind name.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("corpus: unknown kind %q", s)
+}
+
+// Generate produces exactly size bytes of the given class.
+func Generate(k Kind, size int, seed int64) []byte {
+	if size <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(k)<<32))
+	switch k {
+	case Text:
+		return genText(rng, size)
+	case HTML:
+		return genHTML(rng, size)
+	case JSONLogs:
+		return genJSONLogs(rng, size)
+	case Source:
+		return genSource(rng, size)
+	case Columnar:
+		return genColumnar(rng, size)
+	case DNA:
+		return genDNA(rng, size)
+	case Binary:
+		return genBinary(rng, size)
+	case Random:
+		return genRandom(rng, size)
+	case Zeros:
+		return make([]byte, size)
+	}
+	panic("corpus: unknown kind")
+}
+
+var textWords = strings.Fields(`
+the of and to a in that is was he for it with as his on be at by i this had
+not are but from or have an they which one you were her all she there would
+their we him been has when who will more no if out so said what up its about
+into than them can only other new some could time these two may then do first
+any my now such like our over man me even most made after also did many before
+must through back years where much your way well down should because each just
+those people mr how too little state good very make world still own see men
+work long get here between both life being under never day same another know
+while last might us great old year off come since against go came right used
+take three system processor accelerator compression throughput latency memory
+queue hardware software pipeline buffer request engine data page cache`)
+
+func genText(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+16)
+	sentence := 0
+	for len(out) < size {
+		w := textWords[rng.Intn(len(textWords))]
+		if sentence == 0 {
+			w = strings.ToUpper(w[:1]) + w[1:]
+		}
+		out = append(out, w...)
+		sentence++
+		if sentence > 6+rng.Intn(12) {
+			out = append(out, '.', ' ')
+			sentence = 0
+		} else {
+			out = append(out, ' ')
+		}
+		if rng.Intn(15) == 0 {
+			out = append(out, '\n')
+		}
+	}
+	return out[:size]
+}
+
+var htmlTags = []string{"div", "span", "p", "a", "li", "td", "tr", "h2", "em", "section"}
+
+func genHTML(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+64)
+	out = append(out, "<!DOCTYPE html><html><head><title>report</title></head><body>"...)
+	for len(out) < size {
+		tag := htmlTags[rng.Intn(len(htmlTags))]
+		out = append(out, fmt.Sprintf(`<%s class="c%d" id="n%d">`, tag, rng.Intn(8), rng.Intn(10000))...)
+		for i, n := 0, rng.Intn(8)+1; i < n; i++ {
+			out = append(out, textWords[rng.Intn(len(textWords))]...)
+			out = append(out, ' ')
+		}
+		out = append(out, "</"...)
+		out = append(out, tag...)
+		out = append(out, '>', '\n')
+	}
+	return out[:size]
+}
+
+var logLevels = []string{"DEBUG", "INFO", "INFO", "INFO", "WARN", "ERROR"}
+var logOps = []string{"GET /api/v1/items", "PUT /api/v1/items", "GET /healthz", "POST /api/v1/orders", "GET /metrics"}
+
+func genJSONLogs(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+128)
+	ts := int64(1700000000000)
+	for len(out) < size {
+		ts += int64(rng.Intn(500))
+		out = append(out, fmt.Sprintf(
+			`{"ts":%d,"level":%q,"svc":"frontend-%d","op":%q,"status":%d,"latency_us":%d,"bytes":%d}`+"\n",
+			ts, logLevels[rng.Intn(len(logLevels))], rng.Intn(4),
+			logOps[rng.Intn(len(logOps))], 200+10*rng.Intn(4), rng.Intn(40000), rng.Intn(65536))...)
+	}
+	return out[:size]
+}
+
+var srcSnippets = []string{
+	"for (int i = 0; i < n; i++) {\n",
+	"    sum += buf[i] * weight[i];\n",
+	"}\n",
+	"if (ret != 0) {\n    return -EINVAL;\n}\n",
+	"static inline uint32_t hash(uint32_t v) {\n    return v * 2654435761u;\n}\n",
+	"memcpy(dst, src, len);\n",
+	"/* submit the request block to the accelerator */\n",
+	"struct crb *crb = queue_next(q);\n",
+	"crb->csb_addr = (uint64_t)&csb;\n",
+	"while (!csb.valid)\n    barrier();\n",
+}
+
+func genSource(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+64)
+	for len(out) < size {
+		out = append(out, srcSnippets[rng.Intn(len(srcSnippets))]...)
+	}
+	return out[:size]
+}
+
+var dims = []string{"AAA", "BBB", "CCC", "DDD", "EEE", "FFF", "GGG", "HHH"}
+
+func genColumnar(rng *rand.Rand, size int) []byte {
+	// Row groups: monotonically increasing surrogate keys, low-cardinality
+	// dimension strings, zipf-ish measures — the shape of a TPC-DS fact
+	// table serialized row-wise for a shuffle.
+	out := make([]byte, 0, size+64)
+	key := int64(100000)
+	for len(out) < size {
+		key += int64(rng.Intn(3) + 1)
+		q := rng.Intn(100)
+		price := 100 + rng.Intn(90)*100
+		out = append(out, fmt.Sprintf("%d|%s|%s|%d|%d.%02d|N\n",
+			key, dims[rng.Intn(len(dims))], dims[rng.Intn(3)],
+			q, price/100, price%100)...)
+	}
+	return out[:size]
+}
+
+func genDNA(rng *rand.Rand, size int) []byte {
+	const bases = "ACGT"
+	out := make([]byte, size)
+	// Long-range repeats: occasionally copy an earlier segment, as real
+	// genomes do.
+	i := 0
+	for i < size {
+		if i > 4096 && rng.Intn(4) == 0 {
+			n := 256 + rng.Intn(1024)
+			src := rng.Intn(i - n)
+			if src >= 0 && n <= size-i {
+				copy(out[i:], out[src:src+n])
+				i += n
+				continue
+			}
+		}
+		out[i] = bases[rng.Intn(4)]
+		i++
+	}
+	return out
+}
+
+func genBinary(rng *rand.Rand, size int) []byte {
+	// Interleaved regions: instruction-like patterns, pointer tables with
+	// shared high bytes, string table, and noise.
+	out := make([]byte, 0, size+4096)
+	for len(out) < size {
+		switch rng.Intn(4) {
+		case 0: // opcode-ish: limited byte alphabet with structure
+			n := 512 + rng.Intn(2048)
+			for i := 0; i < n; i++ {
+				out = append(out, byte(0x40+rng.Intn(16)), byte(rng.Intn(8)<<3), byte(rng.Intn(256)), 0x00)
+			}
+		case 1: // pointer table
+			base := uint64(0x7F0000000000) | uint64(rng.Intn(1<<20))<<12
+			n := 128 + rng.Intn(512)
+			var b [8]byte
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint64(b[:], base+uint64(i*16))
+				out = append(out, b[:]...)
+			}
+		case 2: // string table
+			for i, n := 0, 16+rng.Intn(64); i < n; i++ {
+				out = append(out, textWords[rng.Intn(len(textWords))]...)
+				out = append(out, 0)
+			}
+		case 3: // high-entropy section
+			n := 256 + rng.Intn(1024)
+			b := make([]byte, n)
+			rng.Read(b)
+			out = append(out, b...)
+		}
+	}
+	return out[:size]
+}
+
+func genRandom(rng *rand.Rand, size int) []byte {
+	out := make([]byte, size)
+	rng.Read(out)
+	return out
+}

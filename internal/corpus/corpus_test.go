@@ -1,0 +1,97 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"nxzip/internal/deflate"
+)
+
+func TestGenerateSizes(t *testing.T) {
+	for _, k := range Kinds() {
+		for _, size := range []int{0, 1, 7, 100, 4096, 100000} {
+			got := Generate(k, size, 1)
+			if len(got) != size {
+				t.Fatalf("%s size %d: got %d bytes", k, size, len(got))
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, k := range Kinds() {
+		a := Generate(k, 20000, 99)
+		b := Generate(k, 20000, 99)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: not deterministic", k)
+		}
+	}
+}
+
+func TestGenerateSeedSensitive(t *testing.T) {
+	for _, k := range Kinds() {
+		if k == Zeros {
+			continue
+		}
+		a := Generate(k, 20000, 1)
+		b := Generate(k, 20000, 2)
+		if bytes.Equal(a, b) {
+			t.Fatalf("%s: seed does not change output", k)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestEntropyOrdering pins the classes to their intended compressibility
+// regimes using the real software codec. This is what makes the corpus a
+// valid stand-in for the paper's file sets.
+func TestEntropyOrdering(t *testing.T) {
+	ratio := func(k Kind) float64 {
+		src := Generate(k, 256<<10, 7)
+		comp, err := deflate.Compress(src, deflate.Options{Level: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(len(src)) / float64(len(comp))
+	}
+	r := map[Kind]float64{}
+	for _, k := range Kinds() {
+		r[k] = ratio(k)
+		t.Logf("%-9s ratio %.2f", k, r[k])
+	}
+	if r[Random] > 1.05 {
+		t.Fatalf("random compresses %.2fx", r[Random])
+	}
+	if r[Zeros] < 50 {
+		t.Fatalf("zeros only %.2fx", r[Zeros])
+	}
+	for _, k := range []Kind{Text, HTML, JSONLogs, Source, Columnar} {
+		if r[k] < 2 {
+			t.Fatalf("%s ratio %.2f: structured classes must compress >2x", k, r[k])
+		}
+	}
+	if r[DNA] < 1.5 {
+		t.Fatalf("dna ratio %.2f", r[DNA])
+	}
+	if r[Binary] < 1.2 || r[Binary] > r[JSONLogs] {
+		t.Fatalf("binary ratio %.2f should sit between noise and logs (logs %.2f)", r[Binary], r[JSONLogs])
+	}
+}
+
+func BenchmarkGenerateText(b *testing.B) {
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		Generate(Text, 1<<20, int64(i))
+	}
+}

@@ -1,0 +1,219 @@
+package deflate
+
+import (
+	"fmt"
+
+	"nxzip/internal/bitio"
+	"nxzip/internal/huffman"
+	"nxzip/internal/lz77"
+)
+
+// DHT is a dynamic Huffman table: the code lengths for the literal/length
+// and distance alphabets. This is exactly the object the accelerator's
+// "DHT" interface exchanges with software — the POWER9 NX API lets callers
+// supply a canned DHT, ask the engine to generate one from the data, or
+// fall back to the fixed table.
+type DHT struct {
+	LitLen []uint8 // 257..286 entries (must include EndOfBlock)
+	Dist   []uint8 // 1..30 entries
+}
+
+// CountFrequencies tallies litlen/dist symbol frequencies for a token
+// stream, including the end-of-block symbol. The returned slices are sized
+// to the full alphabets.
+func CountFrequencies(tokens []lz77.Token) (litlen, dist []int64) {
+	litlen = make([]int64, NumLitLen)
+	dist = make([]int64, NumDist)
+	for _, t := range tokens {
+		if !t.IsMatch() {
+			litlen[t.Literal()]++
+			continue
+		}
+		ls, _, _ := LengthSymbol(t.Length())
+		litlen[ls]++
+		ds, _, _ := DistSymbol(t.Dist())
+		dist[ds]++
+	}
+	litlen[EndOfBlock]++
+	return litlen, dist
+}
+
+// BuildDHT constructs length-limited Huffman tables from symbol
+// frequencies. It guarantees a decodable table: EndOfBlock always gets a
+// code, and if no distance symbol occurs, one distance code is still
+// emitted (RFC 1951 permits zero but one dummy code maximizes decoder
+// compatibility, matching zlib).
+func BuildDHT(litlenFreq, distFreq []int64) (*DHT, error) {
+	lf := make([]int64, NumLitLen)
+	copy(lf, litlenFreq)
+	if lf[EndOfBlock] == 0 {
+		lf[EndOfBlock] = 1
+	}
+	df := make([]int64, NumDist)
+	copy(df, distFreq)
+	used := false
+	for _, f := range df {
+		if f > 0 {
+			used = true
+			break
+		}
+	}
+	if !used {
+		df[0] = 1
+	}
+	ll, err := huffman.BuildLengths(lf, maxCodeLen)
+	if err != nil {
+		return nil, fmt.Errorf("deflate: litlen table: %w", err)
+	}
+	dl, err := huffman.BuildLengths(df, maxCodeLen)
+	if err != nil {
+		return nil, fmt.Errorf("deflate: dist table: %w", err)
+	}
+	return &DHT{LitLen: ll, Dist: dl}, nil
+}
+
+// trim returns lengths with trailing zeros removed, but at least min
+// entries.
+func trim(lengths []uint8, min int) []uint8 {
+	n := len(lengths)
+	for n > min && lengths[n-1] == 0 {
+		n--
+	}
+	return lengths[:n]
+}
+
+// clSymbol is one code-length-alphabet symbol with its extra bits.
+type clSymbol struct {
+	sym   uint8
+	extra uint8
+	ebits uint8
+}
+
+// runLength encodes a sequence of code lengths into the code-length
+// alphabet (symbols 0..15 literal, 16 repeat-prev, 17/18 zero runs).
+func runLength(lengths []uint8) []clSymbol {
+	var out []clSymbol
+	i := 0
+	for i < len(lengths) {
+		v := lengths[i]
+		run := 1
+		for i+run < len(lengths) && lengths[i+run] == v {
+			run++
+		}
+		switch {
+		case v == 0 && run >= 3:
+			for run >= 3 {
+				r := run
+				if r > 138 {
+					r = 138
+				}
+				if r <= 10 {
+					out = append(out, clSymbol{17, uint8(r - 3), 3})
+				} else {
+					out = append(out, clSymbol{18, uint8(r - 11), 7})
+				}
+				run -= r
+				i += r
+			}
+			for ; run > 0; run-- {
+				out = append(out, clSymbol{0, 0, 0})
+				i++
+			}
+		case v != 0 && run >= 4:
+			// Emit the value once, then repeat-prev runs of 3..6.
+			out = append(out, clSymbol{v, 0, 0})
+			i++
+			run--
+			for run >= 3 {
+				r := run
+				if r > 6 {
+					r = 6
+				}
+				out = append(out, clSymbol{16, uint8(r - 3), 2})
+				run -= r
+				i += r
+			}
+			for ; run > 0; run-- {
+				out = append(out, clSymbol{v, 0, 0})
+				i++
+			}
+		default:
+			for ; run > 0; run-- {
+				out = append(out, clSymbol{v, 0, 0})
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// headerPlan is a fully-computed dynamic block header, ready to write and
+// with a known bit cost (used for stored/fixed/dynamic selection).
+type headerPlan struct {
+	litlen    []uint8 // trimmed
+	dist      []uint8 // trimmed
+	clSymbols []clSymbol
+	clLengths []uint8 // 19 entries
+	clEnc     *huffman.Encoder
+	bits      int
+}
+
+// planHeader computes the serialized form of a DHT.
+func planHeader(d *DHT) (*headerPlan, error) {
+	ll := trim(d.LitLen, 257)
+	dl := trim(d.Dist, 1)
+	if len(ll) > NumLitLen || len(dl) > NumDist {
+		return nil, fmt.Errorf("deflate: DHT alphabet too large (%d litlen, %d dist)", len(ll), len(dl))
+	}
+	combined := make([]uint8, 0, len(ll)+len(dl))
+	combined = append(combined, ll...)
+	combined = append(combined, dl...)
+	syms := runLength(combined)
+	clFreq := make([]int64, NumCodeLength)
+	for _, s := range syms {
+		clFreq[s.sym]++
+	}
+	clLengths, err := huffman.BuildLengths(clFreq, maxCLCodeLen)
+	if err != nil {
+		return nil, err
+	}
+	clEnc, err := huffman.NewEncoder(clLengths)
+	if err != nil {
+		return nil, err
+	}
+	// HCLEN: number of code-length-code lengths transmitted, in clOrder,
+	// with trailing zeros omitted (min 4).
+	hclen := NumCodeLength
+	for hclen > 4 && clLengths[clOrder[hclen-1]] == 0 {
+		hclen--
+	}
+	bits := 5 + 5 + 4 + 3*hclen
+	for _, s := range syms {
+		bits += int(clEnc.Codes[s.sym].Len) + int(s.ebits)
+	}
+	return &headerPlan{
+		litlen: ll, dist: dl, clSymbols: syms,
+		clLengths: clLengths, clEnc: clEnc, bits: bits,
+	}, nil
+}
+
+// write emits the dynamic header (after the 3 block-header bits).
+func (h *headerPlan) write(w *bitio.Writer) {
+	w.WriteBits(uint64(len(h.litlen)-257), 5)
+	w.WriteBits(uint64(len(h.dist)-1), 5)
+	hclen := NumCodeLength
+	for hclen > 4 && h.clLengths[clOrder[hclen-1]] == 0 {
+		hclen--
+	}
+	w.WriteBits(uint64(hclen-4), 4)
+	for i := 0; i < hclen; i++ {
+		w.WriteBits(uint64(h.clLengths[clOrder[i]]), 3)
+	}
+	for _, s := range h.clSymbols {
+		c := h.clEnc.Codes[s.sym]
+		w.WriteBits(uint64(c.Bits), uint(c.Len))
+		if s.ebits > 0 {
+			w.WriteBits(uint64(s.extra), uint(s.ebits))
+		}
+	}
+}

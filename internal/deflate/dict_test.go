@@ -1,0 +1,116 @@
+package deflate
+
+import (
+	"bytes"
+	"compress/zlib"
+	"io"
+	"strings"
+	"testing"
+)
+
+var (
+	testDict = []byte(strings.Repeat("GET /api/v2/resource HTTP/1.1\r\nAccept: application/json\r\n", 20))
+	testMsg  = []byte("GET /api/v2/resource HTTP/1.1\r\nAccept: application/json\r\nX-Req: 42\r\n\r\n")
+)
+
+func TestZlibDictRoundTrip(t *testing.T) {
+	comp, err := CompressZlibDict(testMsg, testDict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressZlibDict(comp, testDict, InflateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, testMsg) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestZlibDictImprovesRatio(t *testing.T) {
+	withDict, err := CompressZlibDict(testMsg, testDict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := CompressZlib(testMsg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The message is almost entirely dictionary content; FDICT should
+	// shrink it drastically.
+	if len(withDict) >= len(without)*2/3 {
+		t.Fatalf("dict stream %d not well below plain %d", len(withDict), len(without))
+	}
+}
+
+func TestZlibDictInteropWithStdlib(t *testing.T) {
+	// stdlib zlib reads our FDICT stream given the same dictionary.
+	comp, err := CompressZlibDict(testMsg, testDict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := zlib.NewReaderDict(bytes.NewReader(comp), testDict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, testMsg) {
+		t.Fatal("stdlib mismatch")
+	}
+	// And we read stdlib's FDICT stream.
+	var buf bytes.Buffer
+	zw, err := zlib.NewWriterLevelDict(&buf, zlib.BestCompression, testDict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw.Write(testMsg)
+	zw.Close()
+	got2, err := DecompressZlibDict(buf.Bytes(), testDict, InflateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, testMsg) {
+		t.Fatal("stdlib->ours mismatch")
+	}
+}
+
+func TestZlibDictWrongDictionary(t *testing.T) {
+	comp, _ := CompressZlibDict(testMsg, testDict, Options{})
+	if _, err := DecompressZlibDict(comp, []byte("wrong dictionary"), InflateOptions{}); err == nil {
+		t.Fatal("wrong dictionary accepted")
+	}
+}
+
+func TestZlibDictPlainStreamPassesThrough(t *testing.T) {
+	comp, _ := CompressZlib(testMsg, Options{})
+	got, err := DecompressZlibDict(comp, nil, InflateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, testMsg) {
+		t.Fatal("non-FDICT stream mishandled")
+	}
+}
+
+func TestUnwrapDictParsesHeader(t *testing.T) {
+	comp, _ := CompressZlibDict(testMsg, testDict, Options{})
+	_, _, dictID, hasDict, err := ZlibUnwrapDict(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasDict || dictID == 0 {
+		t.Fatalf("hasDict=%v dictID=%08x", hasDict, dictID)
+	}
+	// Plain stream: no dict.
+	plain, _ := CompressZlib(testMsg, Options{})
+	_, _, _, hasDict2, err := ZlibUnwrapDict(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasDict2 {
+		t.Fatal("plain stream claims dict")
+	}
+}

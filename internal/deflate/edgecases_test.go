@@ -1,0 +1,221 @@
+package deflate
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"testing"
+
+	"nxzip/internal/bitio"
+	"nxzip/internal/huffman"
+	"nxzip/internal/lz77"
+)
+
+// Crafted-bitstream tests for inflate's dynamic-header corner cases. Each
+// helper builds the stream bit by bit so the exact malformation is under
+// test (fuzzing finds these probabilistically; these pin them).
+
+// craftDynamicHeader writes BFINAL=1, BTYPE=2 and a code-length prelude
+// from explicit (order-position -> 3-bit length) values.
+func craftDynamicHeader(hlit, hdist, hclen int, clLens []uint64) *bitio.Writer {
+	w := bitio.NewWriter(nil)
+	w.WriteBits(1, 1) // BFINAL
+	w.WriteBits(2, 2) // dynamic
+	w.WriteBits(uint64(hlit), 5)
+	w.WriteBits(uint64(hdist), 5)
+	w.WriteBits(uint64(hclen), 4)
+	for _, v := range clLens {
+		w.WriteBits(v, 3)
+	}
+	return w
+}
+
+func TestInflateRejectsHLITOverflow(t *testing.T) {
+	// HLIT = 30 -> 287 litlen codes > 286.
+	w := craftDynamicHeader(30, 0, 0, []uint64{1, 1, 0, 0})
+	if _, err := Decompress(w.Bytes(), InflateOptions{}); err == nil {
+		t.Fatal("HLIT=287 accepted")
+	}
+}
+
+func TestInflateRejectsHDISTOverflow(t *testing.T) {
+	// HDIST = 30 -> 31 distance codes > 30.
+	w := craftDynamicHeader(0, 30, 0, []uint64{1, 1, 0, 0})
+	if _, err := Decompress(w.Bytes(), InflateOptions{}); err == nil {
+		t.Fatal("HDIST=31 accepted")
+	}
+}
+
+func TestInflateRejectsRepeatAtStart(t *testing.T) {
+	// Code-length code where symbol 16 (copy previous) appears first.
+	// Prelude: lengths for order {16,17,18,0}: give 16 and 17 one bit each.
+	w := craftDynamicHeader(0, 0, 0, []uint64{1, 1, 0, 0})
+	// With canonical codes, symbol 16 gets code 0 (1 bit). Emit it first.
+	w.WriteBits(0, 1) // CL symbol 16: repeat-previous with nothing before
+	w.WriteBits(0, 2) // its 2-bit repeat count
+	if _, err := Decompress(w.Bytes(), InflateOptions{}); err == nil {
+		t.Fatal("repeat-with-no-previous accepted")
+	}
+}
+
+func TestInflateRejectsOverfullCLCode(t *testing.T) {
+	// Three 1-bit code-length codes is over-subscribed.
+	w := craftDynamicHeader(0, 0, 1, []uint64{1, 1, 1, 0, 0})
+	if _, err := Decompress(w.Bytes(), InflateOptions{}); err == nil {
+		t.Fatal("over-subscribed CL code accepted")
+	}
+}
+
+func TestInflateRejectsZeroRunPastTable(t *testing.T) {
+	// Zero-run (symbol 18) that overruns the combined lengths table.
+	w := craftDynamicHeader(0, 0, 0, []uint64{0, 1, 1, 0}) // syms 17,18 get codes
+	// Canonical: sym 17 -> 0, sym 18 -> 1 (1 bit each).
+	w.WriteBits(1, 1)   // symbol 18
+	w.WriteBits(127, 7) // run of 138 zeros > 258 remaining? 138 < 258 though
+	w.WriteBits(1, 1)   // symbol 18 again
+	w.WriteBits(127, 7) // second run of 138: 276 > 258 -> overrun
+	if _, err := Decompress(w.Bytes(), InflateOptions{}); err == nil {
+		t.Fatal("zero-run overrun accepted")
+	}
+}
+
+func TestInflateRejectsMissingEOBCode(t *testing.T) {
+	// A table where symbol 256 has no code is undecodable by contract.
+	w := craftDynamicHeader(0, 0, 14, nil)
+	// HCLEN=18: write order lengths giving code-length symbol 0 -> 1 bit,
+	// 8 -> 1 bit (order: 16,17,18,0,8,7,9,6,10,5,11,4,12,3,13,2,14,1).
+	lens := make([]uint64, 18)
+	lens[3] = 1 // symbol 0
+	lens[4] = 1 // symbol 8
+	for _, v := range lens {
+		w.WriteBits(v, 3)
+	}
+	// 257 litlen lengths: 256 entries of 8, then one 0 (symbol 256!),
+	// then 1 distance length of 8.
+	// CL canonical: sym 0 -> code 0, sym 8 -> code 1.
+	for i := 0; i < 256; i++ {
+		w.WriteBits(1, 1) // length 8
+	}
+	w.WriteBits(0, 1) // symbol 256 gets length 0
+	w.WriteBits(1, 1) // distance symbol 0: length 8
+	if _, err := Decompress(w.Bytes(), InflateOptions{}); err == nil {
+		t.Fatal("missing end-of-block code accepted")
+	}
+}
+
+func TestInflateRejectsDistanceTooFar(t *testing.T) {
+	// Fixed-table block: match at distance 4 with only 1 byte produced.
+	w := bitio.NewWriter(nil)
+	bw := NewBlockWriter(w)
+	// Hand-roll: literal 'a', then an invalid match. Use writeTokens via
+	// crafted token stream? Match(3,4) with 1 byte of history is exactly
+	// the corruption; the encoder's Validate-free path permits crafting it
+	// through the fixed encoder.
+	_ = bw
+	fixedLL, _ := huffman.NewEncoder(FixedLitLenLengths())
+	fixedD, _ := huffman.NewEncoder(FixedDistLengths())
+	w.WriteBits(1, 1) // BFINAL
+	w.WriteBits(1, 2) // fixed
+	write := func(c huffman.Code) { w.WriteBits(uint64(c.Bits), uint(c.Len)) }
+	write(fixedLL.Codes['a'])
+	ls, lextra, lnb := LengthSymbol(3)
+	write(fixedLL.Codes[ls])
+	if lnb > 0 {
+		w.WriteBits(uint64(lextra), uint(lnb))
+	}
+	ds, dextra, dnb := DistSymbol(4)
+	write(fixedD.Codes[ds])
+	if dnb > 0 {
+		w.WriteBits(uint64(dextra), uint(dnb))
+	}
+	write(fixedLL.Codes[EndOfBlock])
+	if _, err := Decompress(w.Bytes(), InflateOptions{}); err == nil {
+		t.Fatal("distance past start accepted")
+	}
+	// stdlib agrees this stream is corrupt.
+	if _, err := io.ReadAll(flate.NewReader(bytes.NewReader(w.Bytes()))); err == nil {
+		t.Fatal("stdlib accepted the crafted stream — test premise wrong")
+	}
+}
+
+func TestInflateMaxAlphabets(t *testing.T) {
+	// A legal stream using the full 286/30 alphabets must decode. Build
+	// frequencies hitting every length symbol and many distances.
+	var tokens []lz77.Token
+	src := make([]byte, 0, 1<<16)
+	// All 256 literals.
+	for b := 0; b < 256; b++ {
+		tokens = append(tokens, lz77.Lit(byte(b)))
+		src = append(src, byte(b))
+	}
+	// Matches of every representable length (3..258).
+	for l := lz77.MinMatch; l <= lz77.MaxMatch; l++ {
+		tokens = append(tokens, lz77.Match(l, 256))
+		start := len(src) - 256
+		for j := 0; j < l; j++ {
+			src = append(src, src[start+j])
+		}
+	}
+	comp, err := EncodeTokens(tokens, src, ModeDynamic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp, InflateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("full-alphabet round-trip mismatch")
+	}
+	// stdlib cross-check.
+	sgot, err := io.ReadAll(flate.NewReader(bytes.NewReader(comp)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sgot, src) {
+		t.Fatal("stdlib mismatch on full alphabet")
+	}
+}
+
+func TestInflateEmptyDynamicBlock(t *testing.T) {
+	// A dynamic block containing only end-of-block.
+	comp, err := EncodeTokens(nil, nil, ModeDynamic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp, InflateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("%d bytes", len(got))
+	}
+}
+
+func TestInflateBlockType3(t *testing.T) {
+	w := bitio.NewWriter(nil)
+	w.WriteBits(1, 1)
+	w.WriteBits(3, 2) // reserved
+	if _, err := Decompress(w.Bytes(), InflateOptions{}); err == nil {
+		t.Fatal("reserved block type accepted")
+	}
+}
+
+func TestMaxLengthMatchBoundary(t *testing.T) {
+	// Length 258 and length 255 straddle the symbol-285 special case
+	// (285 has zero extra bits, 284 has 5).
+	src := bytes.Repeat([]byte("x"), 600)
+	tokens := []lz77.Token{lz77.Lit('x')}
+	tokens = append(tokens, lz77.Match(258, 1), lz77.Match(255, 1), lz77.Match(86, 1))
+	comp, err := EncodeTokens(tokens, src, ModeFixed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp, InflateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("got %d bytes want %d", len(got), len(src))
+	}
+}

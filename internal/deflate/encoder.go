@@ -1,0 +1,374 @@
+package deflate
+
+import (
+	"fmt"
+
+	"nxzip/internal/bitio"
+	"nxzip/internal/huffman"
+	"nxzip/internal/lz77"
+)
+
+// BlockMode selects how a DEFLATE block is encoded.
+type BlockMode int
+
+const (
+	// ModeAuto picks the cheapest of stored/fixed/dynamic, like zlib.
+	ModeAuto BlockMode = iota
+	// ModeFixed forces the static Huffman table (the accelerator's FHT
+	// function code).
+	ModeFixed
+	// ModeDynamic forces a per-block generated table (the accelerator's
+	// DHT-generate function code).
+	ModeDynamic
+	// ModeStored forces an uncompressed block.
+	ModeStored
+)
+
+func (m BlockMode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeFixed:
+		return "fht"
+	case ModeDynamic:
+		return "dht"
+	case ModeStored:
+		return "stored"
+	}
+	return fmt.Sprintf("BlockMode(%d)", int(m))
+}
+
+// maxStoredBlock is the largest LEN a stored block can carry (RFC 1951).
+const maxStoredBlock = 65535
+
+// BlockWriter serializes token streams into DEFLATE blocks on a bit
+// stream. It is the shared back end of the software codec and the
+// accelerator model's Huffman-encode stage.
+type BlockWriter struct {
+	w        *bitio.Writer
+	fixedLL  *huffman.Encoder
+	fixedD   *huffman.Encoder
+	wroteEnd bool
+}
+
+// NewBlockWriter wraps a bit writer.
+func NewBlockWriter(w *bitio.Writer) *BlockWriter {
+	fl, err := huffman.NewEncoder(FixedLitLenLengths())
+	if err != nil {
+		panic("deflate: fixed litlen table: " + err.Error())
+	}
+	fd, err := huffman.NewEncoder(FixedDistLengths())
+	if err != nil {
+		panic("deflate: fixed dist table: " + err.Error())
+	}
+	return &BlockWriter{w: w, fixedLL: fl, fixedD: fd}
+}
+
+// WriteBlock emits one block containing tokens (whose expansion is src,
+// needed for the stored fallback). final marks BFINAL. A provided dht is
+// used for ModeDynamic ("canned" tables); pass nil to generate one from
+// the token frequencies.
+func (bw *BlockWriter) WriteBlock(tokens []lz77.Token, src []byte, final bool, mode BlockMode, dht *DHT) error {
+	if bw.wroteEnd {
+		return fmt.Errorf("deflate: write after final block")
+	}
+	litFreq, distFreq := CountFrequencies(tokens)
+
+	// Cost of fixed encoding.
+	fixedBits := 3 + bw.costBits(litFreq, distFreq, bw.fixedLL, bw.fixedD)
+
+	// Cost of dynamic encoding.
+	var (
+		plan    *headerPlan
+		dynBits = int64(1) << 62
+		llEnc   *huffman.Encoder
+		dEnc    *huffman.Encoder
+	)
+	useDHT := dht
+	if mode == ModeDynamic || mode == ModeAuto {
+		var err error
+		if useDHT == nil {
+			useDHT, err = BuildDHT(litFreq, distFreq)
+			if err != nil {
+				return err
+			}
+		}
+		if plan, err = planHeader(useDHT); err != nil {
+			return err
+		}
+		if llEnc, err = huffman.NewEncoder(padLengths(useDHT.LitLen, NumLitLen)); err != nil {
+			return err
+		}
+		if dEnc, err = huffman.NewEncoder(padLengths(useDHT.Dist, NumDist)); err != nil {
+			return err
+		}
+		// A canned DHT may lack codes for symbols this block uses; detect
+		// and reject (the hardware raises a CC error for this case).
+		if err := checkCoverage(litFreq, llEnc, distFreq, dEnc); err != nil {
+			if mode == ModeDynamic && dht != nil {
+				return err
+			}
+			// Auto mode with generated table never hits this; defensive.
+			return err
+		}
+		dynBits = 3 + int64(plan.bits) + bw.costBits(litFreq, distFreq, llEnc, dEnc)
+	}
+
+	storedBits := storedCost(len(src), bw.w.BitsWritten())
+
+	switch mode {
+	case ModeStored:
+		bw.writeStoredChain(src, final)
+	case ModeFixed:
+		bw.writeHeader(final, 1)
+		bw.writeTokens(tokens, bw.fixedLL, bw.fixedD)
+	case ModeDynamic:
+		bw.writeHeader(final, 2)
+		plan.write(bw.w)
+		bw.writeTokens(tokens, llEnc, dEnc)
+	case ModeAuto:
+		switch {
+		case storedBits <= fixedBits && storedBits <= dynBits:
+			bw.writeStoredChain(src, final)
+		case fixedBits <= dynBits:
+			bw.writeHeader(final, 1)
+			bw.writeTokens(tokens, bw.fixedLL, bw.fixedD)
+		default:
+			bw.writeHeader(final, 2)
+			plan.write(bw.w)
+			bw.writeTokens(tokens, llEnc, dEnc)
+		}
+	default:
+		return fmt.Errorf("deflate: unknown block mode %d", mode)
+	}
+	if final {
+		bw.wroteEnd = true
+	}
+	return nil
+}
+
+// padLengths extends lengths to n entries with zeros (encoder tables are
+// indexed by symbol).
+func padLengths(lengths []uint8, n int) []uint8 {
+	if len(lengths) >= n {
+		return lengths[:n]
+	}
+	out := make([]uint8, n)
+	copy(out, lengths)
+	return out
+}
+
+// checkCoverage verifies every used symbol has a code.
+func checkCoverage(litFreq []int64, ll *huffman.Encoder, distFreq []int64, d *huffman.Encoder) error {
+	for sym, f := range litFreq {
+		if f > 0 && ll.Codes[sym].Len == 0 {
+			return fmt.Errorf("deflate: DHT missing litlen code for symbol %d", sym)
+		}
+	}
+	for sym, f := range distFreq {
+		if f > 0 && d.Codes[sym].Len == 0 {
+			return fmt.Errorf("deflate: DHT missing dist code for symbol %d", sym)
+		}
+	}
+	return nil
+}
+
+// costBits computes the token payload cost (including end-of-block) under
+// the given encoders, excluding the 3 header bits and any table header.
+func (bw *BlockWriter) costBits(litFreq, distFreq []int64, ll, d *huffman.Encoder) int64 {
+	var bits int64
+	for sym, f := range litFreq {
+		if f == 0 {
+			continue
+		}
+		bits += f * int64(ll.Codes[sym].Len)
+		if sym > EndOfBlock {
+			_, nb, _ := LengthFromSymbol(sym)
+			bits += f * int64(nb)
+		}
+	}
+	for sym, f := range distFreq {
+		if f == 0 {
+			continue
+		}
+		bits += f * int64(d.Codes[sym].Len)
+		_, nb, _ := DistFromSymbol(sym)
+		bits += f * int64(nb)
+	}
+	return bits
+}
+
+func (bw *BlockWriter) writeHeader(final bool, btype uint64) {
+	bw.w.WriteBool(final)
+	bw.w.WriteBits(btype, 2)
+}
+
+func (bw *BlockWriter) writeStored(src []byte, final bool) {
+	bw.writeHeader(final, 0)
+	bw.w.AlignByte()
+	n := uint64(len(src))
+	bw.w.WriteBits(n, 16)
+	bw.w.WriteBits(^n, 16)
+	bw.w.WriteBytes(src)
+}
+
+// writeStoredChain emits src as one or more stored blocks, splitting at
+// the 64K-1 LEN limit.
+func (bw *BlockWriter) writeStoredChain(src []byte, final bool) {
+	off := 0
+	for {
+		end := off + maxStoredBlock
+		last := false
+		if end >= len(src) {
+			end = len(src)
+			last = final
+		}
+		bw.writeStored(src[off:end], last)
+		off = end
+		if off >= len(src) {
+			return
+		}
+	}
+}
+
+// storedCost returns the exact bit cost of writeStoredChain starting at
+// bit position pos.
+func storedCost(n, pos int) int64 {
+	start := pos
+	off := 0
+	for {
+		chunk := n - off
+		if chunk > maxStoredBlock {
+			chunk = maxStoredBlock
+		}
+		pos += 3
+		pos += (8 - pos%8) % 8
+		pos += 32 + 8*chunk
+		off += chunk
+		if off >= n {
+			return int64(pos - start)
+		}
+	}
+}
+
+func (bw *BlockWriter) writeTokens(tokens []lz77.Token, ll, d *huffman.Encoder) {
+	w := bw.w
+	for _, t := range tokens {
+		if !t.IsMatch() {
+			c := ll.Codes[t.Literal()]
+			w.WriteBits(uint64(c.Bits), uint(c.Len))
+			continue
+		}
+		ls, lextra, lnb := LengthSymbol(t.Length())
+		c := ll.Codes[ls]
+		w.WriteBits(uint64(c.Bits), uint(c.Len))
+		if lnb > 0 {
+			w.WriteBits(uint64(lextra), uint(lnb))
+		}
+		ds, dextra, dnb := DistSymbol(t.Dist())
+		dc := d.Codes[ds]
+		w.WriteBits(uint64(dc.Bits), uint(dc.Len))
+		if dnb > 0 {
+			w.WriteBits(uint64(dextra), uint(dnb))
+		}
+	}
+	eob := ll.Codes[EndOfBlock]
+	w.WriteBits(uint64(eob.Bits), uint(eob.Len))
+}
+
+// Options configures the one-shot software compressor.
+type Options struct {
+	Level     int       // 1..9, zlib-equivalent (default 6)
+	Mode      BlockMode // block strategy (default ModeAuto)
+	BlockSize int       // bytes of input per block (default 128 KiB)
+	DHT       *DHT      // optional canned table for ModeDynamic
+}
+
+func (o *Options) fill() {
+	if o.Level == 0 {
+		o.Level = 6
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 128 << 10
+	}
+}
+
+// Compress is the one-shot software DEFLATE encoder (raw stream, no gzip
+// or zlib framing). It is the reproduction's "zlib on a core" baseline.
+func Compress(src []byte, opts Options) ([]byte, error) {
+	opts.fill()
+	w := bitio.NewWriter(make([]byte, 0, len(src)/2+64))
+	bw := NewBlockWriter(w)
+	m := lz77.NewSoftMatcher(lz77.LevelParams(opts.Level))
+	if err := compressTokens(bw, src, opts, func(chunk []byte) []lz77.Token {
+		return m.Tokenize(nil, chunk)
+	}); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// CompressWithTokenizer runs the block pipeline with a caller-supplied
+// tokenizer (the accelerator model passes the hardware matcher here).
+func CompressWithTokenizer(src []byte, opts Options, tokenize func([]byte) []lz77.Token) ([]byte, error) {
+	opts.fill()
+	w := bitio.NewWriter(make([]byte, 0, len(src)/2+64))
+	bw := NewBlockWriter(w)
+	if err := compressTokens(bw, src, opts, tokenize); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+func compressTokens(bw *BlockWriter, src []byte, opts Options, tokenize func([]byte) []lz77.Token) error {
+	if len(src) == 0 {
+		return bw.WriteBlock(nil, nil, true, opts.Mode, opts.DHT)
+	}
+	for off := 0; off < len(src); off += opts.BlockSize {
+		end := off + opts.BlockSize
+		final := false
+		if end >= len(src) {
+			end = len(src)
+			final = true
+		}
+		// Note: blocks are tokenized independently (window does not span
+		// blocks). This matches the accelerator's request-at-a-time
+		// operation and costs a small amount of ratio at block borders.
+		tokens := tokenize(src[off:end])
+		if err := bw.WriteBlock(tokens, src[off:end], final, opts.Mode, opts.DHT); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeTokens serializes a complete token stream as a single final
+// DEFLATE block (the accelerator emits one block per request). src is the
+// tokens' expansion, needed for the stored fallback in ModeAuto.
+func EncodeTokens(tokens []lz77.Token, src []byte, mode BlockMode, dht *DHT) ([]byte, error) {
+	w := bitio.NewWriter(make([]byte, 0, len(src)/2+64))
+	bw := NewBlockWriter(w)
+	if err := bw.WriteBlock(tokens, src, true, mode, dht); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// EncodeTokensStream serializes tokens as one stream segment. When final,
+// the block carries BFINAL and the stream ends. Otherwise the block is
+// non-final and is followed by an empty stored block (zlib's sync flush),
+// which both byte-aligns the segment — so per-request outputs concatenate
+// into a single valid DEFLATE stream — and lets the decoder make progress
+// at the request boundary. This is how the accelerator's library composes
+// one long stream from buffer-sized requests.
+func EncodeTokensStream(tokens []lz77.Token, src []byte, mode BlockMode, dht *DHT, final bool) ([]byte, error) {
+	w := bitio.NewWriter(make([]byte, 0, len(src)/2+64))
+	bw := NewBlockWriter(w)
+	if err := bw.WriteBlock(tokens, src, final, mode, dht); err != nil {
+		return nil, err
+	}
+	if !final {
+		bw.writeStored(nil, false) // sync flush
+	}
+	return w.Bytes(), nil
+}

@@ -1,0 +1,256 @@
+package deflate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"nxzip/internal/checksum"
+)
+
+// Framing errors.
+var (
+	ErrBadMagic    = errors.New("deflate: bad stream magic")
+	ErrBadChecksum = errors.New("deflate: checksum mismatch")
+	ErrBadLength   = errors.New("deflate: length mismatch")
+)
+
+// gzip header flag bits (RFC 1952).
+const (
+	gzFTEXT    = 1 << 0
+	gzFHCRC    = 1 << 1
+	gzFEXTRA   = 1 << 2
+	gzFNAME    = 1 << 3
+	gzFCOMMENT = 1 << 4
+)
+
+// GzipWrap frames a raw DEFLATE stream as gzip: 10-byte header plus
+// CRC32/ISIZE trailer computed over the original plaintext. The
+// accelerator's "wrap" function codes perform exactly this framing inline.
+func GzipWrap(deflated []byte, plain []byte) []byte {
+	out := make([]byte, 0, len(deflated)+18)
+	// magic, CM=8 (deflate), FLG=0, MTIME=0, XFL=0, OS=255 (unknown)
+	out = append(out, 0x1F, 0x8B, 8, 0, 0, 0, 0, 0, 0, 255)
+	out = append(out, deflated...)
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[0:4], checksum.Sum32(plain))
+	binary.LittleEndian.PutUint32(tail[4:8], uint32(len(plain)))
+	return append(out, tail[:]...)
+}
+
+// GzipUnwrap parses a gzip stream, returning the raw DEFLATE payload and
+// the expected CRC32/ISIZE from the trailer. It tolerates the optional
+// header fields so it can consume streams from other producers.
+func GzipUnwrap(src []byte) (deflated []byte, wantCRC uint32, wantSize uint32, err error) {
+	if len(src) < 18 {
+		return nil, 0, 0, fmt.Errorf("%w: gzip stream too short", ErrBadMagic)
+	}
+	if src[0] != 0x1F || src[1] != 0x8B {
+		return nil, 0, 0, fmt.Errorf("%w: not gzip", ErrBadMagic)
+	}
+	if src[2] != 8 {
+		return nil, 0, 0, fmt.Errorf("%w: unknown compression method %d", ErrBadMagic, src[2])
+	}
+	flg := src[3]
+	pos := 10
+	if flg&gzFEXTRA != 0 {
+		if pos+2 > len(src) {
+			return nil, 0, 0, fmt.Errorf("%w: truncated FEXTRA", ErrBadMagic)
+		}
+		xlen := int(binary.LittleEndian.Uint16(src[pos:]))
+		pos += 2 + xlen
+	}
+	for _, bit := range []byte{gzFNAME, gzFCOMMENT} {
+		if flg&bit == 0 {
+			continue
+		}
+		for {
+			if pos >= len(src) {
+				return nil, 0, 0, fmt.Errorf("%w: truncated string field", ErrBadMagic)
+			}
+			if src[pos] == 0 {
+				pos++
+				break
+			}
+			pos++
+		}
+	}
+	if flg&gzFHCRC != 0 {
+		pos += 2
+	}
+	if pos+8 > len(src) {
+		return nil, 0, 0, fmt.Errorf("%w: truncated gzip stream", ErrBadMagic)
+	}
+	body := src[pos : len(src)-8]
+	tail := src[len(src)-8:]
+	return body, binary.LittleEndian.Uint32(tail[0:4]), binary.LittleEndian.Uint32(tail[4:8]), nil
+}
+
+// CompressGzip compresses and gzip-frames in one shot.
+func CompressGzip(src []byte, opts Options) ([]byte, error) {
+	body, err := Compress(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return GzipWrap(body, src), nil
+}
+
+// DecompressGzip unwraps and inflates a gzip stream, verifying CRC32 and
+// ISIZE.
+func DecompressGzip(src []byte, opts InflateOptions) ([]byte, error) {
+	body, wantCRC, wantSize, err := GzipUnwrap(src)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Decompress(body, opts)
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(out)) != wantSize {
+		return nil, fmt.Errorf("%w: ISIZE %d, got %d bytes", ErrBadLength, wantSize, len(out))
+	}
+	if got := checksum.Sum32(out); got != wantCRC {
+		return nil, fmt.Errorf("%w: CRC32 %08x, want %08x", ErrBadChecksum, got, wantCRC)
+	}
+	return out, nil
+}
+
+// ZlibWrap frames a raw DEFLATE stream as zlib (RFC 1950) with the default
+// 32K window and an Adler-32 trailer over the plaintext.
+func ZlibWrap(deflated []byte, plain []byte) []byte {
+	out := make([]byte, 0, len(deflated)+6)
+	cmf := byte(0x78) // CM=8, CINFO=7 (32K window)
+	flg := byte(0x80) // FLEVEL=2 (default), FDICT=0
+	// FCHECK makes (cmf<<8 | flg) a multiple of 31.
+	rem := (uint16(cmf)<<8 | uint16(flg)) % 31
+	if rem != 0 {
+		flg += byte(31 - rem)
+	}
+	out = append(out, cmf, flg)
+	out = append(out, deflated...)
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], checksum.SumAdler32(plain))
+	return append(out, tail[:]...)
+}
+
+// ZlibUnwrap parses a zlib stream, returning the raw DEFLATE payload and
+// the expected Adler-32.
+func ZlibUnwrap(src []byte) (deflated []byte, wantAdler uint32, err error) {
+	if len(src) < 6 {
+		return nil, 0, fmt.Errorf("%w: zlib stream too short", ErrBadMagic)
+	}
+	cmf, flg := src[0], src[1]
+	if cmf&0x0F != 8 {
+		return nil, 0, fmt.Errorf("%w: zlib CM %d", ErrBadMagic, cmf&0x0F)
+	}
+	if (uint16(cmf)<<8|uint16(flg))%31 != 0 {
+		return nil, 0, fmt.Errorf("%w: zlib FCHECK", ErrBadMagic)
+	}
+	if flg&0x20 != 0 {
+		return nil, 0, fmt.Errorf("%w: preset dictionary unsupported", ErrBadMagic)
+	}
+	return src[2 : len(src)-4], binary.BigEndian.Uint32(src[len(src)-4:]), nil
+}
+
+// CompressZlib compresses and zlib-frames in one shot.
+func CompressZlib(src []byte, opts Options) ([]byte, error) {
+	body, err := Compress(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ZlibWrap(body, src), nil
+}
+
+// DecompressZlib unwraps and inflates a zlib stream, verifying Adler-32.
+func DecompressZlib(src []byte, opts InflateOptions) ([]byte, error) {
+	body, want, err := ZlibUnwrap(src)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Decompress(body, opts)
+	if err != nil {
+		return nil, err
+	}
+	if got := checksum.SumAdler32(out); got != want {
+		return nil, fmt.Errorf("%w: adler %08x, want %08x", ErrBadChecksum, got, want)
+	}
+	return out, nil
+}
+
+// ParseGzipHeader returns the length of the gzip header at the start of
+// src (including optional fields), without touching the payload.
+func ParseGzipHeader(src []byte) (int, error) {
+	if len(src) < 10 {
+		return 0, fmt.Errorf("%w: gzip header too short", ErrBadMagic)
+	}
+	if src[0] != 0x1F || src[1] != 0x8B || src[2] != 8 {
+		return 0, fmt.Errorf("%w: not gzip", ErrBadMagic)
+	}
+	flg := src[3]
+	pos := 10
+	if flg&gzFEXTRA != 0 {
+		if pos+2 > len(src) {
+			return 0, fmt.Errorf("%w: truncated FEXTRA", ErrBadMagic)
+		}
+		pos += 2 + int(binary.LittleEndian.Uint16(src[pos:]))
+	}
+	for _, bit := range []byte{gzFNAME, gzFCOMMENT} {
+		if flg&bit == 0 {
+			continue
+		}
+		for {
+			if pos >= len(src) {
+				return 0, fmt.Errorf("%w: truncated string field", ErrBadMagic)
+			}
+			if src[pos] == 0 {
+				pos++
+				break
+			}
+			pos++
+		}
+	}
+	if flg&gzFHCRC != 0 {
+		pos += 2
+	}
+	if pos > len(src) {
+		return 0, fmt.Errorf("%w: truncated header", ErrBadMagic)
+	}
+	return pos, nil
+}
+
+// DecompressGzipMulti inflates a gzip stream that may consist of multiple
+// concatenated members (which RFC 1952 defines as equivalent to the
+// concatenation of the plaintexts). Each member's CRC32 and ISIZE are
+// verified. The accelerator's streaming writer emits one member per
+// submitted request, so this is the matching reader.
+func DecompressGzipMulti(src []byte, opts InflateOptions) ([]byte, error) {
+	var out []byte
+	for len(src) > 0 {
+		hlen, err := ParseGzipHeader(src)
+		if err != nil {
+			return nil, err
+		}
+		body, consumed, err := DecompressTail(src[hlen:], opts)
+		if err != nil {
+			return nil, err
+		}
+		trailerAt := hlen + consumed
+		if trailerAt+8 > len(src) {
+			return nil, fmt.Errorf("%w: truncated gzip trailer", ErrBadMagic)
+		}
+		wantCRC := binary.LittleEndian.Uint32(src[trailerAt:])
+		wantSize := binary.LittleEndian.Uint32(src[trailerAt+4:])
+		if uint32(len(body)) != wantSize {
+			return nil, fmt.Errorf("%w: member ISIZE %d, got %d", ErrBadLength, wantSize, len(body))
+		}
+		if got := checksum.Sum32(body); got != wantCRC {
+			return nil, fmt.Errorf("%w: member CRC32 %08x, want %08x", ErrBadChecksum, got, wantCRC)
+		}
+		out = append(out, body...)
+		src = src[trailerAt+8:]
+		if opts.MaxOutput > 0 && len(out) > opts.MaxOutput {
+			return nil, ErrTooLarge
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package deflate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+
+	"nxzip/internal/checksum"
+)
+
+// GzipHeader carries the optional RFC 1952 header fields. The accelerator
+// writes a minimal header itself; richer headers are composed by the
+// library around the engine output, which is what this type supports.
+type GzipHeader struct {
+	Name    string // FNAME: original file name (ISO 8859-1, no NUL)
+	Comment string // FCOMMENT
+	Extra   []byte // FEXTRA payload
+	ModTime time.Time
+	OS      byte // RFC 1952 OS code; 255 = unknown
+	// HeaderCRC adds the FHCRC 16-bit header checksum.
+	HeaderCRC bool
+}
+
+// Append serializes the header.
+func (h GzipHeader) Append(dst []byte) ([]byte, error) {
+	if strings.ContainsRune(h.Name, 0) || strings.ContainsRune(h.Comment, 0) {
+		return nil, fmt.Errorf("deflate: gzip header strings must not contain NUL")
+	}
+	if len(h.Extra) > 0xFFFF {
+		return nil, fmt.Errorf("deflate: FEXTRA too large (%d bytes)", len(h.Extra))
+	}
+	start := len(dst)
+	var flg byte
+	if len(h.Extra) > 0 {
+		flg |= gzFEXTRA
+	}
+	if h.Name != "" {
+		flg |= gzFNAME
+	}
+	if h.Comment != "" {
+		flg |= gzFCOMMENT
+	}
+	if h.HeaderCRC {
+		flg |= gzFHCRC
+	}
+	var mtime uint32
+	if !h.ModTime.IsZero() && h.ModTime.Unix() > 0 {
+		mtime = uint32(h.ModTime.Unix())
+	}
+	os := h.OS
+	if os == 0 {
+		os = 255
+	}
+	dst = append(dst, 0x1F, 0x8B, 8, flg)
+	dst = binary.LittleEndian.AppendUint32(dst, mtime)
+	dst = append(dst, 0, os)
+	if len(h.Extra) > 0 {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(h.Extra)))
+		dst = append(dst, h.Extra...)
+	}
+	if h.Name != "" {
+		dst = append(dst, h.Name...)
+		dst = append(dst, 0)
+	}
+	if h.Comment != "" {
+		dst = append(dst, h.Comment...)
+		dst = append(dst, 0)
+	}
+	if h.HeaderCRC {
+		crc := checksum.Sum32(dst[start:])
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(crc))
+	}
+	return dst, nil
+}
+
+// ParseGzipHeaderFull decodes the header fields at the start of src,
+// returning the parsed header and its byte length. FHCRC, when present,
+// is verified.
+func ParseGzipHeaderFull(src []byte) (GzipHeader, int, error) {
+	var h GzipHeader
+	if len(src) < 10 {
+		return h, 0, fmt.Errorf("%w: gzip header too short", ErrBadMagic)
+	}
+	if src[0] != 0x1F || src[1] != 0x8B || src[2] != 8 {
+		return h, 0, fmt.Errorf("%w: not gzip", ErrBadMagic)
+	}
+	flg := src[3]
+	if mtime := binary.LittleEndian.Uint32(src[4:8]); mtime != 0 {
+		h.ModTime = time.Unix(int64(mtime), 0)
+	}
+	h.OS = src[9]
+	pos := 10
+	if flg&gzFEXTRA != 0 {
+		if pos+2 > len(src) {
+			return h, 0, fmt.Errorf("%w: truncated FEXTRA", ErrBadMagic)
+		}
+		n := int(binary.LittleEndian.Uint16(src[pos:]))
+		pos += 2
+		if pos+n > len(src) {
+			return h, 0, fmt.Errorf("%w: truncated FEXTRA payload", ErrBadMagic)
+		}
+		h.Extra = append([]byte{}, src[pos:pos+n]...)
+		pos += n
+	}
+	readString := func() (string, error) {
+		end := pos
+		for {
+			if end >= len(src) {
+				return "", fmt.Errorf("%w: truncated string field", ErrBadMagic)
+			}
+			if src[end] == 0 {
+				break
+			}
+			end++
+		}
+		s := string(src[pos:end])
+		pos = end + 1
+		return s, nil
+	}
+	var err error
+	if flg&gzFNAME != 0 {
+		if h.Name, err = readString(); err != nil {
+			return h, 0, err
+		}
+	}
+	if flg&gzFCOMMENT != 0 {
+		if h.Comment, err = readString(); err != nil {
+			return h, 0, err
+		}
+	}
+	if flg&gzFHCRC != 0 {
+		if pos+2 > len(src) {
+			return h, 0, fmt.Errorf("%w: truncated FHCRC", ErrBadMagic)
+		}
+		want := binary.LittleEndian.Uint16(src[pos:])
+		if got := uint16(checksum.Sum32(src[:pos])); got != want {
+			return h, 0, fmt.Errorf("%w: header CRC %04x, want %04x", ErrBadChecksum, got, want)
+		}
+		h.HeaderCRC = true
+		pos += 2
+	}
+	return h, pos, nil
+}
+
+// GzipWrapHeader frames a raw DEFLATE stream with a full header.
+func GzipWrapHeader(deflated, plain []byte, h GzipHeader) ([]byte, error) {
+	out, err := h.Append(make([]byte, 0, len(deflated)+64))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, deflated...)
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[0:4], checksum.Sum32(plain))
+	binary.LittleEndian.PutUint32(tail[4:8], uint32(len(plain)))
+	return append(out, tail[:]...), nil
+}

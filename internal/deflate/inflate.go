@@ -1,0 +1,278 @@
+package deflate
+
+import (
+	"errors"
+	"fmt"
+
+	"nxzip/internal/bitio"
+	"nxzip/internal/huffman"
+)
+
+// Decompression errors.
+var (
+	ErrCorrupt  = errors.New("deflate: corrupt stream")
+	ErrTooLarge = errors.New("deflate: output exceeds limit")
+)
+
+// InflateOptions bounds decompression.
+type InflateOptions struct {
+	// MaxOutput caps the decompressed size (0 = 1 GiB default). The
+	// accelerator enforces the same bound via the output DDE length; a
+	// too-small target buffer yields a CC error, not unbounded growth.
+	MaxOutput int
+}
+
+const defaultMaxOutput = 1 << 30
+
+// Decompress inflates a raw DEFLATE stream.
+func Decompress(src []byte, opts InflateOptions) ([]byte, error) {
+	r := bitio.NewReader(src)
+	out, err := inflate(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressTail inflates a raw DEFLATE stream and also returns the number
+// of bytes of src consumed (the stream may be followed by a trailer).
+func DecompressTail(src []byte, opts InflateOptions) (out []byte, consumed int, err error) {
+	r := bitio.NewReader(src)
+	out, err = inflate(r, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	r.AlignByte()
+	return out, r.BitsConsumed() / 8, nil
+}
+
+func inflate(r *bitio.Reader, opts InflateOptions) ([]byte, error) {
+	maxOut := opts.MaxOutput
+	if maxOut <= 0 {
+		maxOut = defaultMaxOutput
+	}
+	var out []byte
+	var fixedLL, fixedD *huffman.Decoder
+	for {
+		final, err := r.ReadBool()
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing block header", ErrCorrupt)
+		}
+		btype, err := r.ReadBits(2)
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing block type", ErrCorrupt)
+		}
+		switch btype {
+		case 0: // stored
+			r.AlignByte()
+			lenv, err := r.ReadBits(16)
+			if err != nil {
+				return nil, fmt.Errorf("%w: stored length", ErrCorrupt)
+			}
+			nlen, err := r.ReadBits(16)
+			if err != nil {
+				return nil, fmt.Errorf("%w: stored nlen", ErrCorrupt)
+			}
+			if uint16(lenv) != ^uint16(nlen) {
+				return nil, fmt.Errorf("%w: stored LEN/NLEN mismatch", ErrCorrupt)
+			}
+			if len(out)+int(lenv) > maxOut {
+				return nil, ErrTooLarge
+			}
+			buf := make([]byte, lenv)
+			if err := r.ReadBytes(buf); err != nil {
+				return nil, fmt.Errorf("%w: stored payload truncated", ErrCorrupt)
+			}
+			out = append(out, buf...)
+		case 1: // fixed Huffman
+			if fixedLL == nil {
+				fixedLL, err = huffman.NewDecoder(FixedLitLenLengths(), huffman.DefaultPrimaryBits)
+				if err != nil {
+					return nil, err
+				}
+				fixedD, err = huffman.NewDecoder(FixedDistLengths(), huffman.DefaultPrimaryBits)
+				if err != nil {
+					return nil, err
+				}
+			}
+			out, err = inflateBlock(r, out, maxOut, fixedLL, fixedD)
+			if err != nil {
+				return nil, err
+			}
+		case 2: // dynamic Huffman
+			ll, d, err := readDynamicHeader(r)
+			if err != nil {
+				return nil, err
+			}
+			out, err = inflateBlock(r, out, maxOut, ll, d)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: reserved block type 3", ErrCorrupt)
+		}
+		if final {
+			return out, nil
+		}
+	}
+}
+
+// readDynamicHeader parses HLIT/HDIST/HCLEN and the two code tables.
+func readDynamicHeader(r *bitio.Reader) (ll, d *huffman.Decoder, err error) {
+	hlit, err := r.ReadBits(5)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: HLIT", ErrCorrupt)
+	}
+	hdist, err := r.ReadBits(5)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: HDIST", ErrCorrupt)
+	}
+	hclen, err := r.ReadBits(4)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: HCLEN", ErrCorrupt)
+	}
+	nlit := int(hlit) + 257
+	ndist := int(hdist) + 1
+	ncl := int(hclen) + 4
+	if nlit > NumLitLen {
+		return nil, nil, fmt.Errorf("%w: HLIT %d too large", ErrCorrupt, nlit)
+	}
+	if ndist > NumDist {
+		return nil, nil, fmt.Errorf("%w: HDIST %d too large", ErrCorrupt, ndist)
+	}
+	clLengths := make([]uint8, NumCodeLength)
+	for i := 0; i < ncl; i++ {
+		v, err := r.ReadBits(3)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: CL lengths", ErrCorrupt)
+		}
+		clLengths[clOrder[i]] = uint8(v)
+	}
+	clDec, err := huffman.NewDecoder(clLengths, 7)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: CL table: %v", ErrCorrupt, err)
+	}
+	lengths := make([]uint8, nlit+ndist)
+	for i := 0; i < len(lengths); {
+		sym, err := clDec.Decode(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: CL symbol: %v", ErrCorrupt, err)
+		}
+		switch {
+		case sym <= 15:
+			lengths[i] = uint8(sym)
+			i++
+		case sym == 16:
+			if i == 0 {
+				return nil, nil, fmt.Errorf("%w: repeat with no previous length", ErrCorrupt)
+			}
+			n, err := r.ReadBits(2)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: repeat extra", ErrCorrupt)
+			}
+			rep := int(n) + 3
+			if i+rep > len(lengths) {
+				return nil, nil, fmt.Errorf("%w: repeat overruns table", ErrCorrupt)
+			}
+			v := lengths[i-1]
+			for j := 0; j < rep; j++ {
+				lengths[i] = v
+				i++
+			}
+		case sym == 17:
+			n, err := r.ReadBits(3)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: zero-run extra", ErrCorrupt)
+			}
+			rep := int(n) + 3
+			if i+rep > len(lengths) {
+				return nil, nil, fmt.Errorf("%w: zero run overruns table", ErrCorrupt)
+			}
+			i += rep
+		case sym == 18:
+			n, err := r.ReadBits(7)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: zero-run extra", ErrCorrupt)
+			}
+			rep := int(n) + 11
+			if i+rep > len(lengths) {
+				return nil, nil, fmt.Errorf("%w: zero run overruns table", ErrCorrupt)
+			}
+			i += rep
+		default:
+			return nil, nil, fmt.Errorf("%w: CL symbol %d", ErrCorrupt, sym)
+		}
+	}
+	llLengths := lengths[:nlit]
+	dLengths := lengths[nlit:]
+	if llLengths[EndOfBlock] == 0 {
+		return nil, nil, fmt.Errorf("%w: no end-of-block code", ErrCorrupt)
+	}
+	ll, err = huffman.NewDecoder(llLengths, huffman.DefaultPrimaryBits)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: litlen table: %v", ErrCorrupt, err)
+	}
+	d, err = huffman.NewDecoder(dLengths, huffman.DefaultPrimaryBits)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: dist table: %v", ErrCorrupt, err)
+	}
+	return ll, d, nil
+}
+
+// inflateBlock decodes symbols until end-of-block.
+func inflateBlock(r *bitio.Reader, out []byte, maxOut int, ll, d *huffman.Decoder) ([]byte, error) {
+	for {
+		sym, err := ll.Decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: litlen: %v", ErrCorrupt, err)
+		}
+		if sym < 256 {
+			if len(out)+1 > maxOut {
+				return nil, ErrTooLarge
+			}
+			out = append(out, byte(sym))
+			continue
+		}
+		if sym == EndOfBlock {
+			return out, nil
+		}
+		base, nb, ok := LengthFromSymbol(sym)
+		if !ok {
+			return nil, fmt.Errorf("%w: length symbol %d", ErrCorrupt, sym)
+		}
+		length := base
+		if nb > 0 {
+			ex, err := r.ReadBits(uint(nb))
+			if err != nil {
+				return nil, fmt.Errorf("%w: length extra", ErrCorrupt)
+			}
+			length += int(ex)
+		}
+		dsym, err := d.Decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: dist: %v", ErrCorrupt, err)
+		}
+		dbase, dnb, ok := DistFromSymbol(dsym)
+		if !ok {
+			return nil, fmt.Errorf("%w: dist symbol %d", ErrCorrupt, dsym)
+		}
+		dist := dbase
+		if dnb > 0 {
+			ex, err := r.ReadBits(uint(dnb))
+			if err != nil {
+				return nil, fmt.Errorf("%w: dist extra", ErrCorrupt)
+			}
+			dist += int(ex)
+		}
+		if dist > len(out) {
+			return nil, fmt.Errorf("%w: distance %d past start", ErrCorrupt, dist)
+		}
+		if len(out)+length > maxOut {
+			return nil, ErrTooLarge
+		}
+		start := len(out) - dist
+		for j := 0; j < length; j++ {
+			out = append(out, out[start+j])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package deflate
+
+import (
+	"fmt"
+
+	"nxzip/internal/bitio"
+)
+
+// BlockInfo describes one DEFLATE block for stream inspection.
+type BlockInfo struct {
+	Index      int
+	Final      bool
+	Type       int // 0 stored, 1 fixed, 2 dynamic
+	HeaderBits int // block header incl. any code-length tables
+	DataBits   int // payload bits (symbols + extra)
+	Literals   int
+	Matches    int
+	MatchBytes int
+	OutBytes   int
+}
+
+// TypeName renders the block type.
+func (b BlockInfo) TypeName() string {
+	switch b.Type {
+	case 0:
+		return "stored"
+	case 1:
+		return "fixed"
+	case 2:
+		return "dynamic"
+	}
+	return fmt.Sprintf("type%d", b.Type)
+}
+
+// InspectStream walks a raw DEFLATE stream and reports its block
+// structure without retaining the plaintext (window-only memory). It is
+// the engine behind cmd/nxinspect.
+func InspectStream(raw []byte, maxOutput int) ([]BlockInfo, error) {
+	if maxOutput <= 0 {
+		maxOutput = defaultMaxOutput
+	}
+	r := bitio.NewReader(raw)
+	var (
+		infos  []BlockInfo
+		window []byte
+		total  int
+	)
+	for {
+		startBits := r.BitsConsumed()
+		h, err := ReadBlockHeader(r)
+		if err != nil {
+			return infos, err
+		}
+		info := BlockInfo{Index: len(infos), Final: h.Final, Type: h.Type}
+		switch h.Type {
+		case 0:
+			lenv, err := r.ReadBits(16)
+			if err != nil {
+				return infos, fmt.Errorf("%w: stored length", ErrCorrupt)
+			}
+			nlen, err := r.ReadBits(16)
+			if err != nil {
+				return infos, fmt.Errorf("%w: stored nlen", ErrCorrupt)
+			}
+			if uint16(lenv) != ^uint16(nlen) {
+				return infos, fmt.Errorf("%w: stored LEN/NLEN mismatch", ErrCorrupt)
+			}
+			info.HeaderBits = r.BitsConsumed() - startBits
+			payload := make([]byte, lenv)
+			if err := r.ReadBytes(payload); err != nil {
+				return infos, fmt.Errorf("%w: stored payload", ErrCorrupt)
+			}
+			info.DataBits = int(lenv) * 8
+			info.OutBytes = int(lenv)
+			info.Literals = int(lenv)
+			window = appendWindowBytes(window, payload)
+		default:
+			info.HeaderBits = r.BitsConsumed() - startBits
+			dataStart := r.BitsConsumed()
+			base := len(window)
+			buf := append([]byte{}, window...)
+			for {
+				sym, err := h.LitLen.Decode(r)
+				if err != nil {
+					return infos, fmt.Errorf("%w: litlen: %v", ErrCorrupt, err)
+				}
+				if sym == EndOfBlock {
+					break
+				}
+				if sym < 256 {
+					buf = append(buf, byte(sym))
+					info.Literals++
+					continue
+				}
+				lbase, lnb, ok := LengthFromSymbol(sym)
+				if !ok {
+					return infos, fmt.Errorf("%w: length symbol %d", ErrCorrupt, sym)
+				}
+				length := lbase
+				if lnb > 0 {
+					ex, err := r.ReadBits(uint(lnb))
+					if err != nil {
+						return infos, fmt.Errorf("%w: length extra", ErrCorrupt)
+					}
+					length += int(ex)
+				}
+				dsym, err := h.Dist.Decode(r)
+				if err != nil {
+					return infos, fmt.Errorf("%w: dist: %v", ErrCorrupt, err)
+				}
+				dbase, dnb, ok := DistFromSymbol(dsym)
+				if !ok {
+					return infos, fmt.Errorf("%w: dist symbol %d", ErrCorrupt, dsym)
+				}
+				dist := dbase
+				if dnb > 0 {
+					ex, err := r.ReadBits(uint(dnb))
+					if err != nil {
+						return infos, fmt.Errorf("%w: dist extra", ErrCorrupt)
+					}
+					dist += int(ex)
+				}
+				if dist > len(buf) {
+					return infos, fmt.Errorf("%w: distance %d past start", ErrCorrupt, dist)
+				}
+				start := len(buf) - dist
+				for j := 0; j < length; j++ {
+					buf = append(buf, buf[start+j])
+				}
+				info.Matches++
+				info.MatchBytes += length
+				if len(buf)-base > maxOutput {
+					return infos, ErrTooLarge
+				}
+			}
+			info.DataBits = r.BitsConsumed() - dataStart
+			info.OutBytes = len(buf) - base
+			window = appendWindowBytes(nil, buf)
+		}
+		total += info.OutBytes
+		if total > maxOutput {
+			return infos, ErrTooLarge
+		}
+		infos = append(infos, info)
+		if info.Final {
+			return infos, nil
+		}
+	}
+}
+
+// appendWindowBytes keeps the trailing 32 KiB.
+func appendWindowBytes(window, chunk []byte) []byte {
+	window = append(window, chunk...)
+	const w = 32 << 10
+	if len(window) > w {
+		window = window[len(window)-w:]
+	}
+	return window
+}

@@ -1,0 +1,221 @@
+package deflate
+
+import (
+	"fmt"
+
+	"nxzip/internal/bitio"
+	"nxzip/internal/huffman"
+	"nxzip/internal/lz77"
+)
+
+// Session is a resumable DEFLATE decoder: input arrives in arbitrary
+// chunks, output is produced as soon as whole blocks decode, and the
+// 32 KiB window is carried across calls. This models the accelerator's
+// decompression suspend/resume state (bit position + history window),
+// which the paper identifies as the state that must be saved when a
+// stream spans multiple requests.
+//
+// Commit granularity is one DEFLATE block: a block is only committed when
+// either the caller has signalled end of input or at least 64 bits of
+// input remain after it, which guarantees no lookup inside the block ever
+// read past the real input (PeekBits pads with zeros, so a mid-block
+// truncation could otherwise mis-decode rather than fail).
+type Session struct {
+	opts InflateOptions
+
+	in       []byte // accumulated unconsumed-by-commit input
+	bitsUsed int    // committed bit position within in
+	window   []byte // last 32 KiB of output
+	produced int    // total bytes produced
+	done     bool
+	fixedLL  *huffman.Decoder
+	fixedD   *huffman.Decoder
+}
+
+// NewSession creates an empty session.
+func NewSession(opts InflateOptions) *Session {
+	return &Session{opts: opts}
+}
+
+// Done reports whether the final block has been decoded.
+func (s *Session) Done() bool { return s.done }
+
+// Produced reports the total plaintext bytes emitted so far.
+func (s *Session) Produced() int { return s.produced }
+
+// Feed appends compressed input and decodes as many whole blocks as can
+// be safely committed, returning the newly produced plaintext. final
+// declares that no more input will arrive. Feed may be called with nil p
+// to drain after setting final.
+func (s *Session) Feed(p []byte, final bool) ([]byte, error) {
+	if s.done {
+		if len(p) != 0 {
+			return nil, fmt.Errorf("deflate: data after final block")
+		}
+		return nil, nil
+	}
+	s.in = append(s.in, p...)
+
+	maxOut := s.opts.MaxOutput
+	if maxOut <= 0 {
+		maxOut = defaultMaxOutput
+	}
+
+	var out []byte
+	for {
+		r := bitio.NewReader(s.in)
+		if err := r.SkipBits(uint(s.bitsUsed)); err != nil {
+			return out, fmt.Errorf("%w: lost position", ErrCorrupt)
+		}
+		chunk, finalBlock, err := s.tryBlock(r, final)
+		if err == errNeedMore {
+			if final {
+				return out, fmt.Errorf("%w: truncated stream", ErrCorrupt)
+			}
+			s.compact()
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		// Commit.
+		if s.produced+len(chunk) > maxOut {
+			return out, ErrTooLarge
+		}
+		s.produced += len(chunk)
+		out = append(out, chunk...)
+		s.appendWindow(chunk)
+		s.bitsUsed = r.BitsConsumed()
+		if finalBlock {
+			s.done = true
+			s.compact()
+			return out, nil
+		}
+	}
+}
+
+// errNeedMore is an internal signal: the block could not be committed yet.
+var errNeedMore = fmt.Errorf("deflate: need more input")
+
+// tryBlock decodes one block starting at r's position, using the session
+// window for back-references. It does not mutate session state.
+func (s *Session) tryBlock(r *bitio.Reader, final bool) (chunk []byte, finalBlock bool, err error) {
+	finalBit, err := r.ReadBool()
+	if err != nil {
+		return nil, false, errNeedMore
+	}
+	btype, err := r.ReadBits(2)
+	if err != nil {
+		return nil, false, errNeedMore
+	}
+
+	// Decode into a buffer seeded with the window so distances resolve;
+	// strip the window prefix afterwards.
+	base := len(s.window)
+	buf := append([]byte{}, s.window...)
+
+	switch btype {
+	case 0:
+		r.AlignByte()
+		lenv, err := r.ReadBits(16)
+		if err != nil {
+			return nil, false, errNeedMore
+		}
+		nlen, err := r.ReadBits(16)
+		if err != nil {
+			return nil, false, errNeedMore
+		}
+		if uint16(lenv) != ^uint16(nlen) {
+			return nil, false, fmt.Errorf("%w: stored LEN/NLEN mismatch", ErrCorrupt)
+		}
+		payload := make([]byte, lenv)
+		if err := r.ReadBytes(payload); err != nil {
+			return nil, false, errNeedMore
+		}
+		buf = append(buf, payload...)
+	case 1:
+		if s.fixedLL == nil {
+			s.fixedLL, err = huffman.NewDecoder(FixedLitLenLengths(), huffman.DefaultPrimaryBits)
+			if err != nil {
+				return nil, false, err
+			}
+			s.fixedD, err = huffman.NewDecoder(FixedDistLengths(), huffman.DefaultPrimaryBits)
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		buf, err = inflateBlock(r, buf, 1<<62, s.fixedLL, s.fixedD)
+		if err != nil {
+			return nil, false, classify(err, r, final)
+		}
+	case 2:
+		ll, d, err := readDynamicHeader(r)
+		if err != nil {
+			return nil, false, classify(err, r, final)
+		}
+		buf, err = inflateBlock(r, buf, 1<<62, ll, d)
+		if err != nil {
+			return nil, false, classify(err, r, final)
+		}
+	default:
+		return nil, false, fmt.Errorf("%w: reserved block type 3", ErrCorrupt)
+	}
+
+	// Safety margin: without end-of-input knowledge, only commit when the
+	// decode provably never consumed zero-padding.
+	if !final && r.BitsRemaining() < 64 {
+		return nil, false, errNeedMore
+	}
+	return buf[base:], finalBit, nil
+}
+
+// classify turns a decode error into errNeedMore when it may have been
+// caused by truncation rather than corruption.
+func classify(err error, r *bitio.Reader, final bool) error {
+	if final && r.BitsRemaining() >= 64 {
+		return err
+	}
+	if !final {
+		// Could be a genuine corruption, but with more input pending we
+		// cannot distinguish; retry after the next Feed.
+		return errNeedMore
+	}
+	return err
+}
+
+// appendWindow maintains the 32 KiB history.
+func (s *Session) appendWindow(chunk []byte) {
+	s.window = append(s.window, chunk...)
+	if len(s.window) > lz77.WindowSize {
+		s.window = s.window[len(s.window)-lz77.WindowSize:]
+	}
+}
+
+// compact drops committed whole bytes from the input buffer.
+func (s *Session) compact() {
+	drop := s.bitsUsed / 8
+	if drop == 0 {
+		return
+	}
+	s.in = append(s.in[:0], s.in[drop:]...)
+	s.bitsUsed -= drop * 8
+}
+
+// TailBits reports how many unconsumed bits remain buffered (useful for
+// locating a trailer after Done).
+func (s *Session) TailBits() int {
+	return len(s.in)*8 - s.bitsUsed
+}
+
+// Tail returns the unconsumed bytes after the final block, byte-aligned
+// (the gzip trailer, when the caller framed the stream).
+func (s *Session) Tail() []byte {
+	if !s.done {
+		return nil
+	}
+	off := (s.bitsUsed + 7) / 8
+	if off > len(s.in) {
+		return nil
+	}
+	return s.in[off:]
+}

@@ -1,0 +1,227 @@
+// Package huffman implements canonical, length-limited Huffman codes as
+// used by DEFLATE and by the dynamic-Huffman-table (DHT) generator inside
+// the POWER9/z15 compression accelerator.
+//
+// The package is format-agnostic: it turns symbol frequencies into code
+// lengths (bounded by a maximum bit length), assigns canonical codes, and
+// builds fast decode tables. DEFLATE-specific serialization of the tables
+// lives in the deflate package.
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// MaxBitsDeflate is the DEFLATE code-length ceiling for literal/length and
+// distance alphabets.
+const MaxBitsDeflate = 15
+
+// buildNode is a node in the Huffman construction heap.
+type buildNode struct {
+	weight int64
+	// depth-tiebreak: prefer shallower subtrees so the tree stays balanced
+	// and rarely violates the length limit in the first place.
+	depth int32
+	sym   int32 // >= 0 for leaves, -1 for internal
+	left  int32 // index into nodes
+	right int32
+}
+
+type buildHeap struct {
+	idx   []int32
+	nodes []buildNode
+}
+
+func (h *buildHeap) Len() int { return len(h.idx) }
+func (h *buildHeap) Less(i, j int) bool {
+	a, b := h.nodes[h.idx[i]], h.nodes[h.idx[j]]
+	if a.weight != b.weight {
+		return a.weight < b.weight
+	}
+	return a.depth < b.depth
+}
+func (h *buildHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *buildHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int32)) }
+func (h *buildHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// BuildLengths computes Huffman code lengths for the given symbol
+// frequencies, limited to maxBits. Symbols with zero frequency get length
+// zero (no code). If only one symbol has nonzero frequency it is assigned
+// length 1, matching DEFLATE's requirement that every used code be at
+// least one bit.
+//
+// If the unconstrained Huffman tree exceeds maxBits, lengths are flattened
+// with the standard overflow-repair pass (the same approach zlib uses),
+// preserving the Kraft inequality so the result is always a valid prefix
+// code.
+func BuildLengths(freqs []int64, maxBits int) ([]uint8, error) {
+	if maxBits < 1 || maxBits > 32 {
+		return nil, fmt.Errorf("huffman: maxBits %d out of range", maxBits)
+	}
+	n := len(freqs)
+	lengths := make([]uint8, n)
+	var live []int32
+	for i, f := range freqs {
+		if f < 0 {
+			return nil, fmt.Errorf("huffman: negative frequency for symbol %d", i)
+		}
+		if f > 0 {
+			live = append(live, int32(i))
+		}
+	}
+	switch len(live) {
+	case 0:
+		return lengths, nil
+	case 1:
+		lengths[live[0]] = 1
+		return lengths, nil
+	}
+	if len(live) > (1 << maxBits) {
+		return nil, fmt.Errorf("huffman: %d symbols cannot fit in %d bits", len(live), maxBits)
+	}
+
+	nodes := make([]buildNode, 0, 2*len(live))
+	h := &buildHeap{nodes: nil}
+	for _, s := range live {
+		nodes = append(nodes, buildNode{weight: freqs[s], sym: s, left: -1, right: -1})
+	}
+	h.nodes = nodes
+	h.idx = make([]int32, len(live))
+	for i := range h.idx {
+		h.idx[i] = int32(i)
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int32)
+		b := heap.Pop(h).(int32)
+		d := h.nodes[a].depth
+		if h.nodes[b].depth > d {
+			d = h.nodes[b].depth
+		}
+		h.nodes = append(h.nodes, buildNode{
+			weight: h.nodes[a].weight + h.nodes[b].weight,
+			depth:  d + 1,
+			sym:    -1,
+			left:   a,
+			right:  b,
+		})
+		heap.Push(h, int32(len(h.nodes)-1))
+	}
+	root := h.idx[0]
+	assignDepths(h.nodes, root, 0, lengths)
+	repairOverflow(lengths, freqs, maxBits)
+	return lengths, nil
+}
+
+// assignDepths walks the tree iteratively (inputs can be large alphabets)
+// and records leaf depths.
+func assignDepths(nodes []buildNode, root int32, depth uint8, lengths []uint8) {
+	type frame struct {
+		node  int32
+		depth uint8
+	}
+	stack := []frame{{root, depth}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[f.node]
+		if nd.sym >= 0 {
+			lengths[nd.sym] = f.depth
+			continue
+		}
+		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
+	}
+}
+
+// repairOverflow caps code lengths at maxBits and restores the Kraft
+// equality by demoting the least-frequent short codes.
+func repairOverflow(lengths []uint8, freqs []int64, maxBits int) {
+	overflow := false
+	for _, l := range lengths {
+		if int(l) > maxBits {
+			overflow = true
+			break
+		}
+	}
+	if !overflow {
+		return
+	}
+	// Count codes per length, clamping.
+	counts := make([]int, maxBits+1)
+	for i, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if int(l) > maxBits {
+			lengths[i] = uint8(maxBits)
+		}
+		counts[lengths[i]]++
+	}
+	// Kraft sum in units of 2^-maxBits.
+	kraft := 0
+	for l := 1; l <= maxBits; l++ {
+		kraft += counts[l] << (maxBits - l)
+	}
+	limit := 1 << maxBits
+	// While over-subscribed, move one code from the deepest under-limit
+	// level down a level and promote one maxBits code as its sibling; the
+	// Kraft sum drops by exactly 1 per step (zlib's gen_bitlen repair).
+	for kraft > limit {
+		l := maxBits - 1
+		for counts[l] == 0 {
+			l--
+		}
+		counts[l]--
+		counts[l+1] += 2
+		counts[maxBits]--
+		kraft--
+	}
+	// Reassign lengths to symbols: sort live symbols by frequency ascending
+	// so the least frequent get the longest codes, then deal lengths from
+	// longest to shortest according to counts.
+	type symFreq struct {
+		sym  int
+		freq int64
+	}
+	var live []symFreq
+	for i, l := range lengths {
+		if l != 0 {
+			live = append(live, symFreq{i, freqs[i]})
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].freq != live[j].freq {
+			return live[i].freq < live[j].freq
+		}
+		return live[i].sym < live[j].sym
+	})
+	li := 0
+	for l := maxBits; l >= 1; l-- {
+		for c := 0; c < counts[l]; c++ {
+			lengths[live[li].sym] = uint8(l)
+			li++
+		}
+	}
+}
+
+// KraftSum returns the Kraft-inequality sum of the code lengths in units
+// of 2^-maxBits; a complete prefix code sums to exactly 1<<maxBits, and any
+// valid prefix code sums to at most that.
+func KraftSum(lengths []uint8, maxBits int) int {
+	sum := 0
+	for _, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		sum += 1 << (maxBits - int(l))
+	}
+	return sum
+}

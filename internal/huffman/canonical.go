@@ -1,0 +1,82 @@
+package huffman
+
+import "fmt"
+
+// Code is one canonical Huffman code: the code bits (already bit-reversed
+// for LSB-first emission into a DEFLATE stream) and its length in bits.
+type Code struct {
+	Bits uint16 // reversed code value, ready for bitio.Writer.WriteBits
+	Len  uint8  // 0 means the symbol has no code
+}
+
+// Encoder maps symbols to canonical codes.
+type Encoder struct {
+	Codes   []Code
+	Lengths []uint8
+}
+
+// NewEncoder assigns canonical codes to the given code lengths, following
+// the DEFLATE convention: shorter codes first, ties broken by symbol order,
+// codes counted upward within each length.
+func NewEncoder(lengths []uint8) (*Encoder, error) {
+	maxLen := uint8(0)
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen == 0 {
+		return &Encoder{Codes: make([]Code, len(lengths)), Lengths: lengths}, nil
+	}
+	if maxLen > 31 {
+		return nil, fmt.Errorf("huffman: code length %d too large", maxLen)
+	}
+	counts := make([]uint32, maxLen+1)
+	for _, l := range lengths {
+		counts[l]++
+	}
+	counts[0] = 0
+	// first code of each length
+	next := make([]uint32, maxLen+2)
+	code := uint32(0)
+	for l := uint8(1); l <= maxLen; l++ {
+		code = (code + counts[l-1]) << 1
+		next[l] = code
+	}
+	// over-subscription check
+	if k := KraftSum(lengths, int(maxLen)); k > 1<<maxLen {
+		return nil, fmt.Errorf("huffman: over-subscribed code (kraft %d > %d)", k, 1<<maxLen)
+	}
+	codes := make([]Code, len(lengths))
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		c := next[l]
+		next[l]++
+		codes[sym] = Code{Bits: uint16(reverse16(uint16(c), uint(l))), Len: l}
+	}
+	return &Encoder{Codes: codes, Lengths: lengths}, nil
+}
+
+func reverse16(v uint16, n uint) uint16 {
+	var out uint16
+	for i := uint(0); i < n; i++ {
+		out = out<<1 | (v & 1)
+		v >>= 1
+	}
+	return out
+}
+
+// TotalBits returns the encoded size in bits of a message with the given
+// per-symbol frequencies under this code (without any header cost).
+func (e *Encoder) TotalBits(freqs []int64) int64 {
+	var total int64
+	for sym, f := range freqs {
+		if f == 0 {
+			continue
+		}
+		total += f * int64(e.Codes[sym].Len)
+	}
+	return total
+}

@@ -1,0 +1,175 @@
+package huffman
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidCode is returned when the input bits do not correspond to any
+// symbol in the code.
+var ErrInvalidCode = errors.New("huffman: invalid code in stream")
+
+// Decoder decodes canonical Huffman codes from LSB-first bit streams using
+// a two-level table: a primary table of primaryBits entries resolves all
+// short codes in one lookup, and longer codes chain to per-prefix
+// sub-tables. This mirrors both zlib's inflate tables and the parallel
+// lookup structures used in hardware decoders.
+type Decoder struct {
+	primaryBits uint
+	maxLen      uint8
+	primary     []decodeEntry
+	sub         []decodeEntry
+	numSyms     int
+}
+
+// decodeEntry packs either a direct symbol hit or a sub-table link.
+//
+//	sym >= 0:  symbol, nbits = code length
+//	sym == -1: link, off/index into sub, nbits = sub-table bits
+//	sym == -2: invalid (unassigned code space)
+type decodeEntry struct {
+	sym   int32
+	nbits uint8
+	off   uint32
+}
+
+const (
+	// DefaultPrimaryBits is a good table size for DEFLATE alphabets:
+	// 9 bits covers the literal/length alphabet's common codes and is the
+	// same root size zlib uses (ENOUGH tables with 9-bit roots).
+	DefaultPrimaryBits = 9
+)
+
+// NewDecoder builds a decoder for the canonical code defined by lengths.
+// Length-zero symbols have no code. The code may be incomplete (Kraft sum
+// below capacity); unassigned code space decodes to ErrInvalidCode.
+func NewDecoder(lengths []uint8, primaryBits uint) (*Decoder, error) {
+	if primaryBits < 1 || primaryBits > 15 {
+		return nil, fmt.Errorf("huffman: primaryBits %d out of range", primaryBits)
+	}
+	maxLen := uint8(0)
+	n := 0
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+		if l > 0 {
+			n++
+		}
+	}
+	if maxLen > MaxBitsDeflate {
+		return nil, fmt.Errorf("huffman: code length %d exceeds %d", maxLen, MaxBitsDeflate)
+	}
+	d := &Decoder{primaryBits: primaryBits, maxLen: maxLen, numSyms: n}
+	d.primary = make([]decodeEntry, 1<<primaryBits)
+	for i := range d.primary {
+		d.primary[i].sym = -2
+	}
+	if maxLen == 0 {
+		return d, nil
+	}
+	if k := KraftSum(lengths, int(maxLen)); k > 1<<maxLen {
+		return nil, fmt.Errorf("huffman: over-subscribed code")
+	}
+
+	// Canonical code assignment, identical to NewEncoder.
+	counts := make([]uint32, maxLen+1)
+	for _, l := range lengths {
+		counts[l]++
+	}
+	counts[0] = 0
+	next := make([]uint32, maxLen+2)
+	code := uint32(0)
+	for l := uint8(1); l <= maxLen; l++ {
+		code = (code + counts[l-1]) << 1
+		next[l] = code
+	}
+
+	// Pre-create sub-tables for every primary prefix that has long codes.
+	subBits := uint(0)
+	if uint(maxLen) > primaryBits {
+		subBits = uint(maxLen) - primaryBits
+	}
+	subIndex := make(map[uint32]uint32) // primary prefix -> sub offset
+
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		c := next[l]
+		next[l]++
+		rev := uint32(reverse16(uint16(c), uint(l)))
+		if uint(l) <= primaryBits {
+			// Fill every primary slot whose low l bits equal rev.
+			step := uint32(1) << l
+			for i := rev; i < uint32(len(d.primary)); i += step {
+				d.primary[i] = decodeEntry{sym: int32(sym), nbits: l}
+			}
+			continue
+		}
+		// Long code: low primaryBits select the link; remaining high bits
+		// index the sub-table.
+		prefix := rev & ((1 << primaryBits) - 1)
+		off, ok := subIndex[prefix]
+		if !ok {
+			off = uint32(len(d.sub))
+			subIndex[prefix] = off
+			for i := 0; i < 1<<subBits; i++ {
+				d.sub = append(d.sub, decodeEntry{sym: -2})
+			}
+			d.primary[prefix] = decodeEntry{sym: -1, nbits: uint8(subBits), off: off}
+		}
+		high := rev >> primaryBits
+		extra := uint(l) - primaryBits
+		step := uint32(1) << extra
+		for i := high; i < 1<<subBits; i += step {
+			d.sub[off+i] = decodeEntry{sym: int32(sym), nbits: l}
+		}
+	}
+	return d, nil
+}
+
+// BitSource is the minimal bit-reader interface the decoder consumes. It is
+// satisfied by *bitio.Reader.
+type BitSource interface {
+	PeekBits(n uint) (v uint64, avail uint)
+	SkipBits(n uint) error
+}
+
+// Decode reads one symbol. It consumes exactly the code's length in bits.
+func (d *Decoder) Decode(src BitSource) (int, error) {
+	v, avail := src.PeekBits(d.primaryBits)
+	e := d.primary[v]
+	if e.sym >= 0 {
+		if uint(e.nbits) > avail {
+			return 0, ErrInvalidCode // truncated stream
+		}
+		if err := src.SkipBits(uint(e.nbits)); err != nil {
+			return 0, err
+		}
+		return int(e.sym), nil
+	}
+	if e.sym == -2 {
+		return 0, ErrInvalidCode
+	}
+	// Sub-table path.
+	total := d.primaryBits + uint(e.nbits)
+	v2, avail2 := src.PeekBits(total)
+	sub := d.sub[e.off+uint32(v2>>d.primaryBits)]
+	if sub.sym < 0 {
+		return 0, ErrInvalidCode
+	}
+	if uint(sub.nbits) > avail2 {
+		return 0, ErrInvalidCode
+	}
+	if err := src.SkipBits(uint(sub.nbits)); err != nil {
+		return 0, err
+	}
+	return int(sub.sym), nil
+}
+
+// MaxLen reports the longest code length in the table.
+func (d *Decoder) MaxLen() uint8 { return d.maxLen }
+
+// NumSymbols reports how many symbols have codes.
+func (d *Decoder) NumSymbols() int { return d.numSyms }

@@ -1,0 +1,159 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPackageMergeMatchesHuffmanWhenUnconstrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(40) + 2
+		freqs := make([]int64, n)
+		for i := range freqs {
+			freqs[i] = int64(rng.Intn(200))
+		}
+		live := 0
+		for _, f := range freqs {
+			if f > 0 {
+				live++
+			}
+		}
+		if live < 2 {
+			continue
+		}
+		opt, err := BuildLengthsOptimal(freqs, 20)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		heur, err := BuildLengths(freqs, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if weightedLength(freqs, opt) != weightedLength(freqs, heur) {
+			// With a loose limit both must be exactly optimal.
+			t.Fatalf("trial %d: package-merge %d != huffman %d",
+				trial, weightedLength(freqs, opt), weightedLength(freqs, heur))
+		}
+	}
+}
+
+func TestPackageMergeNeverWorseThanRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	worseCount := 0
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(60) + 4
+		freqs := make([]int64, n)
+		// Skewed frequencies to engage the limit.
+		f := int64(1)
+		for i := range freqs {
+			freqs[i] = f
+			if rng.Intn(2) == 0 {
+				f = f*2 + int64(rng.Intn(3))
+			}
+		}
+		maxBits := rng.Intn(6) + 6 // 6..11: tight limits
+		if n > 1<<maxBits {
+			continue
+		}
+		opt, err := BuildLengthsOptimal(freqs, maxBits)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		heur, err := BuildLengths(freqs, maxBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range opt {
+			if int(l) > maxBits {
+				t.Fatalf("trial %d: optimal length %d exceeds %d", trial, l, maxBits)
+			}
+			_ = i
+		}
+		co, ch := weightedLength(freqs, opt), weightedLength(freqs, heur)
+		if co > ch {
+			t.Fatalf("trial %d: package-merge %d worse than repair %d", trial, co, ch)
+		}
+		if co < ch {
+			worseCount++
+		}
+	}
+	t.Logf("heuristic repair was suboptimal in %d/300 constrained trials", worseCount)
+}
+
+func TestPackageMergeEdgeCases(t *testing.T) {
+	// Empty and single-symbol inputs.
+	l, err := BuildLengthsOptimal(make([]int64, 5), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range l {
+		if v != 0 {
+			t.Fatal("zero-frequency symbol coded")
+		}
+	}
+	freqs := make([]int64, 5)
+	freqs[2] = 7
+	l, err = BuildLengthsOptimal(freqs, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l[2] != 1 {
+		t.Fatalf("single symbol length %d", l[2])
+	}
+	// Too many symbols for the limit.
+	if _, err := BuildLengthsOptimal([]int64{1, 1, 1, 1, 1}, 2); err == nil {
+		t.Fatal("5 symbols in 2 bits accepted")
+	}
+	if _, err := BuildLengthsOptimal([]int64{-1}, 15); err == nil {
+		t.Fatal("negative frequency accepted")
+	}
+	// Exactly 2^maxBits symbols: all lengths == maxBits.
+	eq := make([]int64, 8)
+	for i := range eq {
+		eq[i] = 1
+	}
+	l, err = BuildLengthsOptimal(eq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range l {
+		if v != 3 {
+			t.Fatalf("lengths %v, want all 3", l)
+		}
+	}
+}
+
+func TestPackageMergeProducesValidPrefixCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		freqs := make([]int64, 286)
+		for i := range freqs {
+			freqs[i] = int64(rng.Intn(10000))
+		}
+		lengths, err := BuildLengthsOptimal(freqs, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewEncoder(lengths); err != nil {
+			t.Fatalf("trial %d: encoder rejects optimal lengths: %v", trial, err)
+		}
+		if _, err := NewDecoder(lengths, 9); err != nil {
+			t.Fatalf("trial %d: decoder rejects optimal lengths: %v", trial, err)
+		}
+	}
+}
+
+func BenchmarkPackageMerge286(b *testing.B) {
+	freqs := make([]int64, 286)
+	rng := rand.New(rand.NewSource(1))
+	for i := range freqs {
+		freqs[i] = int64(rng.Intn(10000))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildLengthsOptimal(freqs, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

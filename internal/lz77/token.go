@@ -1,0 +1,127 @@
+// Package lz77 implements the string-matching stage of DEFLATE twice:
+//
+//   - a software matcher modelled on zlib's deflate (hash chains, lazy
+//     matching, level presets), which is the paper's software baseline, and
+//   - a hardware matcher modelled on the POWER9/z15 accelerator's LZ stage
+//     (banked hash tables probed once per position, bounded candidate sets,
+//     wide per-cycle input), which also produces cycle-level statistics.
+//
+// Both emit the same token stream, which the deflate package turns into
+// DEFLATE blocks.
+package lz77
+
+import "fmt"
+
+const (
+	// MinMatch and MaxMatch are DEFLATE's match length bounds.
+	MinMatch = 3
+	MaxMatch = 258
+	// WindowSize is DEFLATE's maximum backward distance.
+	WindowSize = 32 << 10
+)
+
+// Token is one LZ77 output symbol: either a literal byte or a
+// (length, distance) back-reference. Packed into 32 bits:
+//
+//	bit 31        1 = match, 0 = literal
+//	match:        bits 23..15 = length-3 (0..255), bits 14..0 = dist-1
+//	literal:      bits 7..0 = byte value
+type Token uint32
+
+const matchFlag Token = 1 << 31
+
+// Lit constructs a literal token.
+func Lit(b byte) Token { return Token(b) }
+
+// Match constructs a match token. Length must be in [MinMatch, MaxMatch]
+// and dist in [1, WindowSize].
+func Match(length, dist int) Token {
+	if length < MinMatch || length > MaxMatch {
+		panic(fmt.Sprintf("lz77: match length %d out of range", length))
+	}
+	if dist < 1 || dist > WindowSize {
+		panic(fmt.Sprintf("lz77: match distance %d out of range", dist))
+	}
+	return matchFlag | Token(length-MinMatch)<<15 | Token(dist-1)
+}
+
+// IsMatch reports whether t is a back-reference.
+func (t Token) IsMatch() bool { return t&matchFlag != 0 }
+
+// Literal returns the literal byte; only valid when !IsMatch.
+func (t Token) Literal() byte { return byte(t) }
+
+// Length returns the match length; only valid when IsMatch.
+func (t Token) Length() int { return int(t>>15&0xFF) + MinMatch }
+
+// Dist returns the match distance; only valid when IsMatch.
+func (t Token) Dist() int { return int(t&0x7FFF) + 1 }
+
+func (t Token) String() string {
+	if t.IsMatch() {
+		return fmt.Sprintf("<%d,%d>", t.Length(), t.Dist())
+	}
+	return fmt.Sprintf("'%c'", t.Literal())
+}
+
+// Expand reconstructs the original bytes from a token stream, appending to
+// dst. It is the reference semantics for both matchers and is used by tests
+// and by the decompression path's verification mode.
+func Expand(dst []byte, tokens []Token) ([]byte, error) {
+	for i, t := range tokens {
+		if !t.IsMatch() {
+			dst = append(dst, t.Literal())
+			continue
+		}
+		d, l := t.Dist(), t.Length()
+		if d > len(dst) {
+			return nil, fmt.Errorf("lz77: token %d references %d bytes back with only %d produced", i, d, len(dst))
+		}
+		// Byte-at-a-time copy: overlapping copies (d < l) must replicate.
+		start := len(dst) - d
+		for j := 0; j < l; j++ {
+			dst = append(dst, dst[start+j])
+		}
+	}
+	return dst, nil
+}
+
+// Validate checks that tokens exactly reproduce src.
+func Validate(tokens []Token, src []byte) error {
+	out, err := Expand(make([]byte, 0, len(src)), tokens)
+	if err != nil {
+		return err
+	}
+	if len(out) != len(src) {
+		return fmt.Errorf("lz77: expanded %d bytes, want %d", len(out), len(src))
+	}
+	for i := range out {
+		if out[i] != src[i] {
+			return fmt.Errorf("lz77: mismatch at byte %d", i)
+		}
+	}
+	return nil
+}
+
+// Summary describes a token stream for ratio analysis.
+type Summary struct {
+	Literals    int
+	Matches     int
+	MatchBytes  int // bytes covered by matches
+	TotalTokens int
+}
+
+// Summarize computes stream statistics.
+func Summarize(tokens []Token) Summary {
+	var s Summary
+	for _, t := range tokens {
+		s.TotalTokens++
+		if t.IsMatch() {
+			s.Matches++
+			s.MatchBytes += t.Length()
+		} else {
+			s.Literals++
+		}
+	}
+	return s
+}

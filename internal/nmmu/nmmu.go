@@ -1,0 +1,254 @@
+// Package nmmu models the Nest MMU, the shared address-translation unit
+// that lets the on-chip accelerator operate directly on user virtual
+// addresses. This is one of the system-integration pieces the paper calls
+// out: the accelerator needs no pinned buffers or kernel bounce buffers —
+// it walks the same page tables as the cores, caches translations in an
+// ERAT, and reports translation faults to software, which touches the page
+// and resubmits the request.
+package nmmu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PID identifies an address space (process).
+type PID int
+
+// Fault is the error reported when a virtual address has no valid,
+// present translation. The device model copies the address into the CSB so
+// the OS can touch it and resubmit.
+type Fault struct {
+	PID PID
+	VA  uint64
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("nmmu: translation fault pid %d va %#x", f.PID, f.VA)
+}
+
+// ErrNoSpace is returned for an unknown address space.
+var ErrNoSpace = errors.New("nmmu: unknown address space")
+
+// pageState tracks one virtual page.
+type pageState struct {
+	present bool   // backed by a physical page right now
+	pa      uint64 // assigned physical page number << pageShift
+}
+
+// Config sets geometry and timing.
+type Config struct {
+	PageSize        int   // bytes; POWER9 uses 64 KiB pages for NX buffers
+	ERATEntries     int   // translation cache entries
+	ERATHitCycles   int64 // per translated page on hit
+	WalkCycles      int64 // page-table walk on ERAT miss
+	FaultTripCycles int64 // engine-side cost of detecting + reporting a fault
+}
+
+// DefaultConfig mirrors the POWER9 nest: 64 KiB pages, a small ERAT, and a
+// multi-hundred-cycle table walk.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:        64 << 10,
+		ERATEntries:     32,
+		ERATHitCycles:   1,
+		WalkCycles:      300,
+		FaultTripCycles: 1000,
+	}
+}
+
+// Stats counts translation activity.
+type Stats struct {
+	Hits   int64
+	Misses int64
+	Faults int64
+	Cycles int64 // total translation cycles spent
+}
+
+// MMU is the translation unit. Safe for concurrent use.
+type MMU struct {
+	cfg Config
+
+	mu     sync.Mutex
+	spaces map[PID]*space
+	erat   map[eratKey]uint64 // (pid, vpn) -> pa
+	eratQ  []eratKey          // FIFO replacement order
+	nextPA uint64
+	stats  Stats
+}
+
+type space struct {
+	pages map[uint64]*pageState // vpn -> state
+}
+
+type eratKey struct {
+	pid PID
+	vpn uint64
+}
+
+// New builds an MMU.
+func New(cfg Config) *MMU {
+	if cfg.PageSize <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &MMU{
+		cfg:    cfg,
+		spaces: make(map[PID]*space),
+		erat:   make(map[eratKey]uint64),
+	}
+}
+
+// Config returns the active configuration.
+func (m *MMU) Config() Config { return m.cfg }
+
+// CreateSpace registers an address space for pid (idempotent).
+func (m *MMU) CreateSpace(pid PID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.spaces[pid]; !ok {
+		m.spaces[pid] = &space{pages: make(map[uint64]*pageState)}
+	}
+}
+
+// Map creates valid translations for [va, va+length), initially present
+// (resident) or not according to resident. Non-resident pages fault on
+// first access until touched, modelling demand paging.
+func (m *MMU) Map(pid PID, va uint64, length int, resident bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sp, ok := m.spaces[pid]
+	if !ok {
+		return ErrNoSpace
+	}
+	ps := uint64(m.cfg.PageSize)
+	for vpn := va / ps; vpn <= (va+uint64(length)-1)/ps; vpn++ {
+		if length == 0 {
+			break
+		}
+		if _, exists := sp.pages[vpn]; !exists {
+			m.nextPA++
+			sp.pages[vpn] = &pageState{present: resident, pa: m.nextPA * ps}
+		} else if resident {
+			sp.pages[vpn].present = true
+		}
+	}
+	return nil
+}
+
+// Touch makes the page containing va present (what the OS fault handler
+// does before resubmitting a faulted request). It is an error to touch an
+// unmapped address.
+func (m *MMU) Touch(pid PID, va uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sp, ok := m.spaces[pid]
+	if !ok {
+		return ErrNoSpace
+	}
+	vpn := va / uint64(m.cfg.PageSize)
+	st, ok := sp.pages[vpn]
+	if !ok {
+		return fmt.Errorf("nmmu: touch of unmapped va %#x", va)
+	}
+	st.present = true
+	return nil
+}
+
+// Evict marks the page containing va not-present (page stolen by the OS),
+// and drops any cached translation.
+func (m *MMU) Evict(pid PID, va uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sp, ok := m.spaces[pid]
+	if !ok {
+		return
+	}
+	vpn := va / uint64(m.cfg.PageSize)
+	if st, ok := sp.pages[vpn]; ok {
+		st.present = false
+	}
+	delete(m.erat, eratKey{pid, vpn})
+}
+
+// Translate resolves one virtual address, charging ERAT/walk cycles to the
+// returned count. On a translation fault the cycles already spent are
+// still reported.
+func (m *MMU) Translate(pid PID, va uint64) (pa uint64, cycles int64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.translateLocked(pid, va)
+}
+
+func (m *MMU) translateLocked(pid PID, va uint64) (uint64, int64, error) {
+	sp, ok := m.spaces[pid]
+	if !ok {
+		return 0, 0, ErrNoSpace
+	}
+	ps := uint64(m.cfg.PageSize)
+	vpn := va / ps
+	key := eratKey{pid, vpn}
+	if pa, ok := m.erat[key]; ok {
+		m.stats.Hits++
+		m.stats.Cycles += m.cfg.ERATHitCycles
+		return pa + va%ps, m.cfg.ERATHitCycles, nil
+	}
+	m.stats.Misses++
+	cycles := m.cfg.WalkCycles
+	st, ok := sp.pages[vpn]
+	if !ok || !st.present {
+		m.stats.Faults++
+		cycles += m.cfg.FaultTripCycles
+		m.stats.Cycles += cycles
+		return 0, cycles, &Fault{PID: pid, VA: va}
+	}
+	m.insertERAT(key, st.pa)
+	m.stats.Cycles += cycles
+	return st.pa + va%ps, cycles, nil
+}
+
+// TranslateRange resolves every page in [va, va+length), returning the
+// accumulated translation cycles. On fault it reports the faulting VA and
+// the cycles spent up to and including the fault.
+func (m *MMU) TranslateRange(pid PID, va uint64, length int) (cycles int64, err error) {
+	if length <= 0 {
+		return 0, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps := uint64(m.cfg.PageSize)
+	for p := va / ps; p <= (va+uint64(length)-1)/ps; p++ {
+		_, c, err := m.translateLocked(pid, p*ps)
+		cycles += c
+		if err != nil {
+			return cycles, err
+		}
+	}
+	return cycles, nil
+}
+
+func (m *MMU) insertERAT(key eratKey, pa uint64) {
+	if len(m.erat) >= m.cfg.ERATEntries {
+		// FIFO eviction.
+		old := m.eratQ[0]
+		m.eratQ = m.eratQ[1:]
+		delete(m.erat, old)
+	}
+	m.erat[key] = pa
+	m.eratQ = append(m.eratQ, key)
+}
+
+// InvalidateERAT drops all cached translations (context switch / tlbie).
+func (m *MMU) InvalidateERAT() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.erat = make(map[eratKey]uint64)
+	m.eratQ = nil
+}
+
+// Stats returns a snapshot of translation counters.
+func (m *MMU) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,189 @@
+package nmmu
+
+import (
+	"errors"
+	"testing"
+)
+
+func newTestMMU() *MMU {
+	cfg := DefaultConfig()
+	cfg.PageSize = 4096 // small pages make range tests cheap
+	cfg.ERATEntries = 4
+	m := New(cfg)
+	m.CreateSpace(1)
+	return m
+}
+
+func TestTranslateResident(t *testing.T) {
+	m := newTestMMU()
+	if err := m.Map(1, 0x10000, 8192, true); err != nil {
+		t.Fatal(err)
+	}
+	pa1, c1, err := m.Translate(1, 0x10010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != m.Config().WalkCycles {
+		t.Fatalf("first access cost %d, want walk %d", c1, m.Config().WalkCycles)
+	}
+	// Second access: ERAT hit, cheap, same PA.
+	pa2, c2, err := m.Translate(1, 0x10020)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != m.Config().ERATHitCycles {
+		t.Fatalf("hit cost %d", c2)
+	}
+	if pa2 != pa1+0x10 {
+		t.Fatalf("same-page offsets disagree: %#x vs %#x", pa1, pa2)
+	}
+}
+
+func TestTranslateFaultNonResident(t *testing.T) {
+	m := newTestMMU()
+	if err := m.Map(1, 0x20000, 4096, false); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := m.Translate(1, 0x20000)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("got %v, want Fault", err)
+	}
+	if f.VA != 0x20000 || f.PID != 1 {
+		t.Fatalf("fault = %+v", f)
+	}
+	// Touch-and-retry succeeds: the demand-paging protocol.
+	if err := m.Touch(1, 0x20000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Translate(1, 0x20000); err != nil {
+		t.Fatalf("after touch: %v", err)
+	}
+}
+
+func TestTranslateUnmapped(t *testing.T) {
+	m := newTestMMU()
+	if _, _, err := m.Translate(1, 0xdead0000); err == nil {
+		t.Fatal("unmapped address translated")
+	}
+	if _, _, err := m.Translate(99, 0); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("unknown pid: %v", err)
+	}
+	if err := m.Touch(1, 0xdead0000); err == nil {
+		t.Fatal("touch of unmapped accepted")
+	}
+}
+
+func TestTranslateRange(t *testing.T) {
+	m := newTestMMU()
+	if err := m.Map(1, 0x40000, 5*4096, true); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := m.TranslateRange(1, 0x40000, 5*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5 * m.Config().WalkCycles; cycles != want {
+		t.Fatalf("cycles = %d, want %d", cycles, want)
+	}
+	// Second pass: but ERAT holds only 4 entries with FIFO replacement,
+	// so a 5-page sequential walk keeps missing (classic thrash).
+	cycles2, err := m.TranslateRange(1, 0x40000, 5*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles2 != cycles {
+		t.Fatalf("thrash pass cost %d, want %d", cycles2, cycles)
+	}
+}
+
+func TestTranslateRangeMidFault(t *testing.T) {
+	m := newTestMMU()
+	if err := m.Map(1, 0x50000, 4*4096, true); err != nil {
+		t.Fatal(err)
+	}
+	m.Evict(1, 0x52000) // third page gone
+	cycles, err := m.TranslateRange(1, 0x50000, 4*4096)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want fault, got %v", err)
+	}
+	if f.VA != 0x52000 {
+		t.Fatalf("fault at %#x", f.VA)
+	}
+	if cycles <= 0 {
+		t.Fatal("no cycles charged before fault")
+	}
+	st := m.Stats()
+	if st.Faults != 1 {
+		t.Fatalf("faults = %d", st.Faults)
+	}
+}
+
+func TestERATInvalidate(t *testing.T) {
+	m := newTestMMU()
+	m.Map(1, 0, 4096, true)
+	m.Translate(1, 0)
+	m.Translate(1, 16) // hit
+	m.InvalidateERAT()
+	_, c, err := m.Translate(1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != m.Config().WalkCycles {
+		t.Fatalf("post-invalidate cost %d", c)
+	}
+}
+
+func TestEvictDropsERAT(t *testing.T) {
+	m := newTestMMU()
+	m.Map(1, 0, 4096, true)
+	m.Translate(1, 0)
+	m.Evict(1, 0)
+	if _, _, err := m.Translate(1, 0); err == nil {
+		t.Fatal("evicted page still translates (stale ERAT)")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := newTestMMU()
+	m.Map(1, 0, 2*4096, true)
+	m.Translate(1, 0)
+	m.Translate(1, 8)
+	m.Translate(1, 4096)
+	st := m.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Cycles != 2*m.Config().WalkCycles+m.Config().ERATHitCycles {
+		t.Fatalf("cycles = %d", st.Cycles)
+	}
+}
+
+func TestMapZeroLength(t *testing.T) {
+	m := newTestMMU()
+	if err := m.Map(1, 0x1000, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := m.TranslateRange(1, 0x1000, 0); err != nil || c != 0 {
+		t.Fatalf("zero-length range: %d, %v", c, err)
+	}
+}
+
+func TestDistinctSpacesDistinctPAs(t *testing.T) {
+	m := newTestMMU()
+	m.CreateSpace(2)
+	m.Map(1, 0, 4096, true)
+	m.Map(2, 0, 4096, true)
+	pa1, _, err := m.Translate(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa2, _, err := m.Translate(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa1 == pa2 {
+		t.Fatal("two spaces share a physical page")
+	}
+}

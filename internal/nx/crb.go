@@ -1,0 +1,182 @@
+// Package nx is the core of the reproduction: a functional and
+// cycle-approximate model of the POWER9 NX GZIP unit and the z15
+// Integrated Accelerator for zEDC. It executes real DEFLATE (and 842)
+// work — the bytes it produces interoperate with zlib/gzip — while
+// charging cycles from the pipeline model, translating addresses through
+// the NMMU, and accepting requests through VAS windows, so the system-level
+// behaviour the paper evaluates (latency vs size, faults, sharing) is
+// observable.
+package nx
+
+import (
+	"fmt"
+
+	"nxzip/internal/deflate"
+	"nxzip/internal/pipeline"
+)
+
+// FuncCode selects the engine operation, mirroring the NX function codes.
+type FuncCode int
+
+const (
+	// FCCompressFHT compresses with the fixed Huffman table.
+	FCCompressFHT FuncCode = iota
+	// FCCompressDHT compresses with an engine-generated dynamic table
+	// (single pass: the table is built from a sample of the input).
+	FCCompressDHT
+	// FCCompressCannedDHT compresses with a caller-supplied table.
+	FCCompressCannedDHT
+	// FCDecompress inflates a DEFLATE stream.
+	FCDecompress
+	// FC842Compress compresses with the 842 engine.
+	FC842Compress
+	// FC842Decompress decompresses 842 data.
+	FC842Decompress
+	// FCMove copies source to target computing CRC32/Adler-32 inline
+	// without compressing — the engine's checksum/memcpy offload.
+	FCMove
+)
+
+func (f FuncCode) String() string {
+	switch f {
+	case FCCompressFHT:
+		return "compress-fht"
+	case FCCompressDHT:
+		return "compress-dht"
+	case FCCompressCannedDHT:
+		return "compress-canned"
+	case FCDecompress:
+		return "decompress"
+	case FC842Compress:
+		return "842-compress"
+	case FC842Decompress:
+		return "842-decompress"
+	case FCMove:
+		return "move"
+	}
+	return fmt.Sprintf("FuncCode(%d)", int(f))
+}
+
+// Wrap selects stream framing applied inline by the engine.
+type Wrap int
+
+const (
+	// WrapRaw emits/consumes a bare DEFLATE stream.
+	WrapRaw Wrap = iota
+	// WrapGzip emits/consumes RFC 1952 framing with CRC32.
+	WrapGzip
+	// WrapZlib emits/consumes RFC 1950 framing with Adler-32.
+	WrapZlib
+)
+
+func (w Wrap) String() string {
+	switch w {
+	case WrapRaw:
+		return "raw"
+	case WrapGzip:
+		return "gzip"
+	case WrapZlib:
+		return "zlib"
+	}
+	return fmt.Sprintf("Wrap(%d)", int(w))
+}
+
+// CC is the CSB completion code.
+type CC int
+
+const (
+	// CCSuccess: operation completed.
+	CCSuccess CC = iota
+	// CCTranslationFault: a source/target page was not translatable; the
+	// faulting address is in CSB.FaultVA. Software touches the page and
+	// resubmits.
+	CCTranslationFault
+	// CCTargetSpace: the output exceeded the target buffer.
+	CCTargetSpace
+	// CCDataCorrupt: decompression found an invalid stream or checksum.
+	CCDataCorrupt
+	// CCInvalidCRB: malformed request.
+	CCInvalidCRB
+)
+
+func (c CC) String() string {
+	switch c {
+	case CCSuccess:
+		return "success"
+	case CCTranslationFault:
+		return "translation-fault"
+	case CCTargetSpace:
+		return "target-space-exhausted"
+	case CCDataCorrupt:
+		return "data-corrupt"
+	case CCInvalidCRB:
+		return "invalid-crb"
+	}
+	return fmt.Sprintf("CC(%d)", int(c))
+}
+
+// CRB is the coprocessor request block: one self-describing request.
+// Payload data travels as Go slices (the model's stand-in for DMA), while
+// SourceVA/TargetVA drive the translation model; a zero VA means the
+// buffer is pre-pinned (kernel use) and skips translation.
+type CRB struct {
+	Func FuncCode
+	Wrap Wrap
+
+	Input     []byte
+	SourceVA  uint64
+	TargetVA  uint64
+	TargetCap int // output bound; 0 means 2x input + 1 KiB
+
+	// SourceDDE/TargetDDE describe scatter/gathered operands; when set
+	// they take precedence over SourceVA/TargetVA for translation. Input
+	// still carries the logical (gathered) bytes — see GatherDDE.
+	SourceDDE *DDE
+	TargetDDE *DDE
+
+	// DHT supplies the canned table for FCCompressCannedDHT.
+	DHT *deflate.DHT
+
+	// History carries the previous 32 KiB of the logical stream for
+	// compression continuation: matches may reach into it and the engine
+	// replays it through the LZ stage (costing input beats). Only
+	// meaningful for the compression function codes.
+	History []byte
+	// NotFinal marks this request as a non-terminal stream segment: the
+	// engine emits a non-final block followed by a sync flush so segment
+	// outputs concatenate into one valid DEFLATE stream. Streaming
+	// segments must use WrapRaw; framing belongs to the stream owner.
+	NotFinal bool
+
+	// MaxOutput bounds decompression output (guards zip bombs); 0 = 1 GiB.
+	MaxOutput int
+
+	// DecompState carries decompression resume state across requests
+	// (FCDecompress with streaming input). When set, Input is the next
+	// chunk of one logical raw DEFLATE stream and NotFinal marks
+	// intermediate chunks.
+	DecompState *DecompState
+
+	// SyncSubmit marks a request entered through the synchronous
+	// instruction interface (z15 DFLTCC style): the CPU issues the
+	// operation and waits, skipping the VAS queue and its setup cost.
+	// Only honoured on devices whose pipeline has SyncSetupCycles > 0.
+	SyncSubmit bool
+}
+
+// CSB is the coprocessor status block written back at completion.
+type CSB struct {
+	CC      CC
+	FaultVA uint64
+
+	SPBC int // source processed byte count
+	TPBC int // target processed byte count
+
+	CRC32   uint32 // over the uncompressed data (gzip direction)
+	Adler32 uint32 // over the uncompressed data (zlib direction)
+
+	Output []byte
+
+	Cycles pipeline.Breakdown
+	Detail string // human-readable error detail for corrupt data
+}

@@ -1,0 +1,141 @@
+package nx
+
+import (
+	"bytes"
+	"testing"
+
+	"nxzip/internal/corpus"
+)
+
+func TestDDEGather(t *testing.T) {
+	frags := [][]byte{[]byte("abc"), []byte("defgh"), []byte("i")}
+	dde := IndirectDDE(DirectDDE(0x1000, 3), DirectDDE(0x2000, 5), DirectDDE(0x3000, 1))
+	if dde.TotalLen() != 9 {
+		t.Fatalf("TotalLen = %d", dde.TotalLen())
+	}
+	got, err := GatherDDE(dde, frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcdefghi" {
+		t.Fatalf("gathered %q", got)
+	}
+}
+
+func TestDDEGatherValidation(t *testing.T) {
+	dde := IndirectDDE(DirectDDE(0x1000, 3))
+	if _, err := GatherDDE(dde, [][]byte{[]byte("toolong")}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := GatherDDE(dde, nil); err == nil {
+		t.Fatal("fragment-count mismatch accepted")
+	}
+	nested := IndirectDDE(IndirectDDE(DirectDDE(0x1000, 3)))
+	if _, err := GatherDDE(nested, [][]byte{[]byte("abc")}); err == nil {
+		t.Fatal("two-level indirection accepted")
+	}
+}
+
+func TestDirectDDEFlattensToItself(t *testing.T) {
+	d := DirectDDE(0x1000, 64)
+	got, err := GatherDDE(d, [][]byte{make([]byte, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+}
+
+func TestScatterGatherRequest(t *testing.T) {
+	// A compression request whose source is three discontiguous extents:
+	// the engine translates every extent and the data round-trips.
+	dev := NewDevice(P9Device())
+	ctx := dev.OpenContext(1)
+	pieces := [][]byte{
+		corpus.Generate(corpus.Text, 40<<10, 1),
+		corpus.Generate(corpus.Text, 8<<10, 2),
+		corpus.Generate(corpus.Text, 100<<10, 3),
+	}
+	var extents []DDE
+	for _, p := range pieces {
+		va, err := ctx.MapBuffer(len(p), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extents = append(extents, DirectDDE(va, len(p)))
+	}
+	src := IndirectDDE(extents...)
+	input, err := GatherDDE(src, pieces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstVA, err := ctx.MapBuffer(2*len(input)+1024, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csb, rep, err := ctx.Submit(&CRB{
+		Func: FCCompressDHT, Wrap: WrapGzip, Input: input,
+		SourceDDE: &src, TargetVA: dstVA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csb.CC != CCSuccess {
+		t.Fatalf("CC = %s (%s)", csb.CC, csb.Detail)
+	}
+	if rep.Breakdown.Translate <= 0 {
+		t.Fatal("no translation cycles for scattered source")
+	}
+	back, _, err := ctx.Decompress(csb.Output, WrapGzip, len(input)+1024, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, input) {
+		t.Fatal("scatter/gather round-trip mismatch")
+	}
+}
+
+func TestScatterGatherFaultMidExtent(t *testing.T) {
+	dev := NewDevice(P9Device())
+	ctx := dev.OpenContext(1)
+	a := corpus.Generate(corpus.Text, 64<<10, 4)
+	b := corpus.Generate(corpus.Text, 64<<10, 5)
+	vaA, _ := ctx.MapBuffer(len(a), true)
+	vaB, _ := ctx.MapBuffer(len(b), false) // second extent demand-paged
+	src := IndirectDDE(DirectDDE(vaA, len(a)), DirectDDE(vaB, len(b)))
+	input := append(append([]byte{}, a...), b...)
+	dstVA, _ := ctx.MapBuffer(2*len(input)+1024, true)
+
+	csb, rep, err := ctx.Submit(&CRB{
+		Func: FCCompressFHT, Wrap: WrapRaw, Input: input,
+		SourceDDE: &src, TargetVA: dstVA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csb.CC != CCSuccess {
+		t.Fatalf("CC = %s", csb.CC)
+	}
+	// The second extent faulted; the context's fault loop touched pages
+	// and resubmitted.
+	if rep.Retries == 0 {
+		t.Fatal("expected retries from the demand-paged extent")
+	}
+}
+
+func TestDDEDeepNestingRejectedByEngine(t *testing.T) {
+	dev := NewDevice(P9Device())
+	ctx := dev.OpenContext(1)
+	va, _ := ctx.MapBuffer(100, true)
+	bad := IndirectDDE(IndirectDDE(DirectDDE(va, 100)))
+	csb, _, err := ctx.Submit(&CRB{
+		Func: FCCompressFHT, Input: make([]byte, 100), SourceDDE: &bad,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csb.CC != CCInvalidCRB {
+		t.Fatalf("CC = %s", csb.CC)
+	}
+}

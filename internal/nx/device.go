@@ -1,0 +1,334 @@
+package nx
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"nxzip/internal/lz77"
+	"nxzip/internal/nmmu"
+	"nxzip/internal/pipeline"
+	"nxzip/internal/vas"
+)
+
+// DeviceConfig assembles a full accelerator: engine model, translation
+// unit and switchboard.
+type DeviceConfig struct {
+	Engine EngineConfig
+	MMU    nmmu.Config
+	VAS    vas.Config
+	// Engines is the number of identical engines sharing the receive FIFO
+	// (the P9 NX has separate gzip/842 engines; the z15 NXU has two
+	// compression cores). Default 1.
+	Engines int
+}
+
+// P9Device returns the POWER9 single-chip device configuration.
+func P9Device() DeviceConfig {
+	return DeviceConfig{Engine: P9Engine(), MMU: nmmu.DefaultConfig(), VAS: vas.DefaultConfig(), Engines: 1}
+}
+
+// Z15Device returns the z15 on-chip NXU configuration.
+func Z15Device() DeviceConfig {
+	return DeviceConfig{Engine: Z15Engine(), MMU: nmmu.DefaultConfig(), VAS: vas.DefaultConfig(), Engines: 1}
+}
+
+// Device is one on-chip accelerator instance: a receive FIFO fed by user
+// windows, N engines, and the shared NMMU.
+type Device struct {
+	cfg     DeviceConfig
+	mmu     *nmmu.MMU
+	sb      *vas.Switchboard
+	engines []*Engine
+	nextEng atomic.Int64
+}
+
+// NewDevice builds a device.
+func NewDevice(cfg DeviceConfig) *Device {
+	if cfg.Engines <= 0 {
+		cfg.Engines = 1
+	}
+	d := &Device{
+		cfg: cfg,
+		mmu: nmmu.New(cfg.MMU),
+		sb:  vas.New(cfg.VAS),
+	}
+	for i := 0; i < cfg.Engines; i++ {
+		d.engines = append(d.engines, NewEngine(cfg.Engine, d.mmu))
+	}
+	return d
+}
+
+// MMU exposes the translation unit (tests and the fault experiments evict
+// pages through it).
+func (d *Device) MMU() *nmmu.MMU { return d.mmu }
+
+// Switchboard exposes the VAS instance.
+func (d *Device) Switchboard() *vas.Switchboard { return d.sb }
+
+// Engine returns engine i.
+func (d *Device) Engine(i int) *Engine { return d.engines[i%len(d.engines)] }
+
+// PipelineConfig returns the engine timing model.
+func (d *Device) PipelineConfig() pipeline.Config { return d.cfg.Engine.Pipeline }
+
+// Context is a process's view of the device: an address space, a send
+// window, and a bump allocator for buffer VAs.
+type Context struct {
+	dev    *Device
+	pid    nmmu.PID
+	window int
+	nextVA uint64
+}
+
+// OpenContext registers an address space and opens a send window.
+func (d *Device) OpenContext(pid nmmu.PID) *Context {
+	d.mmu.CreateSpace(pid)
+	return &Context{
+		dev:    d,
+		pid:    pid,
+		window: d.sb.OpenSendWindow(pid),
+		nextVA: 1 << 20, // leave a null guard region
+	}
+}
+
+// Close releases the context's send window.
+func (c *Context) Close() { c.dev.sb.CloseSendWindow(c.window) }
+
+// PID returns the context's address-space id.
+func (c *Context) PID() nmmu.PID { return c.pid }
+
+// MapBuffer reserves a buffer VA range. resident=false maps it
+// demand-paged, so the engine faults on first access (experiment E12).
+func (c *Context) MapBuffer(size int, resident bool) (uint64, error) {
+	if size <= 0 {
+		size = 1
+	}
+	ps := uint64(c.dev.mmu.Config().PageSize)
+	va := c.nextVA
+	span := (uint64(size) + ps - 1) / ps * ps
+	c.nextVA += span + ps // guard page between buffers
+	if err := c.dev.mmu.Map(c.pid, va, size, resident); err != nil {
+		return 0, err
+	}
+	return va, nil
+}
+
+// Report summarizes one completed (possibly retried) request.
+type Report struct {
+	Engine       string
+	Func         FuncCode
+	Wrap         Wrap
+	InBytes      int
+	OutBytes     int
+	Ratio        float64 // input/output for compression, output/input for decompression
+	Breakdown    pipeline.Breakdown
+	Retries      int   // fault-and-resubmit rounds
+	WastedCycles int64 // cycles burned by faulted attempts
+	TotalCycles  int64 // wasted + final attempt
+	Time         time.Duration
+	LZ           lz77.HWStats
+}
+
+// ErrDeviceBusy is returned when paste retries exhaust (queue saturated).
+var ErrDeviceBusy = errors.New("nx: device busy: paste rejected repeatedly")
+
+// maxPasteRetries bounds the submission spin.
+const maxPasteRetries = 1 << 20
+
+// submit pastes the CRB, runs an engine, and implements the OS side of
+// the fault protocol: on CCTranslationFault, touch the page and resubmit.
+func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
+	var (
+		retries int
+		wasted  int64
+	)
+	for {
+		wrapped := &vas.CRB{Payload: crb}
+		pasted := false
+		for try := 0; try < maxPasteRetries; try++ {
+			err := c.dev.sb.Paste(c.window, wrapped)
+			if err == nil {
+				pasted = true
+				break
+			}
+			if errors.Is(err, vas.ErrWindowClosed) {
+				return nil, nil, err
+			}
+			// Credit/FIFO pressure: the engine drains synchronously in
+			// this model, so drain one entry and retry.
+			if pending := c.dev.sb.Dequeue(); pending != nil {
+				c.runOne(pending)
+			}
+		}
+		if !pasted {
+			return nil, nil, ErrDeviceBusy
+		}
+		// Engine picks up work in FIFO order; drain until ours completes.
+		var csb *CSB
+		for {
+			pending := c.dev.sb.Dequeue()
+			if pending == nil {
+				return nil, nil, fmt.Errorf("nx: request lost from FIFO")
+			}
+			done := c.runOne(pending)
+			if pending == wrapped {
+				csb = done
+				break
+			}
+		}
+		if csb.CC != CCTranslationFault {
+			rep := &Report{
+				Engine:       c.dev.cfg.Engine.Pipeline.Name,
+				Func:         crb.Func,
+				Wrap:         crb.Wrap,
+				InBytes:      csb.SPBC,
+				OutBytes:     csb.TPBC,
+				Breakdown:    csb.Cycles,
+				Retries:      retries,
+				WastedCycles: wasted,
+				TotalCycles:  wasted + csb.Cycles.Total,
+				LZ:           c.dev.Engine(0).Counters().LastLZ,
+			}
+			rep.Time = c.dev.cfg.Engine.Pipeline.Time(rep.TotalCycles)
+			if csb.SPBC > 0 && csb.TPBC > 0 {
+				rep.Ratio = float64(csb.SPBC) / float64(csb.TPBC)
+			}
+			return csb, rep, nil
+		}
+		// Fault protocol: touch and resubmit.
+		retries++
+		wasted += csb.Cycles.Total
+		if err := c.dev.mmu.Touch(c.pid, csb.FaultVA); err != nil {
+			return csb, nil, fmt.Errorf("nx: fault handler: %w", err)
+		}
+	}
+}
+
+// runOne executes a dequeued CRB on the next engine (round-robin across
+// the device's engines, which process concurrently — the z15 NXU pairs
+// two compression cores behind one queue) and completes it at the
+// switchboard.
+func (c *Context) runOne(wrapped *vas.CRB) *CSB {
+	crb := wrapped.Payload.(*CRB)
+	idx := int(c.dev.nextEng.Add(1)-1) % len(c.dev.engines)
+	csb := c.dev.engines[idx].Process(wrapped.PID, crb)
+	c.dev.sb.Complete(wrapped)
+	return csb
+}
+
+// Compress runs a full user-level compression: map buffers, submit,
+// handle faults, return output and accounting.
+func (c *Context) Compress(input []byte, fc FuncCode, wrap Wrap, resident bool) ([]byte, *Report, error) {
+	srcVA, err := c.MapBuffer(len(input), resident)
+	if err != nil {
+		return nil, nil, err
+	}
+	capOut := 2*len(input) + 1024
+	dstVA, err := c.MapBuffer(capOut, resident)
+	if err != nil {
+		return nil, nil, err
+	}
+	crb := &CRB{
+		Func:      fc,
+		Wrap:      wrap,
+		Input:     input,
+		SourceVA:  srcVA,
+		TargetVA:  dstVA,
+		TargetCap: capOut,
+	}
+	csb, rep, err := c.submit(crb)
+	if err != nil {
+		return nil, rep, err
+	}
+	if csb.CC != CCSuccess {
+		return nil, rep, fmt.Errorf("nx: %s: %s %s", fc, csb.CC, csb.Detail)
+	}
+	return csb.Output, rep, nil
+}
+
+// Decompress runs a full user-level decompression.
+func (c *Context) Decompress(input []byte, wrap Wrap, maxOutput int, resident bool) ([]byte, *Report, error) {
+	srcVA, err := c.MapBuffer(len(input), resident)
+	if err != nil {
+		return nil, nil, err
+	}
+	if maxOutput <= 0 {
+		maxOutput = 64 * len(input)
+	}
+	dstVA, err := c.MapBuffer(maxOutput, resident)
+	if err != nil {
+		return nil, nil, err
+	}
+	crb := &CRB{
+		Func:      FCDecompress,
+		Wrap:      wrap,
+		Input:     input,
+		SourceVA:  srcVA,
+		TargetVA:  dstVA,
+		TargetCap: maxOutput,
+		MaxOutput: maxOutput,
+	}
+	csb, rep, err := c.submit(crb)
+	if err != nil {
+		return nil, rep, err
+	}
+	if csb.CC != CCSuccess {
+		return nil, rep, fmt.Errorf("nx: decompress: %s %s", csb.CC, csb.Detail)
+	}
+	return csb.Output, rep, nil
+}
+
+// Submit exposes the raw CRB path for callers that build their own
+// request blocks (the canned-DHT experiment, 842, corrupt-data tests).
+func (c *Context) Submit(crb *CRB) (*CSB, *Report, error) {
+	return c.submit(crb)
+}
+
+// SyncCall submits a request through the synchronous-instruction
+// interface (the z15 integration style): no VAS paste, no queue — the
+// calling CPU dispatches the engine directly and waits. The fault
+// protocol still applies (the instruction completes partially and
+// software retries after touching the page). Returns an error on devices
+// without a synchronous path.
+func (c *Context) SyncCall(crb *CRB) (*CSB, *Report, error) {
+	if c.dev.cfg.Engine.Pipeline.SyncSetupCycles <= 0 {
+		return nil, nil, fmt.Errorf("nx: %s has no synchronous submission interface", c.dev.cfg.Engine.Pipeline.Name)
+	}
+	crb.SyncSubmit = true
+	var (
+		retries int
+		wasted  int64
+	)
+	for {
+		idx := int(c.dev.nextEng.Add(1)-1) % len(c.dev.engines)
+		csb := c.dev.engines[idx].Process(c.pid, crb)
+		if csb.CC != CCTranslationFault {
+			rep := &Report{
+				Engine:       c.dev.cfg.Engine.Pipeline.Name,
+				Func:         crb.Func,
+				Wrap:         crb.Wrap,
+				InBytes:      csb.SPBC,
+				OutBytes:     csb.TPBC,
+				Breakdown:    csb.Cycles,
+				Retries:      retries,
+				WastedCycles: wasted,
+				TotalCycles:  wasted + csb.Cycles.Total,
+			}
+			rep.Time = c.dev.cfg.Engine.Pipeline.Time(rep.TotalCycles)
+			if csb.SPBC > 0 && csb.TPBC > 0 {
+				rep.Ratio = float64(csb.SPBC) / float64(csb.TPBC)
+			}
+			return csb, rep, nil
+		}
+		retries++
+		wasted += csb.Cycles.Total
+		if err := c.dev.mmu.Touch(c.pid, csb.FaultVA); err != nil {
+			return csb, nil, fmt.Errorf("nx: fault handler: %w", err)
+		}
+	}
+}
+
+// Device returns the device this context is bound to.
+func (c *Context) Device() *Device { return c.dev }

@@ -1,0 +1,407 @@
+package nx
+
+import (
+	"errors"
+	"sync"
+
+	"nxzip/internal/checksum"
+	"nxzip/internal/deflate"
+	"nxzip/internal/lz77"
+	"nxzip/internal/nmmu"
+	"nxzip/internal/pipeline"
+	"nxzip/internal/x842"
+)
+
+// EngineConfig assembles an engine model.
+type EngineConfig struct {
+	Pipeline pipeline.Config
+	LZ       lz77.HWParams
+}
+
+// P9Engine returns the POWER9 NX GZIP engine configuration.
+func P9Engine() EngineConfig {
+	return EngineConfig{Pipeline: pipeline.P9(), LZ: lz77.P9HWParams()}
+}
+
+// Z15Engine returns the z15 zEDC engine configuration.
+func Z15Engine() EngineConfig {
+	return EngineConfig{Pipeline: pipeline.Z15(), LZ: lz77.Z15HWParams()}
+}
+
+// Engine executes CRBs one at a time, like the silicon: requests from all
+// windows serialize at the engine. Safe for concurrent Process calls (they
+// queue on an internal mutex).
+type Engine struct {
+	cfg EngineConfig
+	mmu *nmmu.MMU
+
+	mu      sync.Mutex
+	matcher *lz77.HWMatcher
+
+	// accumulated counters
+	requests   int64
+	busyCycles int64
+	inBytes    int64
+	outBytes   int64
+	lastLZ     lz77.HWStats
+}
+
+// NewEngine builds an engine bound to an MMU (nil disables translation,
+// for bare functional use).
+func NewEngine(cfg EngineConfig, mmu *nmmu.MMU) *Engine {
+	return &Engine{cfg: cfg, mmu: mmu, matcher: lz77.NewHWMatcher(cfg.LZ)}
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// Process executes one request for the given address space and returns the
+// completion status block. It never returns a Go error for data-plane
+// problems — those are CSB completion codes, exactly as on hardware.
+func (e *Engine) Process(pid nmmu.PID, crb *CRB) *CSB {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	csb := &CSB{}
+
+	// Address translation first: the engine touches the source range, then
+	// the target range. A fault suspends the job; software resolves it and
+	// resubmits, and the engine restarts the request (P9 semantics).
+	var translateCycles int64
+	if e.mmu != nil {
+		operands := []struct {
+			dde *DDE
+			va  uint64
+			n   int
+		}{
+			{crb.SourceDDE, crb.SourceVA, len(crb.Input)},
+			{crb.TargetDDE, crb.TargetVA, targetCap(crb)},
+		}
+		for _, op := range operands {
+			var (
+				c   int64
+				err error
+			)
+			switch {
+			case op.dde != nil:
+				c, err = translateDDE(e.mmu, pid, *op.dde)
+			case op.va != 0:
+				c, err = e.mmu.TranslateRange(pid, op.va, op.n)
+			default:
+				continue
+			}
+			translateCycles += c
+			if fault := asFault(err); fault != nil {
+				return e.faultCSB(csb, fault, translateCycles)
+			} else if err != nil {
+				csb.CC = CCInvalidCRB
+				csb.Detail = err.Error()
+				return csb
+			}
+		}
+	}
+
+	switch crb.Func {
+	case FCCompressFHT, FCCompressDHT, FCCompressCannedDHT:
+		e.compress(pid, crb, csb, translateCycles)
+	case FCDecompress:
+		if crb.DecompState != nil {
+			e.decompressResume(crb, csb, translateCycles)
+		} else {
+			e.decompress(pid, crb, csb, translateCycles)
+		}
+	case FC842Compress:
+		e.compress842(crb, csb, translateCycles)
+	case FC842Decompress:
+		e.decompress842(crb, csb, translateCycles)
+	case FCMove:
+		e.move(crb, csb, translateCycles)
+	default:
+		csb.CC = CCInvalidCRB
+		csb.Detail = "unknown function code"
+	}
+
+	if crb.SyncSubmit && e.cfg.Pipeline.SyncSetupCycles > 0 {
+		// Synchronous-instruction dispatch replaces the queued setup cost.
+		delta := e.cfg.Pipeline.SetupCycles - e.cfg.Pipeline.SyncSetupCycles
+		if delta > 0 && csb.Cycles.Setup >= e.cfg.Pipeline.SetupCycles {
+			csb.Cycles.Setup -= delta
+			csb.Cycles.Total -= delta
+			e.busyCycles -= delta
+		}
+	}
+	e.requests++
+	e.busyCycles += csb.Cycles.Total
+	e.inBytes += int64(csb.SPBC)
+	e.outBytes += int64(csb.TPBC)
+	return csb
+}
+
+func targetCap(crb *CRB) int {
+	if crb.TargetCap > 0 {
+		return crb.TargetCap
+	}
+	return 2*len(crb.Input) + 1024
+}
+
+func asFault(err error) *nmmu.Fault {
+	var f *nmmu.Fault
+	if errors.As(err, &f) {
+		return f
+	}
+	return nil
+}
+
+func (e *Engine) faultCSB(csb *CSB, f *nmmu.Fault, translateCycles int64) *CSB {
+	csb.CC = CCTranslationFault
+	csb.FaultVA = f.VA
+	// A faulted attempt still consumed setup plus the translation work up
+	// to the fault.
+	csb.Cycles = pipeline.Breakdown{
+		Setup:     e.cfg.Pipeline.SetupCycles,
+		Translate: translateCycles,
+		Complete:  e.cfg.Pipeline.CompleteCycles,
+	}
+	csb.Cycles.Total = csb.Cycles.Setup + csb.Cycles.Translate + csb.Cycles.Complete
+	e.requests++
+	e.busyCycles += csb.Cycles.Total
+	return csb
+}
+
+// compress runs the DEFLATE compression path: hardware LZ, table
+// selection per function code, inline checksum, framing.
+func (e *Engine) compress(pid nmmu.PID, crb *CRB, csb *CSB, translateCycles int64) {
+	input := crb.Input
+	if crb.NotFinal && crb.Wrap != WrapRaw {
+		csb.CC = CCInvalidCRB
+		csb.Detail = "stream segments must use raw wrap"
+		return
+	}
+	var (
+		tokens  []lz77.Token
+		lzStats lz77.HWStats
+	)
+	if len(crb.History) > 0 {
+		tokens, lzStats = e.matcher.TokenizeWithHistory(nil, crb.History, input)
+	} else {
+		tokens, lzStats = e.matcher.Tokenize(nil, input)
+	}
+	e.lastLZ = lzStats
+
+	var (
+		mode deflate.BlockMode
+		dht  *deflate.DHT
+	)
+	switch crb.Func {
+	case FCCompressFHT:
+		mode = deflate.ModeFixed
+	case FCCompressDHT:
+		mode = deflate.ModeDynamic
+		dht = e.sampleDHT(tokens, input)
+	case FCCompressCannedDHT:
+		mode = deflate.ModeDynamic
+		dht = crb.DHT
+		if dht == nil {
+			csb.CC = CCInvalidCRB
+			csb.Detail = "canned-DHT compression without a DHT"
+			return
+		}
+	}
+
+	body, err := deflate.EncodeTokensStream(tokens, input, mode, dht, !crb.NotFinal)
+	if err != nil {
+		csb.CC = CCInvalidCRB
+		csb.Detail = err.Error()
+		return
+	}
+
+	out := body
+	switch crb.Wrap {
+	case WrapGzip:
+		out = deflate.GzipWrap(body, input)
+	case WrapZlib:
+		out = deflate.ZlibWrap(body, input)
+	}
+	if len(out) > targetCap(crb) {
+		csb.CC = CCTargetSpace
+		csb.SPBC = 0
+		csb.TPBC = 0
+		// The engine discovered the overflow while draining output: charge
+		// a full pass.
+		csb.Cycles = e.cfg.Pipeline.Compress(len(input), len(out), lzStats.Cycles, translateCycles, crb.Func == FCCompressDHT)
+		return
+	}
+
+	csb.CC = CCSuccess
+	csb.Output = out
+	csb.SPBC = len(input)
+	csb.TPBC = len(out)
+	csb.CRC32 = checksum.Sum32(input)
+	csb.Adler32 = checksum.SumAdler32(input)
+	// Only the generate-DHT function code pays table-build latency; canned
+	// tables arrive with the CRB.
+	csb.Cycles = e.cfg.Pipeline.Compress(len(input), len(out), lzStats.Cycles, translateCycles, crb.Func == FCCompressDHT)
+}
+
+// sampleDHT builds the single-pass dynamic table: frequencies are counted
+// only over tokens covering the first DHTSampleBytes of input, then every
+// symbol receives a +1 floor so the table is complete (the hardware
+// requires a decodable-by-construction table because data after the sample
+// may use any symbol).
+func (e *Engine) sampleDHT(tokens []lz77.Token, input []byte) *deflate.DHT {
+	sampleBytes := e.cfg.Pipeline.DHTSampleBytes
+	covered := 0
+	end := 0
+	for i, t := range tokens {
+		if covered >= sampleBytes {
+			break
+		}
+		if t.IsMatch() {
+			covered += t.Length()
+		} else {
+			covered++
+		}
+		end = i + 1
+	}
+	lf, df := deflate.CountFrequencies(tokens[:end])
+	for i := range lf {
+		lf[i]++
+	}
+	for i := range df {
+		df[i]++
+	}
+	dht, err := deflate.BuildDHT(lf, df)
+	if err != nil {
+		// Frequencies are all positive; construction cannot fail. Fall
+		// back to nil (generated-per-block) defensively.
+		return nil
+	}
+	_ = input
+	return dht
+}
+
+func (e *Engine) decompress(pid nmmu.PID, crb *CRB, csb *CSB, translateCycles int64) {
+	var (
+		out []byte
+		err error
+	)
+	opts := deflate.InflateOptions{MaxOutput: crb.MaxOutput}
+	switch crb.Wrap {
+	case WrapGzip:
+		out, err = deflate.DecompressGzip(crb.Input, opts)
+	case WrapZlib:
+		out, err = deflate.DecompressZlib(crb.Input, opts)
+	default:
+		out, err = deflate.Decompress(crb.Input, opts)
+	}
+	if err != nil {
+		csb.CC = CCDataCorrupt
+		csb.Detail = err.Error()
+		// Detection cost: the engine read the input before tripping.
+		csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), 0, translateCycles)
+		return
+	}
+	if len(out) > targetCap(crb) {
+		csb.CC = CCTargetSpace
+		csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), len(out), translateCycles)
+		return
+	}
+	csb.CC = CCSuccess
+	csb.Output = out
+	csb.SPBC = len(crb.Input)
+	csb.TPBC = len(out)
+	csb.CRC32 = checksum.Sum32(out)
+	csb.Adler32 = checksum.SumAdler32(out)
+	csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), len(out), translateCycles)
+}
+
+func (e *Engine) compress842(crb *CRB, csb *CSB, translateCycles int64) {
+	out := x842.Compress(crb.Input)
+	if len(out) > targetCap(crb) {
+		csb.CC = CCTargetSpace
+		csb.Cycles = e.cfg.Pipeline.Compress(len(crb.Input), len(out), int64(len(crb.Input)/e.cfg.LZ.InputWidth+1), translateCycles, false)
+		return
+	}
+	csb.CC = CCSuccess
+	csb.Output = out
+	csb.SPBC = len(crb.Input)
+	csb.TPBC = len(out)
+	csb.CRC32 = checksum.Sum32(crb.Input)
+	// 842 streams through the same ingest path at line rate.
+	csb.Cycles = e.cfg.Pipeline.Compress(len(crb.Input), len(out), int64(len(crb.Input)/e.cfg.LZ.InputWidth+1), translateCycles, false)
+}
+
+func (e *Engine) decompress842(crb *CRB, csb *CSB, translateCycles int64) {
+	out, err := x842.Decompress(crb.Input, crb.MaxOutput)
+	if err != nil {
+		csb.CC = CCDataCorrupt
+		csb.Detail = err.Error()
+		csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), 0, translateCycles)
+		return
+	}
+	if len(out) > targetCap(crb) {
+		csb.CC = CCTargetSpace
+		csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), len(out), translateCycles)
+		return
+	}
+	csb.CC = CCSuccess
+	csb.Output = out
+	csb.SPBC = len(crb.Input)
+	csb.TPBC = len(out)
+	csb.CRC32 = checksum.Sum32(out)
+	csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), len(out), translateCycles)
+}
+
+// move is the checksum/copy offload: data streams through the DMA path
+// untouched while the checksum units run. Useful on its own (CRC offload)
+// and as the engine's data-movement baseline.
+func (e *Engine) move(crb *CRB, csb *CSB, translateCycles int64) {
+	if len(crb.Input) > targetCap(crb) {
+		csb.CC = CCTargetSpace
+		csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), 0, translateCycles)
+		return
+	}
+	out := append([]byte{}, crb.Input...)
+	csb.CC = CCSuccess
+	csb.Output = out
+	csb.SPBC = len(crb.Input)
+	csb.TPBC = len(out)
+	csb.CRC32 = checksum.Sum32(crb.Input)
+	csb.Adler32 = checksum.SumAdler32(crb.Input)
+	// Pure data movement: bounded by the DMA width on both sides.
+	b := pipeline.Breakdown{
+		Setup:     e.cfg.Pipeline.SetupCycles,
+		Translate: translateCycles,
+		DMAIn:     int64(len(crb.Input)+e.cfg.Pipeline.DMABytesPerCycle-1) / int64(e.cfg.Pipeline.DMABytesPerCycle),
+		Complete:  e.cfg.Pipeline.CompleteCycles,
+	}
+	b.DMAOut = b.DMAIn
+	stage := b.DMAIn
+	if b.Translate > stage {
+		stage = b.Translate
+	}
+	b.Total = b.Setup + stage + b.Complete
+	csb.Cycles = b
+}
+
+// Counters is the engine's lifetime accounting.
+type Counters struct {
+	Requests   int64
+	BusyCycles int64
+	InBytes    int64
+	OutBytes   int64
+	LastLZ     lz77.HWStats
+}
+
+// Counters returns a snapshot of lifetime counters.
+func (e *Engine) Counters() Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Counters{
+		Requests:   e.requests,
+		BusyCycles: e.busyCycles,
+		InBytes:    e.inBytes,
+		OutBytes:   e.outBytes,
+		LastLZ:     e.lastLZ,
+	}
+}

@@ -1,0 +1,183 @@
+// Package pipeline is the cycle-approximate timing model of the
+// compression/decompression engine. The functional work (producing real
+// compressed bits) is done by lz77/deflate; this package turns the
+// measured stage work of a request into a cycle and wall-time breakdown
+// using the engine's configured widths, clock and fixed latencies.
+//
+// The model is deliberately simple and documented: the engine is a
+// streaming pipeline (DMA-in → LZ → Huffman-encode → DMA-out for
+// compression), so a request's data-dependent time is governed by its
+// slowest stage, plus the serial parts: request setup, address
+// translation, dynamic-table generation, and completion writeback. This is
+// the same first-order model the paper uses when it explains why small
+// requests are latency-bound and large requests run at the LZ line rate.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes one engine's timing parameters.
+type Config struct {
+	Name     string
+	ClockGHz float64 // nest clock the engine runs at
+
+	SetupCycles    int64 // CRB fetch + engine dispatch (async queue path)
+	CompleteCycles int64 // CSB writeback + interrupt/credit return
+	// SyncSetupCycles is the dispatch cost of the synchronous-instruction
+	// interface (z15's DFLTCC-style call): no queue traversal, the CPU
+	// waits. Zero means the device has no synchronous path.
+	SyncSetupCycles int64
+
+	DMABytesPerCycle    int // bus read/write width
+	LZBytesPerCycle     int // compression ingest width (matches lz77.HWParams)
+	EncodeBytesPerCycle int // Huffman encoder drain width, input-referred
+	DecodeBytesPerCycle int // decompressor output width (speculative decode)
+
+	DHTGenCycles   int64 // latency of building a dynamic table from the sample
+	DHTSampleBytes int   // bytes sampled before the table is frozen
+}
+
+// P9 returns the POWER9 NX GZIP engine model: ~8 GB/s compression,
+// ~6 GB/s decompression at a 1.0 GHz effective nest clock, and a few
+// microseconds of fixed request overhead.
+func P9() Config {
+	return Config{
+		Name:                "POWER9 NX",
+		ClockGHz:            1.0,
+		SetupCycles:         2500, // ~2.5us: paste-to-engine-start
+		CompleteCycles:      1000, // ~1us: CSB write + wakeup
+		DMABytesPerCycle:    64,
+		LZBytesPerCycle:     8,
+		EncodeBytesPerCycle: 16,
+		DecodeBytesPerCycle: 6,
+		DHTGenCycles:        4000,
+		DHTSampleBytes:      32 << 10,
+	}
+}
+
+// Z15 returns the z15 Integrated Accelerator for zEDC model: double the
+// POWER9 ingest width (the abstract's "doubles the compression rate"),
+// faster decode, and on-the-fly DHT generation with a larger sample.
+func Z15() Config {
+	return Config{
+		Name:                "z15 zEDC",
+		ClockGHz:            1.0,
+		SetupCycles:         2000,
+		SyncSetupCycles:     400, // DFLTCC-style dispatch: no queue, no doorbell
+		CompleteCycles:      800,
+		DMABytesPerCycle:    128,
+		LZBytesPerCycle:     16,
+		EncodeBytesPerCycle: 32,
+		DecodeBytesPerCycle: 12,
+		DHTGenCycles:        3000,
+		DHTSampleBytes:      64 << 10,
+	}
+}
+
+// Breakdown is the cycle ledger for one request.
+type Breakdown struct {
+	Setup     int64
+	Translate int64 // ERAT/table-walk cycles charged by the NMMU
+	DMAIn     int64
+	LZ        int64 // compression only
+	DHTGen    int64 // compression with dynamic table only
+	Encode    int64 // compression only
+	Decode    int64 // decompression only
+	DMAOut    int64
+	Complete  int64
+	Total     int64
+}
+
+func divCeil(n int64, d int64) int64 {
+	if d <= 0 {
+		return n
+	}
+	return (n + d - 1) / d
+}
+
+func max64(xs ...int64) int64 {
+	m := int64(0)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Compress computes the breakdown for a compression request that read
+// inBytes, wrote outBytes, spent lzCycles in the match stage (from
+// lz77.HWStats, which includes bank-conflict replays), and charged
+// translateCycles of NMMU work. dynamicDHT adds the table-generation
+// latency.
+func (c Config) Compress(inBytes, outBytes int, lzCycles, translateCycles int64, dynamicDHT bool) Breakdown {
+	b := Breakdown{
+		Setup:     c.SetupCycles,
+		Translate: translateCycles,
+		DMAIn:     divCeil(int64(inBytes), int64(c.DMABytesPerCycle)),
+		LZ:        lzCycles,
+		Encode:    divCeil(int64(inBytes), int64(c.EncodeBytesPerCycle)),
+		DMAOut:    divCeil(int64(outBytes), int64(c.DMABytesPerCycle)),
+		Complete:  c.CompleteCycles,
+	}
+	if dynamicDHT {
+		b.DHTGen = c.DHTGenCycles
+	}
+	// Streaming overlap: data-dependent stages run concurrently, and
+	// ERAT walks overlap with streaming DMA, so the request occupies the
+	// engine for the slowest of them. Setup, DHT generation and
+	// completion are serial.
+	b.Total = b.Setup + b.DHTGen +
+		max64(b.DMAIn, b.LZ, b.Encode, b.DMAOut, b.Translate) + b.Complete
+	return b
+}
+
+// Decompress computes the breakdown for a decompression request reading
+// inBytes of compressed data and producing outBytes.
+func (c Config) Decompress(inBytes, outBytes int, translateCycles int64) Breakdown {
+	b := Breakdown{
+		Setup:     c.SetupCycles,
+		Translate: translateCycles,
+		DMAIn:     divCeil(int64(inBytes), int64(c.DMABytesPerCycle)),
+		Decode:    divCeil(int64(outBytes), int64(c.DecodeBytesPerCycle)),
+		DMAOut:    divCeil(int64(outBytes), int64(c.DMABytesPerCycle)),
+		Complete:  c.CompleteCycles,
+	}
+	b.Total = b.Setup +
+		max64(b.DMAIn, b.Decode, b.DMAOut, b.Translate) + b.Complete
+	return b
+}
+
+// Time converts a cycle count to wall time at the engine clock.
+func (c Config) Time(cycles int64) time.Duration {
+	if c.ClockGHz <= 0 {
+		return 0
+	}
+	return time.Duration(float64(cycles) / c.ClockGHz * float64(time.Nanosecond))
+}
+
+// Rate returns the effective bytes/second for processing n bytes in the
+// given number of cycles.
+func (c Config) Rate(n int, cycles int64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(n) / (float64(cycles) / (c.ClockGHz * 1e9))
+}
+
+// PeakCompressRate returns the line-rate bound of the LZ stage in bytes/s.
+func (c Config) PeakCompressRate() float64 {
+	return float64(c.LZBytesPerCycle) * c.ClockGHz * 1e9
+}
+
+// PeakDecompressRate returns the decode-stage bound in bytes/s.
+func (c Config) PeakDecompressRate() float64 {
+	return float64(c.DecodeBytesPerCycle) * c.ClockGHz * 1e9
+}
+
+// String implements fmt.Stringer for experiment tables.
+func (c Config) String() string {
+	return fmt.Sprintf("%s (%.1f GHz, LZ %dB/cyc)", c.Name, c.ClockGHz, c.LZBytesPerCycle)
+}

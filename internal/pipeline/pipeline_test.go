@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCompressBreakdownAdds(t *testing.T) {
+	c := P9()
+	b := c.Compress(1<<20, 300<<10, 150000, 500, true)
+	want := b.Setup + b.DHTGen + maxStage(b) + b.Complete
+	if b.Total != want {
+		t.Fatalf("Total = %d, want %d", b.Total, want)
+	}
+	if b.DHTGen != c.DHTGenCycles {
+		t.Fatalf("DHTGen = %d", b.DHTGen)
+	}
+	b2 := c.Compress(1<<20, 300<<10, 150000, 500, false)
+	if b2.DHTGen != 0 || b2.Total >= b.Total {
+		t.Fatalf("FHT should be cheaper: %d vs %d", b2.Total, b.Total)
+	}
+}
+
+func maxStage(b Breakdown) int64 {
+	m := b.DMAIn
+	for _, x := range []int64{b.LZ, b.Encode, b.DMAOut, b.Decode, b.Translate} {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestLZIsBottleneckForLargeCompress(t *testing.T) {
+	c := P9()
+	n := 8 << 20
+	lz := int64(n / c.LZBytesPerCycle) // line-rate LZ
+	b := c.Compress(n, n/3, lz, 0, false)
+	if got := maxStage(b); got != b.LZ {
+		t.Fatalf("bottleneck %d is not LZ %d", got, b.LZ)
+	}
+}
+
+func TestDecompressBreakdown(t *testing.T) {
+	c := Z15()
+	b := c.Decompress(1<<20, 3<<20, 100)
+	if b.Decode <= 0 || b.LZ != 0 || b.Encode != 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if b.Total != b.Setup+maxStage(b)+b.Complete {
+		t.Fatal("total mismatch")
+	}
+}
+
+func TestTimeAndRate(t *testing.T) {
+	c := Config{ClockGHz: 2.0}
+	if got := c.Time(2000); got != time.Microsecond {
+		t.Fatalf("Time = %v", got)
+	}
+	// 1000 bytes in 1000 cycles at 2 GHz = 2 GB/s.
+	if got := c.Rate(1000, 1000); got != 2e9 {
+		t.Fatalf("Rate = %v", got)
+	}
+	if c.Rate(1000, 0) != 0 {
+		t.Fatal("zero cycles rate")
+	}
+	var zero Config
+	if zero.Time(100) != 0 {
+		t.Fatal("zero clock time")
+	}
+}
+
+func TestPeakRates(t *testing.T) {
+	p9, z15 := P9(), Z15()
+	if p9.PeakCompressRate() != 8e9 {
+		t.Fatalf("P9 peak = %v", p9.PeakCompressRate())
+	}
+	if z15.PeakCompressRate() != 2*p9.PeakCompressRate() {
+		t.Fatal("z15 must double P9 (abstract claim C5)")
+	}
+	if p9.PeakDecompressRate() <= 0 {
+		t.Fatal("decode rate")
+	}
+}
+
+func TestSmallRequestLatencyBound(t *testing.T) {
+	c := P9()
+	b := c.Compress(512, 300, 64, 0, true)
+	fixed := c.SetupCycles + c.DHTGenCycles + c.CompleteCycles
+	if b.Total-fixed > fixed/2 {
+		t.Fatalf("small request should be dominated by fixed costs: total %d, fixed %d", b.Total, fixed)
+	}
+}
+
+func TestDivCeilGuards(t *testing.T) {
+	if divCeil(10, 0) != 10 {
+		t.Fatal("divCeil by zero must pass through")
+	}
+	if divCeil(10, 3) != 4 {
+		t.Fatal("divCeil rounding")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if s := P9().String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

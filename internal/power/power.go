@@ -1,0 +1,138 @@
+// Package power holds the analytic area/power/energy model and the
+// software-baseline calibration constants. The paper reports these as
+// measured constants of the shipped silicon (claim C1: one accelerator is
+// under 0.5% of POWER9 chip area); this package reproduces the *derived*
+// quantities — GB/s per watt, GB/s per mm², energy per byte, and the
+// core-ensemble comparisons — from those inputs.
+//
+// Every constant is a documented calibration input, not a measurement made
+// by this repository.
+package power
+
+// ChipModel describes one processor chip and its accelerator.
+type ChipModel struct {
+	Name string
+
+	// Chip geometry.
+	ChipAreaMM2  float64
+	Cores        int
+	CoreAreaMM2  float64 // per core incl. private caches
+	AccelAreaMM2 float64 // one compression accelerator
+
+	// Power.
+	CorePowerW  float64 // per core running the software codec
+	AccelPowerW float64 // accelerator active power
+
+	// Throughput calibration.
+	AccelCompRate   float64         // effective accelerator compression B/s
+	AccelDecompRate float64         // effective decompression B/s
+	SWCompRate      map[int]float64 // zlib level -> per-core B/s
+	SWDecompRate    float64         // per-core inflate B/s
+	SMTScaling      float64         // chip-level multithreading yield factor
+}
+
+// P9 returns the POWER9 model: 24-core 695 mm² chip, NX unit under 0.5%
+// of area, ~8 GB/s compression.
+func P9() ChipModel {
+	return ChipModel{
+		Name:            "POWER9",
+		ChipAreaMM2:     695,
+		Cores:           24,
+		CoreAreaMM2:     16.5,
+		AccelAreaMM2:    3.0, // 0.43% of chip
+		CorePowerW:      6.0,
+		AccelPowerW:     2.5,
+		AccelCompRate:   7.5e9,
+		AccelDecompRate: 6.0e9,
+		SWCompRate: map[int]float64{
+			1: 110e6,
+			6: 42e6,
+			9: 20e6,
+		},
+		SWDecompRate: 250e6,
+		SMTScaling:   1.2, // SMT4 throughput yield beyond 1 thread/core
+	}
+}
+
+// Z15 returns the z15 model: 12-core CP chip with the on-chip NXU at
+// double the POWER9 rate; a maximal system carries 20 CP chips.
+func Z15() ChipModel {
+	return ChipModel{
+		Name:            "z15",
+		ChipAreaMM2:     696,
+		Cores:           12,
+		CoreAreaMM2:     25,
+		AccelAreaMM2:    4.0,
+		CorePowerW:      9.0,
+		AccelPowerW:     3.5,
+		AccelCompRate:   14.0e9,
+		AccelDecompRate: 12.0e9,
+		SWCompRate: map[int]float64{
+			1: 140e6,
+			6: 55e6,
+			9: 25e6,
+		},
+		SWDecompRate: 320e6,
+		SMTScaling:   1.25,
+	}
+}
+
+// Z15MaxChips is the maximally configured z15 topology (5 CPC drawers x 4
+// CP chips), behind the 280 GB/s aggregate claim (C6).
+const Z15MaxChips = 20
+
+// AreaFraction returns the accelerator's share of chip area.
+func (m ChipModel) AreaFraction() float64 {
+	return m.AccelAreaMM2 / m.ChipAreaMM2
+}
+
+// SpeedupSingleCore is claim C2's quantity: accelerator rate over one
+// core's software rate at the given zlib level.
+func (m ChipModel) SpeedupSingleCore(level int) float64 {
+	sw := m.SWCompRate[level]
+	if sw == 0 {
+		return 0
+	}
+	return m.AccelCompRate / sw
+}
+
+// ChipSoftwareRate is the whole chip's aggregate software compression
+// throughput at a zlib level: all cores, SMT yield applied.
+func (m ChipModel) ChipSoftwareRate(level int) float64 {
+	return m.SWCompRate[level] * float64(m.Cores) * m.SMTScaling
+}
+
+// SpeedupWholeChip is claim C3's quantity.
+func (m ChipModel) SpeedupWholeChip(level int) float64 {
+	chip := m.ChipSoftwareRate(level)
+	if chip == 0 {
+		return 0
+	}
+	return m.AccelCompRate / chip
+}
+
+// AccelEfficiency returns (GB/s per watt, GB/s per mm²) for the
+// accelerator.
+func (m ChipModel) AccelEfficiency() (perWatt, perMM2 float64) {
+	return m.AccelCompRate / 1e9 / m.AccelPowerW, m.AccelCompRate / 1e9 / m.AccelAreaMM2
+}
+
+// SoftwareEfficiency returns the same metrics for the core ensemble at a
+// zlib level.
+func (m ChipModel) SoftwareEfficiency(level int) (perWatt, perMM2 float64) {
+	rate := m.ChipSoftwareRate(level) / 1e9
+	return rate / (m.CorePowerW * float64(m.Cores)),
+		rate / (m.CoreAreaMM2 * float64(m.Cores))
+}
+
+// EnergyPerByte returns joules per input byte for the accelerator and for
+// a single software core at a zlib level.
+func (m ChipModel) EnergyPerByte(level int) (accel, core float64) {
+	return m.AccelPowerW / m.AccelCompRate, m.CorePowerW / m.SWCompRate[level]
+}
+
+// SystemAggregateRate returns the aggregate compression bandwidth of n
+// chips' accelerators.
+func (m ChipModel) SystemAggregateRate(n int) float64 {
+	return m.AccelCompRate * float64(n)
+}

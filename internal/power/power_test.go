@@ -1,0 +1,73 @@
+package power
+
+import "testing"
+
+func TestAreaClaimC1(t *testing.T) {
+	if f := P9().AreaFraction(); f >= 0.005 {
+		t.Fatalf("P9 accelerator area fraction %.4f, paper claims < 0.5%%", f)
+	}
+}
+
+func TestSpeedupClaimC2(t *testing.T) {
+	// Abstract: 388x over zlib software on a core. The model must land in
+	// that regime at the level the paper measured (best compression).
+	s := P9().SpeedupSingleCore(9)
+	if s < 300 || s < 0 || s > 480 {
+		t.Fatalf("single-core speedup %.0f outside the 388x regime", s)
+	}
+}
+
+func TestSpeedupClaimC3(t *testing.T) {
+	// Abstract: 13x over the entire chip of cores.
+	s := P9().SpeedupWholeChip(9)
+	if s < 9 || s > 17 {
+		t.Fatalf("whole-chip speedup %.1f outside the 13x regime", s)
+	}
+}
+
+func TestClaimC5Doubling(t *testing.T) {
+	p9, z15 := P9(), Z15()
+	ratio := z15.AccelCompRate / p9.AccelCompRate
+	if ratio < 1.7 || ratio > 2.2 {
+		t.Fatalf("z15/P9 rate ratio %.2f, paper claims doubling", ratio)
+	}
+}
+
+func TestClaimC6MaxSystem(t *testing.T) {
+	agg := Z15().SystemAggregateRate(Z15MaxChips)
+	if agg < 260e9 || agg > 300e9 {
+		t.Fatalf("max z15 aggregate %.0f GB/s, paper claims up to 280", agg/1e9)
+	}
+}
+
+func TestEfficiencyDominance(t *testing.T) {
+	m := P9()
+	aw, am := m.AccelEfficiency()
+	sw, sm := m.SoftwareEfficiency(6)
+	if aw < 50*sw {
+		t.Fatalf("accel %.2f GB/s/W vs sw %.4f: expected >50x", aw, sw)
+	}
+	if am < 50*sm {
+		t.Fatalf("accel %.2f GB/s/mm2 vs sw %.4f: expected >50x", am, sm)
+	}
+}
+
+func TestEnergyPerByte(t *testing.T) {
+	accel, core := P9().EnergyPerByte(6)
+	if accel >= core {
+		t.Fatalf("accelerator energy/byte %.3e not below core %.3e", accel, core)
+	}
+	// Ratio should be two to three orders of magnitude.
+	if core/accel < 100 {
+		t.Fatalf("energy advantage only %.0fx", core/accel)
+	}
+}
+
+func TestUnknownLevel(t *testing.T) {
+	if P9().SpeedupSingleCore(3) != 0 {
+		t.Fatal("unknown level should yield 0")
+	}
+	if P9().SpeedupWholeChip(3) != 0 {
+		t.Fatal("unknown level should yield 0")
+	}
+}

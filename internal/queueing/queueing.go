@@ -1,0 +1,355 @@
+// Package queueing is a discrete-event simulator for system-level
+// experiments: many clients sharing one or more accelerators through a
+// FIFO queue. It reproduces the paper's scaling and multi-tenant results —
+// aggregate throughput versus number of accelerators (the 280 GB/s maximal
+// z15 topology), latency distributions under sharing, and the whole-chip
+// software-versus-one-accelerator comparison.
+package queueing
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"nxzip/internal/stats"
+)
+
+// Request is one job moving through the system.
+type Request struct {
+	ID       int64
+	Source   int // client/tenant index
+	Bytes    int
+	Priority int     // higher = served first (0 default)
+	Arrive   float64 // seconds
+	Start    float64
+	Done     float64
+}
+
+// ServiceFunc returns the service time in seconds for a request on a
+// given server. Deterministic functions model the accelerator (line rate +
+// fixed overhead); rate-based functions model software cores.
+type ServiceFunc func(r *Request, server int) float64
+
+// SizeFunc draws a request size in bytes.
+type SizeFunc func(rng *rand.Rand) int
+
+// FixedSize returns a SizeFunc for constant-size requests.
+func FixedSize(n int) SizeFunc { return func(*rand.Rand) int { return n } }
+
+// Config describes the service side of the system.
+type Config struct {
+	Servers  int
+	Service  ServiceFunc
+	QueueCap int     // 0 = unbounded; otherwise arrivals beyond cap are rejected
+	Duration float64 // simulated seconds
+	Seed     int64
+	Sources  int // number of tenants (for per-source stats); >= 1
+	// Priority maps a source to its queue priority (nil = all equal).
+	// Higher priorities are always dispatched first, FIFO within a level
+	// — the NX high/normal receive-FIFO discipline.
+	Priority func(source int) int
+	// SizeFor, when non-nil, overrides the SizeFunc per source (tenants
+	// with different request profiles).
+	SizeFor func(source int, rng *rand.Rand) int
+}
+
+// Result aggregates simulation output.
+type Result struct {
+	Completed   int64
+	Rejected    int64
+	BytesServed int64
+	// Throughput is bytes served per simulated second.
+	Throughput float64
+	// Latency is the end-to-end sojourn time (queue + service), seconds.
+	Latency *stats.Samples
+	// PerSource sojourn-time samples indexed by source.
+	PerSource []*stats.Samples
+	// Utilization is the busy fraction per server.
+	Utilization []float64
+	// MeanQueueLen is the time-averaged queue length.
+	MeanQueueLen float64
+}
+
+// event kinds
+const (
+	evArrival = iota
+	evDeparture
+)
+
+type event struct {
+	at     float64
+	kind   int
+	req    *Request
+	server int
+	seq    int64 // tiebreak for determinism
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// sim is the shared simulation core.
+type sim struct {
+	cfg    Config
+	rng    *rand.Rand
+	events eventHeap
+	seq    int64
+	queue  []*Request
+	busy   []bool
+	busyT  []float64 // accumulated busy time per server
+	res    Result
+	qInt   float64 // integral of queue length over time
+	lastT  float64
+	nextID int64
+	onDone func(r *Request, now float64) // closed-loop hook
+}
+
+func newSim(cfg Config) *sim {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	if cfg.Sources <= 0 {
+		cfg.Sources = 1
+	}
+	s := &sim{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		busy:  make([]bool, cfg.Servers),
+		busyT: make([]float64, cfg.Servers),
+	}
+	s.res.Latency = &stats.Samples{}
+	for i := 0; i < cfg.Sources; i++ {
+		s.res.PerSource = append(s.res.PerSource, &stats.Samples{})
+	}
+	return s
+}
+
+func (s *sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+func (s *sim) advance(now float64) {
+	s.qInt += float64(len(s.queue)) * (now - s.lastT)
+	s.lastT = now
+}
+
+// dispatch assigns queued work to idle servers.
+func (s *sim) dispatch(now float64) {
+	for len(s.queue) > 0 {
+		srv := -1
+		for i, b := range s.busy {
+			if !b {
+				srv = i
+				break
+			}
+		}
+		if srv < 0 {
+			return
+		}
+		// Highest priority first, FIFO within a level (first max wins).
+		best := 0
+		for i := 1; i < len(s.queue); i++ {
+			if s.queue[i].Priority > s.queue[best].Priority {
+				best = i
+			}
+		}
+		req := s.queue[best]
+		s.queue = append(s.queue[:best], s.queue[best+1:]...)
+		req.Start = now
+		svc := s.cfg.Service(req, srv)
+		if svc < 0 {
+			svc = 0
+		}
+		s.busy[srv] = true
+		s.busyT[srv] += svc
+		s.push(&event{at: now + svc, kind: evDeparture, req: req, server: srv})
+	}
+}
+
+func (s *sim) arrive(req *Request, now float64) {
+	if s.cfg.QueueCap > 0 && len(s.queue) >= s.cfg.QueueCap {
+		s.res.Rejected++
+		if s.onDone != nil {
+			// Closed-loop clients retry after a think time even when
+			// rejected, otherwise the population would leak.
+			s.onDone(req, now)
+		}
+		return
+	}
+	s.queue = append(s.queue, req)
+	s.dispatch(now)
+}
+
+func (s *sim) run() Result {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.at > s.cfg.Duration {
+			break
+		}
+		s.advance(e.at)
+		switch e.kind {
+		case evArrival:
+			s.arrive(e.req, e.at)
+		case evDeparture:
+			s.busy[e.server] = false
+			e.req.Done = e.at
+			s.res.Completed++
+			s.res.BytesServed += int64(e.req.Bytes)
+			lat := e.req.Done - e.req.Arrive
+			s.res.Latency.Add(lat)
+			if e.req.Source < len(s.res.PerSource) {
+				s.res.PerSource[e.req.Source].Add(lat)
+			}
+			if s.onDone != nil {
+				s.onDone(e.req, e.at)
+			}
+			s.dispatch(e.at)
+		}
+	}
+	s.advance(s.cfg.Duration)
+	s.res.Throughput = float64(s.res.BytesServed) / s.cfg.Duration
+	for i := range s.busyT {
+		u := s.busyT[i] / s.cfg.Duration
+		if u > 1 {
+			u = 1
+		}
+		s.res.Utilization = append(s.res.Utilization, u)
+	}
+	s.res.MeanQueueLen = s.qInt / s.cfg.Duration
+	return s.res
+}
+
+// SimulateOpen runs an open system: Poisson arrivals at ratePerSec split
+// evenly across cfg.Sources tenants, sizes drawn from size.
+func SimulateOpen(cfg Config, ratePerSec float64, size SizeFunc) Result {
+	s := newSim(cfg)
+	// Pre-generate arrivals per source so tenancy is explicit.
+	perSrc := ratePerSec / float64(max(1, cfg.Sources))
+	for src := 0; src < max(1, cfg.Sources); src++ {
+		t := 0.0
+		for {
+			t += expDraw(s.rng, perSrc)
+			if t > cfg.Duration {
+				break
+			}
+			s.nextID++
+			s.push(&event{at: t, kind: evArrival, req: &Request{
+				ID: s.nextID, Source: src, Bytes: s.sizeOf(src, size), Arrive: t,
+				Priority: s.priorityOf(src),
+			}})
+		}
+	}
+	return s.run()
+}
+
+func (s *sim) priorityOf(src int) int {
+	if s.cfg.Priority == nil {
+		return 0
+	}
+	return s.cfg.Priority(src)
+}
+
+func (s *sim) sizeOf(src int, fallback SizeFunc) int {
+	if s.cfg.SizeFor != nil {
+		return s.cfg.SizeFor(src, s.rng)
+	}
+	return fallback(s.rng)
+}
+
+// SimulateClosed runs a closed system: clients cycles of
+// think → submit → wait. thinkSec of zero models saturating callers.
+func SimulateClosed(cfg Config, clients int, thinkSec float64, size SizeFunc) Result {
+	if clients <= 0 {
+		clients = 1
+	}
+	cfg.Sources = clients
+	s := newSim(cfg)
+	s.onDone = func(r *Request, now float64) {
+		t := now + thinkSec
+		if t > cfg.Duration {
+			return
+		}
+		s.nextID++
+		s.push(&event{at: t, kind: evArrival, req: &Request{
+			ID: s.nextID, Source: r.Source, Bytes: s.sizeOf(r.Source, size), Arrive: t,
+			Priority: s.priorityOf(r.Source),
+		}})
+	}
+	for c := 0; c < clients; c++ {
+		t := expDraw(s.rng, 1/math.Max(thinkSec, 1e-9)) * 0.01 // staggered start
+		s.nextID++
+		s.push(&event{at: t, kind: evArrival, req: &Request{
+			ID: s.nextID, Source: c, Bytes: s.sizeOf(c, size), Arrive: t,
+			Priority: s.priorityOf(c),
+		}})
+	}
+	return s.run()
+}
+
+func expDraw(rng *rand.Rand, rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return rng.ExpFloat64() / rate
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AcceleratorService builds a ServiceFunc from a fixed per-request
+// overhead and a line rate, the accelerator's first-order service model.
+func AcceleratorService(overheadSec float64, bytesPerSec float64) ServiceFunc {
+	return func(r *Request, _ int) float64 {
+		return overheadSec + float64(r.Bytes)/bytesPerSec
+	}
+}
+
+// CoreService models a software codec at the given throughput.
+func CoreService(bytesPerSec float64) ServiceFunc {
+	return func(r *Request, _ int) float64 {
+		return float64(r.Bytes) / bytesPerSec
+	}
+}
+
+// UniformSize draws sizes uniformly in [lo, hi].
+func UniformSize(lo, hi int) SizeFunc {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return func(rng *rand.Rand) int {
+		return lo + rng.Intn(hi-lo+1)
+	}
+}
+
+// BimodalSize models the RPC-plus-bulk mixture common in datacenter
+// compression offload: a fraction smallWeight of requests of smallBytes,
+// the rest of largeBytes.
+func BimodalSize(smallBytes, largeBytes int, smallWeight float64) SizeFunc {
+	return func(rng *rand.Rand) int {
+		if rng.Float64() < smallWeight {
+			return smallBytes
+		}
+		return largeBytes
+	}
+}

@@ -1,0 +1,192 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestOpenMM1SanityAgainstTheory(t *testing.T) {
+	// M/D/1 with deterministic service: mean wait Wq = rho*S/(2(1-rho)).
+	const (
+		svc  = 0.001 // 1 ms deterministic
+		rate = 500.0 // rho = 0.5
+	)
+	cfg := Config{Servers: 1, Duration: 2000, Seed: 42,
+		Service: func(r *Request, _ int) float64 { return svc }}
+	res := SimulateOpen(cfg, rate, FixedSize(1000))
+	rho := rate * svc
+	theory := svc + rho*svc/(2*(1-rho)) // sojourn = service + wait
+	got := res.Latency.Mean()
+	if math.Abs(got-theory)/theory > 0.10 {
+		t.Fatalf("M/D/1 sojourn %.6f, theory %.6f", got, theory)
+	}
+	if u := res.Utilization[0]; math.Abs(u-rho) > 0.05 {
+		t.Fatalf("utilization %.3f, want ~%.3f", u, rho)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	cfg := Config{Servers: 2, Duration: 100, Seed: 1,
+		Service: AcceleratorService(10e-6, 8e9)}
+	res := SimulateOpen(cfg, 2000, FixedSize(64<<10))
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.BytesServed != res.Completed*64<<10 {
+		t.Fatalf("bytes %d != completed %d * size", res.BytesServed, res.Completed)
+	}
+	if int64(res.Latency.N()) != res.Completed {
+		t.Fatalf("latency samples %d != completed %d", res.Latency.N(), res.Completed)
+	}
+}
+
+func TestThroughputScalesWithServers(t *testing.T) {
+	mk := func(servers int) float64 {
+		cfg := Config{Servers: servers, Duration: 50, Seed: 3,
+			Service: AcceleratorService(5e-6, 8e9)}
+		// Saturating closed load: 4 clients per server, no think time.
+		res := SimulateClosed(cfg, 4*servers, 0, FixedSize(1<<20))
+		return res.Throughput
+	}
+	t1, t4 := mk(1), mk(4)
+	if t4 < 3.2*t1 {
+		t.Fatalf("4 servers give %.2fx of 1 server", t4/t1)
+	}
+	// One saturated accelerator should approach its line rate.
+	if t1 < 0.8*8e9 {
+		t.Fatalf("single-server throughput %.2e below 80%% of line rate", t1)
+	}
+}
+
+func TestClosedLoopLatencyRisesWithClients(t *testing.T) {
+	mk := func(clients int) float64 {
+		cfg := Config{Servers: 1, Duration: 20, Seed: 7,
+			Service: AcceleratorService(5e-6, 8e9)}
+		res := SimulateClosed(cfg, clients, 0, FixedSize(256<<10))
+		return res.Latency.Percentile(99)
+	}
+	if l64, l1 := mk(64), mk(1); l64 < 8*l1 {
+		t.Fatalf("P99 with 64 clients (%.2e) should far exceed 1 client (%.2e)", l64, l1)
+	}
+}
+
+func TestQueueCapRejects(t *testing.T) {
+	cfg := Config{Servers: 1, Duration: 10, Seed: 5, QueueCap: 4,
+		Service: func(r *Request, _ int) float64 { return 0.1 }}
+	res := SimulateOpen(cfg, 100, FixedSize(1000)) // heavy overload
+	if res.Rejected == 0 {
+		t.Fatal("no rejections under overload with bounded queue")
+	}
+}
+
+func TestPerSourceFairness(t *testing.T) {
+	// Equal tenants through one FIFO should see similar mean latency.
+	cfg := Config{Servers: 1, Duration: 200, Seed: 11, Sources: 4,
+		Service: AcceleratorService(5e-6, 8e9)}
+	res := SimulateOpen(cfg, 4000, FixedSize(128<<10))
+	means := make([]float64, 4)
+	for i, s := range res.PerSource {
+		if s.N() == 0 {
+			t.Fatalf("source %d starved", i)
+		}
+		means[i] = s.Mean()
+	}
+	for i := 1; i < 4; i++ {
+		if means[i] > 1.5*means[0] || means[0] > 1.5*means[i] {
+			t.Fatalf("unfair FIFO: %v", means)
+		}
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	cfg := Config{Servers: 2, Duration: 30, Seed: 13,
+		Service: AcceleratorService(1e-5, 8e9)}
+	a := SimulateOpen(cfg, 1000, FixedSize(64<<10))
+	b := SimulateOpen(cfg, 1000, FixedSize(64<<10))
+	if a.Completed != b.Completed || a.Throughput != b.Throughput {
+		t.Fatal("same seed, different results")
+	}
+}
+
+func TestMeanQueueLenPositiveUnderLoad(t *testing.T) {
+	cfg := Config{Servers: 1, Duration: 50, Seed: 17,
+		Service: func(r *Request, _ int) float64 { return 0.0009 }}
+	res := SimulateOpen(cfg, 900, FixedSize(1)) // rho=0.81
+	if res.MeanQueueLen <= 0 {
+		t.Fatal("queue never formed at rho=0.81")
+	}
+}
+
+func TestSizeHelpers(t *testing.T) {
+	rng := newTestRNG()
+	u := UniformSize(100, 200)
+	for i := 0; i < 1000; i++ {
+		v := u(rng)
+		if v < 100 || v > 200 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+	}
+	// Reversed bounds are normalized.
+	r := UniformSize(200, 100)
+	if v := r(rng); v < 100 || v > 200 {
+		t.Fatalf("reversed bounds: %d", v)
+	}
+	b := BimodalSize(10, 1000, 0.9)
+	small := 0
+	for i := 0; i < 10000; i++ {
+		if b(rng) == 10 {
+			small++
+		}
+	}
+	if small < 8500 || small > 9500 {
+		t.Fatalf("bimodal small fraction %d/10000", small)
+	}
+}
+
+func TestBimodalLatencyBifurcates(t *testing.T) {
+	cfg := Config{Servers: 1, Duration: 30, Seed: 4,
+		Service: AcceleratorService(5e-6, 8e9)}
+	res := SimulateOpen(cfg, 3000, BimodalSize(4<<10, 1<<20, 0.8))
+	// P50 is a small request (fast), P99 includes queueing behind bulk.
+	if res.Latency.Percentile(99) < 3*res.Latency.Percentile(50) {
+		t.Fatalf("no bifurcation: p50 %v p99 %v",
+			res.Latency.Percentile(50), res.Latency.Percentile(99))
+	}
+}
+
+func TestPriorityDiscipline(t *testing.T) {
+	// Source 0 is high priority with sparse small requests; sources 1..4
+	// saturate with bulk. With priority, source 0's latency approaches
+	// bare service time; without, it queues behind the bulk work.
+	base := Config{Servers: 1, Duration: 20, Seed: 6, Sources: 5,
+		Service: AcceleratorService(5e-6, 8e9)}
+	mk := func(pri bool) float64 {
+		cfg := base
+		if pri {
+			cfg.Priority = func(src int) int {
+				if src == 0 {
+					return 1
+				}
+				return 0
+			}
+		}
+		res := SimulateClosed(cfg, 5, 100e-6, BimodalSize(16<<10, 2<<20, 0.5))
+		return res.PerSource[0].Percentile(99)
+	}
+	withPri, without := mk(true), mk(false)
+	if withPri >= without {
+		t.Fatalf("priority P99 %.2e not below FIFO P99 %.2e", withPri, without)
+	}
+	// FIFO order within a priority level is preserved (determinism).
+	cfg := base
+	cfg.Priority = func(int) int { return 0 }
+	a := SimulateClosed(cfg, 5, 100e-6, FixedSize(64<<10))
+	cfg.Priority = nil
+	b := SimulateClosed(base, 5, 100e-6, FixedSize(64<<10))
+	if a.Completed != b.Completed {
+		t.Fatalf("uniform priority changed behaviour: %d vs %d", a.Completed, b.Completed)
+	}
+}

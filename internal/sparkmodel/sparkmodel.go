@@ -1,0 +1,217 @@
+// Package sparkmodel is an analytic end-to-end model of an Apache Spark
+// TPC-DS run with compression on the shuffle/spill path — the workload
+// behind the abstract's claim C4 ("23% end-to-end speedup ... compared to
+// the software baseline").
+//
+// Spark compresses every shuffle partition on write and decompresses it on
+// read. With a software codec those cycles compete with query execution on
+// the same cores; with the on-chip accelerator they are offloaded almost
+// entirely. The model captures exactly that contention: per query-stage,
+// elapsed time is compute + codec-CPU + I/O, with the codec's ratio also
+// scaling the I/O volume.
+package sparkmodel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Codec describes a shuffle codec's performance envelope.
+type Codec struct {
+	Name string
+	// Ratio is the compression ratio on shuffle data (uncomp/comp).
+	Ratio float64
+	// CompRate / DecompRate are per-core software rates in bytes/sec.
+	// Ignored when Offloaded.
+	CompRate   float64
+	DecompRate float64
+	// Offloaded routes codec work to the accelerator.
+	Offloaded bool
+	// AccelRate is the accelerator's effective rate (bytes/sec) and
+	// AccelOverhead the per-request fixed time, when Offloaded.
+	AccelRate     float64
+	AccelOverhead float64
+	// CPUAssistFraction is the fraction of codec work that still burns
+	// core time when offloaded (request setup, touching pages): a few %.
+	CPUAssistFraction float64
+}
+
+// SoftwareZlib is the paper's baseline: a gzip-class software codec on the
+// shuffle path (the paper compares gzip-class codecs, not lz4-class).
+func SoftwareZlib() Codec {
+	return Codec{
+		Name:       "zlib-sw",
+		Ratio:      3.0,
+		CompRate:   42e6, // zlib level 6 on a P9 core (calibration constant)
+		DecompRate: 250e6,
+	}
+}
+
+// NXGzip is the accelerator-backed codec.
+func NXGzip() Codec {
+	return Codec{
+		Name:              "nx-gzip",
+		Ratio:             2.9, // hardware gives up a little ratio
+		Offloaded:         true,
+		AccelRate:         7.5e9,
+		AccelOverhead:     5e-6,
+		CPUAssistFraction: 0.03,
+	}
+}
+
+// Cluster sizes the modelled system.
+type Cluster struct {
+	Nodes        int
+	CoresPerNode int
+	// DiskBW / NetBW are per-node bandwidths in bytes/sec for shuffle
+	// write (disk) and shuffle read (network).
+	DiskBW float64
+	NetBW  float64
+	// Accelerators per node (when the codec is offloaded).
+	AccelPerNode int
+}
+
+// DefaultCluster mirrors the paper's testbed scale: a small POWER9 cluster.
+func DefaultCluster() Cluster {
+	return Cluster{Nodes: 4, CoresPerNode: 40, DiskBW: 2e9, NetBW: 1.25e9, AccelPerNode: 2}
+}
+
+// Stage is one Spark stage of a query.
+type Stage struct {
+	ComputeSec   float64 // pure query compute on all cores
+	ShuffleWrite int64   // bytes produced (uncompressed)
+	ShuffleRead  int64   // bytes consumed (uncompressed)
+	SpillBytes   int64   // spill traffic (uncompressed)
+}
+
+// Query is a named sequence of stages.
+type Query struct {
+	Name   string
+	Stages []Stage
+}
+
+// GenerateTPCDS synthesizes a deterministic query mix with the skew of a
+// TPC-DS power run at the given scale factor (bytes of raw data): a few
+// giant shuffle-heavy joins, many mid-weight aggregations, and a tail of
+// compute-bound queries.
+func GenerateTPCDS(scaleBytes int64, queries int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Query, 0, queries)
+	for q := 0; q < queries; q++ {
+		var qq Query
+		qq.Name = fmt.Sprintf("q%02d", q+1)
+		class := rng.Intn(10)
+		nstages := 2 + rng.Intn(4)
+		for s := 0; s < nstages; s++ {
+			var st Stage
+			frac := float64(scaleBytes) * (0.5 + rng.Float64()) / float64(queries)
+			switch {
+			case class < 2: // shuffle-heavy join
+				st.ComputeSec = 2 + 3*rng.Float64()
+				st.ShuffleWrite = int64(frac * 0.8)
+				st.ShuffleRead = int64(frac * 0.8)
+				st.SpillBytes = int64(frac * 0.2)
+			case class < 7: // mid-weight aggregation
+				st.ComputeSec = 3 + 4*rng.Float64()
+				st.ShuffleWrite = int64(frac * 0.25)
+				st.ShuffleRead = int64(frac * 0.25)
+			default: // compute-bound
+				st.ComputeSec = 5 + 5*rng.Float64()
+				st.ShuffleWrite = int64(frac * 0.04)
+				st.ShuffleRead = int64(frac * 0.04)
+			}
+			qq.Stages = append(qq.Stages, st)
+		}
+		out = append(out, qq)
+	}
+	return out
+}
+
+// StageResult is the timing decomposition of one stage.
+type StageResult struct {
+	Compute  float64
+	CodecCPU float64
+	AccelSec float64
+	IO       float64
+	Total    float64
+}
+
+// RunStage computes elapsed time for one stage.
+func RunStage(st Stage, c Cluster, codec Codec) StageResult {
+	cores := float64(c.Nodes * c.CoresPerNode)
+	var r StageResult
+	r.Compute = st.ComputeSec
+
+	compBytes := float64(st.ShuffleWrite + st.SpillBytes)
+	decompBytes := float64(st.ShuffleRead + st.SpillBytes)
+
+	if codec.Offloaded {
+		accels := float64(c.Nodes * c.AccelPerNode)
+		requests := (compBytes + decompBytes) / (1 << 20) // ~1 MiB partitions
+		r.AccelSec = (compBytes+decompBytes)/(codec.AccelRate*accels) +
+			requests*codec.AccelOverhead/accels
+		// Residual CPU assist competes with compute.
+		r.CodecCPU = codec.CPUAssistFraction * (compBytes + decompBytes) / (200e6 * cores)
+	} else {
+		r.CodecCPU = compBytes/(codec.CompRate*cores) + decompBytes/(codec.DecompRate*cores)
+	}
+
+	// I/O moves compressed bytes.
+	r.IO = compBytes/codec.Ratio/(c.DiskBW*float64(c.Nodes)) +
+		decompBytes/codec.Ratio/(c.NetBW*float64(c.Nodes))
+
+	// Codec CPU serializes with compute (same cores); accelerator time and
+	// I/O overlap with whichever is longer.
+	cpu := r.Compute + r.CodecCPU
+	overlapped := maxf(r.IO, r.AccelSec)
+	r.Total = maxf(cpu, overlapped) + 0.25*minf(cpu, overlapped)
+	return r
+}
+
+// Result summarizes a full run.
+type Result struct {
+	Codec      string
+	ElapsedSec float64
+	CodecCPU   float64 // total core-seconds burned by the codec
+	IOSec      float64
+	PerQuery   []float64
+}
+
+// Run executes the whole query list under a codec.
+func Run(queries []Query, c Cluster, codec Codec) Result {
+	res := Result{Codec: codec.Name}
+	for _, q := range queries {
+		var qt float64
+		for _, st := range q.Stages {
+			sr := RunStage(st, c, codec)
+			qt += sr.Total
+			res.CodecCPU += sr.CodecCPU
+			res.IOSec += sr.IO
+		}
+		res.PerQuery = append(res.PerQuery, qt)
+		res.ElapsedSec += qt
+	}
+	return res
+}
+
+// Speedup returns (baseline - accelerated) / baseline as a fraction.
+func Speedup(baseline, accelerated Result) float64 {
+	if baseline.ElapsedSec == 0 {
+		return 0
+	}
+	return (baseline.ElapsedSec - accelerated.ElapsedSec) / baseline.ElapsedSec
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

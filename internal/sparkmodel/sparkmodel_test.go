@@ -1,0 +1,87 @@
+package sparkmodel
+
+import (
+	"testing"
+)
+
+func defaultRun(t *testing.T) (Result, Result, float64) {
+	t.Helper()
+	queries := GenerateTPCDS(3<<40, 99, 42) // ~3 TB power run
+	c := DefaultCluster()
+	base := Run(queries, c, SoftwareZlib())
+	acc := Run(queries, c, NXGzip())
+	return base, acc, Speedup(base, acc)
+}
+
+func TestEndToEndSpeedupShape(t *testing.T) {
+	base, acc, sp := defaultRun(t)
+	t.Logf("baseline %.0fs, accelerated %.0fs, speedup %.1f%%", base.ElapsedSec, acc.ElapsedSec, sp*100)
+	// The abstract's claim is 23%; the model must land in that regime.
+	if sp < 0.10 || sp > 0.40 {
+		t.Fatalf("end-to-end speedup %.1f%% outside [10%%, 40%%]", sp*100)
+	}
+	if acc.ElapsedSec >= base.ElapsedSec {
+		t.Fatal("acceleration did not help")
+	}
+}
+
+func TestCodecCPUCollapses(t *testing.T) {
+	base, acc, _ := defaultRun(t)
+	// Offload must remove the overwhelming majority of codec core-seconds.
+	if acc.CodecCPU > 0.15*base.CodecCPU {
+		t.Fatalf("codec CPU %.1fs vs baseline %.1fs: offload ineffective", acc.CodecCPU, base.CodecCPU)
+	}
+}
+
+func TestComputeBoundQueriesBarelyChange(t *testing.T) {
+	// A pure-compute query must see almost no benefit (honest model).
+	q := Query{Name: "cpu", Stages: []Stage{{ComputeSec: 10}}}
+	c := DefaultCluster()
+	base := Run([]Query{q}, c, SoftwareZlib())
+	acc := Run([]Query{q}, c, NXGzip())
+	if s := Speedup(base, acc); s > 0.01 {
+		t.Fatalf("compute-bound query sped up %.2f%%", s*100)
+	}
+}
+
+func TestShuffleHeavyQueriesGainMost(t *testing.T) {
+	c := DefaultCluster()
+	heavy := Query{Stages: []Stage{{ComputeSec: 2, ShuffleWrite: 200 << 30, ShuffleRead: 200 << 30}}}
+	light := Query{Stages: []Stage{{ComputeSec: 2, ShuffleWrite: 1 << 30, ShuffleRead: 1 << 30}}}
+	sh := Speedup(Run([]Query{heavy}, c, SoftwareZlib()), Run([]Query{heavy}, c, NXGzip()))
+	sl := Speedup(Run([]Query{light}, c, SoftwareZlib()), Run([]Query{light}, c, NXGzip()))
+	if sh <= sl {
+		t.Fatalf("shuffle-heavy speedup %.1f%% <= light %.1f%%", sh*100, sl*100)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateTPCDS(1<<40, 20, 7)
+	b := GenerateTPCDS(1<<40, 20, 7)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if len(a[i].Stages) != len(b[i].Stages) || a[i].Stages[0] != b[i].Stages[0] {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestPerQueryAccounting(t *testing.T) {
+	queries := GenerateTPCDS(1<<40, 10, 1)
+	res := Run(queries, DefaultCluster(), SoftwareZlib())
+	if len(res.PerQuery) != 10 {
+		t.Fatalf("per-query entries %d", len(res.PerQuery))
+	}
+	var sum float64
+	for _, v := range res.PerQuery {
+		if v <= 0 {
+			t.Fatal("non-positive query time")
+		}
+		sum += v
+	}
+	if diff := sum - res.ElapsedSec; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("sum %.3f != elapsed %.3f", sum, res.ElapsedSec)
+	}
+}

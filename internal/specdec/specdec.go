@@ -1,0 +1,210 @@
+// Package specdec studies the decompression-side microarchitecture: a
+// speculative, multi-lane Huffman decoder.
+//
+// DEFLATE decoding is inherently serial — each variable-length codeword's
+// position depends on all previous lengths — which caps a naive decoder at
+// one symbol per cycle. The accelerator's decompressor (like other
+// hardware DEFLATE decoders) exploits Huffman *self-synchronization*:
+// a decoder that starts at a wrong bit offset usually re-aligns with the
+// true codeword grid within a few symbols. N lanes decode N consecutive
+// segments of the stream concurrently; lane k starts blind at its
+// segment's first bit, and once lane k-1 reaches lane k's segment, the
+// speculative work from the first self-synchronized boundary onward is
+// valid and everything before it is replayed serially.
+//
+// This package measures, on real compressed streams, the quantities that
+// size such a decoder: the probability of synchronization, the expected
+// synchronization distance, and the resulting effective speedup for a
+// given lane count and segment size. It justifies the DecodeBytesPerCycle
+// constants in the pipeline model and provides ablation A6.
+package specdec
+
+import (
+	"errors"
+	"fmt"
+
+	"nxzip/internal/bitio"
+	"nxzip/internal/deflate"
+)
+
+// symbolTrace records the true decode: every symbol's starting bit offset
+// within the payload.
+type symbolTrace struct {
+	boundaries map[int]bool // bit offset -> is a symbol start
+	endBit     int          // offset after end-of-block symbol
+	symbols    int
+}
+
+// traceBlock decodes the block payload at r (positioned after the
+// header) and records the codeword grid.
+func traceBlock(r *bitio.Reader, h *deflate.BlockHeader) (*symbolTrace, error) {
+	tr := &symbolTrace{boundaries: make(map[int]bool)}
+	for {
+		pos := r.BitsConsumed()
+		tr.boundaries[pos] = true
+		sym, err := h.LitLen.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		tr.symbols++
+		if sym == deflate.EndOfBlock {
+			tr.endBit = r.BitsConsumed()
+			return tr, nil
+		}
+		if sym > deflate.EndOfBlock {
+			if err := skipMatch(r, h, sym); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// skipMatch consumes the extra-length bits, distance code and extra
+// distance bits of a match whose length symbol was just read.
+func skipMatch(r *bitio.Reader, h *deflate.BlockHeader, lenSym int) error {
+	_, nb, ok := deflate.LengthFromSymbol(lenSym)
+	if !ok {
+		return errors.New("specdec: bad length symbol")
+	}
+	if nb > 0 {
+		if _, err := r.ReadBits(uint(nb)); err != nil {
+			return err
+		}
+	}
+	dsym, err := h.Dist.Decode(r)
+	if err != nil {
+		return err
+	}
+	_, dnb, ok := deflate.DistFromSymbol(dsym)
+	if !ok {
+		return errors.New("specdec: bad dist symbol")
+	}
+	if dnb > 0 {
+		if _, err := r.ReadBits(uint(dnb)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LaneResult describes one speculative lane start.
+type LaneResult struct {
+	StartBit int
+	Synced   bool
+	SyncBits int // bits consumed before hitting a true boundary
+	SyncSyms int // speculative symbols decoded before sync
+}
+
+// Analysis aggregates a block's speculative-decode behaviour.
+type Analysis struct {
+	Symbols      int
+	PayloadBits  int
+	Trials       int
+	SyncRate     float64 // fraction of random starts that synchronize
+	MeanSyncBits float64 // mean bits to synchronization (synced trials)
+	MeanSyncSyms float64
+	MaxSyncBits  int
+}
+
+// Analyze compresses nothing itself: give it a raw single-block DEFLATE
+// stream (from deflate.EncodeTokens) and it measures self-synchronization
+// by starting a speculative decode at every trial-th bit offset.
+func Analyze(stream []byte, stride int) (*Analysis, error) {
+	if stride <= 0 {
+		stride = 13 // odd stride samples all bit phases
+	}
+	r := bitio.NewReader(stream)
+	h, err := deflate.ReadBlockHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type == 0 {
+		return nil, errors.New("specdec: stored blocks have no codeword grid")
+	}
+	headerBits := r.BitsConsumed()
+	tr, err := traceBlock(r, h)
+	if err != nil {
+		return nil, fmt.Errorf("specdec: trace: %w", err)
+	}
+	an := &Analysis{Symbols: tr.symbols, PayloadBits: tr.endBit - headerBits}
+
+	var sumBits, sumSyms float64
+	for start := headerBits + 1; start < tr.endBit-16; start += stride {
+		if tr.boundaries[start] {
+			continue // already aligned; speculation trivially correct
+		}
+		an.Trials++
+		lane := speculateFrom(stream, h, tr, start)
+		if lane.Synced {
+			sumBits += float64(lane.SyncBits)
+			sumSyms += float64(lane.SyncSyms)
+			if lane.SyncBits > an.MaxSyncBits {
+				an.MaxSyncBits = lane.SyncBits
+			}
+			an.SyncRate++
+		}
+	}
+	if an.Trials > 0 {
+		synced := an.SyncRate
+		an.SyncRate /= float64(an.Trials)
+		if synced > 0 {
+			an.MeanSyncBits = sumBits / synced
+			an.MeanSyncSyms = sumSyms / synced
+		}
+	}
+	return an, nil
+}
+
+// speculateFrom runs one speculative lane.
+func speculateFrom(stream []byte, h *deflate.BlockHeader, tr *symbolTrace, startBit int) LaneResult {
+	res := LaneResult{StartBit: startBit}
+	r := bitio.NewReader(stream)
+	if err := r.SkipBits(uint(startBit)); err != nil {
+		return res
+	}
+	const maxSpecSyms = 4096
+	for n := 0; n < maxSpecSyms; n++ {
+		pos := r.BitsConsumed()
+		if pos >= tr.endBit {
+			return res // ran off the block without syncing
+		}
+		if tr.boundaries[pos] {
+			res.Synced = true
+			res.SyncBits = pos - startBit
+			res.SyncSyms = n
+			return res
+		}
+		sym, err := h.LitLen.Decode(r)
+		if err != nil {
+			return res // invalid code: lane dies (counts as unsynced)
+		}
+		if sym == deflate.EndOfBlock {
+			return res
+		}
+		if sym > deflate.EndOfBlock {
+			if err := skipMatch(r, h, sym); err != nil {
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// Speedup estimates the effective decode speedup of an N-lane decoder
+// with the given segment size in bits, from the measured sync behaviour:
+// lane 0 is always useful; each other lane contributes its segment minus
+// the expected resynchronization prefix (which lane k-1 must re-decode
+// serially), and an unsynchronized lane contributes nothing.
+func (a *Analysis) Speedup(lanes, segmentBits int) float64 {
+	if lanes <= 1 || a.Trials == 0 {
+		return 1
+	}
+	useful := float64(segmentBits) // lane 0
+	for k := 1; k < lanes; k++ {
+		gain := a.SyncRate * (float64(segmentBits) - a.MeanSyncBits)
+		if gain > 0 {
+			useful += gain
+		}
+	}
+	return useful / float64(segmentBits)
+}

@@ -1,0 +1,133 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: streaming summaries, percentile estimation over recorded
+// samples, and human-readable rate formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming count/mean/min/max/variance (Welford).
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the observation count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean (0 for empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 for empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Samples records individual observations for percentile queries.
+type Samples struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Samples) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of recorded observations.
+func (s *Samples) N() int { return len(s.xs) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. Returns 0 for an empty set.
+func (s *Samples) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Mean returns the mean of recorded observations.
+func (s *Samples) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Rate formats a bytes-per-second figure with a binary-friendly unit.
+func Rate(bytesPerSec float64) string {
+	switch {
+	case bytesPerSec >= 1e9:
+		return fmt.Sprintf("%.2f GB/s", bytesPerSec/1e9)
+	case bytesPerSec >= 1e6:
+		return fmt.Sprintf("%.2f MB/s", bytesPerSec/1e6)
+	case bytesPerSec >= 1e3:
+		return fmt.Sprintf("%.2f KB/s", bytesPerSec/1e3)
+	}
+	return fmt.Sprintf("%.0f B/s", bytesPerSec)
+}
+
+// Bytes formats a byte count.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSummaryBasic(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.StdDev()-2.138) > 0.01 {
+		t.Fatalf("StdDev = %v", s.StdDev())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Samples
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 0.1 {
+			t.Fatalf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileUnsortedInsertions(t *testing.T) {
+	var s Samples
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(1000)
+	for _, v := range perm {
+		s.Add(float64(v))
+	}
+	if got := s.Percentile(50); math.Abs(got-499.5) > 1 {
+		t.Fatalf("P50 = %v", got)
+	}
+	// Add after sort must re-sort.
+	s.Add(-1000)
+	if got := s.Percentile(0); got != -1000 {
+		t.Fatalf("P0 after late add = %v", got)
+	}
+}
+
+func TestSamplesMeanEmpty(t *testing.T) {
+	var s Samples
+	if s.Mean() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty samples not zero")
+	}
+}
+
+func TestRateFormat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{15.5e9, "GB/s"}, {40e6, "MB/s"}, {1500, "KB/s"}, {10, "B/s"},
+	}
+	for _, c := range cases {
+		if got := Rate(c.v); !strings.HasSuffix(got, c.want) {
+			t.Fatalf("Rate(%v) = %q", c.v, got)
+		}
+	}
+}
+
+func TestBytesFormat(t *testing.T) {
+	if got := Bytes(3 << 30); got != "3.00 GiB" {
+		t.Fatalf("got %q", got)
+	}
+	if got := Bytes(512); got != "512 B" {
+		t.Fatalf("got %q", got)
+	}
+}

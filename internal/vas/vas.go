@@ -1,0 +1,235 @@
+// Package vas models the Virtual Accelerator Switchboard, the POWER9
+// mechanism that gives unprivileged user code a direct, protected path to
+// the on-chip accelerator. Each process opens a *send window* bound to the
+// accelerator's *receive window*; the copy/paste instruction pair moves a
+// cache-line-sized request block (CRB) into the receive FIFO without a
+// system call. Credits bound how many outstanding requests each window
+// (and the FIFO as a whole) may hold; a paste with no credit fails
+// immediately and user code retries — the hardware backpressure the
+// paper's multi-tenant results rest on.
+package vas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nxzip/internal/nmmu"
+)
+
+// Errors returned by Paste, mirroring the condition codes of the paste
+// instruction (CR0 busy) and window setup failures.
+var (
+	ErrNoCredit     = errors.New("vas: paste rejected: no send-window credit")
+	ErrFIFOFull     = errors.New("vas: paste rejected: receive FIFO full")
+	ErrWindowClosed = errors.New("vas: window closed")
+)
+
+// Priority selects which receive FIFO a send window feeds. The NX unit
+// has a high-priority and a normal-priority FIFO per engine; the engine
+// always serves the high-priority FIFO first, giving latency-sensitive
+// users (interactive decompression) a lane past bulk traffic.
+type Priority int
+
+const (
+	// PriorityNormal is the default bulk lane.
+	PriorityNormal Priority = iota
+	// PriorityHigh is served before any normal-priority work.
+	PriorityHigh
+)
+
+// CRB is the coprocessor request block as seen by the switchboard: an
+// opaque payload routed to the engine, tagged with the submitting process
+// for translation and accounting. The nx package defines the payload.
+type CRB struct {
+	PID      nmmu.PID
+	Window   int // send-window id, filled by Paste
+	Priority Priority
+	Payload  interface{}
+	SeqNo    int64 // FIFO arrival order, filled on enqueue
+}
+
+// Config sizes the switchboard.
+type Config struct {
+	FIFODepth      int // receive FIFO entries (hardware: order of 128)
+	CreditsPerSend int // per-window outstanding-request bound
+}
+
+// DefaultConfig mirrors the P9 defaults closely enough for queueing
+// behaviour: a deep shared FIFO and a handful of credits per window.
+func DefaultConfig() Config {
+	return Config{FIFODepth: 128, CreditsPerSend: 16}
+}
+
+// Stats counts switchboard activity.
+type Stats struct {
+	Pastes        int64
+	CreditRejects int64
+	FIFORejects   int64
+	Dequeues      int64
+	MaxOccupancy  int
+}
+
+// Switchboard is one accelerator's receive side plus all bound send
+// windows. Safe for concurrent use.
+type Switchboard struct {
+	cfg Config
+
+	mu       sync.Mutex
+	fifo     []*CRB // normal priority
+	fifoHigh []*CRB // high priority, always served first
+	windows  map[int]*sendWindow
+	nextWin  int
+	nextSeq  int64
+	stats    Stats
+	notify   chan struct{} // signalled on enqueue, capacity 1
+}
+
+type sendWindow struct {
+	id       int
+	pid      nmmu.PID
+	credits  int
+	open     bool
+	priority Priority
+}
+
+// New builds a switchboard.
+func New(cfg Config) *Switchboard {
+	if cfg.FIFODepth <= 0 {
+		cfg.FIFODepth = DefaultConfig().FIFODepth
+	}
+	if cfg.CreditsPerSend <= 0 {
+		cfg.CreditsPerSend = DefaultConfig().CreditsPerSend
+	}
+	return &Switchboard{
+		cfg:     cfg,
+		windows: make(map[int]*sendWindow),
+		notify:  make(chan struct{}, 1),
+	}
+}
+
+// OpenSendWindow allocates a normal-priority send window for pid.
+func (s *Switchboard) OpenSendWindow(pid nmmu.PID) int {
+	return s.OpenSendWindowPri(pid, PriorityNormal)
+}
+
+// OpenSendWindowPri allocates a send window bound to the given receive
+// FIFO priority.
+func (s *Switchboard) OpenSendWindowPri(pid nmmu.PID, pri Priority) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextWin
+	s.nextWin++
+	s.windows[id] = &sendWindow{id: id, pid: pid, credits: s.cfg.CreditsPerSend, open: true, priority: pri}
+	return id
+}
+
+// CloseSendWindow closes a window; in-flight requests drain normally.
+func (s *Switchboard) CloseSendWindow(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w, ok := s.windows[id]; ok {
+		w.open = false
+	}
+}
+
+// Paste submits a CRB through a send window. It either enqueues the
+// request or fails immediately with ErrNoCredit / ErrFIFOFull — paste
+// never blocks, exactly like the instruction.
+func (s *Switchboard) Paste(window int, crb *CRB) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.windows[window]
+	if !ok || !w.open {
+		return ErrWindowClosed
+	}
+	s.stats.Pastes++
+	if w.credits <= 0 {
+		s.stats.CreditRejects++
+		return ErrNoCredit
+	}
+	target := &s.fifo
+	if w.priority == PriorityHigh {
+		target = &s.fifoHigh
+	}
+	if len(*target) >= s.cfg.FIFODepth {
+		s.stats.FIFORejects++
+		return ErrFIFOFull
+	}
+	w.credits--
+	crb.Window = window
+	crb.PID = w.pid
+	crb.Priority = w.priority
+	crb.SeqNo = s.nextSeq
+	s.nextSeq++
+	*target = append(*target, crb)
+	if occ := len(s.fifo) + len(s.fifoHigh); occ > s.stats.MaxOccupancy {
+		s.stats.MaxOccupancy = occ
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Dequeue pops the next CRB in FIFO order, or nil if the FIFO is empty.
+// The engine calls this; the send-window credit is returned when the
+// engine completes the request via Complete.
+func (s *Switchboard) Dequeue() *CRB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.fifoHigh) > 0 {
+		crb := s.fifoHigh[0]
+		s.fifoHigh = s.fifoHigh[1:]
+		s.stats.Dequeues++
+		return crb
+	}
+	if len(s.fifo) == 0 {
+		return nil
+	}
+	crb := s.fifo[0]
+	s.fifo = s.fifo[1:]
+	s.stats.Dequeues++
+	return crb
+}
+
+// Complete returns the credit for a finished request.
+func (s *Switchboard) Complete(crb *CRB) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w, ok := s.windows[crb.Window]; ok {
+		if w.credits < s.cfg.CreditsPerSend {
+			w.credits++
+		}
+	}
+}
+
+// Notify returns a channel that receives a token when work may be
+// available; engines can block on it instead of polling.
+func (s *Switchboard) Notify() <-chan struct{} { return s.notify }
+
+// Occupancy reports the current FIFO depth.
+func (s *Switchboard) Occupancy() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.fifo) + len(s.fifoHigh)
+}
+
+// Credits reports the remaining credits of a window.
+func (s *Switchboard) Credits(window int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.windows[window]
+	if !ok {
+		return 0, fmt.Errorf("vas: unknown window %d", window)
+	}
+	return w.credits, nil
+}
+
+// Stats returns a snapshot of counters.
+func (s *Switchboard) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,207 @@
+package vas
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPasteDequeueOrder(t *testing.T) {
+	s := New(Config{FIFODepth: 8, CreditsPerSend: 8})
+	w := s.OpenSendWindow(1)
+	for i := 0; i < 5; i++ {
+		if err := s.Paste(w, &CRB{Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		crb := s.Dequeue()
+		if crb == nil {
+			t.Fatalf("empty at %d", i)
+		}
+		if crb.Payload.(int) != i {
+			t.Fatalf("out of order: got %v at %d", crb.Payload, i)
+		}
+		if crb.SeqNo != int64(i) {
+			t.Fatalf("seqno %d at %d", crb.SeqNo, i)
+		}
+		if crb.PID != 1 {
+			t.Fatalf("pid %d", crb.PID)
+		}
+	}
+	if s.Dequeue() != nil {
+		t.Fatal("dequeue from empty returned CRB")
+	}
+}
+
+func TestCreditExhaustion(t *testing.T) {
+	s := New(Config{FIFODepth: 100, CreditsPerSend: 2})
+	w := s.OpenSendWindow(1)
+	if err := s.Paste(w, &CRB{}); err != nil {
+		t.Fatal(err)
+	}
+	crb2 := &CRB{}
+	if err := s.Paste(w, crb2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Paste(w, &CRB{}); !errors.Is(err, ErrNoCredit) {
+		t.Fatalf("got %v, want ErrNoCredit", err)
+	}
+	// Completing one returns a credit.
+	got := s.Dequeue()
+	s.Complete(got)
+	if err := s.Paste(w, &CRB{}); err != nil {
+		t.Fatalf("after credit return: %v", err)
+	}
+	if c, _ := s.Credits(w); c != 0 {
+		t.Fatalf("credits = %d", c)
+	}
+}
+
+func TestFIFOFull(t *testing.T) {
+	s := New(Config{FIFODepth: 2, CreditsPerSend: 10})
+	w := s.OpenSendWindow(1)
+	s.Paste(w, &CRB{})
+	s.Paste(w, &CRB{})
+	if err := s.Paste(w, &CRB{}); !errors.Is(err, ErrFIFOFull) {
+		t.Fatalf("got %v, want ErrFIFOFull", err)
+	}
+	st := s.Stats()
+	if st.FIFORejects != 1 || st.Pastes != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClosedWindow(t *testing.T) {
+	s := New(Config{})
+	w := s.OpenSendWindow(1)
+	s.CloseSendWindow(w)
+	if err := s.Paste(w, &CRB{}); !errors.Is(err, ErrWindowClosed) {
+		t.Fatalf("got %v", err)
+	}
+	if err := s.Paste(999, &CRB{}); !errors.Is(err, ErrWindowClosed) {
+		t.Fatalf("unknown window: %v", err)
+	}
+}
+
+func TestMultiWindowInterleaving(t *testing.T) {
+	s := New(Config{FIFODepth: 64, CreditsPerSend: 16})
+	w1 := s.OpenSendWindow(1)
+	w2 := s.OpenSendWindow(2)
+	for i := 0; i < 8; i++ {
+		s.Paste(w1, &CRB{Payload: "a"})
+		s.Paste(w2, &CRB{Payload: "b"})
+	}
+	// FIFO order preserves the a/b interleave.
+	for i := 0; i < 16; i++ {
+		crb := s.Dequeue()
+		want := "a"
+		if i%2 == 1 {
+			want = "b"
+		}
+		if crb.Payload.(string) != want {
+			t.Fatalf("slot %d: %v", i, crb.Payload)
+		}
+	}
+}
+
+func TestNotifyChannel(t *testing.T) {
+	s := New(Config{})
+	w := s.OpenSendWindow(1)
+	select {
+	case <-s.Notify():
+		t.Fatal("spurious notify")
+	default:
+	}
+	s.Paste(w, &CRB{})
+	select {
+	case <-s.Notify():
+	default:
+		t.Fatal("no notify after paste")
+	}
+}
+
+func TestConcurrentPaste(t *testing.T) {
+	s := New(Config{FIFODepth: 10000, CreditsPerSend: 10000})
+	const procs, per = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		w := s.OpenSendWindow(1)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := s.Paste(w, &CRB{}); err != nil {
+					t.Errorf("paste: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Occupancy() != procs*per {
+		t.Fatalf("occupancy %d", s.Occupancy())
+	}
+	st := s.Stats()
+	if st.MaxOccupancy != procs*per {
+		t.Fatalf("max occupancy %d", st.MaxOccupancy)
+	}
+}
+
+func TestCompleteNeverExceedsCap(t *testing.T) {
+	s := New(Config{CreditsPerSend: 4})
+	w := s.OpenSendWindow(1)
+	crb := &CRB{}
+	s.Paste(w, crb)
+	got := s.Dequeue()
+	s.Complete(got)
+	s.Complete(got) // double-complete must not mint credits
+	if c, _ := s.Credits(w); c != 4 {
+		t.Fatalf("credits = %d, want cap 4", c)
+	}
+}
+
+func TestPriorityFIFOServedFirst(t *testing.T) {
+	s := New(Config{FIFODepth: 16, CreditsPerSend: 16})
+	bulk := s.OpenSendWindow(1)
+	urgent := s.OpenSendWindowPri(2, PriorityHigh)
+	for i := 0; i < 3; i++ {
+		if err := s.Paste(bulk, &CRB{Payload: "bulk"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Paste(urgent, &CRB{Payload: "urgent"}); err != nil {
+		t.Fatal(err)
+	}
+	// Despite arriving last, the high-priority CRB pops first.
+	got := s.Dequeue()
+	if got.Payload.(string) != "urgent" {
+		t.Fatalf("first dequeue = %v", got.Payload)
+	}
+	if got.Priority != PriorityHigh {
+		t.Fatal("priority not stamped on CRB")
+	}
+	for i := 0; i < 3; i++ {
+		if s.Dequeue().Payload.(string) != "bulk" {
+			t.Fatal("bulk order broken")
+		}
+	}
+	if s.Occupancy() != 0 {
+		t.Fatalf("occupancy %d", s.Occupancy())
+	}
+}
+
+func TestPriorityFIFOsIndependentDepth(t *testing.T) {
+	s := New(Config{FIFODepth: 2, CreditsPerSend: 10})
+	bulk := s.OpenSendWindow(1)
+	urgent := s.OpenSendWindowPri(2, PriorityHigh)
+	s.Paste(bulk, &CRB{})
+	s.Paste(bulk, &CRB{})
+	if err := s.Paste(bulk, &CRB{}); !errors.Is(err, ErrFIFOFull) {
+		t.Fatalf("bulk overflow: %v", err)
+	}
+	// The high-priority FIFO has its own depth.
+	if err := s.Paste(urgent, &CRB{}); err != nil {
+		t.Fatalf("urgent rejected despite separate FIFO: %v", err)
+	}
+}

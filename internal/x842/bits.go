@@ -1,0 +1,74 @@
+// Package x842 implements the IBM 842 compression format, the second
+// engine in the POWER NX accelerator (used by AIX/Linux for active memory
+// expansion and zswap). 842 trades ratio for extreme simplicity: input is
+// processed in 8-byte phrases, each encoded by a 5-bit template that mixes
+// literal data with short back-references into small ring buffers
+// ("fifos") of recently seen 2-, 4- and 8-byte chunks.
+//
+// The format follows the Linux kernel's software 842 implementation
+// (lib/842): 26 data templates plus OP_REPEAT, OP_ZEROS, OP_SHORT_DATA and
+// OP_END, an MSB-first bit stream, and ring-buffer index semantics with
+// fifo sizes of 512/2048/2048 bytes for 2/4/8-byte chunks.
+package x842
+
+import "errors"
+
+// ErrTruncated is returned when the stream ends mid-operation.
+var ErrTruncated = errors.New("x842: truncated stream")
+
+// msbWriter packs bits MSB-first (842's bit order, unlike DEFLATE).
+type msbWriter struct {
+	buf  []byte
+	acc  uint64
+	nacc uint
+}
+
+func (w *msbWriter) writeBits(v uint64, n uint) {
+	if n > 57 {
+		panic("x842: writeBits count out of range")
+	}
+	v &= (1 << n) - 1
+	w.acc |= v << (64 - w.nacc - n)
+	w.nacc += n
+	for w.nacc >= 8 {
+		w.buf = append(w.buf, byte(w.acc>>56))
+		w.acc <<= 8
+		w.nacc -= 8
+	}
+}
+
+// bytes flushes with zero padding to the next byte and returns the buffer.
+func (w *msbWriter) bytes() []byte {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc>>56))
+		w.acc = 0
+		w.nacc = 0
+	}
+	return w.buf
+}
+
+// msbReader consumes bits MSB-first.
+type msbReader struct {
+	data []byte
+	pos  int
+	acc  uint64
+	nacc uint
+}
+
+func (r *msbReader) readBits(n uint) (uint64, error) {
+	if n > 57 {
+		panic("x842: readBits count out of range")
+	}
+	for r.nacc < n {
+		if r.pos >= len(r.data) {
+			return 0, ErrTruncated
+		}
+		r.acc |= uint64(r.data[r.pos]) << (56 - r.nacc)
+		r.pos++
+		r.nacc += 8
+	}
+	v := r.acc >> (64 - n)
+	r.acc <<= n
+	r.nacc -= n
+	return v, nil
+}

@@ -1,0 +1,274 @@
+package x842
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, name string, src []byte) []byte {
+	t.Helper()
+	comp := Compress(src)
+	got, err := Decompress(comp, 0)
+	if err != nil {
+		t.Fatalf("%s: decompress: %v", name, err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("%s: round-trip mismatch (%d vs %d bytes)", name, len(got), len(src))
+	}
+	return comp
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	random := make([]byte, 40000)
+	rng.Read(random)
+	patterned := make([]byte, 40000)
+	for i := range patterned {
+		patterned[i] = byte(i / 64)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"one":       {0xAB},
+		"seven":     []byte("1234567"),
+		"eight":     []byte("12345678"),
+		"nine":      []byte("123456789"),
+		"zeros":     make([]byte, 8192),
+		"repeat":    bytes.Repeat([]byte("ABCDEFGH"), 3000),
+		"random":    random,
+		"patterned": patterned,
+		"text":      bytes.Repeat([]byte("the 842 format works on 8-byte phrases. "), 500),
+	}
+	for name, src := range cases {
+		roundTrip(t, name, src)
+	}
+}
+
+func TestCompressesZeros(t *testing.T) {
+	src := make([]byte, 65536)
+	comp := roundTrip(t, "zeros", src)
+	if len(comp) > len(src)/50 {
+		t.Fatalf("zeros compressed to %d bytes, want < 2%%", len(comp))
+	}
+}
+
+func TestCompressesRepeats(t *testing.T) {
+	src := bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 8192)
+	comp := roundTrip(t, "repeats", src)
+	if len(comp) > len(src)/40 {
+		t.Fatalf("repeats compressed to %d bytes of %d", len(comp), len(src))
+	}
+}
+
+func TestRandomDataExpansionBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, 32768)
+	rng.Read(src)
+	comp := roundTrip(t, "random", src)
+	// Worst case per phrase: 5 op bits + 64 data bits = 69/64 expansion.
+	if len(comp) > len(src)*69/64+16 {
+		t.Fatalf("expansion %d -> %d exceeds template bound", len(src), len(comp))
+	}
+}
+
+func TestFifoReferencesAcrossWindow(t *testing.T) {
+	// Chunks recur at spacings straddling each fifo window size.
+	var src []byte
+	marker := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04}
+	filler := make([]byte, 8)
+	rng := rand.New(rand.NewSource(5))
+	for _, gap := range []int{16, 256, 504, 512, 2040, 2048, 4096} {
+		src = append(src, marker...)
+		for i := 0; i < gap; i += 8 {
+			rng.Read(filler)
+			src = append(src, filler...)
+		}
+		src = append(src, marker...)
+	}
+	roundTrip(t, "fifo windows", src)
+}
+
+func TestRepeatRunLongerThanMax(t *testing.T) {
+	// More than 64 repeats forces multiple repeat ops.
+	src := bytes.Repeat([]byte("REPEATME"), 1000)
+	roundTrip(t, "long repeat", src)
+}
+
+func TestShortDataAllLengths(t *testing.T) {
+	for tail := 0; tail < 8; tail++ {
+		src := append(bytes.Repeat([]byte{9}, 32), make([]byte, tail)...)
+		for i := range src[32:] {
+			src[32+i] = byte(i + 1)
+		}
+		roundTrip(t, "tail", src)
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	panicked := 0
+	for i := 0; i < 300; i++ {
+		garbage := make([]byte, rng.Intn(100)+1)
+		rng.Read(garbage)
+		func() {
+			defer func() {
+				if recover() != nil {
+					panicked++
+				}
+			}()
+			_, _ = Decompress(garbage, 1<<20)
+		}()
+	}
+	if panicked > 0 {
+		t.Fatalf("%d/300 garbage inputs caused panics", panicked)
+	}
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	src := bytes.Repeat([]byte("TRUNCATE"), 100)
+	comp := Compress(src)
+	for cut := 1; cut < len(comp); cut += 7 {
+		if _, err := Decompress(comp[:cut], 0); err == nil {
+			// A truncated stream may decode cleanly only if the cut
+			// happens to land after an END op, which never occurs here
+			// because END is the final operation.
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecompressOutputLimit(t *testing.T) {
+	src := make([]byte, 100000)
+	comp := Compress(src)
+	if _, err := Decompress(comp, 100); err == nil {
+		t.Fatal("output limit not enforced")
+	}
+}
+
+func TestRepeatWithNoPrevious(t *testing.T) {
+	w := &msbWriter{}
+	w.writeBits(opRepeat, opBits)
+	w.writeBits(3, repeatBits)
+	w.writeBits(opEnd, opBits)
+	if _, err := Decompress(w.bytes(), 0); err == nil {
+		t.Fatal("repeat with no previous phrase accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		comp := Compress(src)
+		got, err := Decompress(comp, 0)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripStructuredProperty(t *testing.T) {
+	// Inputs with heavy chunk reuse to exercise all index paths.
+	rng := rand.New(rand.NewSource(8))
+	dict := make([][]byte, 16)
+	for i := range dict {
+		dict[i] = make([]byte, 2)
+		rng.Read(dict[i])
+	}
+	for trial := 0; trial < 100; trial++ {
+		var src []byte
+		n := rng.Intn(6000)
+		for len(src) < n {
+			src = append(src, dict[rng.Intn(len(dict))]...)
+		}
+		roundTrip(t, "structured", src)
+	}
+}
+
+func TestResolveIndexSymmetry(t *testing.T) {
+	// fifoIndex (encoder) and resolveIndex (decoder) must be inverse for
+	// every valid candidate/total pair.
+	for _, chunk := range []int{2, 4, 8} {
+		fsize := map[int]int{2: fifo2Size, 4: fifo4Size, 8: fifo8Size}[chunk]
+		for total := chunk; total < 3*fsize; total += chunk * 3 {
+			for cand := 0; cand+chunk <= total; cand += chunk {
+				idx := fifoIndex(cand, total, chunk, fsize)
+				if idx < 0 {
+					continue
+				}
+				got, err := resolveIndex(idx, total, chunk, fsize)
+				if err != nil {
+					t.Fatalf("chunk %d total %d cand %d: %v", chunk, total, cand, err)
+				}
+				if got != cand {
+					t.Fatalf("chunk %d total %d cand %d: resolved to %d", chunk, total, cand, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMSBBitIO(t *testing.T) {
+	w := &msbWriter{}
+	w.writeBits(0b10110, 5)
+	w.writeBits(0b001, 3)
+	got := w.bytes()
+	if len(got) != 1 || got[0] != 0b10110001 {
+		t.Fatalf("got %08b", got[0])
+	}
+	r := &msbReader{data: got}
+	v, err := r.readBits(5)
+	if err != nil || v != 0b10110 {
+		t.Fatalf("read %05b err %v", v, err)
+	}
+	v, err = r.readBits(3)
+	if err != nil || v != 0b001 {
+		t.Fatalf("read %03b err %v", v, err)
+	}
+	if _, err := r.readBits(1); err != ErrTruncated {
+		t.Fatalf("expected ErrTruncated, got %v", err)
+	}
+}
+
+func TestTemplateTableConsistency(t *testing.T) {
+	// Every template's actions must cover exactly 8 bytes.
+	for op, tmpl := range templates {
+		total := 0
+		for _, a := range tmpl {
+			total += actionBytes[a]
+		}
+		if total != 8 {
+			t.Fatalf("template %#x covers %d bytes", op, total)
+		}
+	}
+}
+
+func TestD8Roundtrip(t *testing.T) {
+	// A phrase with no possible matches uses the D8 template; verify the
+	// 57/7 split is lossless for values with high bits set.
+	var src [16]byte
+	binary.BigEndian.PutUint64(src[0:], 0xFFFFFFFFFFFFFFFF)
+	binary.BigEndian.PutUint64(src[8:], 0x8000000000000001)
+	roundTrip(t, "d8", src[:])
+}
+
+func BenchmarkCompress842(b *testing.B) {
+	src := bytes.Repeat([]byte("the 842 format works on 8-byte phrases. "), 1600)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		Compress(src)
+	}
+}
+
+func BenchmarkDecompress842(b *testing.B) {
+	src := bytes.Repeat([]byte("the 842 format works on 8-byte phrases. "), 1600)
+	comp := Compress(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

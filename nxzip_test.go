@@ -1,0 +1,340 @@
+package nxzip
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"testing"
+
+	"nxzip/internal/corpus"
+)
+
+func TestOneShotGzipRoundTrip(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	src := corpus.Generate(corpus.Text, 256<<10, 1)
+	gz, m, err := acc.CompressGzip(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ratio < 2 {
+		t.Fatalf("ratio %.2f on text", m.Ratio)
+	}
+	if m.DeviceTime <= 0 || m.DeviceCycles <= 0 {
+		t.Fatal("no device accounting")
+	}
+	got, m2, err := acc.DecompressGzip(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("round-trip mismatch")
+	}
+	if m2.OutBytes != len(src) {
+		t.Fatalf("out bytes %d", m2.OutBytes)
+	}
+	if m.CRC32 != m2.CRC32 {
+		t.Fatal("CRC mismatch between directions")
+	}
+}
+
+func TestInteropWithStdlibGzip(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	src := corpus.Generate(corpus.JSONLogs, 128<<10, 2)
+	gz, _, err := acc.CompressGzip(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("stdlib cannot read accelerator output")
+	}
+	// Reverse: accelerator reads stdlib output.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(src)
+	zw.Close()
+	got2, _, err := acc.DecompressGzip(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, src) {
+		t.Fatal("accelerator cannot read stdlib output")
+	}
+}
+
+func TestZlibAndRawWrappings(t *testing.T) {
+	acc := Open(Z15())
+	defer acc.Close()
+	src := corpus.Generate(corpus.HTML, 100<<10, 3)
+	z, _, err := acc.CompressZlib(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := acc.DecompressZlib(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("zlib mismatch")
+	}
+	raw, _, err := acc.CompressRaw(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := acc.DecompressRaw(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, src) {
+		t.Fatal("raw mismatch")
+	}
+}
+
+func TestTableModes(t *testing.T) {
+	src := corpus.Generate(corpus.DNA, 128<<10, 4)
+	cfgF := P9()
+	cfgF.TableMode = TableFixed
+	accF := Open(cfgF)
+	defer accF.Close()
+	accD := Open(P9())
+	defer accD.Close()
+	outF, _, err := accF.CompressRaw(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outD, _, err := accD.CompressRaw(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outD) >= len(outF) {
+		t.Fatalf("dynamic (%d) not better than fixed (%d) on DNA", len(outD), len(outF))
+	}
+}
+
+func Test842API(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	src := corpus.Generate(corpus.Zeros, 64<<10, 5)
+	comp, m, err := acc.Compress842(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ratio < 10 {
+		t.Fatalf("842 ratio %.1f on zeros", m.Ratio)
+	}
+	got, _, err := acc.Decompress842(comp, len(src)+64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("842 mismatch")
+	}
+}
+
+func TestSoftwareBaseline(t *testing.T) {
+	src := corpus.Generate(corpus.Text, 64<<10, 6)
+	for _, level := range []int{1, 6, 9} {
+		gz, err := SoftwareGzip(src, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SoftwareGunzip(gz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("level %d mismatch", level)
+		}
+	}
+}
+
+func TestStreamingWriterReader(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	src := corpus.Generate(corpus.Source, 5<<20, 7) // multiple chunks
+	var comp bytes.Buffer
+	w := acc.NewWriterChunk(&comp, 1<<20)
+	// Write in awkward sizes.
+	for off := 0; off < len(src); {
+		n := 300000
+		if off+n > len(src) {
+			n = len(src) - off
+		}
+		if _, err := w.Write(src[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats.InBytes != len(src) {
+		t.Fatalf("writer stats in %d", w.Stats.InBytes)
+	}
+	if w.Stats.Ratio <= 1 {
+		t.Fatalf("ratio %.2f", w.Stats.Ratio)
+	}
+	// Our Reader.
+	r := acc.NewReader(bytes.NewReader(comp.Bytes()))
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("reader mismatch")
+	}
+	// stdlib multistream gzip reader.
+	zr, err := gzip.NewReader(bytes.NewReader(comp.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgot, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sgot, src) {
+		t.Fatal("stdlib multistream mismatch")
+	}
+	// Software multi-member helper.
+	mgot, err := GunzipMulti(comp.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mgot, src) {
+		t.Fatal("GunzipMulti mismatch")
+	}
+}
+
+func TestWriterEmptyInput(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	var comp bytes.Buffer
+	w := acc.NewWriter(&comp)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := GunzipMulti(comp.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("%d bytes from empty stream", len(got))
+	}
+}
+
+func TestWriterUseAfterClose(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	var comp bytes.Buffer
+	w := acc.NewWriter(&comp)
+	w.Write([]byte("x"))
+	w.Close()
+	if _, err := w.Write([]byte("y")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestMetricsThroughput(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	src := corpus.Generate(corpus.Text, 4<<20, 8)
+	_, m, err := acc.CompressGzip(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := m.Throughput()
+	peak := acc.PipelineConfig().PeakCompressRate()
+	if tp <= 0 || tp > peak {
+		t.Fatalf("throughput %.0f vs peak %.0f", tp, peak)
+	}
+	if tp < peak/4 {
+		t.Fatalf("large-buffer throughput %.0f too far below peak %.0f", tp, peak)
+	}
+}
+
+func TestCorruptGzipError(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	if _, _, err := acc.DecompressGzip([]byte("not gzip at all, sorry")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDictionaryCompression(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	dict := corpus.Generate(corpus.JSONLogs, 16<<10, 1)
+	msg := corpus.Generate(corpus.JSONLogs, 2<<10, 1)[:2048] // same distribution
+	withDict, m, err := acc.CompressZlibDict(msg, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DeviceCycles <= 0 {
+		t.Fatal("no accounting")
+	}
+	plain, _, err := acc.CompressZlib(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withDict) >= len(plain) {
+		t.Fatalf("dict stream %d not below plain %d", len(withDict), len(plain))
+	}
+	got, _, err := acc.DecompressZlibDict(withDict, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("mismatch")
+	}
+	if _, _, err := acc.DecompressZlibDict(withDict, []byte("bad dict")); err == nil {
+		t.Fatal("wrong dictionary accepted")
+	}
+}
+
+func TestTableCannedMode(t *testing.T) {
+	cfg := P9()
+	cfg.TableMode = TableCanned
+	acc := Open(cfg)
+	defer acc.Close()
+	sample := corpus.Generate(corpus.JSONLogs, 128<<10, 50)
+	if err := acc.TrainTable(sample); err != nil {
+		t.Fatal(err)
+	}
+	src := corpus.Generate(corpus.JSONLogs, 64<<10, 51)
+	canned, mc, err := acc.CompressGzip(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SoftwareGunzip(canned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("canned mode round-trip mismatch")
+	}
+	// Canned skips the per-request table-generation latency.
+	accD := Open(P9())
+	defer accD.Close()
+	_, md, err := accD.CompressGzip(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.DeviceCycles >= md.DeviceCycles {
+		t.Fatalf("canned %d cycles not below dynamic %d", mc.DeviceCycles, md.DeviceCycles)
+	}
+	// Without training, canned mode falls back to dynamic.
+	accU := Open(cfg)
+	defer accU.Close()
+	if _, _, err := accU.CompressGzip(src); err != nil {
+		t.Fatalf("untrained canned mode: %v", err)
+	}
+}

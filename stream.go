@@ -1,0 +1,179 @@
+package nxzip
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"nxzip/internal/deflate"
+)
+
+// DefaultChunkSize is the request size the streaming Writer submits to
+// the engine. Large requests amortize the fixed per-request overhead
+// (see experiment E2/E8); 1 MiB sits on the flat part of the curve.
+const DefaultChunkSize = 1 << 20
+
+// Writer is an io.WriteCloser that compresses through the accelerator
+// model into an underlying writer, producing a multi-member gzip stream
+// (one member per submitted request — RFC 1952 defines concatenated
+// members as the concatenation of their plaintexts, and gunzip/stdlib
+// handle them natively). This mirrors how buffer-oriented accelerator
+// requests are composed into streams in the NX software stack.
+type Writer struct {
+	acc   *Accelerator
+	out   io.Writer
+	buf   bytes.Buffer
+	chunk int
+	err   error
+
+	// Accumulated accounting across members.
+	Stats Metrics
+}
+
+// NewWriter returns a Writer with the default chunk size.
+func (a *Accelerator) NewWriter(out io.Writer) *Writer {
+	return a.NewWriterChunk(out, DefaultChunkSize)
+}
+
+// NewWriterChunk returns a Writer with an explicit request size.
+func (a *Accelerator) NewWriterChunk(out io.Writer, chunk int) *Writer {
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	return &Writer{acc: a, out: out, chunk: chunk}
+}
+
+// Write buffers p and submits full chunks to the engine.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.buf.Write(p)
+	for w.buf.Len() >= w.chunk {
+		if err := w.submit(w.buf.Next(w.chunk)); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (w *Writer) submit(chunk []byte) error {
+	gz, m, err := w.acc.CompressGzip(chunk)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	w.Stats.InBytes += m.InBytes
+	w.Stats.OutBytes += m.OutBytes
+	w.Stats.DeviceCycles += m.DeviceCycles
+	w.Stats.DeviceTime += m.DeviceTime
+	w.Stats.Faults += m.Faults
+	if _, err := w.out.Write(gz); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Close flushes the remaining buffered data as a final member. A Writer
+// that received no data still emits one empty member so the output is a
+// valid gzip stream.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.buf.Len() > 0 || w.Stats.InBytes == 0 {
+		if err := w.submit(w.buf.Next(w.buf.Len())); err != nil {
+			return err
+		}
+	}
+	if w.Stats.InBytes > 0 && w.Stats.OutBytes > 0 {
+		w.Stats.Ratio = float64(w.Stats.InBytes) / float64(w.Stats.OutBytes)
+	}
+	w.err = errors.New("nxzip: writer closed")
+	return nil
+}
+
+// Reader is an io.Reader that inflates a (possibly multi-member) gzip
+// stream through the accelerator model. Like the device, it operates on
+// whole buffers: the underlying stream is read fully on first use.
+type Reader struct {
+	acc   *Accelerator
+	src   io.Reader
+	plain *bytes.Reader
+	// MaxOutput bounds the total decompressed size (0 = 1 GiB).
+	MaxOutput int
+
+	// Stats accumulates device accounting.
+	Stats Metrics
+}
+
+// NewReader returns a Reader over src.
+func (a *Accelerator) NewReader(src io.Reader) *Reader {
+	return &Reader{acc: a, src: src}
+}
+
+func (r *Reader) prime() error {
+	if r.plain != nil {
+		return nil
+	}
+	comp, err := io.ReadAll(r.src)
+	if err != nil {
+		return err
+	}
+	var out []byte
+	rest := comp
+	for len(rest) > 0 {
+		member, consumed, err := splitGzipMember(rest)
+		if err != nil {
+			return err
+		}
+		plain, m, err := r.acc.DecompressGzip(member)
+		if err != nil {
+			return err
+		}
+		r.Stats.InBytes += m.InBytes
+		r.Stats.OutBytes += m.OutBytes
+		r.Stats.DeviceCycles += m.DeviceCycles
+		r.Stats.DeviceTime += m.DeviceTime
+		out = append(out, plain...)
+		limit := r.MaxOutput
+		if limit <= 0 {
+			limit = 1 << 30
+		}
+		if len(out) > limit {
+			return fmt.Errorf("nxzip: decompressed stream exceeds %d bytes", limit)
+		}
+		rest = rest[consumed:]
+	}
+	r.plain = bytes.NewReader(out)
+	return nil
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if err := r.prime(); err != nil {
+		return 0, err
+	}
+	return r.plain.Read(p)
+}
+
+// splitGzipMember locates the end of the first gzip member in src
+// (header parse + DEFLATE stream walk), returning the member bytes and
+// their length.
+func splitGzipMember(src []byte) ([]byte, int, error) {
+	hlen, err := deflate.ParseGzipHeader(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	_, consumed, err := deflate.DecompressTail(src[hlen:], deflate.InflateOptions{})
+	if err != nil {
+		return nil, 0, err
+	}
+	end := hlen + consumed + 8
+	if end > len(src) {
+		return nil, 0, errors.New("nxzip: truncated gzip member")
+	}
+	return src[:end], end, nil
+}

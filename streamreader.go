@@ -1,0 +1,171 @@
+package nxzip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"nxzip/internal/checksum"
+	"nxzip/internal/deflate"
+	"nxzip/internal/nx"
+)
+
+// StreamReader inflates a single-member gzip stream incrementally through
+// the accelerator: each underlying read becomes one resumable
+// decompression request carrying the engine's suspend/resume state, so
+// arbitrarily large streams decode in bounded memory with per-request
+// device accounting. This is the decompression counterpart of
+// StreamWriter.
+type StreamReader struct {
+	acc    *Accelerator
+	src    io.Reader
+	state  *nx.DecompState
+	inbuf  []byte
+	outbuf []byte
+	outPos int
+	crc    checksum.CRC32
+	isize  uint32
+
+	headerDone  bool
+	srcExhaust  bool
+	trailerDone bool
+	err         error
+
+	// Stats accumulates device accounting across requests.
+	Stats Metrics
+}
+
+// DefaultReadChunk is the compressed-bytes request size of StreamReader.
+const DefaultReadChunk = 256 << 10
+
+// NewStreamReader returns an incremental reader over a single-member gzip
+// stream. maxOutput bounds the total plaintext (0 = 1 GiB).
+func (a *Accelerator) NewStreamReader(src io.Reader, maxOutput int) *StreamReader {
+	return &StreamReader{
+		acc:   a,
+		src:   src,
+		state: nx.NewDecompState(maxOutput),
+		inbuf: make([]byte, 0, DefaultReadChunk),
+	}
+}
+
+// Read implements io.Reader.
+func (r *StreamReader) Read(p []byte) (int, error) {
+	for {
+		if r.outPos < len(r.outbuf) {
+			n := copy(p, r.outbuf[r.outPos:])
+			r.outPos += n
+			return n, nil
+		}
+		if r.err != nil {
+			return 0, r.err
+		}
+		if r.trailerDone {
+			return 0, io.EOF
+		}
+		if err := r.fill(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+}
+
+// fill pulls one chunk of compressed input and runs a resume request.
+func (r *StreamReader) fill() error {
+	// Top up the input buffer.
+	if !r.srcExhaust {
+		buf := make([]byte, DefaultReadChunk)
+		n, err := io.ReadFull(r.src, buf)
+		r.inbuf = append(r.inbuf, buf[:n]...)
+		switch err {
+		case nil:
+		case io.EOF, io.ErrUnexpectedEOF:
+			r.srcExhaust = true
+		default:
+			return err
+		}
+	}
+	if !r.headerDone {
+		hlen, err := deflate.ParseGzipHeader(r.inbuf)
+		if err != nil {
+			if !r.srcExhaust {
+				return nil // need more input for the header
+			}
+			return err
+		}
+		r.inbuf = r.inbuf[hlen:]
+		r.headerDone = true
+	}
+	if r.state.Done() {
+		return r.finishTrailer()
+	}
+
+	// Submit what we have; keep the last 8 bytes back until EOF so the
+	// trailer is never fed to the inflater as payload... the session
+	// tolerates trailing bytes (it stops at the final block), so feed it
+	// all and recover the trailer from state.Tail().
+	chunk := r.inbuf
+	r.inbuf = nil
+	csb, rep, err := r.acc.ctx.Submit(&nx.CRB{
+		Func: nx.FCDecompress, Wrap: nx.WrapRaw, Input: chunk,
+		DecompState: r.state, NotFinal: !r.srcExhaust,
+	})
+	if err != nil {
+		return err
+	}
+	if csb.CC != nx.CCSuccess {
+		return fmt.Errorf("nxzip: stream decompress: %s %s", csb.CC, csb.Detail)
+	}
+	r.outbuf = csb.Output
+	r.outPos = 0
+	r.crc.Update(csb.Output)
+	r.isize += uint32(len(csb.Output))
+	r.Stats.InBytes += rep.InBytes
+	r.Stats.OutBytes += len(csb.Output)
+	r.Stats.DeviceCycles += rep.TotalCycles
+	r.Stats.DeviceTime += rep.Time
+
+	if r.state.Done() {
+		if err := r.finishTrailer(); err != nil {
+			return err
+		}
+	} else if r.srcExhaust && len(csb.Output) == 0 {
+		return errors.New("nxzip: truncated gzip stream")
+	}
+	return nil
+}
+
+// finishTrailer validates CRC32/ISIZE once the final block has decoded.
+func (r *StreamReader) finishTrailer() error {
+	if r.trailerDone {
+		return nil
+	}
+	tail := r.state.Tail()
+	// Any input we never submitted is also part of the tail.
+	tail = append(append([]byte{}, tail...), r.inbuf...)
+	if len(tail) < 8 {
+		if !r.srcExhaust {
+			// Pull the remainder of the trailer from the source.
+			rest, err := io.ReadAll(io.LimitReader(r.src, 16))
+			if err != nil {
+				return err
+			}
+			tail = append(tail, rest...)
+			r.srcExhaust = true
+		}
+		if len(tail) < 8 {
+			return errors.New("nxzip: missing gzip trailer")
+		}
+	}
+	wantCRC := binary.LittleEndian.Uint32(tail[0:4])
+	wantISize := binary.LittleEndian.Uint32(tail[4:8])
+	if got := r.crc.Sum(); got != wantCRC {
+		return fmt.Errorf("nxzip: stream CRC32 %08x, want %08x", got, wantCRC)
+	}
+	if r.isize != wantISize {
+		return fmt.Errorf("nxzip: stream ISIZE %d, want %d", r.isize, wantISize)
+	}
+	r.trailerDone = true
+	return nil
+}

@@ -1,0 +1,129 @@
+package nxzip
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"testing"
+
+	"nxzip/internal/corpus"
+)
+
+func TestStreamReaderRoundTrip(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	src := corpus.Generate(corpus.Text, 3<<20, 70)
+	var gz bytes.Buffer
+	w := acc.NewStreamWriterChunk(&gz, 256<<10)
+	w.Write(src)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := acc.NewStreamReader(bytes.NewReader(gz.Bytes()), len(src)+1024)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("mismatch: %d vs %d bytes", len(got), len(src))
+	}
+	if r.Stats.DeviceCycles <= 0 {
+		t.Fatal("no device accounting")
+	}
+	if r.Stats.OutBytes != len(src) {
+		t.Fatalf("out bytes %d", r.Stats.OutBytes)
+	}
+}
+
+func TestStreamReaderStdlibInput(t *testing.T) {
+	// Streams produced by stdlib gzip decode incrementally too.
+	acc := Open(P9())
+	defer acc.Close()
+	src := corpus.Generate(corpus.JSONLogs, 1<<20, 71)
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Name = "logs.json"
+	zw.Write(src)
+	zw.Close()
+	r := acc.NewStreamReader(bytes.NewReader(gz.Bytes()), 0)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestStreamReaderSmallReads(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	src := corpus.Generate(corpus.Source, 200<<10, 72)
+	gz, _, err := acc.CompressGzip(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := acc.NewStreamReader(bytes.NewReader(gz), 0)
+	var got []byte
+	buf := make([]byte, 137)
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestStreamReaderDetectsCorruptTrailer(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	src := corpus.Generate(corpus.Text, 64<<10, 73)
+	gz, _, err := acc.CompressGzip(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte{}, gz...)
+	bad[len(bad)-6] ^= 0xFF // CRC byte
+	r := acc.NewStreamReader(bytes.NewReader(bad), 0)
+	if _, err := io.ReadAll(r); err == nil {
+		t.Fatal("corrupt trailer accepted")
+	}
+}
+
+func TestStreamReaderTruncated(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	src := corpus.Generate(corpus.Text, 256<<10, 74)
+	gz, _, err := acc.CompressGzip(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := acc.NewStreamReader(bytes.NewReader(gz[:len(gz)/2]), 0)
+	if _, err := io.ReadAll(r); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestStreamReaderEmptyStream(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	gz, _, err := acc.CompressGzip(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := acc.NewStreamReader(bytes.NewReader(gz), 0)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("%d bytes", len(got))
+	}
+}

@@ -1,0 +1,152 @@
+package nxzip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"nxzip/internal/checksum"
+	"nxzip/internal/lz77"
+	"nxzip/internal/nx"
+)
+
+// StreamWriter compresses through the accelerator model into a *single*
+// gzip member, carrying the 32 KiB history window across requests the way
+// the NX library does: each chunk is submitted with the tail of the
+// previous data as history, the engine emits non-final blocks with sync
+// flushes, and the writer maintains the member CRC incrementally. This
+// trades history-replay beats for the cross-chunk matches that the
+// multi-member Writer gives up (experiment E13 quantifies both sides).
+type StreamWriter struct {
+	acc     *Accelerator
+	out     io.Writer
+	chunk   int
+	buf     []byte
+	history []byte
+	crc     checksum.CRC32
+	isize   uint32
+	started bool
+	closed  bool
+	err     error
+
+	// Stats accumulates device accounting across requests.
+	Stats Metrics
+}
+
+// NewStreamWriter returns a single-member streaming writer with the
+// default chunk size.
+func (a *Accelerator) NewStreamWriter(out io.Writer) *StreamWriter {
+	return a.NewStreamWriterChunk(out, DefaultChunkSize)
+}
+
+// NewStreamWriterChunk sets an explicit per-request chunk size.
+func (a *Accelerator) NewStreamWriterChunk(out io.Writer, chunk int) *StreamWriter {
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	return &StreamWriter{acc: a, out: out, chunk: chunk}
+}
+
+var gzipStreamHeader = []byte{0x1F, 0x8B, 8, 0, 0, 0, 0, 0, 0, 255}
+
+func (w *StreamWriter) start() error {
+	if w.started {
+		return nil
+	}
+	if _, err := w.out.Write(gzipStreamHeader); err != nil {
+		w.err = err
+		return err
+	}
+	w.started = true
+	return nil
+}
+
+// Write buffers p and submits full chunks.
+func (w *StreamWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.closed {
+		return 0, errors.New("nxzip: write on closed StreamWriter")
+	}
+	w.buf = append(w.buf, p...)
+	for len(w.buf) >= w.chunk {
+		if err := w.submit(w.buf[:w.chunk], false); err != nil {
+			return 0, err
+		}
+		w.buf = append(w.buf[:0], w.buf[w.chunk:]...)
+	}
+	return len(p), nil
+}
+
+func (w *StreamWriter) submit(chunk []byte, final bool) error {
+	if err := w.start(); err != nil {
+		return err
+	}
+	crb := &nx.CRB{
+		Func:     w.acc.funcCode(),
+		Wrap:     nx.WrapRaw,
+		Input:    chunk,
+		History:  w.history,
+		NotFinal: !final,
+	}
+	csb, rep, err := w.acc.ctx.Submit(crb)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if csb.CC != nx.CCSuccess {
+		w.err = fmt.Errorf("nxzip: stream segment: %s %s", csb.CC, csb.Detail)
+		return w.err
+	}
+	if _, err := w.out.Write(csb.Output); err != nil {
+		w.err = err
+		return err
+	}
+	w.crc.Update(chunk)
+	w.isize += uint32(len(chunk))
+	w.Stats.InBytes += len(chunk)
+	w.Stats.OutBytes += len(csb.Output)
+	w.Stats.DeviceCycles += rep.TotalCycles
+	w.Stats.DeviceTime += rep.Time
+	w.Stats.Faults += rep.Retries
+
+	// Maintain the history window: the last 32 KiB of the logical stream.
+	w.history = appendWindow(w.history, chunk)
+	return nil
+}
+
+func appendWindow(window, chunk []byte) []byte {
+	window = append(window, chunk...)
+	if len(window) > lz77.WindowSize {
+		window = append(window[:0], window[len(window)-lz77.WindowSize:]...)
+	}
+	return window
+}
+
+// Close submits the final segment and writes the gzip trailer.
+func (w *StreamWriter) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	if err := w.submit(w.buf, true); err != nil {
+		return err
+	}
+	w.buf = nil
+	var trailer [8]byte
+	binary.LittleEndian.PutUint32(trailer[0:4], w.crc.Sum())
+	binary.LittleEndian.PutUint32(trailer[4:8], w.isize)
+	if _, err := w.out.Write(trailer[:]); err != nil {
+		w.err = err
+		return err
+	}
+	w.closed = true
+	if w.Stats.InBytes > 0 && w.Stats.OutBytes > 0 {
+		w.Stats.Ratio = float64(w.Stats.InBytes) / float64(w.Stats.OutBytes)
+	}
+	return nil
+}
