@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: check build vet test race bench nxbench parallel
+
+## check: the tier-1 gate — build, vet, and the full test suite under the
+## race detector. CI and pre-merge runs use this target.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: regenerate the paper's tables/figures as Go benchmarks.
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+## nxbench: render every experiment table (E1–E17 + ablations).
+nxbench:
+	$(GO) run ./cmd/nxbench
+
+## parallel: serial-vs-parallel Writer/Reader throughput scaling.
+parallel:
+	$(GO) run ./cmd/nxbench -parallel

@@ -8,9 +8,13 @@ package nxzip
 // numbers in one run.
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"nxzip/internal/corpus"
 	"nxzip/internal/experiments"
@@ -183,6 +187,113 @@ func BenchmarkDeviceDecompressGzipP9(b *testing.B) {
 		if _, _, err := acc.DecompressGzip(gz); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// deviceMakespan converts the busiest engine's cycle delta into modelled
+// wall time: engines behind the shared FIFO run concurrently, so the
+// device-side makespan of a parallel burst is the maximum per-engine busy
+// time, not the sum.
+func deviceMakespan(acc *Accelerator, before []int64) time.Duration {
+	dev := acc.Device()
+	var max int64
+	for i := range before {
+		if d := dev.Engine(i).Counters().BusyCycles - before[i]; d > max {
+			max = d
+		}
+	}
+	return dev.PipelineConfig().Time(max)
+}
+
+func engineBusySnapshot(acc *Accelerator, engines int) []int64 {
+	s := make([]int64, engines)
+	for i := range s {
+		s[i] = acc.Device().Engine(i).Counters().BusyCycles
+	}
+	return s
+}
+
+// BenchmarkWriterSerialVsParallel measures the streaming Writer against
+// the pipelined ParallelWriter at several chunk sizes and worker counts —
+// the scaling claims of E6/E9: throughput comes from requests in flight,
+// not faster requests. The device is configured with one engine per
+// worker (multi-engine / multi-chip aggregate), since a single engine
+// serializes all requests exactly as the silicon does.
+//
+// Two numbers per run: host MB/s (bounded by GOMAXPROCS — flat on a
+// single-core container) and model-MB/s, the modelled device throughput
+// where the makespan is the busiest engine. The latter is the paper's
+// metric and scales ~linearly with workers.
+func BenchmarkWriterSerialVsParallel(b *testing.B) {
+	src := corpus.Generate(corpus.Text, 8<<20, 17)
+	for _, chunk := range []int{256 << 10, 1 << 20} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("chunk=%dKiB/workers=%d", chunk>>10, workers)
+			b.Run(name, func(b *testing.B) {
+				cfg := P9()
+				cfg.Device.Engines = workers
+				acc := Open(cfg)
+				defer acc.Close()
+				b.SetBytes(int64(len(src)))
+				before := engineBusySnapshot(acc, workers)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var w io.WriteCloser
+					if workers == 1 {
+						w = acc.NewWriterChunk(io.Discard, chunk)
+					} else {
+						w = acc.NewParallelWriterChunk(io.Discard, chunk, workers)
+					}
+					if _, err := w.Write(src); err != nil {
+						b.Fatal(err)
+					}
+					if err := w.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				span := deviceMakespan(acc, before)
+				if span > 0 {
+					mbps := float64(b.N) * float64(len(src)) / span.Seconds() / 1e6
+					b.ReportMetric(mbps, "model-MB/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkReaderSerialVsParallel: multi-member decode fan-out.
+func BenchmarkReaderSerialVsParallel(b *testing.B) {
+	src := corpus.Generate(corpus.Text, 8<<20, 18)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := P9()
+			cfg.Device.Engines = workers
+			acc := Open(cfg)
+			defer acc.Close()
+			var comp bytes.Buffer
+			w := acc.NewWriterChunk(&comp, 256<<10)
+			w.Write(src)
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			before := engineBusySnapshot(acc, workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := acc.NewReader(bytes.NewReader(comp.Bytes()))
+				r.Workers = workers
+				if _, err := io.Copy(io.Discard, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			span := deviceMakespan(acc, before)
+			if span > 0 {
+				mbps := float64(b.N) * float64(len(src)) / span.Seconds() / 1e6
+				b.ReportMetric(mbps, "model-MB/s")
+			}
+		})
 	}
 }
 

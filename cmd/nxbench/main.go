@@ -8,6 +8,7 @@
 //	nxbench -only E7   # one experiment
 //	nxbench -ablations # the A1–A11 design sweeps
 //	nxbench -host      # also measure this host's software codec
+//	nxbench -parallel  # serial vs parallel Writer/Reader scaling
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment id (E1..E17, A1..A11)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation sweeps")
 	host := flag.Bool("host", false, "also measure the host software baseline")
+	parallel := flag.Bool("parallel", false, "measure serial vs parallel Writer/Reader throughput scaling")
 	flag.Parse()
 
 	var tables []*experiments.Table
@@ -33,6 +35,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nxbench: unknown experiment %q\n", *only)
 			os.Exit(2)
 		}
+	case *parallel:
+		tables = parallelTables()
 	case *ablations:
 		tables = experiments.Ablations()
 	default:

@@ -218,39 +218,91 @@ func ParseGzipHeader(src []byte) (int, error) {
 	return pos, nil
 }
 
+// DecompressGzipTail inflates the FIRST gzip member of src in a single
+// pass, verifying its CRC32 and ISIZE, and returns the plaintext plus the
+// total bytes consumed (header + DEFLATE stream + trailer). Bytes beyond
+// the first member are left untouched, so multi-member streams decode by
+// repeated calls — each member is inflated exactly once.
+func DecompressGzipTail(src []byte, opts InflateOptions) ([]byte, int, error) {
+	hlen, err := ParseGzipHeader(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	body, used, err := DecompressTail(src[hlen:], opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	trailerAt := hlen + used
+	if trailerAt+8 > len(src) {
+		return nil, 0, fmt.Errorf("%w: truncated gzip trailer", ErrBadMagic)
+	}
+	wantCRC := binary.LittleEndian.Uint32(src[trailerAt:])
+	wantSize := binary.LittleEndian.Uint32(src[trailerAt+4:])
+	if uint32(len(body)) != wantSize {
+		return nil, 0, fmt.Errorf("%w: member ISIZE %d, got %d", ErrBadLength, wantSize, len(body))
+	}
+	if got := checksum.Sum32(body); got != wantCRC {
+		return nil, 0, fmt.Errorf("%w: member CRC32 %08x, want %08x", ErrBadChecksum, got, wantCRC)
+	}
+	return body, trailerAt + 8, nil
+}
+
+// SkimGzipMember locates the end of the first gzip member of src without
+// materializing its plaintext: a structure-only walk of the DEFLATE
+// stream. It returns the member's plaintext length and total encoded
+// length (header + stream + trailer), verifying ISIZE (CRC32 requires the
+// bytes, so it is left to the real decode). maxOutput bounds the walk so
+// a decompression bomb is rejected before any output is buffered.
+func SkimGzipMember(src []byte, maxOutput int) (plainLen, consumed int, err error) {
+	hlen, err := ParseGzipHeader(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	n, used, err := SkimTail(src[hlen:], InflateOptions{MaxOutput: maxOutput})
+	if err != nil {
+		return 0, 0, err
+	}
+	trailerAt := hlen + used
+	if trailerAt+8 > len(src) {
+		return 0, 0, fmt.Errorf("%w: truncated gzip trailer", ErrBadMagic)
+	}
+	if wantSize := binary.LittleEndian.Uint32(src[trailerAt+4:]); uint32(n) != wantSize {
+		return 0, 0, fmt.Errorf("%w: member ISIZE %d, got %d", ErrBadLength, wantSize, n)
+	}
+	return n, trailerAt + 8, nil
+}
+
 // DecompressGzipMulti inflates a gzip stream that may consist of multiple
 // concatenated members (which RFC 1952 defines as equivalent to the
 // concatenation of the plaintexts). Each member's CRC32 and ISIZE are
-// verified. The accelerator's streaming writer emits one member per
-// submitted request, so this is the matching reader.
+// verified, each member is inflated exactly once, and the MaxOutput
+// budget is threaded into every member's inflate so a single bombing
+// member trips the limit during its decode rather than after. The
+// accelerator's streaming writer emits one member per submitted request,
+// so this is the matching reader.
 func DecompressGzipMulti(src []byte, opts InflateOptions) ([]byte, error) {
+	limit := opts.MaxOutput
+	if limit <= 0 {
+		limit = defaultMaxOutput
+	}
 	var out []byte
 	for len(src) > 0 {
-		hlen, err := ParseGzipHeader(src)
+		// Remaining budget for this member; floor of 1 so an exactly-spent
+		// budget still admits empty members (the cumulative check below
+		// catches any overshoot).
+		budget := limit - len(out)
+		if budget < 1 {
+			budget = 1
+		}
+		body, consumed, err := DecompressGzipTail(src, InflateOptions{MaxOutput: budget})
 		if err != nil {
 			return nil, err
-		}
-		body, consumed, err := DecompressTail(src[hlen:], opts)
-		if err != nil {
-			return nil, err
-		}
-		trailerAt := hlen + consumed
-		if trailerAt+8 > len(src) {
-			return nil, fmt.Errorf("%w: truncated gzip trailer", ErrBadMagic)
-		}
-		wantCRC := binary.LittleEndian.Uint32(src[trailerAt:])
-		wantSize := binary.LittleEndian.Uint32(src[trailerAt+4:])
-		if uint32(len(body)) != wantSize {
-			return nil, fmt.Errorf("%w: member ISIZE %d, got %d", ErrBadLength, wantSize, len(body))
-		}
-		if got := checksum.Sum32(body); got != wantCRC {
-			return nil, fmt.Errorf("%w: member CRC32 %08x, want %08x", ErrBadChecksum, got, wantCRC)
 		}
 		out = append(out, body...)
-		src = src[trailerAt+8:]
-		if opts.MaxOutput > 0 && len(out) > opts.MaxOutput {
+		if len(out) > limit {
 			return nil, ErrTooLarge
 		}
+		src = src[consumed:]
 	}
 	return out, nil
 }

@@ -3,10 +3,27 @@ package deflate
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"nxzip/internal/bitio"
 	"nxzip/internal/huffman"
 )
+
+// inflatePasses and skimPasses count full decodes and structure-only walks
+// of DEFLATE streams. They exist so tests can assert that a code path
+// performs exactly one inflate pass per gzip member (no decode-twice
+// regressions on the streaming Reader).
+var (
+	inflatePasses atomic.Int64
+	skimPasses    atomic.Int64
+)
+
+// InflatePasses returns the number of full inflate passes performed by
+// this package since process start.
+func InflatePasses() int64 { return inflatePasses.Load() }
+
+// SkimPasses returns the number of structure-only skim passes performed.
+func SkimPasses() int64 { return skimPasses.Load() }
 
 // Decompression errors.
 var (
@@ -47,6 +64,7 @@ func DecompressTail(src []byte, opts InflateOptions) (out []byte, consumed int, 
 }
 
 func inflate(r *bitio.Reader, opts InflateOptions) ([]byte, error) {
+	inflatePasses.Add(1)
 	maxOut := opts.MaxOutput
 	if maxOut <= 0 {
 		maxOut = defaultMaxOutput
@@ -114,6 +132,149 @@ func inflate(r *bitio.Reader, opts InflateOptions) ([]byte, error) {
 		if final {
 			return out, nil
 		}
+	}
+}
+
+// SkimTail walks a raw DEFLATE stream's block structure without
+// materializing output: it decodes symbols and tracks only the plaintext
+// length, returning that length and the bytes of src consumed. This is
+// the cheap boundary-finding pass parallel multi-member decoding uses —
+// it needs no 32 KiB window and writes no output bytes, so it costs a
+// fraction of a full inflate.
+func SkimTail(src []byte, opts InflateOptions) (outLen, consumed int, err error) {
+	r := bitio.NewReader(src)
+	outLen, err = skim(r, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	r.AlignByte()
+	return outLen, r.BitsConsumed() / 8, nil
+}
+
+func skim(r *bitio.Reader, opts InflateOptions) (int, error) {
+	skimPasses.Add(1)
+	maxOut := opts.MaxOutput
+	if maxOut <= 0 {
+		maxOut = defaultMaxOutput
+	}
+	outLen := 0
+	var fixedLL, fixedD *huffman.Decoder
+	for {
+		final, err := r.ReadBool()
+		if err != nil {
+			return 0, fmt.Errorf("%w: missing block header", ErrCorrupt)
+		}
+		btype, err := r.ReadBits(2)
+		if err != nil {
+			return 0, fmt.Errorf("%w: missing block type", ErrCorrupt)
+		}
+		switch btype {
+		case 0: // stored
+			r.AlignByte()
+			lenv, err := r.ReadBits(16)
+			if err != nil {
+				return 0, fmt.Errorf("%w: stored length", ErrCorrupt)
+			}
+			nlen, err := r.ReadBits(16)
+			if err != nil {
+				return 0, fmt.Errorf("%w: stored nlen", ErrCorrupt)
+			}
+			if uint16(lenv) != ^uint16(nlen) {
+				return 0, fmt.Errorf("%w: stored LEN/NLEN mismatch", ErrCorrupt)
+			}
+			if outLen+int(lenv) > maxOut {
+				return 0, ErrTooLarge
+			}
+			buf := make([]byte, lenv)
+			if err := r.ReadBytes(buf); err != nil {
+				return 0, fmt.Errorf("%w: stored payload truncated", ErrCorrupt)
+			}
+			outLen += int(lenv)
+		case 1: // fixed Huffman
+			if fixedLL == nil {
+				fixedLL, err = huffman.NewDecoder(FixedLitLenLengths(), huffman.DefaultPrimaryBits)
+				if err != nil {
+					return 0, err
+				}
+				fixedD, err = huffman.NewDecoder(FixedDistLengths(), huffman.DefaultPrimaryBits)
+				if err != nil {
+					return 0, err
+				}
+			}
+			outLen, err = skimBlock(r, outLen, maxOut, fixedLL, fixedD)
+			if err != nil {
+				return 0, err
+			}
+		case 2: // dynamic Huffman
+			ll, d, err := readDynamicHeader(r)
+			if err != nil {
+				return 0, err
+			}
+			outLen, err = skimBlock(r, outLen, maxOut, ll, d)
+			if err != nil {
+				return 0, err
+			}
+		default:
+			return 0, fmt.Errorf("%w: reserved block type 3", ErrCorrupt)
+		}
+		if final {
+			return outLen, nil
+		}
+	}
+}
+
+// skimBlock decodes symbols until end-of-block, tracking length only.
+func skimBlock(r *bitio.Reader, outLen, maxOut int, ll, d *huffman.Decoder) (int, error) {
+	for {
+		sym, err := ll.Decode(r)
+		if err != nil {
+			return 0, fmt.Errorf("%w: litlen: %v", ErrCorrupt, err)
+		}
+		if sym < 256 {
+			if outLen+1 > maxOut {
+				return 0, ErrTooLarge
+			}
+			outLen++
+			continue
+		}
+		if sym == EndOfBlock {
+			return outLen, nil
+		}
+		base, nb, ok := LengthFromSymbol(sym)
+		if !ok {
+			return 0, fmt.Errorf("%w: length symbol %d", ErrCorrupt, sym)
+		}
+		length := base
+		if nb > 0 {
+			ex, err := r.ReadBits(uint(nb))
+			if err != nil {
+				return 0, fmt.Errorf("%w: length extra", ErrCorrupt)
+			}
+			length += int(ex)
+		}
+		dsym, err := d.Decode(r)
+		if err != nil {
+			return 0, fmt.Errorf("%w: dist: %v", ErrCorrupt, err)
+		}
+		dbase, dnb, ok := DistFromSymbol(dsym)
+		if !ok {
+			return 0, fmt.Errorf("%w: dist symbol %d", ErrCorrupt, dsym)
+		}
+		dist := dbase
+		if dnb > 0 {
+			ex, err := r.ReadBits(uint(dnb))
+			if err != nil {
+				return 0, fmt.Errorf("%w: dist extra", ErrCorrupt)
+			}
+			dist += int(ex)
+		}
+		if dist > outLen {
+			return 0, fmt.Errorf("%w: distance %d past start", ErrCorrupt, dist)
+		}
+		if outLen+length > maxOut {
+			return 0, ErrTooLarge
+		}
+		outLen += length
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"nxzip/internal/deflate"
+	"nxzip/internal/lz77"
 	"nxzip/internal/pipeline"
 )
 
@@ -151,6 +152,14 @@ type CRB struct {
 	// MaxOutput bounds decompression output (guards zip bombs); 0 = 1 GiB.
 	MaxOutput int
 
+	// FirstMemberOnly, with FCDecompress+WrapGzip, stops after the first
+	// gzip member instead of requiring Input to be exactly one member:
+	// SPBC reports the bytes consumed (header + stream + trailer) so the
+	// caller can advance through a multi-member stream decoding each
+	// member exactly once — the CSB's source-processed count doing the
+	// job it does on hardware.
+	FirstMemberOnly bool
+
 	// DecompState carries decompression resume state across requests
 	// (FCDecompress with streaming input). When set, Input is the next
 	// chunk of one logical raw DEFLATE stream and NotFinal marks
@@ -178,5 +187,9 @@ type CSB struct {
 	Output []byte
 
 	Cycles pipeline.Breakdown
+	// LZ reports the match-search statistics of this request (compression
+	// function codes only). Carried per-CSB so concurrent submitters never
+	// read another request's counters.
+	LZ     lz77.HWStats
 	Detail string // human-readable error detail for corrupt data
 }

@@ -3,6 +3,8 @@ package nx
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,6 +44,7 @@ type Device struct {
 	sb      *vas.Switchboard
 	engines []*Engine
 	nextEng atomic.Int64
+	ctxSeq  atomic.Uint64
 }
 
 // NewDevice builds a device.
@@ -74,13 +77,25 @@ func (d *Device) Engine(i int) *Engine { return d.engines[i%len(d.engines)] }
 func (d *Device) PipelineConfig() pipeline.Config { return d.cfg.Engine.Pipeline }
 
 // Context is a process's view of the device: an address space, a send
-// window, and a bump allocator for buffer VAs.
+// window, and a bump allocator for buffer VAs. A Context is safe for
+// concurrent use by multiple goroutines: requests from all of them ride
+// the same send window (sharing its credits) and buffer VAs are handed
+// out under a lock. Callers that want per-worker windows — the
+// multi-window submission pattern the VAS design is built for — open one
+// Context per worker instead.
 type Context struct {
 	dev    *Device
 	pid    nmmu.PID
 	window int
+
+	mu     sync.Mutex
 	nextVA uint64
 }
+
+// ctxVASpan is the size of each context's private VA region. Contexts of
+// the same address space allocate from disjoint regions so concurrent
+// contexts never alias pages.
+const ctxVASpan = 1 << 44
 
 // OpenContext registers an address space and opens a send window.
 func (d *Device) OpenContext(pid nmmu.PID) *Context {
@@ -89,7 +104,8 @@ func (d *Device) OpenContext(pid nmmu.PID) *Context {
 		dev:    d,
 		pid:    pid,
 		window: d.sb.OpenSendWindow(pid),
-		nextVA: 1 << 20, // leave a null guard region
+		// Leave a null guard region at the bottom of the region.
+		nextVA: d.ctxSeq.Add(1)*ctxVASpan + 1<<20,
 	}
 }
 
@@ -106,9 +122,11 @@ func (c *Context) MapBuffer(size int, resident bool) (uint64, error) {
 		size = 1
 	}
 	ps := uint64(c.dev.mmu.Config().PageSize)
-	va := c.nextVA
 	span := (uint64(size) + ps - 1) / ps * ps
+	c.mu.Lock()
+	va := c.nextVA
 	c.nextVA += span + ps // guard page between buffers
+	c.mu.Unlock()
 	if err := c.dev.mmu.Map(c.pid, va, size, resident); err != nil {
 		return 0, err
 	}
@@ -137,15 +155,30 @@ var ErrDeviceBusy = errors.New("nx: device busy: paste rejected repeatedly")
 // maxPasteRetries bounds the submission spin.
 const maxPasteRetries = 1 << 20
 
+// pendingCRB is the switchboard payload for one in-flight request: the
+// request itself plus a completion slot. Whichever submitter goroutine
+// dequeues the entry runs it and closes done; the owner waits on done, so
+// concurrent submitters never lose a request another goroutine drained.
+type pendingCRB struct {
+	crb  *CRB
+	csb  *CSB
+	done chan struct{}
+}
+
 // submit pastes the CRB, runs an engine, and implements the OS side of
 // the fault protocol: on CCTranslationFault, touch the page and resubmit.
+// Safe for concurrent callers: the model has no dedicated engine thread,
+// so every submitter doubles as an engine driver — it drains the receive
+// FIFO (running whatever it dequeues, its own request or a neighbour's)
+// until its own request completes, then builds the report from its CSB.
 func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 	var (
 		retries int
 		wasted  int64
 	)
 	for {
-		wrapped := &vas.CRB{Payload: crb}
+		p := &pendingCRB{crb: crb, done: make(chan struct{})}
+		wrapped := &vas.CRB{Payload: p}
 		pasted := false
 		for try := 0; try < maxPasteRetries; try++ {
 			err := c.dev.sb.Paste(c.window, wrapped)
@@ -156,26 +189,33 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 			if errors.Is(err, vas.ErrWindowClosed) {
 				return nil, nil, err
 			}
-			// Credit/FIFO pressure: the engine drains synchronously in
-			// this model, so drain one entry and retry.
+			// Credit/FIFO pressure: drain one entry and retry. If the FIFO
+			// is empty the backlog is running on other goroutines — yield
+			// until a credit comes back.
 			if pending := c.dev.sb.Dequeue(); pending != nil {
 				c.runOne(pending)
+			} else {
+				runtime.Gosched()
 			}
 		}
 		if !pasted {
 			return nil, nil, ErrDeviceBusy
 		}
 		// Engine picks up work in FIFO order; drain until ours completes.
+		// An empty FIFO before our completion means another submitter
+		// dequeued our entry — wait for it to finish the run.
 		var csb *CSB
-		for {
-			pending := c.dev.sb.Dequeue()
-			if pending == nil {
-				return nil, nil, fmt.Errorf("nx: request lost from FIFO")
-			}
-			done := c.runOne(pending)
-			if pending == wrapped {
-				csb = done
-				break
+		for csb == nil {
+			select {
+			case <-p.done:
+				csb = p.csb
+			default:
+				if pending := c.dev.sb.Dequeue(); pending != nil {
+					c.runOne(pending)
+					continue
+				}
+				<-p.done
+				csb = p.csb
 			}
 		}
 		if csb.CC != CCTranslationFault {
@@ -189,7 +229,7 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 				Retries:      retries,
 				WastedCycles: wasted,
 				TotalCycles:  wasted + csb.Cycles.Total,
-				LZ:           c.dev.Engine(0).Counters().LastLZ,
+				LZ:           csb.LZ,
 			}
 			rep.Time = c.dev.cfg.Engine.Pipeline.Time(rep.TotalCycles)
 			if csb.SPBC > 0 && csb.TPBC > 0 {
@@ -208,14 +248,14 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 
 // runOne executes a dequeued CRB on the next engine (round-robin across
 // the device's engines, which process concurrently — the z15 NXU pairs
-// two compression cores behind one queue) and completes it at the
-// switchboard.
-func (c *Context) runOne(wrapped *vas.CRB) *CSB {
-	crb := wrapped.Payload.(*CRB)
+// two compression cores behind one queue), completes it at the
+// switchboard, and signals the submitting goroutine.
+func (c *Context) runOne(wrapped *vas.CRB) {
+	p := wrapped.Payload.(*pendingCRB)
 	idx := int(c.dev.nextEng.Add(1)-1) % len(c.dev.engines)
-	csb := c.dev.engines[idx].Process(wrapped.PID, crb)
+	p.csb = c.dev.engines[idx].Process(wrapped.PID, p.crb)
 	c.dev.sb.Complete(wrapped)
-	return csb
+	close(p.done)
 }
 
 // Compress runs a full user-level compression: map buffers, submit,
@@ -315,6 +355,7 @@ func (c *Context) SyncCall(crb *CRB) (*CSB, *Report, error) {
 				Retries:      retries,
 				WastedCycles: wasted,
 				TotalCycles:  wasted + csb.Cycles.Total,
+				LZ:           csb.LZ,
 			}
 			rep.Time = c.dev.cfg.Engine.Pipeline.Time(rep.TotalCycles)
 			if csb.SPBC > 0 && csb.TPBC > 0 {

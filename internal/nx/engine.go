@@ -187,6 +187,7 @@ func (e *Engine) compress(pid nmmu.PID, crb *CRB, csb *CSB, translateCycles int6
 		tokens, lzStats = e.matcher.Tokenize(nil, input)
 	}
 	e.lastLZ = lzStats
+	csb.LZ = lzStats
 
 	var (
 		mode deflate.BlockMode
@@ -282,20 +283,38 @@ func (e *Engine) sampleDHT(tokens []lz77.Token, input []byte) *deflate.DHT {
 
 func (e *Engine) decompress(pid nmmu.PID, crb *CRB, csb *CSB, translateCycles int64) {
 	var (
-		out []byte
-		err error
+		out      []byte
+		err      error
+		consumed = len(crb.Input)
 	)
-	opts := deflate.InflateOptions{MaxOutput: crb.MaxOutput}
-	switch crb.Wrap {
-	case WrapGzip:
+	// The decoder stops as soon as output exceeds what the target buffer
+	// can hold (or the caller's explicit budget, whichever is smaller):
+	// the engine never materializes bytes it has nowhere to put, so a
+	// decompression bomb costs one buffer's worth of work, not the bomb's.
+	limit := crb.MaxOutput
+	if tc := targetCap(crb); limit <= 0 || tc < limit {
+		limit = tc
+	}
+	opts := deflate.InflateOptions{MaxOutput: limit}
+	switch {
+	case crb.Wrap == WrapGzip && crb.FirstMemberOnly:
+		out, consumed, err = deflate.DecompressGzipTail(crb.Input, opts)
+	case crb.Wrap == WrapGzip:
 		out, err = deflate.DecompressGzip(crb.Input, opts)
-	case WrapZlib:
+	case crb.Wrap == WrapZlib:
 		out, err = deflate.DecompressZlib(crb.Input, opts)
 	default:
 		out, err = deflate.Decompress(crb.Input, opts)
 	}
 	if err != nil {
-		csb.CC = CCDataCorrupt
+		if errors.Is(err, deflate.ErrTooLarge) {
+			// The output budget tripped mid-decode: target space, not
+			// corruption — software enlarges the buffer (or rejects the
+			// bomb) and resubmits.
+			csb.CC = CCTargetSpace
+		} else {
+			csb.CC = CCDataCorrupt
+		}
 		csb.Detail = err.Error()
 		// Detection cost: the engine read the input before tripping.
 		csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), 0, translateCycles)
@@ -303,16 +322,16 @@ func (e *Engine) decompress(pid nmmu.PID, crb *CRB, csb *CSB, translateCycles in
 	}
 	if len(out) > targetCap(crb) {
 		csb.CC = CCTargetSpace
-		csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), len(out), translateCycles)
+		csb.Cycles = e.cfg.Pipeline.Decompress(consumed, len(out), translateCycles)
 		return
 	}
 	csb.CC = CCSuccess
 	csb.Output = out
-	csb.SPBC = len(crb.Input)
+	csb.SPBC = consumed
 	csb.TPBC = len(out)
 	csb.CRC32 = checksum.Sum32(out)
 	csb.Adler32 = checksum.SumAdler32(out)
-	csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), len(out), translateCycles)
+	csb.Cycles = e.cfg.Pipeline.Decompress(consumed, len(out), translateCycles)
 }
 
 func (e *Engine) compress842(crb *CRB, csb *CSB, translateCycles int64) {

@@ -105,8 +105,15 @@ func (m *Metrics) Throughput() float64 {
 }
 
 // Accelerator is an open device handle bound to one process context.
-// Methods are safe for concurrent use; requests serialize at the engine
-// exactly as they do on the silicon.
+// Compression and decompression methods are safe for concurrent use from
+// any number of goroutines: requests queue at the shared receive FIFO and
+// serialize per engine exactly as they do on the silicon (configure
+// Config.Device.Engines for devices with more than one engine behind the
+// queue). TrainTable is setup-time configuration — call it before
+// concurrent use begins. Writer/Reader/StreamWriter/StreamReader values
+// are single-stream objects (one goroutine each), while any number of
+// them may run concurrently on one Accelerator; ParallelWriter and
+// Reader.Workers parallelize within a single stream.
 type Accelerator struct {
 	cfg    Config
 	dev    *nx.Device
@@ -185,12 +192,18 @@ func reportToMetrics(rep *nx.Report, csb *nx.CSB) *Metrics {
 
 // compress runs one compression request with the configured table mode.
 func (a *Accelerator) compress(src []byte, wrap nx.Wrap) ([]byte, *Metrics, error) {
-	srcVA, err := a.ctx.MapBuffer(len(src), true)
+	return a.compressOn(a.ctx, src, wrap)
+}
+
+// compressOn runs one compression request through an explicit context —
+// parallel workers drive their own send windows through this path.
+func (a *Accelerator) compressOn(ctx *nx.Context, src []byte, wrap nx.Wrap) ([]byte, *Metrics, error) {
+	srcVA, err := ctx.MapBuffer(len(src), true)
 	if err != nil {
 		return nil, nil, err
 	}
 	capOut := 2*len(src) + 1024
-	dstVA, err := a.ctx.MapBuffer(capOut, true)
+	dstVA, err := ctx.MapBuffer(capOut, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -201,7 +214,7 @@ func (a *Accelerator) compress(src []byte, wrap nx.Wrap) ([]byte, *Metrics, erro
 	if crb.Func == nx.FCCompressCannedDHT {
 		crb.DHT = a.canned
 	}
-	csb, rep, err := a.ctx.Submit(crb)
+	csb, rep, err := ctx.Submit(crb)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -238,6 +251,87 @@ func (a *Accelerator) decompress(src []byte, wrap nx.Wrap, maxOutput int) ([]byt
 		return nil, reportToMetrics(rep, csb), fmt.Errorf("nxzip: decompress: %s %s", csb.CC, csb.Detail)
 	}
 	return csb.Output, reportToMetrics(rep, csb), nil
+}
+
+// memberCapInitial is the first output-buffer size decompressMemberOn
+// tries; memberCapGrowth multiplies it on each target-space resubmit.
+const (
+	memberCapInitial = 4 << 20
+	memberCapGrowth  = 8
+)
+
+// decompressMemberOn inflates the first gzip member of src through ctx,
+// bounded by budget output bytes, returning the plaintext, the encoded
+// bytes consumed, and the request metrics. The engine decodes the member
+// exactly once and reports consumed bytes via the CSB's SPBC, so
+// multi-member streams advance without a separate boundary-finding pass.
+//
+// The output buffer starts modest and grows on CCTargetSpace — the
+// resubmit loop the production NX library runs on CC=13. Mapping (and
+// translating) a worst-case DEFLATE-expansion buffer up front would cost
+// more pages than the member itself; this way the common member costs one
+// small mapping and a bomb is rejected after at most one buffer's worth
+// of decode per size step.
+func (a *Accelerator) decompressMemberOn(ctx *nx.Context, src []byte, budget int) ([]byte, int, *Metrics, error) {
+	if budget < 1 {
+		budget = 1
+	}
+	srcVA, err := ctx.MapBuffer(len(src), true)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	capOut := memberCapInitial
+	if capOut > budget {
+		capOut = budget
+	}
+	total := &Metrics{}
+	for {
+		dstVA, err := ctx.MapBuffer(capOut, true)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		crb := &nx.CRB{
+			Func: nx.FCDecompress, Wrap: nx.WrapGzip, Input: src,
+			SourceVA: srcVA, TargetVA: dstVA,
+			TargetCap: capOut, MaxOutput: budget, FirstMemberOnly: true,
+		}
+		csb, rep, err := ctx.Submit(crb)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		m := reportToMetrics(rep, csb)
+		addMetricsInto(total, m)
+		switch {
+		case csb.CC == nx.CCTargetSpace && capOut < budget:
+			// Buffer too small, budget not exhausted: enlarge and resubmit.
+			capOut *= memberCapGrowth
+			if capOut > budget {
+				capOut = budget
+			}
+		case csb.CC == nx.CCTargetSpace:
+			return nil, 0, total, fmt.Errorf("nxzip: decompressed stream exceeds %d bytes", budget)
+		case csb.CC != nx.CCSuccess:
+			return nil, 0, total, fmt.Errorf("nxzip: decompress: %s %s", csb.CC, csb.Detail)
+		default:
+			total.InBytes = csb.SPBC
+			total.OutBytes = csb.TPBC
+			total.Ratio = m.Ratio
+			total.CRC32 = csb.CRC32
+			total.Adler32 = csb.Adler32
+			return csb.Output, csb.SPBC, total, nil
+		}
+	}
+}
+
+// addMetricsInto accumulates the device-cost fields of m into dst (byte
+// counts and checksums are set by the caller once the operation settles).
+func addMetricsInto(dst, m *Metrics) {
+	if m == nil {
+		return
+	}
+	dst.DeviceCycles += m.DeviceCycles
+	dst.DeviceTime += m.DeviceTime
+	dst.Faults += m.Faults
 }
 
 // CompressGzip compresses src into a gzip stream through the accelerator
