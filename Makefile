@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench nxbench parallel
+.PHONY: check build vet test race bench nxbench parallel trace-demo
 
 ## check: the tier-1 gate — build, vet, and the full test suite under the
 ## race detector. CI and pre-merge runs use this target.
@@ -29,3 +29,9 @@ nxbench:
 ## parallel: serial-vs-parallel Writer/Reader throughput scaling.
 parallel:
 	$(GO) run ./cmd/nxbench -parallel
+
+## trace-demo: record the quickstart run as Chrome trace_event JSON (the
+## example parse-checks the file before reporting success) — load
+## trace-demo.json in chrome://tracing or ui.perfetto.dev.
+trace-demo:
+	$(GO) run ./examples/quickstart -trace trace-demo.json -metrics

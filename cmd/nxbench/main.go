@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	nxbench            # all experiments
-//	nxbench -only E7   # one experiment
-//	nxbench -ablations # the A1–A11 design sweeps
-//	nxbench -host      # also measure this host's software codec
-//	nxbench -parallel  # serial vs parallel Writer/Reader scaling
+//	nxbench                  # all experiments
+//	nxbench -only E7         # one experiment
+//	nxbench -ablations       # the A1–A11 design sweeps
+//	nxbench -host            # also measure this host's software codec
+//	nxbench -parallel        # serial vs parallel Writer/Reader scaling
+//	nxbench -trace out.json  # Chrome trace of a ParallelWriter workload
+//	nxbench -metrics         # metrics snapshot of the same workload
 package main
 
 import (
@@ -25,7 +27,17 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation sweeps")
 	host := flag.Bool("host", false, "also measure the host software baseline")
 	parallel := flag.Bool("parallel", false, "measure serial vs parallel Writer/Reader throughput scaling")
+	tracePath := flag.String("trace", "", "run the trace workload and write Chrome trace_event JSON to this file")
+	metrics := flag.Bool("metrics", false, "run the trace workload and print the device metrics snapshot")
 	flag.Parse()
+
+	if *tracePath != "" || *metrics {
+		if err := traceDemo(*tracePath, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "nxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var tables []*experiments.Table
 	switch {

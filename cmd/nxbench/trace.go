@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"nxzip"
+	"nxzip/internal/corpus"
+	"nxzip/internal/stats"
+	"nxzip/internal/telemetry"
+)
+
+// traceDemo runs a representative ParallelWriter workload — 8 MiB of
+// log-like data in 1 MiB chunks over 4 worker windows — with the
+// request tracer on, writing a Chrome trace_event file and/or the final
+// device metrics snapshot. This is the workload `make trace-demo`
+// renders; it exercises paste arbitration, FIFO queueing, and the full
+// pipeline breakdown on every request.
+func traceDemo(tracePath string, printMetrics bool) error {
+	acc := nxzip.Open(nxzip.P9())
+	defer acc.Close()
+
+	var traceFile *os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		acc.StartTrace(telemetry.NewChromeSink(f))
+	}
+
+	src := corpus.Generate(corpus.JSONLogs, 8<<20, 1)
+	w := acc.NewParallelWriterChunk(io.Discard, 1<<20, 4)
+	if _, err := w.Write(src); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("trace workload: %s -> %s (ratio %.2f) across %d members\n",
+		stats.Bytes(int64(w.Stats.InBytes)), stats.Bytes(int64(w.Stats.OutBytes)),
+		w.Stats.Ratio, (len(src)+(1<<20)-1)/(1<<20))
+
+	if traceFile != nil {
+		if err := acc.StopTrace(); err != nil {
+			return err
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+	}
+	if printMetrics {
+		acc.Metrics().Format(os.Stdout)
+	}
+	return nil
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nxzip [-d] [-chip p9|z15] [-fht] [-sw level] [-o out] [file]
+//	nxzip [-d] [-chip p9|z15] [-fht] [-sw level] [-metrics] [-trace out.json] [-o out] [file]
 //
 // Examples:
 //
@@ -13,6 +13,8 @@
 //	nxzip -d -o corpus.txt corpus.gz     # decompress
 //	nxzip -chip z15 -v corpus.txt        # z15 model, verbose accounting
 //	nxzip -sw 6 corpus.txt               # software baseline instead
+//	nxzip -metrics corpus.txt            # dump the device metrics snapshot
+//	nxzip -trace t.json -stream corpus.txt  # Chrome trace of every request
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 
 	"nxzip"
 	"nxzip/internal/stats"
+	"nxzip/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +48,8 @@ func run() error {
 		chunk      = flag.Int("chunk", 1<<20, "streaming request size in bytes")
 		outPath    = flag.String("o", "", "output file (default stdout)")
 		verbose    = flag.Bool("v", false, "print device accounting to stderr")
+		dumpMet    = flag.Bool("metrics", false, "print the device metrics snapshot to stderr")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON of every request to this file")
 	)
 	flag.Parse()
 
@@ -76,11 +81,34 @@ func run() error {
 	var result []byte
 	var metrics *nxzip.Metrics
 
+	// open wires the observability flags into whichever accelerator the
+	// mode below decides to use. The software paths never open one, so
+	// -metrics/-trace are silently inert there.
+	var acc *nxzip.Accelerator
+	var traceFile *os.File
+	open := func(cfg nxzip.Config) (*nxzip.Accelerator, error) {
+		acc = nxzip.Open(cfg)
+		if *tracePath != "" {
+			f, ferr := os.Create(*tracePath)
+			if ferr != nil {
+				return nil, ferr
+			}
+			traceFile = f
+			acc.StartTrace(telemetry.NewChromeSink(f))
+		}
+		return acc, nil
+	}
+	defer func() {
+		if acc != nil {
+			acc.Close()
+		}
+	}()
+
 	switch {
 	case *format == "842":
-		cfg := nxzip.P9()
-		acc := nxzip.Open(cfg)
-		defer acc.Close()
+		if _, err := open(nxzip.P9()); err != nil {
+			return err
+		}
 		if *decompress {
 			result, metrics, err = acc.Decompress842(src, 0)
 		} else {
@@ -100,8 +128,9 @@ func run() error {
 		if *fht {
 			cfg.TableMode = nxzip.TableFixed
 		}
-		acc := nxzip.Open(cfg)
-		defer acc.Close()
+		if _, err := open(cfg); err != nil {
+			return err
+		}
 		if *decompress && *stream {
 			r := acc.NewStreamReader(bytes.NewReader(src), 0)
 			if _, cerr := io.Copy(out, r); cerr != nil {
@@ -160,6 +189,18 @@ func run() error {
 				metrics.DeviceTime, metrics.DeviceCycles, metrics.Faults,
 				stats.Rate(metrics.Throughput()))
 		}
+	}
+	if traceFile != nil {
+		if err := acc.StopTrace(); err != nil {
+			return err
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
+	if *dumpMet && acc != nil {
+		acc.Metrics().Format(os.Stderr)
 	}
 	return nil
 }

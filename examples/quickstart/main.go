@@ -1,22 +1,47 @@
 // Quickstart: compress and decompress a buffer through the simulated
 // POWER9 accelerator, check the bytes with the software codec, and print
 // the device-side accounting.
+//
+// With -trace the same run is recorded as Chrome trace_event JSON (one
+// track per request, one slice per pipeline stage) plus a ParallelWriter
+// pass so the trace shows several requests in flight; the file is read
+// back and parse-checked before the program reports success. -metrics
+// prints the device metrics snapshot at exit.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"nxzip"
 	"nxzip/internal/corpus"
 	"nxzip/internal/stats"
+	"nxzip/internal/telemetry"
 )
 
 func main() {
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every request to this file")
+	metrics := flag.Bool("metrics", false, "print the device metrics snapshot at exit")
+	flag.Parse()
+
 	// Open the POWER9 NX GZIP model. z15: nxzip.Open(nxzip.Z15()).
 	acc := nxzip.Open(nxzip.P9())
 	defer acc.Close()
+
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceFile = f
+		acc.StartTrace(telemetry.NewChromeSink(f))
+	}
 
 	// 4 MiB of log-like data.
 	data := corpus.Generate(corpus.JSONLogs, 4<<20, 1)
@@ -50,4 +75,41 @@ func main() {
 		log.Fatal("device round-trip mismatch")
 	}
 	fmt.Println("ok")
+
+	if traceFile != nil {
+		// A ParallelWriter pass gives the trace several overlapping
+		// request tracks instead of one-at-a-time submissions.
+		w := acc.NewParallelWriterChunk(io.Discard, 512<<10, 4)
+		if _, err := w.Write(data); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if err := acc.StopTrace(); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		// Read the file back and verify it is loadable trace JSON.
+		raw, err := os.ReadFile(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			log.Fatalf("trace %s is not valid Chrome trace_event JSON: %v", *tracePath, err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			log.Fatalf("trace %s has no events", *tracePath)
+		}
+		fmt.Printf("trace %s: %d events, valid Chrome trace_event JSON (load in chrome://tracing or ui.perfetto.dev)\n",
+			*tracePath, len(doc.TraceEvents))
+	}
+	if *metrics {
+		acc.Metrics().Format(os.Stdout)
+	}
 }

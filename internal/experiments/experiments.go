@@ -17,6 +17,7 @@ import (
 	"nxzip/internal/queueing"
 	"nxzip/internal/sparkmodel"
 	"nxzip/internal/stats"
+	"nxzip/internal/telemetry"
 )
 
 // Seed fixes every experiment's data so runs are reproducible.
@@ -259,27 +260,42 @@ func E7SparkTPCDS() *Table {
 	return t
 }
 
-// E8LatencyBreakdown reproduces the request-latency decomposition figure.
+// E8LatencyBreakdown reproduces the request-latency decomposition
+// figure. The per-stage cycle counts are read from each request's
+// telemetry trace span — the same records a -trace run exports — so this
+// table and a trace of the same run can never disagree.
 func E8LatencyBreakdown() *Table {
 	t := &Table{
 		ID:     "E8",
 		Title:  "P9 compression request latency breakdown (translate overlaps the pipeline)",
 		Header: []string{"size", "setup", "translate", "dht-gen", "pipeline", "complete", "total"},
 	}
-	ctx := newCtx(nx.P9Device())
-	cfg := ctx.Device().PipelineConfig()
+	dev := nx.NewDevice(nx.P9Device())
+	sink := telemetry.NewCollectSink()
+	dev.StartTrace(sink)
+	ctx := dev.OpenContext(1)
+	cfg := dev.PipelineConfig()
 	for _, size := range sizeSweep {
 		src := corpus.Generate(corpus.Text, size, Seed)
-		_, rep, err := ctx.Compress(src, nx.FCCompressDHT, nx.WrapGzip, true)
-		if err != nil {
+		if _, _, err := ctx.Compress(src, nx.FCCompressDHT, nx.WrapGzip, true); err != nil {
 			panic(err)
 		}
-		b := rep.Breakdown
-		pipe := b.Total - b.Setup - b.DHTGen - b.Complete
+		span := sink.Last()
+		if span == nil {
+			panic("E8: request completed without a trace span")
+		}
+		setup := span.CyclesFor(telemetry.StageSetup)
+		dht := span.CyclesFor(telemetry.StageDHTGen)
+		complete := span.CyclesFor(telemetry.StageComplete)
+		total := span.DeviceCycles
+		// Everything between DHT generation and completion overlaps in the
+		// engine: the model charges max(stages), reported as "pipeline".
+		pipe := total - setup - dht - complete
 		toUS := func(c int64) string { return us(cfg.Time(c).Seconds()) }
-		t.AddRow(stats.Bytes(int64(size)), toUS(b.Setup), toUS(b.Translate),
-			toUS(b.DHTGen), toUS(pipe), toUS(b.Complete), toUS(b.Total))
+		t.AddRow(stats.Bytes(int64(size)), toUS(setup), toUS(span.CyclesFor(telemetry.StageTranslate)),
+			toUS(dht), toUS(pipe), toUS(complete), toUS(total))
 	}
+	_ = dev.StopTrace()
 	return t
 }
 

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"nxzip/internal/telemetry"
 )
 
 // PID identifies an address space (process).
@@ -60,10 +62,29 @@ func DefaultConfig() Config {
 
 // Stats counts translation activity.
 type Stats struct {
+	Hits    int64
+	Misses  int64
+	Faults  int64
+	Touches int64 // OS touch-and-resubmit fault handling rounds
+	Cycles  int64 // total translation cycles spent
+}
+
+// RangeStats is the per-call accounting of one TranslateRangeStats:
+// cycles charged plus the ERAT hit/miss split, so a request span can
+// attribute translation behaviour to the extent that caused it.
+type RangeStats struct {
+	Cycles int64
 	Hits   int64
 	Misses int64
-	Faults int64
-	Cycles int64 // total translation cycles spent
+}
+
+// metrics holds pre-resolved registry instruments (nil when no registry
+// is installed).
+type metrics struct {
+	hits    *telemetry.Counter
+	misses  *telemetry.Counter
+	faults  *telemetry.Counter
+	touches *telemetry.Counter
 }
 
 // MMU is the translation unit. Safe for concurrent use.
@@ -76,6 +97,7 @@ type MMU struct {
 	eratQ  []eratKey          // FIFO replacement order
 	nextPA uint64
 	stats  Stats
+	met    *metrics
 }
 
 type space struct {
@@ -101,6 +123,23 @@ func New(cfg Config) *MMU {
 
 // Config returns the active configuration.
 func (m *MMU) Config() Config { return m.cfg }
+
+// SetMetrics attaches a telemetry registry ("nmmu.*" namespace).
+// Instruments are resolved once; afterwards every update is an atomic op.
+func (m *MMU) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	met := &metrics{
+		hits:    reg.Counter("nmmu.erat_hits"),
+		misses:  reg.Counter("nmmu.erat_misses"),
+		faults:  reg.Counter("nmmu.faults"),
+		touches: reg.Counter("nmmu.touches"),
+	}
+	m.mu.Lock()
+	m.met = met
+	m.mu.Unlock()
+}
 
 // CreateSpace registers an address space for pid (idempotent).
 func (m *MMU) CreateSpace(pid PID) {
@@ -152,6 +191,10 @@ func (m *MMU) Touch(pid PID, va uint64) error {
 		return fmt.Errorf("nmmu: touch of unmapped va %#x", va)
 	}
 	st.present = true
+	m.stats.Touches++
+	if m.met != nil {
+		m.met.touches.Inc()
+	}
 	return nil
 }
 
@@ -177,13 +220,14 @@ func (m *MMU) Evict(pid PID, va uint64) {
 func (m *MMU) Translate(pid PID, va uint64) (pa uint64, cycles int64, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.translateLocked(pid, va)
+	pa, cycles, _, err = m.translateLocked(pid, va)
+	return pa, cycles, err
 }
 
-func (m *MMU) translateLocked(pid PID, va uint64) (uint64, int64, error) {
+func (m *MMU) translateLocked(pid PID, va uint64) (pa uint64, cycles int64, hit bool, err error) {
 	sp, ok := m.spaces[pid]
 	if !ok {
-		return 0, 0, ErrNoSpace
+		return 0, 0, false, ErrNoSpace
 	}
 	ps := uint64(m.cfg.PageSize)
 	vpn := va / ps
@@ -191,40 +235,62 @@ func (m *MMU) translateLocked(pid PID, va uint64) (uint64, int64, error) {
 	if pa, ok := m.erat[key]; ok {
 		m.stats.Hits++
 		m.stats.Cycles += m.cfg.ERATHitCycles
-		return pa + va%ps, m.cfg.ERATHitCycles, nil
+		if m.met != nil {
+			m.met.hits.Inc()
+		}
+		return pa + va%ps, m.cfg.ERATHitCycles, true, nil
 	}
 	m.stats.Misses++
-	cycles := m.cfg.WalkCycles
+	if m.met != nil {
+		m.met.misses.Inc()
+	}
+	cycles = m.cfg.WalkCycles
 	st, ok := sp.pages[vpn]
 	if !ok || !st.present {
 		m.stats.Faults++
+		if m.met != nil {
+			m.met.faults.Inc()
+		}
 		cycles += m.cfg.FaultTripCycles
 		m.stats.Cycles += cycles
-		return 0, cycles, &Fault{PID: pid, VA: va}
+		return 0, cycles, false, &Fault{PID: pid, VA: va}
 	}
 	m.insertERAT(key, st.pa)
 	m.stats.Cycles += cycles
-	return st.pa + va%ps, cycles, nil
+	return st.pa + va%ps, cycles, false, nil
 }
 
 // TranslateRange resolves every page in [va, va+length), returning the
 // accumulated translation cycles. On fault it reports the faulting VA and
 // the cycles spent up to and including the fault.
 func (m *MMU) TranslateRange(pid PID, va uint64, length int) (cycles int64, err error) {
+	rs, err := m.TranslateRangeStats(pid, va, length)
+	return rs.Cycles, err
+}
+
+// TranslateRangeStats is TranslateRange plus the per-call ERAT hit/miss
+// split, for callers (the engine) that attribute translation behaviour
+// to individual request extents.
+func (m *MMU) TranslateRangeStats(pid PID, va uint64, length int) (rs RangeStats, err error) {
 	if length <= 0 {
-		return 0, nil
+		return RangeStats{}, nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ps := uint64(m.cfg.PageSize)
 	for p := va / ps; p <= (va+uint64(length)-1)/ps; p++ {
-		_, c, err := m.translateLocked(pid, p*ps)
-		cycles += c
+		_, c, hit, err := m.translateLocked(pid, p*ps)
+		rs.Cycles += c
+		if hit {
+			rs.Hits++
+		} else {
+			rs.Misses++
+		}
 		if err != nil {
-			return cycles, err
+			return rs, err
 		}
 	}
-	return cycles, nil
+	return rs, nil
 }
 
 func (m *MMU) insertERAT(key eratKey, pa uint64) {

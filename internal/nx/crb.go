@@ -98,6 +98,9 @@ const (
 	CCDataCorrupt
 	// CCInvalidCRB: malformed request.
 	CCInvalidCRB
+
+	// ccCount sizes per-CC counter arrays.
+	ccCount
 )
 
 func (c CC) String() string {
@@ -187,6 +190,12 @@ type CSB struct {
 	Output []byte
 
 	Cycles pipeline.Breakdown
+	// ERATHits/ERATMisses split this request's translation work (pages
+	// resolved from the ERAT vs table walks, the faulting page included in
+	// the misses). Carried per-CSB like LZ so concurrent submitters never
+	// read another request's counters.
+	ERATHits   int64
+	ERATMisses int64
 	// LZ reports the match-search statistics of this request (compression
 	// function codes only). Carried per-CSB so concurrent submitters never
 	// read another request's counters.

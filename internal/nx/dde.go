@@ -56,24 +56,27 @@ func (d DDE) flatten() ([]DDE, error) {
 }
 
 // translateDDE walks every page of every extent, accumulating translation
-// cycles, and returns the first fault encountered.
-func translateDDE(mmu *nmmu.MMU, pid nmmu.PID, d DDE) (int64, error) {
+// cycles and the ERAT hit/miss split, and returns the first fault
+// encountered.
+func translateDDE(mmu *nmmu.MMU, pid nmmu.PID, d DDE) (nmmu.RangeStats, error) {
 	extents, err := d.flatten()
 	if err != nil {
-		return 0, err
+		return nmmu.RangeStats{}, err
 	}
-	var cycles int64
+	var rs nmmu.RangeStats
 	for _, e := range extents {
 		if e.VA == 0 || e.Len == 0 {
 			continue
 		}
-		c, err := mmu.TranslateRange(pid, e.VA, e.Len)
-		cycles += c
+		s, err := mmu.TranslateRangeStats(pid, e.VA, e.Len)
+		rs.Cycles += s.Cycles
+		rs.Hits += s.Hits
+		rs.Misses += s.Misses
 		if err != nil {
-			return cycles, err
+			return rs, err
 		}
 	}
-	return cycles, nil
+	return rs, nil
 }
 
 // GatherDDE assembles the logical source buffer for a scatter/gather

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"nxzip/internal/lz77"
 	"nxzip/internal/nmmu"
 	"nxzip/internal/pipeline"
+	"nxzip/internal/telemetry"
 	"nxzip/internal/vas"
 )
 
@@ -45,6 +47,23 @@ type Device struct {
 	engines []*Engine
 	nextEng atomic.Int64
 	ctxSeq  atomic.Uint64
+
+	reg     *telemetry.Registry
+	met     *devMetrics
+	tracer  atomic.Pointer[telemetry.Tracer]
+	created time.Time
+}
+
+// devMetrics holds the device-level instruments, resolved once at
+// construction so the request path pays only atomic updates.
+type devMetrics struct {
+	requests     *telemetry.Counter
+	inBytes      *telemetry.Counter
+	outBytes     *telemetry.Counter
+	faultRetries *telemetry.Counter
+	syncCalls    *telemetry.Counter
+	queueWaitUS  *telemetry.Histogram // paste-accept to dequeue, µs wall-clock
+	cc           [ccCount]*telemetry.Counter
 }
 
 // NewDevice builds a device.
@@ -52,15 +71,103 @@ func NewDevice(cfg DeviceConfig) *Device {
 	if cfg.Engines <= 0 {
 		cfg.Engines = 1
 	}
+	reg := telemetry.NewRegistry()
 	d := &Device{
-		cfg: cfg,
-		mmu: nmmu.New(cfg.MMU),
-		sb:  vas.New(cfg.VAS),
+		cfg:     cfg,
+		mmu:     nmmu.New(cfg.MMU),
+		sb:      vas.New(cfg.VAS),
+		reg:     reg,
+		created: time.Now(),
 	}
+	d.met = &devMetrics{
+		requests:     reg.Counter("nx.requests"),
+		inBytes:      reg.Counter("nx.in_bytes"),
+		outBytes:     reg.Counter("nx.out_bytes"),
+		faultRetries: reg.Counter("nx.fault_retries"),
+		syncCalls:    reg.Counter("nx.sync_calls"),
+		queueWaitUS:  reg.Histogram("nx.queue_wait_us"),
+	}
+	ccVec := reg.CounterVec("nx.cc")
+	for cc := CC(0); cc < ccCount; cc++ {
+		d.met.cc[cc] = ccVec.With(cc.String())
+	}
+	d.mmu.SetMetrics(reg)
+	d.sb.SetMetrics(reg)
 	for i := 0; i < cfg.Engines; i++ {
 		d.engines = append(d.engines, NewEngine(cfg.Engine, d.mmu))
 	}
 	return d
+}
+
+// Registry exposes the device's metrics registry so callers can add
+// their own instruments (the root package's writer/reader stats live
+// here too, keeping one snapshot for the whole stack).
+func (d *Device) Registry() *telemetry.Registry { return d.reg }
+
+// StartTrace installs a tracer: from now on every request carries a
+// span emitted to sink at CSB completion. Replaces any previous tracer
+// without closing its sink. With no tracer installed the request path
+// allocates nothing for tracing.
+func (d *Device) StartTrace(sink telemetry.Sink) {
+	d.tracer.Store(telemetry.NewTracer(sink))
+}
+
+// StopTrace uninstalls the tracer and closes its sink. In-flight spans
+// started under the old tracer still emit to it.
+func (d *Device) StopTrace() error {
+	return d.tracer.Swap(nil).Close()
+}
+
+// Tracer returns the installed tracer, or nil when tracing is off.
+func (d *Device) Tracer() *telemetry.Tracer { return d.tracer.Load() }
+
+// engineStageNames orders a breakdown's per-stage sums for labeling.
+var engineStageNames = []string{
+	"setup", "translate", "dht-gen", "dma-in", "lz", "encode", "decode", "dma-out", "complete",
+}
+
+func breakdownByStage(b pipeline.Breakdown) []int64 {
+	return []int64{b.Setup, b.Translate, b.DHTGen, b.DMAIn, b.LZ, b.Encode, b.Decode, b.DMAOut, b.Complete}
+}
+
+// MetricsSnapshot captures every instrument: the registry (vas.*,
+// nmmu.*, nx.* and anything callers registered) plus the per-engine
+// counters harvested under each engine's lock — requests, bytes, CC
+// counts, per-stage cycle sums, and busy/idle cycles (idle = wall-clock
+// since device creation converted at the modelled clock, minus busy).
+func (d *Device) MetricsSnapshot() *telemetry.Snapshot {
+	snap := d.reg.Snapshot()
+	elapsedCycles := int64(time.Since(d.created).Seconds() * d.cfg.Engine.Pipeline.ClockGHz * 1e9)
+	for i, e := range d.engines {
+		ct := e.Counters()
+		label := strconv.Itoa(i)
+		idle := elapsedCycles - ct.BusyCycles
+		if idle < 0 {
+			idle = 0
+		}
+		snap.Counters = append(snap.Counters,
+			telemetry.CounterSnapshot{Name: "nx.engine.requests", Label: label, Value: ct.Requests},
+			telemetry.CounterSnapshot{Name: "nx.engine.busy_cycles", Label: label, Value: ct.BusyCycles},
+			telemetry.CounterSnapshot{Name: "nx.engine.idle_cycles", Label: label, Value: idle},
+			telemetry.CounterSnapshot{Name: "nx.engine.in_bytes", Label: label, Value: ct.InBytes},
+			telemetry.CounterSnapshot{Name: "nx.engine.out_bytes", Label: label, Value: ct.OutBytes},
+		)
+		stages := breakdownByStage(ct.StageCycles)
+		for si, name := range engineStageNames {
+			snap.Counters = append(snap.Counters, telemetry.CounterSnapshot{
+				Name: "nx.engine.stage_cycles", Label: label + "/" + name, Value: stages[si],
+			})
+		}
+		for cc := CC(0); cc < ccCount; cc++ {
+			if n := ct.CCCounts[cc]; n > 0 {
+				snap.Counters = append(snap.Counters, telemetry.CounterSnapshot{
+					Name: "nx.engine.cc", Label: label + "/" + cc.String(), Value: n,
+				})
+			}
+		}
+	}
+	snap.Sort()
+	return snap
 }
 
 // MMU exposes the translation unit (tests and the fault experiments evict
@@ -159,10 +266,21 @@ const maxPasteRetries = 1 << 20
 // request itself plus a completion slot. Whichever submitter goroutine
 // dequeues the entry runs it and closes done; the owner waits on done, so
 // concurrent submitters never lose a request another goroutine drained.
+//
+// The trace fields cross goroutines with well-defined happens-before
+// edges: the owner writes span/submitStart/pastedAt/pasteRejects before
+// the successful Paste (the switchboard mutex publishes them to the
+// dequeuer); the dequeuer writes the span's execution stages before
+// close(done) publishes them back to the owner.
 type pendingCRB struct {
 	crb  *CRB
 	csb  *CSB
 	done chan struct{}
+
+	span         *telemetry.Span
+	submitStart  time.Time // first paste attempt of this round
+	pastedAt     time.Time // stamped just before each paste attempt
+	pasteRejects int       // credit/FIFO bounces this round
 }
 
 // submit pastes the CRB, runs an engine, and implements the OS side of
@@ -172,23 +290,32 @@ type pendingCRB struct {
 // FIFO (running whatever it dequeues, its own request or a neighbour's)
 // until its own request completes, then builds the report from its CSB.
 func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
+	tr := c.dev.tracer.Load()
+	span := tr.Start(crb.Func.String(), int(c.pid), c.window)
 	var (
 		retries int
 		wasted  int64
 	)
 	for {
-		p := &pendingCRB{crb: crb, done: make(chan struct{})}
+		p := &pendingCRB{crb: crb, done: make(chan struct{}), span: span}
+		p.submitStart = time.Now()
 		wrapped := &vas.CRB{Payload: p}
 		pasted := false
 		for try := 0; try < maxPasteRetries; try++ {
+			p.pastedAt = time.Now()
 			err := c.dev.sb.Paste(c.window, wrapped)
 			if err == nil {
 				pasted = true
 				break
 			}
 			if errors.Is(err, vas.ErrWindowClosed) {
+				if span != nil {
+					span.CC = "window-closed"
+				}
+				tr.Finish(span)
 				return nil, nil, err
 			}
+			p.pasteRejects++
 			// Credit/FIFO pressure: drain one entry and retry. If the FIFO
 			// is empty the backlog is running on other goroutines — yield
 			// until a credit comes back.
@@ -199,6 +326,10 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 			}
 		}
 		if !pasted {
+			if span != nil {
+				span.CC = "device-busy"
+			}
+			tr.Finish(span)
 			return nil, nil, ErrDeviceBusy
 		}
 		// Engine picks up work in FIFO order; drain until ours completes.
@@ -235,13 +366,32 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 			if csb.SPBC > 0 && csb.TPBC > 0 {
 				rep.Ratio = float64(csb.SPBC) / float64(csb.TPBC)
 			}
+			if span != nil {
+				span.InBytes = csb.SPBC
+				span.OutBytes = csb.TPBC
+				span.CC = csb.CC.String()
+			}
+			tr.Finish(span)
 			return csb, rep, nil
 		}
 		// Fault protocol: touch and resubmit.
 		retries++
 		wasted += csb.Cycles.Total
+		c.dev.met.faultRetries.Inc()
+		faultStart := time.Now()
 		if err := c.dev.mmu.Touch(c.pid, csb.FaultVA); err != nil {
+			if span != nil {
+				span.CC = csb.CC.String()
+			}
+			tr.Finish(span)
 			return csb, nil, fmt.Errorf("nx: fault handler: %w", err)
+		}
+		if span != nil {
+			// The done channel has closed, so the span is ours again:
+			// record the OS interlude, attributed to the round that
+			// faulted, then open the next round.
+			span.RecordStage(telemetry.StageFault, faultStart, time.Now(), csb.Cycles.Total)
+			span.Retries++
 		}
 	}
 }
@@ -252,10 +402,47 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 // switchboard, and signals the submitting goroutine.
 func (c *Context) runOne(wrapped *vas.CRB) {
 	p := wrapped.Payload.(*pendingCRB)
+	dequeuedAt := time.Now()
 	idx := int(c.dev.nextEng.Add(1)-1) % len(c.dev.engines)
 	p.csb = c.dev.engines[idx].Process(wrapped.PID, p.crb)
+	engineEnd := time.Now()
+	m := c.dev.met
+	m.requests.Inc()
+	m.inBytes.Add(int64(p.csb.SPBC))
+	m.outBytes.Add(int64(p.csb.TPBC))
+	if cc := p.csb.CC; cc >= 0 && cc < ccCount {
+		m.cc[cc].Inc()
+	}
+	m.queueWaitUS.Observe(float64(dequeuedAt.Sub(p.pastedAt)) / float64(time.Microsecond))
+	if s := p.span; s != nil {
+		// This goroutine owns the span between Dequeue and close(done).
+		s.Engine = idx
+		s.ERATHits += p.csb.ERATHits
+		s.ERATMisses += p.csb.ERATMisses
+		s.DeviceCycles += p.csb.Cycles.Total
+		s.PasteRejects += p.pasteRejects
+		s.RecordStage(telemetry.StageSubmit, p.submitStart, p.pastedAt, 0)
+		s.RecordStage(telemetry.StageFIFO, p.pastedAt, dequeuedAt, 0)
+		s.RecordPipeline(dequeuedAt, engineEnd, pipelineStages(p.csb.Cycles))
+	}
 	c.dev.sb.Complete(wrapped)
 	close(p.done)
+}
+
+// pipelineStages flattens a modelled breakdown into span stages (only
+// called on the traced path).
+func pipelineStages(b pipeline.Breakdown) []telemetry.PipelineStage {
+	return []telemetry.PipelineStage{
+		{Stage: telemetry.StageSetup, Cycles: b.Setup},
+		{Stage: telemetry.StageTranslate, Cycles: b.Translate},
+		{Stage: telemetry.StageDHTGen, Cycles: b.DHTGen},
+		{Stage: telemetry.StageDMAIn, Cycles: b.DMAIn},
+		{Stage: telemetry.StageLZ, Cycles: b.LZ},
+		{Stage: telemetry.StageEncode, Cycles: b.Encode},
+		{Stage: telemetry.StageDecode, Cycles: b.Decode},
+		{Stage: telemetry.StageDMAOut, Cycles: b.DMAOut},
+		{Stage: telemetry.StageComplete, Cycles: b.Complete},
+	}
 }
 
 // Compress runs a full user-level compression: map buffers, submit,
@@ -337,13 +524,32 @@ func (c *Context) SyncCall(crb *CRB) (*CSB, *Report, error) {
 		return nil, nil, fmt.Errorf("nx: %s has no synchronous submission interface", c.dev.cfg.Engine.Pipeline.Name)
 	}
 	crb.SyncSubmit = true
+	tr := c.dev.tracer.Load()
+	// Window -1: the synchronous interface bypasses the VAS queue.
+	span := tr.Start(crb.Func.String(), int(c.pid), -1)
 	var (
 		retries int
 		wasted  int64
 	)
 	for {
+		start := time.Now()
 		idx := int(c.dev.nextEng.Add(1)-1) % len(c.dev.engines)
 		csb := c.dev.engines[idx].Process(c.pid, crb)
+		m := c.dev.met
+		m.requests.Inc()
+		m.syncCalls.Inc()
+		m.inBytes.Add(int64(csb.SPBC))
+		m.outBytes.Add(int64(csb.TPBC))
+		if cc := csb.CC; cc >= 0 && cc < ccCount {
+			m.cc[cc].Inc()
+		}
+		if span != nil {
+			span.Engine = idx
+			span.ERATHits += csb.ERATHits
+			span.ERATMisses += csb.ERATMisses
+			span.DeviceCycles += csb.Cycles.Total
+			span.RecordPipeline(start, time.Now(), pipelineStages(csb.Cycles))
+		}
 		if csb.CC != CCTranslationFault {
 			rep := &Report{
 				Engine:       c.dev.cfg.Engine.Pipeline.Name,
@@ -361,12 +567,28 @@ func (c *Context) SyncCall(crb *CRB) (*CSB, *Report, error) {
 			if csb.SPBC > 0 && csb.TPBC > 0 {
 				rep.Ratio = float64(csb.SPBC) / float64(csb.TPBC)
 			}
+			if span != nil {
+				span.InBytes = csb.SPBC
+				span.OutBytes = csb.TPBC
+				span.CC = csb.CC.String()
+			}
+			tr.Finish(span)
 			return csb, rep, nil
 		}
 		retries++
 		wasted += csb.Cycles.Total
+		c.dev.met.faultRetries.Inc()
+		faultStart := time.Now()
 		if err := c.dev.mmu.Touch(c.pid, csb.FaultVA); err != nil {
+			if span != nil {
+				span.CC = csb.CC.String()
+			}
+			tr.Finish(span)
 			return csb, nil, fmt.Errorf("nx: fault handler: %w", err)
+		}
+		if span != nil {
+			span.RecordStage(telemetry.StageFault, faultStart, time.Now(), csb.Cycles.Total)
+			span.Retries++
 		}
 	}
 }

@@ -39,11 +39,13 @@ type Engine struct {
 	matcher *lz77.HWMatcher
 
 	// accumulated counters
-	requests   int64
-	busyCycles int64
-	inBytes    int64
-	outBytes   int64
-	lastLZ     lz77.HWStats
+	requests    int64
+	busyCycles  int64
+	inBytes     int64
+	outBytes    int64
+	stageCycles pipeline.Breakdown // per-stage sums across all requests
+	ccCounts    [ccCount]int64     // completions by CC
+	lastLZ      lz77.HWStats
 }
 
 // NewEngine builds an engine bound to an MMU (nil disables translation,
@@ -79,18 +81,20 @@ func (e *Engine) Process(pid nmmu.PID, crb *CRB) *CSB {
 		}
 		for _, op := range operands {
 			var (
-				c   int64
+				rs  nmmu.RangeStats
 				err error
 			)
 			switch {
 			case op.dde != nil:
-				c, err = translateDDE(e.mmu, pid, *op.dde)
+				rs, err = translateDDE(e.mmu, pid, *op.dde)
 			case op.va != 0:
-				c, err = e.mmu.TranslateRange(pid, op.va, op.n)
+				rs, err = e.mmu.TranslateRangeStats(pid, op.va, op.n)
 			default:
 				continue
 			}
-			translateCycles += c
+			translateCycles += rs.Cycles
+			csb.ERATHits += rs.Hits
+			csb.ERATMisses += rs.Misses
 			if fault := asFault(err); fault != nil {
 				return e.faultCSB(csb, fault, translateCycles)
 			} else if err != nil {
@@ -134,7 +138,27 @@ func (e *Engine) Process(pid nmmu.PID, crb *CRB) *CSB {
 	e.busyCycles += csb.Cycles.Total
 	e.inBytes += int64(csb.SPBC)
 	e.outBytes += int64(csb.TPBC)
+	e.accumStages(csb)
 	return csb
+}
+
+// accumStages folds one request's breakdown and completion code into the
+// lifetime per-stage accounting. Called with e.mu held.
+func (e *Engine) accumStages(csb *CSB) {
+	b := &e.stageCycles
+	b.Setup += csb.Cycles.Setup
+	b.Translate += csb.Cycles.Translate
+	b.DMAIn += csb.Cycles.DMAIn
+	b.LZ += csb.Cycles.LZ
+	b.DHTGen += csb.Cycles.DHTGen
+	b.Encode += csb.Cycles.Encode
+	b.Decode += csb.Cycles.Decode
+	b.DMAOut += csb.Cycles.DMAOut
+	b.Complete += csb.Cycles.Complete
+	b.Total += csb.Cycles.Total
+	if csb.CC >= 0 && csb.CC < ccCount {
+		e.ccCounts[csb.CC]++
+	}
 }
 
 func targetCap(crb *CRB) int {
@@ -165,6 +189,7 @@ func (e *Engine) faultCSB(csb *CSB, f *nmmu.Fault, translateCycles int64) *CSB {
 	csb.Cycles.Total = csb.Cycles.Setup + csb.Cycles.Translate + csb.Cycles.Complete
 	e.requests++
 	e.busyCycles += csb.Cycles.Total
+	e.accumStages(csb)
 	return csb
 }
 
@@ -409,7 +434,12 @@ type Counters struct {
 	BusyCycles int64
 	InBytes    int64
 	OutBytes   int64
-	LastLZ     lz77.HWStats
+	// StageCycles sums each pipeline stage's cycles across every request
+	// this engine ran (Total included, so idle = elapsed - Total).
+	StageCycles pipeline.Breakdown
+	// CCCounts is the number of completions per CC code, indexed by CC.
+	CCCounts [ccCount]int64
+	LastLZ   lz77.HWStats
 }
 
 // Counters returns a snapshot of lifetime counters.
@@ -417,10 +447,12 @@ func (e *Engine) Counters() Counters {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return Counters{
-		Requests:   e.requests,
-		BusyCycles: e.busyCycles,
-		InBytes:    e.inBytes,
-		OutBytes:   e.outBytes,
-		LastLZ:     e.lastLZ,
+		Requests:    e.requests,
+		BusyCycles:  e.busyCycles,
+		InBytes:     e.inBytes,
+		OutBytes:    e.outBytes,
+		StageCycles: e.stageCycles,
+		CCCounts:    e.ccCounts,
+		LastLZ:      e.lastLZ,
 	}
 }

@@ -55,6 +55,11 @@ func (s *Summary) StdDev() float64 {
 }
 
 // Samples records individual observations for percentile queries.
+// Percentile sorts lazily, so Add and Percentile calls may interleave
+// freely: an Add after a Percentile marks the set dirty and the next
+// Percentile re-sorts. Not safe for concurrent use (Percentile mutates
+// the sample order); callers that share a Samples across goroutines must
+// hold their own lock.
 type Samples struct {
 	xs     []float64
 	sorted bool
@@ -69,8 +74,15 @@ func (s *Samples) Add(x float64) {
 // N returns the number of recorded observations.
 func (s *Samples) N() int { return len(s.xs) }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between closest ranks. Returns 0 for an empty set.
+// Percentile returns the p-th percentile using linear interpolation
+// between closest ranks: rank = p/100 * (N-1), and the result
+// interpolates between the two samples bracketing that rank.
+//
+// Edge behavior, by definition of the closest-rank method:
+//   - empty set: returns 0 (there is no data to interpolate)
+//   - single sample: every percentile is that sample
+//   - p <= 0 (and NaN): the minimum; p >= 100: the maximum — the
+//     endpoints are exact order statistics, never extrapolated
 func (s *Samples) Percentile(p float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
@@ -79,7 +91,9 @@ func (s *Samples) Percentile(p float64) float64 {
 		sort.Float64s(s.xs)
 		s.sorted = true
 	}
-	if p <= 0 {
+	// NaN fails both comparisons below and would poison the rank
+	// arithmetic (int(NaN) is platform-defined); treat it as p=0.
+	if math.IsNaN(p) || p <= 0 {
 		return s.xs[0]
 	}
 	if p >= 100 {

@@ -66,6 +66,61 @@ func TestPercentileUnsortedInsertions(t *testing.T) {
 	}
 }
 
+func TestPercentileSingleSample(t *testing.T) {
+	var s Samples
+	s.Add(42)
+	for _, p := range []float64{-5, 0, 1, 50, 99, 100, 250} {
+		if got := s.Percentile(p); got != 42 {
+			t.Fatalf("P%v of single sample = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestPercentileEndpointsExact(t *testing.T) {
+	var s Samples
+	for _, v := range []float64{7, 3, 11, 5} {
+		s.Add(v)
+	}
+	// p<=0 and p>=100 are exact order statistics, never interpolated or
+	// extrapolated — even for out-of-range p.
+	if got := s.Percentile(0); got != 3 {
+		t.Fatalf("P0 = %v, want min 3", got)
+	}
+	if got := s.Percentile(-10); got != 3 {
+		t.Fatalf("P-10 = %v, want min 3", got)
+	}
+	if got := s.Percentile(100); got != 11 {
+		t.Fatalf("P100 = %v, want max 11", got)
+	}
+	if got := s.Percentile(1000); got != 11 {
+		t.Fatalf("P1000 = %v, want max 11", got)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Samples
+	s.Add(10)
+	s.Add(20)
+	// rank = 0.5 between the two samples.
+	if got := s.Percentile(50); got != 15 {
+		t.Fatalf("P50 of {10,20} = %v, want 15", got)
+	}
+	if got := s.Percentile(25); got != 12.5 {
+		t.Fatalf("P25 of {10,20} = %v, want 12.5", got)
+	}
+}
+
+func TestPercentileNaN(t *testing.T) {
+	var s Samples
+	s.Add(1)
+	s.Add(2)
+	s.Add(3)
+	// NaN must not panic or poison rank arithmetic; defined as p=0.
+	if got := s.Percentile(math.NaN()); got != 1 {
+		t.Fatalf("P(NaN) = %v, want min 1", got)
+	}
+}
+
 func TestSamplesMeanEmpty(t *testing.T) {
 	var s Samples
 	if s.Mean() != 0 || s.Percentile(50) != 0 {

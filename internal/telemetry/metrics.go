@@ -1,0 +1,416 @@
+// Package telemetry is the observability layer of the accelerator model:
+// a low-overhead metrics registry (atomic counters, gauges and bounded
+// histograms, with labeled families) plus per-request trace spans that
+// ride a CRB through its whole lifecycle — paste and credit wait, receive
+// FIFO residency, translation (ERAT hits/misses and fault/resubmit
+// rounds), the engine pipeline stages, and CSB completion — in both
+// modelled device cycles and host wall-clock.
+//
+// The contract the request hot path depends on: with no tracer installed
+// every instrument is a plain atomic update on a pre-resolved pointer —
+// no allocation, no lock on counters/gauges, one short mutex on
+// histograms — and span recording costs exactly one nil check.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nxzip/internal/stats"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value with a high-water mark. Set and Add are
+// atomic; Max tracks the largest value ever set.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set stores v and updates the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	g.bumpMax(v)
+}
+
+// Add adjusts the gauge by delta and returns the new value.
+func (g *Gauge) Add(delta int64) int64 {
+	v := g.v.Add(delta)
+	g.bumpMax(v)
+	return v
+}
+
+func (g *Gauge) bumpMax(v int64) {
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// histogramWindow bounds the sample reservoir a Histogram keeps for
+// percentile queries. Mean/min/max/count are exact over every
+// observation; percentiles are computed over the most recent
+// histogramWindow observations.
+const histogramWindow = 4096
+
+// Histogram records a distribution: an exact streaming summary
+// (stats.Summary) plus a bounded ring of recent samples for percentile
+// queries (stats.Samples at snapshot time). Observe never allocates after
+// construction; a short mutex keeps snapshot-during-update tear-free.
+type Histogram struct {
+	mu   sync.Mutex
+	sum  stats.Summary
+	ring []float64
+	n    int64 // total observations (ring writes wrap at histogramWindow)
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{ring: make([]float64, 0, histogramWindow)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.sum.Add(v)
+	if len(h.ring) < cap(h.ring) {
+		h.ring = append(h.ring, v)
+	} else {
+		h.ring[h.n%histogramWindow] = v
+	}
+	h.n++
+	h.mu.Unlock()
+}
+
+// snapshot captures the histogram under its lock.
+func (h *Histogram) snapshot(name, label string) HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Name:  name,
+		Label: label,
+		Count: h.sum.N(),
+		Mean:  h.sum.Mean(),
+		Min:   h.sum.Min(),
+		Max:   h.sum.Max(),
+	}
+	if len(h.ring) > 0 {
+		var ps stats.Samples
+		for _, v := range h.ring {
+			ps.Add(v)
+		}
+		s.P50 = ps.Percentile(50)
+		s.P95 = ps.Percentile(95)
+		s.P99 = ps.Percentile(99)
+	}
+	return s
+}
+
+// CounterVec is a labeled family of counters (per-engine, per-context,
+// per-priority, per-CC...). With is safe for concurrent use and returns a
+// stable *Counter for the label, so hot paths resolve once and then pay
+// only the atomic add.
+type CounterVec struct {
+	m sync.Map // label -> *Counter
+}
+
+// With returns the counter for label, creating it on first use.
+func (v *CounterVec) With(label string) *Counter {
+	if c, ok := v.m.Load(label); ok {
+		return c.(*Counter)
+	}
+	c, _ := v.m.LoadOrStore(label, &Counter{})
+	return c.(*Counter)
+}
+
+// GaugeVec is a labeled family of gauges.
+type GaugeVec struct {
+	m sync.Map // label -> *Gauge
+}
+
+// With returns the gauge for label, creating it on first use.
+func (v *GaugeVec) With(label string) *Gauge {
+	if g, ok := v.m.Load(label); ok {
+		return g.(*Gauge)
+	}
+	g, _ := v.m.LoadOrStore(label, &Gauge{})
+	return g.(*Gauge)
+}
+
+// HistogramVec is a labeled family of histograms.
+type HistogramVec struct {
+	m sync.Map // label -> *Histogram
+}
+
+// With returns the histogram for label, creating it on first use.
+func (v *HistogramVec) With(label string) *Histogram {
+	if h, ok := v.m.Load(label); ok {
+		return h.(*Histogram)
+	}
+	h, _ := v.m.LoadOrStore(label, newHistogram())
+	return h.(*Histogram)
+}
+
+// Registry is a named set of instruments. Lookup methods get-or-create;
+// callers resolve instruments once (at device construction) and hold the
+// returned pointer, so the request path never touches the registry maps.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*CounterVec
+	gauges     map[string]*GaugeVec
+	histograms map[string]*HistogramVec
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*CounterVec),
+		gauges:     make(map[string]*GaugeVec),
+		histograms: make(map[string]*HistogramVec),
+	}
+}
+
+// CounterVec returns the labeled counter family name.
+func (r *Registry) CounterVec(name string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counters[name]
+	if !ok {
+		v = &CounterVec{}
+		r.counters[name] = v
+	}
+	return v
+}
+
+// Counter returns the unlabeled counter name.
+func (r *Registry) Counter(name string) *Counter { return r.CounterVec(name).With("") }
+
+// GaugeVec returns the labeled gauge family name.
+func (r *Registry) GaugeVec(name string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gauges[name]
+	if !ok {
+		v = &GaugeVec{}
+		r.gauges[name] = v
+	}
+	return v
+}
+
+// Gauge returns the unlabeled gauge name.
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeVec(name).With("") }
+
+// HistogramVec returns the labeled histogram family name.
+func (r *Registry) HistogramVec(name string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histograms[name]
+	if !ok {
+		v = &HistogramVec{}
+		r.histograms[name] = v
+	}
+	return v
+}
+
+// Histogram returns the unlabeled histogram name.
+func (r *Registry) Histogram(name string) *Histogram { return r.HistogramVec(name).With("") }
+
+// CounterSnapshot is one counter's value at snapshot time.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's value and high-water mark.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"`
+	Value int64  `json:"value"`
+	Max   int64  `json:"max"`
+}
+
+// HistogramSnapshot summarizes one histogram. Count/Mean/Min/Max are
+// exact over all observations; P50/P95/P99 cover the most recent
+// histogramWindow observations.
+type HistogramSnapshot struct {
+	Name  string  `json:"name"`
+	Label string  `json:"label,omitempty"`
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time view of every instrument, sorted by name
+// then label. Each instrument is read atomically (counters/gauges) or
+// under its lock (histograms), so no individual value is torn; the
+// snapshot as a whole is not a cross-instrument atomic cut.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered instrument.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	cnames := sortedKeys(r.counters)
+	gnames := sortedKeys(r.gauges)
+	hnames := sortedKeys(r.histograms)
+	cvecs := make([]*CounterVec, len(cnames))
+	for i, n := range cnames {
+		cvecs[i] = r.counters[n]
+	}
+	gvecs := make([]*GaugeVec, len(gnames))
+	for i, n := range gnames {
+		gvecs[i] = r.gauges[n]
+	}
+	hvecs := make([]*HistogramVec, len(hnames))
+	for i, n := range hnames {
+		hvecs[i] = r.histograms[n]
+	}
+	r.mu.Unlock()
+
+	s := &Snapshot{}
+	for i, v := range cvecs {
+		name := cnames[i]
+		v.m.Range(func(k, val any) bool {
+			s.Counters = append(s.Counters, CounterSnapshot{
+				Name: name, Label: k.(string), Value: val.(*Counter).Value(),
+			})
+			return true
+		})
+	}
+	for i, v := range gvecs {
+		name := gnames[i]
+		v.m.Range(func(k, val any) bool {
+			g := val.(*Gauge)
+			s.Gauges = append(s.Gauges, GaugeSnapshot{
+				Name: name, Label: k.(string), Value: g.Value(), Max: g.Max(),
+			})
+			return true
+		})
+	}
+	for i, v := range hvecs {
+		name := hnames[i]
+		v.m.Range(func(k, val any) bool {
+			s.Histograms = append(s.Histograms, val.(*Histogram).snapshot(name, k.(string)))
+			return true
+		})
+	}
+	s.Sort()
+	return s
+}
+
+// Sort orders every section by name then label (snapshots assembled from
+// several sources call this once at the end).
+func (s *Snapshot) Sort() {
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Name != s.Counters[j].Name {
+			return s.Counters[i].Name < s.Counters[j].Name
+		}
+		return s.Counters[i].Label < s.Counters[j].Label
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		if s.Gauges[i].Name != s.Gauges[j].Name {
+			return s.Gauges[i].Name < s.Gauges[j].Name
+		}
+		return s.Gauges[i].Label < s.Gauges[j].Label
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		if s.Histograms[i].Name != s.Histograms[j].Name {
+			return s.Histograms[i].Name < s.Histograms[j].Name
+		}
+		return s.Histograms[i].Label < s.Histograms[j].Label
+	})
+}
+
+// Counter returns the value of the named counter (label "" for the
+// unlabeled instrument), or 0 if absent.
+func (s *Snapshot) Counter(name, label string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name && c.Label == label {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// CounterSum returns the sum across every label of the named family.
+func (s *Snapshot) CounterSum(name string) int64 {
+	var sum int64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			sum += c.Value
+		}
+	}
+	return sum
+}
+
+// Format renders the snapshot as an aligned text table.
+func (s *Snapshot) Format(w io.Writer) {
+	fmt.Fprintf(w, "-- counters --\n")
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "%-36s %12d\n", instrumentName(c.Name, c.Label), c.Value)
+	}
+	fmt.Fprintf(w, "-- gauges --\n")
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "%-36s %12d  (max %d)\n", instrumentName(g.Name, g.Label), g.Value, g.Max)
+	}
+	fmt.Fprintf(w, "-- histograms --\n")
+	for _, h := range s.Histograms {
+		fmt.Fprintf(w, "%-36s n=%d mean=%.2f min=%.2f max=%.2f p50=%.2f p95=%.2f p99=%.2f\n",
+			instrumentName(h.Name, h.Label), h.Count, h.Mean, h.Min, h.Max, h.P50, h.P95, h.P99)
+	}
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+func instrumentName(name, label string) string {
+	if label == "" {
+		return name
+	}
+	return name + "{" + label + "}"
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

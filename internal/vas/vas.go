@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"nxzip/internal/nmmu"
+	"nxzip/internal/telemetry"
 )
 
 // Errors returned by Paste, mirroring the condition codes of the paste
@@ -67,7 +68,25 @@ type Stats struct {
 	CreditRejects int64
 	FIFORejects   int64
 	Dequeues      int64
-	MaxOccupancy  int
+	HighDequeues  int64 // dequeues served from the high-priority FIFO
+	Completes     int64
+	// ArbitrationRounds counts Dequeue invocations — every time an engine
+	// arbitrated between the priority FIFOs, whether or not work was found.
+	ArbitrationRounds int64
+	MaxOccupancy      int
+}
+
+// metrics holds pre-resolved registry instruments; nil when no registry
+// is installed, in which case the switchboard only keeps its own Stats.
+type metrics struct {
+	pastes        *telemetry.Counter
+	creditRejects *telemetry.Counter
+	fifoRejects   *telemetry.Counter
+	dequeueNorm   *telemetry.Counter // vas.dequeues{normal}
+	dequeueHigh   *telemetry.Counter // vas.dequeues{high}
+	completes     *telemetry.Counter
+	arbRounds     *telemetry.Counter
+	occupancy     *telemetry.Gauge // current depth; Max is the high-water mark
 }
 
 // Switchboard is one accelerator's receive side plus all bound send
@@ -82,6 +101,7 @@ type Switchboard struct {
 	nextWin  int
 	nextSeq  int64
 	stats    Stats
+	met      *metrics
 	notify   chan struct{} // signalled on enqueue, capacity 1
 }
 
@@ -106,6 +126,28 @@ func New(cfg Config) *Switchboard {
 		windows: make(map[int]*sendWindow),
 		notify:  make(chan struct{}, 1),
 	}
+}
+
+// SetMetrics attaches a telemetry registry. Instruments are resolved
+// once here ("vas.*" namespace); afterwards every update is an atomic op
+// on the held pointer.
+func (s *Switchboard) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &metrics{
+		pastes:        reg.Counter("vas.pastes"),
+		creditRejects: reg.Counter("vas.credit_rejects"),
+		fifoRejects:   reg.Counter("vas.fifo_rejects"),
+		dequeueNorm:   reg.CounterVec("vas.dequeues").With("normal"),
+		dequeueHigh:   reg.CounterVec("vas.dequeues").With("high"),
+		completes:     reg.Counter("vas.completes"),
+		arbRounds:     reg.Counter("vas.arbitration_rounds"),
+		occupancy:     reg.Gauge("vas.fifo_occupancy"),
+	}
+	s.mu.Lock()
+	s.met = m
+	s.mu.Unlock()
 }
 
 // OpenSendWindow allocates a normal-priority send window for pid.
@@ -144,8 +186,14 @@ func (s *Switchboard) Paste(window int, crb *CRB) error {
 		return ErrWindowClosed
 	}
 	s.stats.Pastes++
+	if s.met != nil {
+		s.met.pastes.Inc()
+	}
 	if w.credits <= 0 {
 		s.stats.CreditRejects++
+		if s.met != nil {
+			s.met.creditRejects.Inc()
+		}
 		return ErrNoCredit
 	}
 	target := &s.fifo
@@ -154,6 +202,9 @@ func (s *Switchboard) Paste(window int, crb *CRB) error {
 	}
 	if len(*target) >= s.cfg.FIFODepth {
 		s.stats.FIFORejects++
+		if s.met != nil {
+			s.met.fifoRejects.Inc()
+		}
 		return ErrFIFOFull
 	}
 	w.credits--
@@ -163,8 +214,12 @@ func (s *Switchboard) Paste(window int, crb *CRB) error {
 	crb.SeqNo = s.nextSeq
 	s.nextSeq++
 	*target = append(*target, crb)
-	if occ := len(s.fifo) + len(s.fifoHigh); occ > s.stats.MaxOccupancy {
+	occ := len(s.fifo) + len(s.fifoHigh)
+	if occ > s.stats.MaxOccupancy {
 		s.stats.MaxOccupancy = occ
+	}
+	if s.met != nil {
+		s.met.occupancy.Set(int64(occ))
 	}
 	select {
 	case s.notify <- struct{}{}:
@@ -179,10 +234,19 @@ func (s *Switchboard) Paste(window int, crb *CRB) error {
 func (s *Switchboard) Dequeue() *CRB {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.stats.ArbitrationRounds++
+	if s.met != nil {
+		s.met.arbRounds.Inc()
+	}
 	if len(s.fifoHigh) > 0 {
 		crb := s.fifoHigh[0]
 		s.fifoHigh = s.fifoHigh[1:]
 		s.stats.Dequeues++
+		s.stats.HighDequeues++
+		if s.met != nil {
+			s.met.dequeueHigh.Inc()
+			s.met.occupancy.Set(int64(len(s.fifo) + len(s.fifoHigh)))
+		}
 		return crb
 	}
 	if len(s.fifo) == 0 {
@@ -191,6 +255,10 @@ func (s *Switchboard) Dequeue() *CRB {
 	crb := s.fifo[0]
 	s.fifo = s.fifo[1:]
 	s.stats.Dequeues++
+	if s.met != nil {
+		s.met.dequeueNorm.Inc()
+		s.met.occupancy.Set(int64(len(s.fifo) + len(s.fifoHigh)))
+	}
 	return crb
 }
 
@@ -198,6 +266,10 @@ func (s *Switchboard) Dequeue() *CRB {
 func (s *Switchboard) Complete(crb *CRB) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.stats.Completes++
+	if s.met != nil {
+		s.met.completes.Inc()
+	}
 	if w, ok := s.windows[crb.Window]; ok {
 		if w.credits < s.cfg.CreditsPerSend {
 			w.credits++

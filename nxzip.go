@@ -36,6 +36,7 @@ import (
 	"nxzip/internal/nmmu"
 	"nxzip/internal/nx"
 	"nxzip/internal/pipeline"
+	"nxzip/internal/telemetry"
 )
 
 // Config selects and tunes an accelerator model.
@@ -119,6 +120,17 @@ type Accelerator struct {
 	dev    *nx.Device
 	ctx    *nx.Context
 	canned *deflate.DHT
+	met    *accMetrics
+}
+
+// accMetrics holds the host-side (stream-layer) instruments, registered
+// in the device's registry so one snapshot covers the whole stack.
+type accMetrics struct {
+	writerMembers  *telemetry.Counter
+	readerMembers  *telemetry.Counter
+	streamSegments *telemetry.Counter
+	parallelChunks *telemetry.Counter
+	reorderDepth   *telemetry.Gauge // in-flight reorder-queue entries; Max = high-water
 }
 
 // Open instantiates the device model and a context (address space + VAS
@@ -128,8 +140,36 @@ func Open(cfg Config) *Accelerator {
 		cfg.Device = nx.P9Device()
 	}
 	dev := nx.NewDevice(cfg.Device)
-	return &Accelerator{cfg: cfg, dev: dev, ctx: dev.OpenContext(1)}
+	reg := dev.Registry()
+	return &Accelerator{
+		cfg: cfg, dev: dev, ctx: dev.OpenContext(1),
+		met: &accMetrics{
+			writerMembers:  reg.Counter("nxzip.writer.members"),
+			readerMembers:  reg.Counter("nxzip.reader.members"),
+			streamSegments: reg.Counter("nxzip.stream.segments"),
+			parallelChunks: reg.Counter("nxzip.parallel.chunks"),
+			reorderDepth:   reg.Gauge("nxzip.parallel.reorder_depth"),
+		},
+	}
 }
+
+// Metrics returns a point-in-time snapshot of every instrument in the
+// stack: switchboard (vas.*), translation (nmmu.*), device and engines
+// (nx.*), and the stream layer (nxzip.*). Counters reconcile with the
+// run's request/byte totals: nx.requests counts engine passes,
+// nxzip.writer.members counts gzip members, and so on.
+func (a *Accelerator) Metrics() *telemetry.Snapshot { return a.dev.MetricsSnapshot() }
+
+// StartTrace enables request-lifecycle tracing: every request from now
+// until StopTrace carries a trace span (paste attempts, credit waits,
+// FIFO residency, translation and fault rounds, pipeline stages, CSB
+// completion) emitted to sink when the request completes. With tracing
+// off — the default — the request path allocates nothing for telemetry.
+func (a *Accelerator) StartTrace(sink telemetry.Sink) { a.dev.StartTrace(sink) }
+
+// StopTrace disables tracing and closes the sink (flushing, for the
+// Chrome sink, the accumulated trace document).
+func (a *Accelerator) StopTrace() error { return a.dev.StopTrace() }
 
 // Close releases the context's send window. The Accelerator must not be
 // used afterwards.

@@ -110,6 +110,7 @@ func (w *ParallelWriter) collect() {
 	defer close(w.done)
 	for job := range w.order {
 		r := <-job.res
+		w.acc.met.reorderDepth.Add(-1)
 		w.mu.Lock()
 		failed := w.err != nil
 		if r.err != nil && !failed {
@@ -140,6 +141,8 @@ func (w *ParallelWriter) collect() {
 func (w *ParallelWriter) dispatch(chunk []byte) {
 	job := &pwJob{data: chunk, res: make(chan pwRes, 1)}
 	w.order <- job
+	w.acc.met.parallelChunks.Inc()
+	w.acc.met.reorderDepth.Add(1)
 	w.jobs <- job
 	w.submitted = true
 }

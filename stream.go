@@ -110,6 +110,7 @@ func (w *Writer) submit(chunk []byte) error {
 	w.Stats.DeviceCycles += m.DeviceCycles
 	w.Stats.DeviceTime += m.DeviceTime
 	w.Stats.Faults += m.Faults
+	w.acc.met.writerMembers.Inc()
 	if _, err := w.out.Write(gz); err != nil {
 		w.err = err
 		return err
@@ -337,6 +338,7 @@ func (r *Reader) addMetrics(m *Metrics) {
 	r.Stats.DeviceCycles += m.DeviceCycles
 	r.Stats.DeviceTime += m.DeviceTime
 	r.Stats.Faults += m.Faults
+	r.acc.met.readerMembers.Inc()
 }
 
 // Read implements io.Reader.

@@ -111,6 +111,7 @@ func (w *StreamWriter) submit(chunk []byte, final bool) error {
 	w.Stats.DeviceCycles += rep.TotalCycles
 	w.Stats.DeviceTime += rep.Time
 	w.Stats.Faults += rep.Retries
+	w.acc.met.streamSegments.Inc()
 
 	// Maintain the history window: the last 32 KiB of the logical stream.
 	w.history = appendWindow(w.history, chunk)
