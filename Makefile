@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench nxbench parallel trace-demo
+.PHONY: check build vet test race bench bench-json nxbench parallel trace-demo
 
 ## check: the tier-1 gate — build, vet, and the full test suite under the
 ## race detector. CI and pre-merge runs use this target.
@@ -22,7 +22,12 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
-## nxbench: render every experiment table (E1–E17 + ablations).
+## bench-json: run the E18 topology sweep (aggregate GB/s vs device
+## count, claim C6) and export the raw points to BENCH_topology.json.
+bench-json:
+	$(GO) run ./cmd/nxbench -json BENCH_topology.json
+
+## nxbench: render every experiment table (E1–E18 + ablations).
 nxbench:
 	$(GO) run ./cmd/nxbench
 

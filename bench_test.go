@@ -372,6 +372,15 @@ func BenchmarkE17_SmallRequests(b *testing.B) {
 	b.ReportMetric(headline(tab, 0, 1), "512B-dht-ratio")
 }
 
+func BenchmarkE18_TopologyScaling(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E18TopologyScaling()
+	}
+	b.ReportMetric(headline(tab, len(tab.Rows)-1, 2), "20dev-GB/s")
+	b.ReportMetric(headline(tab, len(tab.Rows)-1, 5), "20dev-efficiency")
+}
+
 func BenchmarkAblationExpansionBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.A10ExpansionBound()

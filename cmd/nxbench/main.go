@@ -1,5 +1,5 @@
 // Command nxbench regenerates every table and figure of the reproduction
-// (experiments E1–E17 per DESIGN.md) plus the design-choice ablations,
+// (experiments E1–E18 per DESIGN.md) plus the design-choice ablations,
 // printing them as formatted text tables.
 //
 // Usage:
@@ -11,28 +11,42 @@
 //	nxbench -parallel        # serial vs parallel Writer/Reader scaling
 //	nxbench -trace out.json  # Chrome trace of a ParallelWriter workload
 //	nxbench -metrics         # metrics snapshot of the same workload
+//	nxbench -json BENCH_topology.json   # E18 sweep, points as JSON
+//	nxbench -devices 8 -dispatch ll     # one topology point
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"nxzip/internal/experiments"
+	"nxzip/internal/topology"
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment id (E1..E17, A1..A11)")
+	only := flag.String("only", "", "run a single experiment id (E1..E18, A1..A11)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation sweeps")
 	host := flag.Bool("host", false, "also measure the host software baseline")
 	parallel := flag.Bool("parallel", false, "measure serial vs parallel Writer/Reader throughput scaling")
 	tracePath := flag.String("trace", "", "run the trace workload and write Chrome trace_event JSON to this file")
 	metrics := flag.Bool("metrics", false, "run the trace workload and print the device metrics snapshot")
+	jsonPath := flag.String("json", "", "run the E18 topology sweep and write its points to this file as JSON")
+	devices := flag.Int("devices", 0, "measure a single topology point with this many z15 devices")
+	dispatch := flag.String("dispatch", "", "dispatch policy for the topology sweep: round-robin, least-loaded, affinity")
 	flag.Parse()
 
 	if *tracePath != "" || *metrics {
 		if err := traceDemo(*tracePath, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "nxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonPath != "" || *devices > 0 || *dispatch != "" {
+		if err := topologyRun(*jsonPath, *devices, *dispatch); err != nil {
 			fmt.Fprintf(os.Stderr, "nxbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -101,6 +115,8 @@ func runOne(id string) []*experiments.Table {
 		return []*experiments.Table{experiments.E16QoS()}
 	case "E17":
 		return []*experiments.Table{experiments.E17SmallRequests()}
+	case "E18":
+		return []*experiments.Table{experiments.E18TopologyScaling()}
 	case "A1":
 		return []*experiments.Table{experiments.A1Banks()}
 	case "A2":
@@ -127,4 +143,27 @@ func runOne(id string) []*experiments.Table {
 		return []*experiments.Table{experiments.EHostReference()}
 	}
 	return nil
+}
+
+// topologyRun drives the E18 topology sweep (or one explicit point) and
+// optionally exports the raw points as JSON.
+func topologyRun(jsonPath string, devices int, dispatch string) error {
+	policy, err := topology.ParsePolicy(dispatch)
+	if err != nil {
+		return err
+	}
+	counts := []int{1, 4, 8, 12, 16, 20}
+	if devices > 0 {
+		counts = []int{devices}
+	}
+	t, points := experiments.TopologyScalingCustom(counts, policy)
+	t.Render(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
 }

@@ -35,9 +35,11 @@ func parallelTables() []*experiments.Table {
 	return []*experiments.Table{parallelWriterTable(), parallelReaderTable()}
 }
 
-// busySnapshot captures each engine's cumulative busy cycles.
-func busySnapshot(acc *nxzip.Accelerator, engines int) []int64 {
-	s := make([]int64, engines)
+// busySnapshot captures each engine's cumulative busy cycles. The count
+// comes from the device itself — Engine(i) wraps modulo the engine
+// count, so iterating an assumed count would silently re-read engine 0.
+func busySnapshot(acc *nxzip.Accelerator) []int64 {
+	s := make([]int64, acc.Device().EngineCount())
 	for i := range s {
 		s[i] = acc.Device().Engine(i).Counters().BusyCycles
 	}
@@ -68,7 +70,7 @@ func parallelWriterTable() *experiments.Table {
 			cfg := nxzip.P9()
 			cfg.Device.Engines = workers
 			acc := nxzip.Open(cfg)
-			before := busySnapshot(acc, workers)
+			before := busySnapshot(acc)
 			start := time.Now()
 			for round := 0; round < parallelRounds; round++ {
 				var w io.WriteCloser
@@ -123,7 +125,7 @@ func parallelReaderTable() *experiments.Table {
 		if err := w.Close(); err != nil {
 			panic(err)
 		}
-		before := busySnapshot(acc, workers)
+		before := busySnapshot(acc)
 		start := time.Now()
 		for round := 0; round < parallelRounds; round++ {
 			r := acc.NewReader(bytes.NewReader(comp.Bytes()))

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nxzip [-d] [-chip p9|z15] [-fht] [-sw level] [-metrics] [-trace out.json] [-o out] [file]
+//	nxzip [-d] [-chip p9|z15] [-fht] [-sw level] [-devices n] [-dispatch policy] [-metrics] [-trace out.json] [-o out] [file]
 //
 // Examples:
 //
@@ -15,6 +15,8 @@
 //	nxzip -sw 6 corpus.txt               # software baseline instead
 //	nxzip -metrics corpus.txt            # dump the device metrics snapshot
 //	nxzip -trace t.json -stream corpus.txt  # Chrome trace of every request
+//	nxzip -devices 4 -v corpus.txt       # shard chunks across a 4-device node
+//	nxzip -devices 4 -dispatch least-loaded corpus.txt
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"nxzip"
+	"nxzip/internal/nx"
 	"nxzip/internal/stats"
 	"nxzip/internal/telemetry"
 )
@@ -50,8 +53,13 @@ func run() error {
 		verbose    = flag.Bool("v", false, "print device accounting to stderr")
 		dumpMet    = flag.Bool("metrics", false, "print the device metrics snapshot to stderr")
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON of every request to this file")
+		devices    = flag.Int("devices", 1, "device count: >1 opens a multi-accelerator node and shards compression across it")
+		dispatch   = flag.String("dispatch", "", "node dispatch policy: round-robin (default), least-loaded, affinity")
 	)
 	flag.Parse()
+	if *devices < 1 {
+		return fmt.Errorf("-devices %d: need at least one device", *devices)
+	}
 
 	in := os.Stdin
 	if flag.NArg() > 0 {
@@ -85,9 +93,26 @@ func run() error {
 	// mode below decides to use. The software paths never open one, so
 	// -metrics/-trace are silently inert there.
 	var acc *nxzip.Accelerator
+	var node *nxzip.Node
 	var traceFile *os.File
 	open := func(cfg nxzip.Config) (*nxzip.Accelerator, error) {
-		acc = nxzip.Open(cfg)
+		if *devices > 1 || *dispatch != "" {
+			devCfgs := make([]nx.DeviceConfig, *devices)
+			for i := range devCfgs {
+				devCfgs[i] = cfg.Device
+			}
+			ncfg := nxzip.CustomNode("cli", devCfgs...)
+			ncfg.Dispatch = *dispatch
+			ncfg.TableMode = cfg.TableMode
+			n, nerr := nxzip.OpenNode(ncfg)
+			if nerr != nil {
+				return nil, nerr
+			}
+			node = n
+			acc = n.View()
+		} else {
+			acc = nxzip.Open(cfg)
+		}
 		if *tracePath != "" {
 			f, ferr := os.Create(*tracePath)
 			if ferr != nil {
@@ -160,6 +185,19 @@ func run() error {
 			}
 			result = nil
 			metrics = &w.Stats
+		} else if *devices > 1 {
+			// Shard the stream across the node: the ParallelWriter's chunks
+			// dispatch to devices by the node policy and reassemble in order.
+			var buf bytes.Buffer
+			w := acc.NewParallelWriterChunk(&buf, *chunk, *devices)
+			if _, werr := w.Write(src); werr != nil {
+				return werr
+			}
+			if werr := w.Close(); werr != nil {
+				return werr
+			}
+			result = buf.Bytes()
+			metrics = &w.Stats
 		} else {
 			result, metrics, err = acc.CompressGzip(src)
 		}
@@ -188,6 +226,13 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "device time %v (%d cycles, %d faults) = %s\n",
 				metrics.DeviceTime, metrics.DeviceCycles, metrics.Faults,
 				stats.Rate(metrics.Throughput()))
+		}
+		if node != nil {
+			fmt.Fprintf(os.Stderr, "dispatch:")
+			for i := 0; i < node.Devices(); i++ {
+				fmt.Fprintf(os.Stderr, " %s=%d", node.Label(i), node.Dispatched(i))
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 	}
 	if traceFile != nil {

@@ -505,6 +505,7 @@ func All() []*Table {
 		E15SubmissionInterfaces(),
 		E16QoS(),
 		E17SmallRequests(),
+		E18TopologyScaling(),
 	}
 }
 

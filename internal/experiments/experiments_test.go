@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"nxzip/internal/topology"
 )
 
 // cell parses a numeric cell that may carry a unit suffix.
@@ -400,6 +402,29 @@ func TestE17Shape(t *testing.T) {
 			t.Fatalf("header share not decaying: %v after %v", v, prev)
 		}
 		prev = v
+	}
+}
+
+func TestE18Shape(t *testing.T) {
+	// A trimmed sweep keeps the test cheap; nxbench runs the full one.
+	tab, points := TopologyScalingCustom([]int{1, 4}, topology.RoundRobin())
+	if len(points) != 2 || len(tab.Rows) != 2 {
+		t.Fatalf("points = %d, rows = %d", len(points), len(tab.Rows))
+	}
+	one, four := points[0], points[1]
+	if four.Drawers != 1 {
+		t.Fatalf("4 devices = %d drawers", four.Drawers)
+	}
+	// z15 per-unit regime: roughly double the P9 ~8 GB/s line rate.
+	if one.GBs < 10 || one.GBs > 18 {
+		t.Fatalf("single z15 unit %v GB/s outside the doubled-P9 regime", one.GBs)
+	}
+	// Near-linear scaling through the dispatch layer (acceptance: >= 0.8).
+	if four.Efficiency < 0.8 {
+		t.Fatalf("4-device efficiency %v below 0.8", four.Efficiency)
+	}
+	if four.Scaling < 3.2 || four.Scaling > 4.05 {
+		t.Fatalf("4-device scaling %vx implausible", four.Scaling)
 	}
 }
 

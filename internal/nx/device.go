@@ -118,6 +118,15 @@ func (d *Device) StopTrace() error {
 	return d.tracer.Swap(nil).Close()
 }
 
+// InstallTracer installs an existing tracer without building a new one —
+// node-level tracing shares one tracer (one span-id sequence, one sink)
+// across every device of a pool.
+func (d *Device) InstallTracer(t *telemetry.Tracer) { d.tracer.Store(t) }
+
+// RemoveTracer uninstalls and returns the tracer without closing its
+// sink, so a shared sink is closed exactly once by the owner.
+func (d *Device) RemoveTracer() *telemetry.Tracer { return d.tracer.Swap(nil) }
+
 // Tracer returns the installed tracer, or nil when tracing is off.
 func (d *Device) Tracer() *telemetry.Tracer { return d.tracer.Load() }
 
@@ -177,8 +186,24 @@ func (d *Device) MMU() *nmmu.MMU { return d.mmu }
 // Switchboard exposes the VAS instance.
 func (d *Device) Switchboard() *vas.Switchboard { return d.sb }
 
-// Engine returns engine i.
+// EngineCount returns the number of engines behind the receive FIFO.
+func (d *Device) EngineCount() int { return len(d.engines) }
+
+// Engine returns engine i, wrapping modulo EngineCount: Engine(i) never
+// panics for i >= 0, which serves callers spreading work with an
+// unbounded counter. Callers indexing a known engine range should use
+// EngineAt, which refuses out-of-range indices instead of silently
+// aliasing engine i%N.
 func (d *Device) Engine(i int) *Engine { return d.engines[i%len(d.engines)] }
+
+// EngineAt returns engine i with strict bounds checking — no modulo
+// wrap. It reports an error when i is outside [0, EngineCount).
+func (d *Device) EngineAt(i int) (*Engine, error) {
+	if i < 0 || i >= len(d.engines) {
+		return nil, fmt.Errorf("nx: engine index %d out of range [0,%d)", i, len(d.engines))
+	}
+	return d.engines[i], nil
+}
 
 // PipelineConfig returns the engine timing model.
 func (d *Device) PipelineConfig() pipeline.Config { return d.cfg.Engine.Pipeline }
@@ -194,6 +219,7 @@ type Context struct {
 	dev    *Device
 	pid    nmmu.PID
 	window int
+	closed atomic.Bool
 
 	mu     sync.Mutex
 	nextVA uint64
@@ -216,11 +242,23 @@ func (d *Device) OpenContext(pid nmmu.PID) *Context {
 	}
 }
 
-// Close releases the context's send window.
-func (c *Context) Close() { c.dev.sb.CloseSendWindow(c.window) }
+// Close releases the context's send window. Close is idempotent: the
+// window is released exactly once and repeated calls are no-ops, so a
+// double close can neither panic nor disturb the switchboard's credit
+// accounting. Requests in flight at Close drain normally (their credits
+// return via Complete); new submissions fail with vas.ErrWindowClosed.
+func (c *Context) Close() {
+	if c.closed.CompareAndSwap(false, true) {
+		c.dev.sb.CloseSendWindow(c.window)
+	}
+}
 
 // PID returns the context's address-space id.
 func (c *Context) PID() nmmu.PID { return c.pid }
+
+// Window returns the context's VAS send-window id (tests and tools
+// inspect credits through it).
+func (c *Context) Window() int { return c.window }
 
 // MapBuffer reserves a buffer VA range. resident=false maps it
 // demand-paged, so the engine faults on first access (experiment E12).

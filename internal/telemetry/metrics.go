@@ -353,6 +353,139 @@ func (s *Snapshot) Sort() {
 	})
 }
 
+// Append concatenates o's instruments onto s (no sorting or merging —
+// call Sort once every source is in). Callers assembling a snapshot from
+// several registries (a node registry plus per-device registries) use
+// this to build one view.
+func (s *Snapshot) Append(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	s.Counters = append(s.Counters, o.Counters...)
+	s.Gauges = append(s.Gauges, o.Gauges...)
+	s.Histograms = append(s.Histograms, o.Histograms...)
+}
+
+// LabeledSnapshot pairs one source's snapshot with the label identifying
+// it (a device label in a multi-accelerator node).
+type LabeledSnapshot struct {
+	Label string
+	Snap  *Snapshot
+}
+
+// joinLabel prefixes an instrument label with its source label:
+// "drawer0/cp1" alone when the instrument was unlabeled, otherwise
+// "drawer0/cp1/<label>".
+func joinLabel(source, label string) string {
+	if label == "" {
+		return source
+	}
+	return source + "/" + label
+}
+
+// MergeSnapshots combines per-source snapshots into one view. Every
+// instrument appears twice: once per source under its source-prefixed
+// label ("<source>" or "<source>/<label>"), and once as an aggregate row
+// under the original name+label summed across sources — so a consumer
+// that knew the single-device layout reads the same rows with the same
+// totals, and per-device detail sits alongside.
+//
+// Aggregation semantics: counters sum. Gauge values sum; the aggregate
+// Max is the sum of per-source maxes, an upper bound on the (unknowable
+// after the fact) true combined high-water. Histogram Count/Min/Max
+// merge exactly and Mean is count-weighted; the aggregate percentiles
+// are count-weighted means of per-source percentiles — an approximation,
+// exact only when the sources are identically distributed.
+func MergeSnapshots(sources []LabeledSnapshot) *Snapshot {
+	out := &Snapshot{}
+	type key struct{ name, label string }
+	cagg := make(map[key]*CounterSnapshot)
+	gagg := make(map[key]*GaugeSnapshot)
+	hagg := make(map[key]*HistogramSnapshot)
+	var corder, gorder, horder []key
+	for _, src := range sources {
+		if src.Snap == nil {
+			continue
+		}
+		for _, c := range src.Snap.Counters {
+			out.Counters = append(out.Counters, CounterSnapshot{
+				Name: c.Name, Label: joinLabel(src.Label, c.Label), Value: c.Value,
+			})
+			k := key{c.Name, c.Label}
+			if a := cagg[k]; a != nil {
+				a.Value += c.Value
+			} else {
+				cagg[k] = &CounterSnapshot{Name: c.Name, Label: c.Label, Value: c.Value}
+				corder = append(corder, k)
+			}
+		}
+		for _, g := range src.Snap.Gauges {
+			out.Gauges = append(out.Gauges, GaugeSnapshot{
+				Name: g.Name, Label: joinLabel(src.Label, g.Label), Value: g.Value, Max: g.Max,
+			})
+			k := key{g.Name, g.Label}
+			if a := gagg[k]; a != nil {
+				a.Value += g.Value
+				a.Max += g.Max
+			} else {
+				gagg[k] = &GaugeSnapshot{Name: g.Name, Label: g.Label, Value: g.Value, Max: g.Max}
+				gorder = append(gorder, k)
+			}
+		}
+		for _, h := range src.Snap.Histograms {
+			hh := h
+			hh.Label = joinLabel(src.Label, h.Label)
+			out.Histograms = append(out.Histograms, hh)
+			k := key{h.Name, h.Label}
+			a := hagg[k]
+			if a == nil {
+				cp := h
+				hagg[k] = &cp
+				horder = append(horder, k)
+				continue
+			}
+			mergeHistogram(a, h)
+		}
+	}
+	for _, k := range corder {
+		out.Counters = append(out.Counters, *cagg[k])
+	}
+	for _, k := range gorder {
+		out.Gauges = append(out.Gauges, *gagg[k])
+	}
+	for _, k := range horder {
+		out.Histograms = append(out.Histograms, *hagg[k])
+	}
+	out.Sort()
+	return out
+}
+
+// mergeHistogram folds h into a (see MergeSnapshots for the semantics).
+func mergeHistogram(a *HistogramSnapshot, h HistogramSnapshot) {
+	if h.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		label := a.Label
+		*a = h
+		a.Label = label
+		return
+	}
+	n := a.Count + h.Count
+	wa, wh := float64(a.Count)/float64(n), float64(h.Count)/float64(n)
+	a.Mean = a.Mean*wa + h.Mean*wh
+	a.P50 = a.P50*wa + h.P50*wh
+	a.P95 = a.P95*wa + h.P95*wh
+	a.P99 = a.P99*wa + h.P99*wh
+	if h.Min < a.Min {
+		a.Min = h.Min
+	}
+	if h.Max > a.Max {
+		a.Max = h.Max
+	}
+	a.Count = n
+}
+
 // Counter returns the value of the named counter (label "" for the
 // unlabeled instrument), or 0 if absent.
 func (s *Snapshot) Counter(name, label string) int64 {

@@ -281,3 +281,80 @@ func TestSnapshotFormatAndJSON(t *testing.T) {
 		t.Fatalf("roundtripped counter = %d", round.Counter("a.count", ""))
 	}
 }
+
+func TestMergeSnapshots(t *testing.T) {
+	a := &Snapshot{
+		Counters: []CounterSnapshot{
+			{Name: "nx.requests", Value: 3},
+			{Name: "nx.engine.requests", Label: "0/comp", Value: 2},
+		},
+		Gauges: []GaugeSnapshot{{Name: "vas.fifo_occupancy", Value: 1, Max: 4}},
+		Histograms: []HistogramSnapshot{
+			{Name: "lat", Count: 2, Mean: 10, Min: 5, Max: 15, P50: 10, P95: 14, P99: 15},
+		},
+	}
+	b := &Snapshot{
+		Counters: []CounterSnapshot{
+			{Name: "nx.requests", Value: 5},
+			{Name: "nx.engine.requests", Label: "0/comp", Value: 7},
+		},
+		Gauges: []GaugeSnapshot{{Name: "vas.fifo_occupancy", Value: 2, Max: 3}},
+		Histograms: []HistogramSnapshot{
+			{Name: "lat", Count: 6, Mean: 30, Min: 20, Max: 40, P50: 30, P95: 38, P99: 40},
+		},
+	}
+	m := MergeSnapshots([]LabeledSnapshot{{Label: "cp0", Snap: a}, {Label: "cp1", Snap: b}})
+
+	// Aggregate rows keep the original name+label and sum across sources.
+	if got := m.Counter("nx.requests", ""); got != 8 {
+		t.Fatalf("aggregate nx.requests = %d, want 8", got)
+	}
+	if got := m.Counter("nx.engine.requests", "0/comp"); got != 9 {
+		t.Fatalf("aggregate engine row = %d, want 9", got)
+	}
+	// Per-source rows carry the source-prefixed label.
+	if got := m.Counter("nx.requests", "cp0"); got != 3 {
+		t.Fatalf("cp0 row = %d, want 3", got)
+	}
+	if got := m.Counter("nx.engine.requests", "cp1/0/comp"); got != 7 {
+		t.Fatalf("cp1 engine row = %d, want 7", got)
+	}
+	// Gauges: aggregate value and max are sums across sources.
+	for _, g := range m.Gauges {
+		if g.Name == "vas.fifo_occupancy" && g.Label == "" {
+			if g.Value != 3 || g.Max != 7 {
+				t.Fatalf("aggregate gauge = %+v", g)
+			}
+		}
+	}
+	// Histograms: exact count/min/max, count-weighted mean.
+	for _, h := range m.Histograms {
+		if h.Name == "lat" && h.Label == "" {
+			if h.Count != 8 || h.Min != 5 || h.Max != 40 {
+				t.Fatalf("aggregate hist = %+v", h)
+			}
+			if want := (10.0*2 + 30.0*6) / 8; h.Mean != want {
+				t.Fatalf("weighted mean = %v, want %v", h.Mean, want)
+			}
+		}
+	}
+	// 2 sources x 2 counters + 2 aggregates = 6 counter rows, sorted.
+	if len(m.Counters) != 6 {
+		t.Fatalf("counter rows = %d, want 6", len(m.Counters))
+	}
+	for i := 1; i < len(m.Counters); i++ {
+		p, c := m.Counters[i-1], m.Counters[i]
+		if p.Name > c.Name || (p.Name == c.Name && p.Label > c.Label) {
+			t.Fatal("merged counters not sorted")
+		}
+	}
+}
+
+func TestSnapshotAppend(t *testing.T) {
+	s := &Snapshot{Counters: []CounterSnapshot{{Name: "a", Value: 1}}}
+	s.Append(nil) // nil-safe
+	s.Append(&Snapshot{Counters: []CounterSnapshot{{Name: "b", Value: 2}}})
+	if len(s.Counters) != 2 || s.Counter("b", "") != 2 {
+		t.Fatalf("append result = %+v", s.Counters)
+	}
+}

@@ -1,0 +1,311 @@
+// Package topology models multi-accelerator nodes: the paper's headline
+// system numbers (claim C5, z15 doubling the per-unit POWER9 rate, and
+// claim C6, a maximally configured z15 reaching 280 GB/s aggregate) are
+// about *many* accelerators per system — one NX unit per POWER9 chip,
+// one zEDC unit per z15 CP chip, four CP chips per drawer, up to five
+// drawers. This package turns the single-device model into a node: a
+// declarative Shape describes how many devices a node carries and how
+// they are configured, Node instantiates one nx.Device per entry (each
+// with its own VAS switchboard, NMMU, engines and telemetry registry),
+// and a pluggable dispatch Policy routes every submission to a device —
+// round-robin, credit/occupancy-aware least-loaded, or PID/context
+// affinity.
+//
+// Cross-device observability stays coherent: Node.MetricsSnapshot merges
+// the per-device registries into one snapshot with device-labeled rows
+// plus aggregate rows under the original names, so single-device
+// consumers read unchanged totals; Node.StartTrace installs one shared
+// tracer (one span-id sequence, one sink) across every device.
+package topology
+
+import (
+	"fmt"
+
+	"sync/atomic"
+
+	"nxzip/internal/nmmu"
+	"nxzip/internal/nx"
+	"nxzip/internal/telemetry"
+	"nxzip/internal/vas"
+)
+
+// DeviceSpec describes one accelerator instance within a node. The
+// label names the device in merged telemetry ("chip0", "drawer1/cp2").
+type DeviceSpec struct {
+	Label  string
+	Config nx.DeviceConfig
+}
+
+// Shape is a declarative node topology: a name plus the devices the node
+// carries. Build one with P9Node / Z15Node / Single / Custom, or
+// assemble the struct directly for arbitrary heterogeneous nodes.
+type Shape struct {
+	Name    string
+	Devices []DeviceSpec
+}
+
+// Size returns the device count.
+func (s Shape) Size() int { return len(s.Devices) }
+
+// P9Node describes a POWER9 node of the given chip count, one NX GZIP
+// unit per chip (labels "chip0".."chipN-1"). Counts below 1 clamp to 1.
+func P9Node(chips int) Shape {
+	if chips < 1 {
+		chips = 1
+	}
+	s := Shape{Name: fmt.Sprintf("p9-node-%dchip", chips)}
+	for i := 0; i < chips; i++ {
+		s.Devices = append(s.Devices, DeviceSpec{
+			Label: fmt.Sprintf("chip%d", i), Config: nx.P9Device(),
+		})
+	}
+	return s
+}
+
+// z15ChipsPerDrawer is the CP-chip count of one z15 CPC drawer; each CP
+// chip carries one on-chip zEDC unit. The maximal machine is 5 drawers.
+const z15ChipsPerDrawer = 4
+
+// Z15Node describes a z15 node of the given drawer count, four CP chips
+// (one zEDC unit each) per drawer — Z15Node(5) is the maximal topology
+// behind claim C6. Labels are "drawer0/cp0".."drawerD-1/cp3". Counts
+// below 1 clamp to 1.
+func Z15Node(drawers int) Shape {
+	if drawers < 1 {
+		drawers = 1
+	}
+	s := Shape{Name: fmt.Sprintf("z15-node-%ddrawer", drawers)}
+	for d := 0; d < drawers; d++ {
+		for c := 0; c < z15ChipsPerDrawer; c++ {
+			s.Devices = append(s.Devices, DeviceSpec{
+				Label: fmt.Sprintf("drawer%d/cp%d", d, c), Config: nx.Z15Device(),
+			})
+		}
+	}
+	return s
+}
+
+// Single describes a one-device node — the shape behind the classic
+// single-accelerator API.
+func Single(cfg nx.DeviceConfig) Shape {
+	return Shape{Name: "single", Devices: []DeviceSpec{{Label: "dev0", Config: cfg}}}
+}
+
+// Custom assembles an arbitrary shape from explicit specs. Specs with an
+// empty label are labeled by index ("dev<i>").
+func Custom(name string, specs ...DeviceSpec) Shape {
+	s := Shape{Name: name}
+	for i, spec := range specs {
+		if spec.Label == "" {
+			spec.Label = fmt.Sprintf("dev%d", i)
+		}
+		s.Devices = append(s.Devices, spec)
+	}
+	return s
+}
+
+// Node is an instantiated device pool: one nx.Device per shape entry,
+// plus the dispatch state every submission routes through. Safe for
+// concurrent use.
+type Node struct {
+	shape    Shape
+	devs     []*nx.Device
+	policy   Policy
+	inflight []atomic.Int64
+	ctxSeq   atomic.Uint64
+
+	// reg holds node-scope instruments (dispatch counters and whatever
+	// callers register); per-device instruments live in each device's own
+	// registry and are merged at snapshot time.
+	reg      *telemetry.Registry
+	dispatch []*telemetry.Counter // topology.dispatch{<device label>}
+}
+
+// New instantiates a node: every device of the shape is built, each with
+// its own switchboard, MMU, engines and registry. A nil policy defaults
+// to round-robin; an empty shape defaults to a single P9 device.
+func New(shape Shape, policy Policy) *Node {
+	if len(shape.Devices) == 0 {
+		shape = P9Node(1)
+	}
+	if policy == nil {
+		policy = RoundRobin()
+	}
+	n := &Node{
+		shape:    shape,
+		policy:   policy,
+		inflight: make([]atomic.Int64, len(shape.Devices)),
+		reg:      telemetry.NewRegistry(),
+	}
+	vec := n.reg.CounterVec("topology.dispatch")
+	for _, spec := range shape.Devices {
+		n.devs = append(n.devs, nx.NewDevice(spec.Config))
+		n.dispatch = append(n.dispatch, vec.With(spec.Label))
+	}
+	return n
+}
+
+// Size returns the device count.
+func (n *Node) Size() int { return len(n.devs) }
+
+// Shape returns the node's topology description.
+func (n *Node) Shape() Shape { return n.shape }
+
+// Device returns device i (strict bounds: out of range panics, as a
+// slice index would).
+func (n *Node) Device(i int) *nx.Device { return n.devs[i] }
+
+// Label returns device i's telemetry label.
+func (n *Node) Label(i int) string { return n.shape.Devices[i].Label }
+
+// Policy returns the dispatch policy.
+func (n *Node) Policy() Policy { return n.policy }
+
+// Registry exposes the node-scope registry: node-level instruments
+// (stream-layer counters, dispatch counts) registered here appear
+// unprefixed in MetricsSnapshot alongside the merged device registries.
+func (n *Node) Registry() *telemetry.Registry { return n.reg }
+
+// Load reports device i's dispatch load: requests picked but not yet
+// released plus the device's receive-FIFO occupancy. The least-loaded
+// policy ranks devices by it.
+func (n *Node) Load(i int) int64 {
+	return n.inflight[i].Load() + int64(n.devs[i].Switchboard().Occupancy())
+}
+
+// Dispatched reports how many requests the dispatcher has routed to
+// device i over the node's lifetime.
+func (n *Node) Dispatched(i int) int64 { return n.dispatch[i].Value() }
+
+// VASStats aggregates every device switchboard's counters (see
+// vas.Stats.Add for the aggregation semantics).
+func (n *Node) VASStats() vas.Stats {
+	var agg vas.Stats
+	for _, d := range n.devs {
+		agg = agg.Add(d.Switchboard().Stats())
+	}
+	return agg
+}
+
+// StartTrace installs one shared tracer across every device: spans from
+// all devices interleave in one sink with one id sequence, exactly like
+// the single-device Device.StartTrace.
+func (n *Node) StartTrace(sink telemetry.Sink) {
+	t := telemetry.NewTracer(sink)
+	for _, d := range n.devs {
+		d.InstallTracer(t)
+	}
+}
+
+// StopTrace uninstalls tracing from every device and closes the shared
+// sink exactly once.
+func (n *Node) StopTrace() error {
+	var shared *telemetry.Tracer
+	for _, d := range n.devs {
+		if t := d.RemoveTracer(); shared == nil {
+			shared = t
+		}
+	}
+	return shared.Close()
+}
+
+// MetricsSnapshot returns one coherent snapshot of the whole node. A
+// one-device node yields exactly the device's own snapshot (identical to
+// the pre-topology layout) plus the node-scope instruments. Multi-device
+// nodes merge the per-device snapshots: every instrument appears under
+// its device-prefixed label and again as an aggregate row under the
+// original name+label summed across devices (telemetry.MergeSnapshots),
+// so totals like nx.requests read the same whether the node has one
+// device or twenty.
+func (n *Node) MetricsSnapshot() *telemetry.Snapshot {
+	var snap *telemetry.Snapshot
+	if len(n.devs) == 1 {
+		snap = n.devs[0].MetricsSnapshot()
+	} else {
+		labeled := make([]telemetry.LabeledSnapshot, len(n.devs))
+		for i, d := range n.devs {
+			labeled[i] = telemetry.LabeledSnapshot{Label: n.shape.Devices[i].Label, Snap: d.MetricsSnapshot()}
+		}
+		snap = telemetry.MergeSnapshots(labeled)
+	}
+	snap.Append(n.reg.Snapshot())
+	snap.Sort()
+	return snap
+}
+
+// Context is a process's view of the node: one nx.Context (address
+// space + VAS send window) per device, plus the dispatch hook that
+// routes each request. Like nx.Context it is safe for concurrent use;
+// callers wanting per-worker windows open one node Context per worker.
+type Context struct {
+	node   *Node
+	id     uint64
+	pid    nmmu.PID
+	ctxs   []*nx.Context
+	closed atomic.Bool
+}
+
+// OpenContext registers pid on every device and opens one send window
+// per device.
+func (n *Node) OpenContext(pid nmmu.PID) *Context {
+	c := &Context{
+		node: n,
+		id:   n.ctxSeq.Add(1),
+		pid:  pid,
+		ctxs: make([]*nx.Context, len(n.devs)),
+	}
+	for i, d := range n.devs {
+		c.ctxs[i] = d.OpenContext(pid)
+	}
+	return c
+}
+
+// PID returns the context's address-space id.
+func (c *Context) PID() nmmu.PID { return c.pid }
+
+// Size returns the device count.
+func (c *Context) Size() int { return len(c.ctxs) }
+
+// Primary returns device 0's context — the compatibility view the
+// single-accelerator API is built on.
+func (c *Context) Primary() *nx.Context { return c.ctxs[0] }
+
+// At returns device i's context.
+func (c *Context) At(i int) *nx.Context { return c.ctxs[i] }
+
+// Pick routes one request: the node policy selects a device, and Pick
+// returns that device's context plus a release function the caller runs
+// when the request has completed. Device selection must happen before
+// buffers are mapped — a VA mapped on one device's MMU means nothing to
+// another — which is why submission helpers take the picked context.
+func (c *Context) Pick() (*nx.Context, func()) {
+	i := c.node.policy.Pick(c.node, int(c.pid), c.id)
+	if i < 0 || i >= len(c.ctxs) {
+		i = 0
+	}
+	infl := &c.node.inflight[i]
+	infl.Add(1)
+	c.node.dispatch[i].Inc()
+	return c.ctxs[i], func() { infl.Add(-1) }
+}
+
+// PickSticky routes a whole stream: the policy assigns a device once (at
+// stream construction — segments share history or resume state, so they
+// stay put) and only the pick itself is counted against the device's
+// in-flight load.
+func (c *Context) PickSticky() *nx.Context {
+	ctx, done := c.Pick()
+	done()
+	return ctx
+}
+
+// Close releases every device window. Idempotent and safe against
+// double close, like nx.Context.Close.
+func (c *Context) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, ctx := range c.ctxs {
+		ctx.Close()
+	}
+}

@@ -76,6 +76,24 @@ type Stats struct {
 	MaxOccupancy      int
 }
 
+// Add returns the field-wise sum of s and o — cross-device aggregation
+// for multi-accelerator nodes. Counter fields add; MaxOccupancy takes
+// the larger of the two, since the two FIFOs are distinct queues and a
+// sum would describe a queue that never existed.
+func (s Stats) Add(o Stats) Stats {
+	s.Pastes += o.Pastes
+	s.CreditRejects += o.CreditRejects
+	s.FIFORejects += o.FIFORejects
+	s.Dequeues += o.Dequeues
+	s.HighDequeues += o.HighDequeues
+	s.Completes += o.Completes
+	s.ArbitrationRounds += o.ArbitrationRounds
+	if o.MaxOccupancy > s.MaxOccupancy {
+		s.MaxOccupancy = o.MaxOccupancy
+	}
+	return s
+}
+
 // metrics holds pre-resolved registry instruments; nil when no registry
 // is installed, in which case the switchboard only keeps its own Stats.
 type metrics struct {

@@ -1,0 +1,120 @@
+package nxzip
+
+import (
+	"fmt"
+
+	"nxzip/internal/nx"
+	"nxzip/internal/telemetry"
+	"nxzip/internal/topology"
+	"nxzip/internal/vas"
+)
+
+// NodeConfig describes a multi-accelerator node: the topology shape
+// (how many devices, configured how), the dispatch policy every
+// submission routes through, and the Huffman table mode views inherit.
+type NodeConfig struct {
+	// Shape declares the devices. Use P9Node / Z15Node / CustomNode, or
+	// build a topology.Shape directly for heterogeneous nodes.
+	Shape topology.Shape
+	// Dispatch names the routing policy: "round-robin" (default),
+	// "least-loaded" (credit/occupancy-aware), or "affinity"
+	// (PID/context-sticky).
+	Dispatch string
+	// TableMode is the Huffman strategy views of this node use.
+	TableMode TableMode
+}
+
+// P9Node returns the node configuration of a POWER9 system with the
+// given chip count — one NX GZIP unit per chip.
+func P9Node(chips int) NodeConfig {
+	return NodeConfig{Shape: topology.P9Node(chips)}
+}
+
+// Z15Node returns the node configuration of a z15 system with the given
+// CPC-drawer count — four CP chips (one zEDC unit each) per drawer.
+// Z15Node(5) is the maximal topology behind the paper's 280 GB/s
+// aggregate claim (C6).
+func Z15Node(drawers int) NodeConfig {
+	return NodeConfig{Shape: topology.Z15Node(drawers)}
+}
+
+// CustomNode assembles an arbitrary node from explicit device
+// configurations, labeled by index.
+func CustomNode(name string, devices ...nx.DeviceConfig) NodeConfig {
+	specs := make([]topology.DeviceSpec, len(devices))
+	for i, cfg := range devices {
+		specs[i] = topology.DeviceSpec{Config: cfg}
+	}
+	return NodeConfig{Shape: topology.Custom(name, specs...)}
+}
+
+// Node is an open device pool. Views opened with View share the pool
+// and its dispatcher; each view carries its own VAS send windows (one
+// per device), so views are the unit of credit isolation exactly as
+// contexts are on one device.
+type Node struct {
+	cfg  NodeConfig
+	topo *topology.Node
+}
+
+// OpenNode instantiates every device of the shape — per-device VAS
+// switchboard, NMMU, engines and telemetry registry — plus the node's
+// dispatcher. It fails only on an unknown Dispatch policy name.
+func OpenNode(cfg NodeConfig) (*Node, error) {
+	policy, err := topology.ParsePolicy(cfg.Dispatch)
+	if err != nil {
+		return nil, fmt.Errorf("nxzip: %w", err)
+	}
+	return &Node{cfg: cfg, topo: topology.New(cfg.Shape, policy)}, nil
+}
+
+// View opens an Accelerator over the pool: the entire single-device API
+// (CompressGzip, Writer, ParallelWriter, StreamWriter, …) works
+// unchanged, with every request routed to a device by the node's
+// dispatch policy. Close the view to release its windows; the node and
+// its devices stay usable for other views.
+func (n *Node) View() *Accelerator {
+	nctx := n.topo.OpenContext(1)
+	return &Accelerator{
+		cfg:  Config{Device: n.cfg.Shape.Devices[0].Config, TableMode: n.cfg.TableMode},
+		node: n.topo,
+		nctx: nctx,
+		dev:  n.topo.Device(0),
+		ctx:  nctx.Primary(),
+		met:  newAccMetrics(n.topo.Registry()),
+	}
+}
+
+// Devices returns the device count.
+func (n *Node) Devices() int { return n.topo.Size() }
+
+// Device returns device i — per-device experiments reach the MMU,
+// switchboard and engine counters through it.
+func (n *Node) Device(i int) *nx.Device { return n.topo.Device(i) }
+
+// Label returns device i's telemetry label ("chip0", "drawer1/cp2").
+func (n *Node) Label(i int) string { return n.topo.Label(i) }
+
+// Dispatched reports how many requests the dispatcher routed to device
+// i over the node's lifetime.
+func (n *Node) Dispatched(i int) int64 { return n.topo.Dispatched(i) }
+
+// Metrics returns the merged node snapshot: per-device rows under
+// device-prefixed labels plus aggregate rows under the original names
+// (see topology.Node.MetricsSnapshot).
+func (n *Node) Metrics() *telemetry.Snapshot { return n.topo.MetricsSnapshot() }
+
+// VASStats aggregates every device switchboard's counters.
+func (n *Node) VASStats() vas.Stats { return n.topo.VASStats() }
+
+// StartTrace enables request-lifecycle tracing node-wide: one shared
+// tracer (one span-id sequence, one sink) across every device.
+func (n *Node) StartTrace(sink telemetry.Sink) { n.topo.StartTrace(sink) }
+
+// StopTrace disables tracing on every device and closes the sink
+// exactly once.
+func (n *Node) StopTrace() error { return n.topo.StopTrace() }
+
+// Topology exposes the underlying pool for direct internal use
+// (experiments drive dispatch through it).
+func (n *Node) Topology() *topology.Node { return n.topo }

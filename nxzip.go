@@ -29,6 +29,7 @@ package nxzip
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"nxzip/internal/deflate"
@@ -37,6 +38,7 @@ import (
 	"nxzip/internal/nx"
 	"nxzip/internal/pipeline"
 	"nxzip/internal/telemetry"
+	"nxzip/internal/topology"
 )
 
 // Config selects and tunes an accelerator model.
@@ -105,26 +107,34 @@ func (m *Metrics) Throughput() float64 {
 	return float64(n) / m.DeviceTime.Seconds()
 }
 
-// Accelerator is an open device handle bound to one process context.
-// Compression and decompression methods are safe for concurrent use from
-// any number of goroutines: requests queue at the shared receive FIFO and
-// serialize per engine exactly as they do on the silicon (configure
+// Accelerator is an open handle bound to one process context — since the
+// topology refactor, a *view over a node*: Open builds a one-device node
+// behind the scenes, and Node.View returns the same type over a
+// multi-device pool, so every method here transparently routes requests
+// through the node's dispatch policy. Compression and decompression
+// methods are safe for concurrent use from any number of goroutines:
+// requests queue at each device's shared receive FIFO and serialize per
+// engine exactly as they do on the silicon (configure
 // Config.Device.Engines for devices with more than one engine behind the
 // queue). TrainTable is setup-time configuration — call it before
 // concurrent use begins. Writer/Reader/StreamWriter/StreamReader values
 // are single-stream objects (one goroutine each), while any number of
 // them may run concurrently on one Accelerator; ParallelWriter and
-// Reader.Workers parallelize within a single stream.
+// Reader.Workers parallelize within a single stream — across the node's
+// devices when there are several.
 type Accelerator struct {
 	cfg    Config
-	dev    *nx.Device
-	ctx    *nx.Context
+	node   *topology.Node
+	nctx   *topology.Context
+	dev    *nx.Device  // primary device (node device 0), for compat accessors
+	ctx    *nx.Context // primary context (nctx.Primary())
 	canned *deflate.DHT
 	met    *accMetrics
+	closed atomic.Bool
 }
 
 // accMetrics holds the host-side (stream-layer) instruments, registered
-// in the device's registry so one snapshot covers the whole stack.
+// in the node's registry so one snapshot covers the whole stack.
 type accMetrics struct {
 	writerMembers  *telemetry.Counter
 	readerMembers  *telemetry.Counter
@@ -133,47 +143,65 @@ type accMetrics struct {
 	reorderDepth   *telemetry.Gauge // in-flight reorder-queue entries; Max = high-water
 }
 
+func newAccMetrics(reg *telemetry.Registry) *accMetrics {
+	return &accMetrics{
+		writerMembers:  reg.Counter("nxzip.writer.members"),
+		readerMembers:  reg.Counter("nxzip.reader.members"),
+		streamSegments: reg.Counter("nxzip.stream.segments"),
+		parallelChunks: reg.Counter("nxzip.parallel.chunks"),
+		reorderDepth:   reg.Gauge("nxzip.parallel.reorder_depth"),
+	}
+}
+
 // Open instantiates the device model and a context (address space + VAS
-// send window) for the caller.
+// send window) for the caller. Open is the one-device special case of
+// OpenNode: the returned Accelerator is a view over a single-device
+// node, and its snapshots and behaviour are identical to the
+// pre-topology layout.
 func Open(cfg Config) *Accelerator {
 	if cfg.Device.Engines == 0 {
 		cfg.Device = nx.P9Device()
 	}
-	dev := nx.NewDevice(cfg.Device)
-	reg := dev.Registry()
-	return &Accelerator{
-		cfg: cfg, dev: dev, ctx: dev.OpenContext(1),
-		met: &accMetrics{
-			writerMembers:  reg.Counter("nxzip.writer.members"),
-			readerMembers:  reg.Counter("nxzip.reader.members"),
-			streamSegments: reg.Counter("nxzip.stream.segments"),
-			parallelChunks: reg.Counter("nxzip.parallel.chunks"),
-			reorderDepth:   reg.Gauge("nxzip.parallel.reorder_depth"),
-		},
+	n, err := OpenNode(NodeConfig{Shape: topology.Single(cfg.Device), TableMode: cfg.TableMode})
+	if err != nil {
+		// Unreachable: the empty Dispatch string always parses.
+		panic(err)
 	}
+	a := n.View()
+	a.cfg = cfg
+	return a
 }
 
 // Metrics returns a point-in-time snapshot of every instrument in the
 // stack: switchboard (vas.*), translation (nmmu.*), device and engines
 // (nx.*), and the stream layer (nxzip.*). Counters reconcile with the
 // run's request/byte totals: nx.requests counts engine passes,
-// nxzip.writer.members counts gzip members, and so on.
-func (a *Accelerator) Metrics() *telemetry.Snapshot { return a.dev.MetricsSnapshot() }
+// nxzip.writer.members counts gzip members, and so on. On a
+// multi-device node the snapshot carries per-device rows under
+// device-prefixed labels plus aggregate rows under the original names.
+func (a *Accelerator) Metrics() *telemetry.Snapshot { return a.node.MetricsSnapshot() }
 
 // StartTrace enables request-lifecycle tracing: every request from now
 // until StopTrace carries a trace span (paste attempts, credit waits,
 // FIFO residency, translation and fault rounds, pipeline stages, CSB
 // completion) emitted to sink when the request completes. With tracing
 // off — the default — the request path allocates nothing for telemetry.
-func (a *Accelerator) StartTrace(sink telemetry.Sink) { a.dev.StartTrace(sink) }
+// On a multi-device node one shared tracer covers every device.
+func (a *Accelerator) StartTrace(sink telemetry.Sink) { a.node.StartTrace(sink) }
 
 // StopTrace disables tracing and closes the sink (flushing, for the
-// Chrome sink, the accumulated trace document).
-func (a *Accelerator) StopTrace() error { return a.dev.StopTrace() }
+// Chrome sink, the accumulated trace document) exactly once.
+func (a *Accelerator) StopTrace() error { return a.node.StopTrace() }
 
-// Close releases the context's send window. The Accelerator must not be
-// used afterwards.
-func (a *Accelerator) Close() { a.ctx.Close() }
+// Close releases the view's send windows (one per device). Close is
+// idempotent: second and concurrent calls are no-ops, so a deferred
+// Close is always safe even when an error path closed explicitly. The
+// Accelerator must not submit work afterwards.
+func (a *Accelerator) Close() {
+	if a.closed.CompareAndSwap(false, true) {
+		a.nctx.Close()
+	}
+}
 
 // Device exposes the underlying device model for experiments (MMU
 // eviction, VAS stats, engine counters).
@@ -230,9 +258,12 @@ func reportToMetrics(rep *nx.Report, csb *nx.CSB) *Metrics {
 	return m
 }
 
-// compress runs one compression request with the configured table mode.
+// compress runs one compression request with the configured table mode,
+// on whichever device the node's dispatch policy picks.
 func (a *Accelerator) compress(src []byte, wrap nx.Wrap) ([]byte, *Metrics, error) {
-	return a.compressOn(a.ctx, src, wrap)
+	ctx, done := a.nctx.Pick()
+	defer done()
+	return a.compressOn(ctx, src, wrap)
 }
 
 // compressOn runs one compression request through an explicit context —
@@ -265,17 +296,26 @@ func (a *Accelerator) compressOn(ctx *nx.Context, src []byte, wrap nx.Wrap) ([]b
 }
 
 func (a *Accelerator) decompress(src []byte, wrap nx.Wrap, maxOutput int) ([]byte, *Metrics, error) {
+	ctx, done := a.nctx.Pick()
+	defer done()
+	return a.decompressOn(ctx, src, wrap, maxOutput)
+}
+
+// decompressOn runs one decompression request through an explicit
+// (already dispatched) device context. Buffers must be mapped on the
+// same device the request runs on, so the pick happens before MapBuffer.
+func (a *Accelerator) decompressOn(ctx *nx.Context, src []byte, wrap nx.Wrap, maxOutput int) ([]byte, *Metrics, error) {
 	if maxOutput <= 0 {
 		maxOutput = 256 * len(src)
 		if maxOutput < 1<<20 {
 			maxOutput = 1 << 20
 		}
 	}
-	srcVA, err := a.ctx.MapBuffer(len(src), true)
+	srcVA, err := ctx.MapBuffer(len(src), true)
 	if err != nil {
 		return nil, nil, err
 	}
-	dstVA, err := a.ctx.MapBuffer(maxOutput, true)
+	dstVA, err := ctx.MapBuffer(maxOutput, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -283,7 +323,7 @@ func (a *Accelerator) decompress(src []byte, wrap nx.Wrap, maxOutput int) ([]byt
 		Func: nx.FCDecompress, Wrap: wrap, Input: src,
 		SourceVA: srcVA, TargetVA: dstVA, TargetCap: maxOutput, MaxOutput: maxOutput,
 	}
-	csb, rep, err := a.ctx.Submit(crb)
+	csb, rep, err := ctx.Submit(crb)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -409,7 +449,9 @@ func (a *Accelerator) DecompressRaw(src []byte) ([]byte, *Metrics, error) {
 // Compress842 compresses with the 842 engine (the POWER NX's memory
 // compression format).
 func (a *Accelerator) Compress842(src []byte) ([]byte, *Metrics, error) {
-	csb, rep, err := a.ctx.Submit(&nx.CRB{Func: nx.FC842Compress, Input: src})
+	ctx, done := a.nctx.Pick()
+	defer done()
+	csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Compress, Input: src})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -428,7 +470,9 @@ func (a *Accelerator) Decompress842(src []byte, maxOutput int) ([]byte, *Metrics
 			maxOutput = 1 << 20
 		}
 	}
-	csb, rep, err := a.ctx.Submit(&nx.CRB{Func: nx.FC842Decompress, Input: src, MaxOutput: maxOutput, TargetCap: maxOutput})
+	ctx, done := a.nctx.Pick()
+	defer done()
+	csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Decompress, Input: src, MaxOutput: maxOutput, TargetCap: maxOutput})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -473,7 +517,9 @@ func (a *Accelerator) CompressZlibDict(src, dict []byte) ([]byte, *Metrics, erro
 		Input:   src,
 		History: dict,
 	}
-	csb, rep, err := a.ctx.Submit(crb)
+	ctx, done := a.nctx.Pick()
+	defer done()
+	csb, rep, err := ctx.Submit(crb)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -94,13 +94,17 @@ func (a *Accelerator) NewParallelWriterChunk(out io.Writer, chunk, workers int) 
 	return w
 }
 
-// worker compresses jobs through a private context (send window).
+// worker compresses jobs through a private node context (one send window
+// per device); each job is dispatched to a device by the node policy, so
+// on a multi-device node the chunks of one stream shard across the pool.
 func (w *ParallelWriter) worker() {
 	defer w.wkWG.Done()
-	ctx := w.acc.dev.OpenContext(w.acc.ctx.PID())
-	defer ctx.Close()
+	nctx := w.acc.node.OpenContext(w.acc.nctx.PID())
+	defer nctx.Close()
 	for job := range w.jobs {
+		ctx, done := nctx.Pick()
 		gz, m, err := w.acc.compressOn(ctx, job.data, nx.WrapGzip)
+		done()
 		job.res <- pwRes{gz: gz, m: m, err: err}
 	}
 }

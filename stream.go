@@ -213,7 +213,9 @@ func (r *Reader) primeSerial(comp []byte) ([]byte, error) {
 	var out []byte
 	rest := comp
 	for len(rest) > 0 {
-		plain, consumed, m, err := r.acc.decompressMemberOn(r.acc.ctx, rest, limit-len(out))
+		ctx, done := r.acc.nctx.Pick()
+		plain, consumed, m, err := r.acc.decompressMemberOn(ctx, rest, limit-len(out))
+		done()
 		if err != nil {
 			return nil, err
 		}
@@ -290,8 +292,8 @@ func (r *Reader) primeParallel(comp []byte) ([]byte, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx := r.acc.dev.OpenContext(r.acc.ctx.PID())
-			defer ctx.Close()
+			nctx := r.acc.node.OpenContext(r.acc.nctx.PID())
+			defer nctx.Close()
 			for {
 				mu.Lock()
 				i := next
@@ -302,7 +304,9 @@ func (r *Reader) primeParallel(comp []byte) ([]byte, error) {
 					return
 				}
 				sp := spans[i]
+				ctx, done := nctx.Pick()
 				plain, _, m, err := r.acc.decompressMemberOn(ctx, comp[sp.off:sp.off+sp.n], sp.plainLen+1)
+				done()
 				if err == nil && len(plain) != sp.plainLen {
 					err = fmt.Errorf("nxzip: member %d decoded to %d bytes, skim said %d", i, len(plain), sp.plainLen)
 				}

@@ -17,8 +17,12 @@ import (
 // arbitrarily large streams decode in bounded memory with per-request
 // device accounting. This is the decompression counterpart of
 // StreamWriter.
+//
+// The requests of one stream share the engine's suspend/resume state, so
+// on a multi-device node the reader pins to one device at construction.
 type StreamReader struct {
 	acc    *Accelerator
+	ctx    *nx.Context // pinned device context (resume state stays put)
 	src    io.Reader
 	state  *nx.DecompState
 	inbuf  []byte
@@ -44,6 +48,7 @@ const DefaultReadChunk = 256 << 10
 func (a *Accelerator) NewStreamReader(src io.Reader, maxOutput int) *StreamReader {
 	return &StreamReader{
 		acc:   a,
+		ctx:   a.nctx.PickSticky(),
 		src:   src,
 		state: nx.NewDecompState(maxOutput),
 		inbuf: make([]byte, 0, DefaultReadChunk),
@@ -107,7 +112,7 @@ func (r *StreamReader) fill() error {
 	// all and recover the trailer from state.Tail().
 	chunk := r.inbuf
 	r.inbuf = nil
-	csb, rep, err := r.acc.ctx.Submit(&nx.CRB{
+	csb, rep, err := r.ctx.Submit(&nx.CRB{
 		Func: nx.FCDecompress, Wrap: nx.WrapRaw, Input: chunk,
 		DecompState: r.state, NotFinal: !r.srcExhaust,
 	})

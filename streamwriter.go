@@ -18,8 +18,13 @@ import (
 // flushes, and the writer maintains the member CRC incrementally. This
 // trades history-replay beats for the cross-chunk matches that the
 // multi-member Writer gives up (experiment E13 quantifies both sides).
+//
+// A stream's segments share the history window, so on a multi-device
+// node the writer pins to one device at construction (a sticky pick)
+// instead of dispatching per segment.
 type StreamWriter struct {
 	acc     *Accelerator
+	ctx     *nx.Context // pinned device context (history stays put)
 	out     io.Writer
 	chunk   int
 	buf     []byte
@@ -45,7 +50,7 @@ func (a *Accelerator) NewStreamWriterChunk(out io.Writer, chunk int) *StreamWrit
 	if chunk <= 0 {
 		chunk = DefaultChunkSize
 	}
-	return &StreamWriter{acc: a, out: out, chunk: chunk}
+	return &StreamWriter{acc: a, ctx: a.nctx.PickSticky(), out: out, chunk: chunk}
 }
 
 var gzipStreamHeader = []byte{0x1F, 0x8B, 8, 0, 0, 0, 0, 0, 0, 255}
@@ -91,7 +96,7 @@ func (w *StreamWriter) submit(chunk []byte, final bool) error {
 		History:  w.history,
 		NotFinal: !final,
 	}
-	csb, rep, err := w.acc.ctx.Submit(crb)
+	csb, rep, err := w.ctx.Submit(crb)
 	if err != nil {
 		w.err = err
 		return err
