@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json nxbench parallel trace-demo
+.PHONY: check build vet test race chaos bench bench-json nxbench parallel trace-demo
 
-## check: the tier-1 gate — build, vet, and the full test suite under the
-## race detector. CI and pre-merge runs use this target.
-check: build vet race
+## check: the tier-1 gate — build, vet, the full test suite under the
+## race detector, and the fault-injection chaos suite. CI and pre-merge
+## runs use this target.
+check: build vet race chaos
 
 build:
 	$(GO) build ./...
@@ -18,16 +19,24 @@ test:
 race:
 	$(GO) test -race ./...
 
+## chaos: the fault-injection suite under the race detector — injected
+## CC errors, fault/paste storms, credit leaks, engine hangs, device
+## kill/revive, failover, software fallback and the parallel soak.
+chaos:
+	$(GO) test -race -run 'Chaos|Inject|FaultStorm|EngineHang|Offline|Deadline|Cancel|CreditLeak|Backoff|Resume' . ./internal/nx ./internal/faultinject ./internal/topology
+
 ## bench: regenerate the paper's tables/figures as Go benchmarks.
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
 ## bench-json: run the E18 topology sweep (aggregate GB/s vs device
-## count, claim C6) and export the raw points to BENCH_topology.json.
+## count, claim C6) and the E19 chaos sweep (throughput/p99 vs injected
+## fault rate) and export the raw points to BENCH_*.json.
 bench-json:
 	$(GO) run ./cmd/nxbench -json BENCH_topology.json
+	$(GO) run ./cmd/nxbench -chaos sweep -json BENCH_chaos.json
 
-## nxbench: render every experiment table (E1–E18 + ablations).
+## nxbench: render every experiment table (E1–E19 + ablations).
 nxbench:
 	$(GO) run ./cmd/nxbench
 

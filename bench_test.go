@@ -1,4 +1,4 @@
-package nxzip
+package nxzip_test
 
 // bench_test.go holds one testing.B benchmark per reproduced table/figure
 // (E1–E17 in DESIGN.md) plus the design-choice ablations (A1–A11). Each
@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"nxzip"
 	"nxzip/internal/corpus"
 	"nxzip/internal/experiments"
 )
@@ -161,7 +162,7 @@ func BenchmarkAblationWidth(b *testing.B) {
 // Raw device micro-benchmarks: host cost of the model itself (not the
 // modelled device time).
 func BenchmarkDeviceCompressGzipP9(b *testing.B) {
-	acc := Open(P9())
+	acc := nxzip.Open(nxzip.P9())
 	defer acc.Close()
 	src := corpus.Generate(corpus.Text, 1<<20, 1)
 	b.SetBytes(int64(len(src)))
@@ -174,7 +175,7 @@ func BenchmarkDeviceCompressGzipP9(b *testing.B) {
 }
 
 func BenchmarkDeviceDecompressGzipP9(b *testing.B) {
-	acc := Open(P9())
+	acc := nxzip.Open(nxzip.P9())
 	defer acc.Close()
 	src := corpus.Generate(corpus.Text, 1<<20, 1)
 	gz, _, err := acc.CompressGzip(src)
@@ -194,7 +195,7 @@ func BenchmarkDeviceDecompressGzipP9(b *testing.B) {
 // wall time: engines behind the shared FIFO run concurrently, so the
 // device-side makespan of a parallel burst is the maximum per-engine busy
 // time, not the sum.
-func deviceMakespan(acc *Accelerator, before []int64) time.Duration {
+func deviceMakespan(acc *nxzip.Accelerator, before []int64) time.Duration {
 	dev := acc.Device()
 	var max int64
 	for i := range before {
@@ -205,7 +206,7 @@ func deviceMakespan(acc *Accelerator, before []int64) time.Duration {
 	return dev.PipelineConfig().Time(max)
 }
 
-func engineBusySnapshot(acc *Accelerator, engines int) []int64 {
+func engineBusySnapshot(acc *nxzip.Accelerator, engines int) []int64 {
 	s := make([]int64, engines)
 	for i := range s {
 		s[i] = acc.Device().Engine(i).Counters().BusyCycles
@@ -230,9 +231,9 @@ func BenchmarkWriterSerialVsParallel(b *testing.B) {
 		for _, workers := range []int{1, 2, 4, 8} {
 			name := fmt.Sprintf("chunk=%dKiB/workers=%d", chunk>>10, workers)
 			b.Run(name, func(b *testing.B) {
-				cfg := P9()
+				cfg := nxzip.P9()
 				cfg.Device.Engines = workers
-				acc := Open(cfg)
+				acc := nxzip.Open(cfg)
 				defer acc.Close()
 				b.SetBytes(int64(len(src)))
 				before := engineBusySnapshot(acc, workers)
@@ -267,9 +268,9 @@ func BenchmarkReaderSerialVsParallel(b *testing.B) {
 	src := corpus.Generate(corpus.Text, 8<<20, 18)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			cfg := P9()
+			cfg := nxzip.P9()
 			cfg.Device.Engines = workers
-			acc := Open(cfg)
+			acc := nxzip.Open(cfg)
 			defer acc.Close()
 			var comp bytes.Buffer
 			w := acc.NewWriterChunk(&comp, 256<<10)
@@ -301,7 +302,7 @@ func BenchmarkSoftwareGzipLevel6(b *testing.B) {
 	src := corpus.Generate(corpus.Text, 1<<20, 1)
 	b.SetBytes(int64(len(src)))
 	for i := 0; i < b.N; i++ {
-		if _, err := SoftwareGzip(src, 6); err != nil {
+		if _, err := nxzip.SoftwareGzip(src, 6); err != nil {
 			b.Fatal(err)
 		}
 	}

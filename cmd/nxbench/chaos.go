@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"nxzip/internal/experiments"
+	"nxzip/internal/faultinject"
+)
+
+// chaosRun drives the E19 graceful-degradation harness from the -chaos
+// flag: "sweep" runs the default fault-rate sweep, anything else is
+// resolved by faultinject.ParseProfile (a named profile such as "mild"
+// or "fault-storm", or an explicit "class=rate,..." list) and measured
+// against the clean baseline. With -json the raw points are exported
+// (BENCH_chaos.json in the Makefile).
+func chaosRun(profile, jsonPath string) error {
+	var (
+		t      *experiments.Table
+		points []experiments.ChaosPoint
+	)
+	if profile == "sweep" {
+		t, points = experiments.ChaosSweep()
+	} else {
+		p, err := faultinject.ParseProfile(profile)
+		if err != nil {
+			return err
+		}
+		t, points = experiments.ChaosProfile(profile, p)
+	}
+	t.Render(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}

@@ -1,5 +1,5 @@
 // Command nxbench regenerates every table and figure of the reproduction
-// (experiments E1–E18 per DESIGN.md) plus the design-choice ablations,
+// (experiments E1–E19 per DESIGN.md) plus the design-choice ablations,
 // printing them as formatted text tables.
 //
 // Usage:
@@ -13,6 +13,8 @@
 //	nxbench -metrics         # metrics snapshot of the same workload
 //	nxbench -json BENCH_topology.json   # E18 sweep, points as JSON
 //	nxbench -devices 8 -dispatch ll     # one topology point
+//	nxbench -chaos sweep -json BENCH_chaos.json   # E19 fault-rate sweep
+//	nxbench -chaos fault-storm                    # one named chaos profile
 package main
 
 import (
@@ -33,13 +35,21 @@ func main() {
 	parallel := flag.Bool("parallel", false, "measure serial vs parallel Writer/Reader throughput scaling")
 	tracePath := flag.String("trace", "", "run the trace workload and write Chrome trace_event JSON to this file")
 	metrics := flag.Bool("metrics", false, "run the trace workload and print the device metrics snapshot")
-	jsonPath := flag.String("json", "", "run the E18 topology sweep and write its points to this file as JSON")
+	jsonPath := flag.String("json", "", "write the sweep's raw points to this file as JSON (E18 topology, or E19 with -chaos)")
 	devices := flag.Int("devices", 0, "measure a single topology point with this many z15 devices")
 	dispatch := flag.String("dispatch", "", "dispatch policy for the topology sweep: round-robin, least-loaded, affinity")
+	chaos := flag.String("chaos", "", "run the E19 chaos harness: \"sweep\", a named profile (mild, heavy, fault-storm, ...) or \"class=rate,...\"")
 	flag.Parse()
 
 	if *tracePath != "" || *metrics {
 		if err := traceDemo(*tracePath, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "nxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaos != "" {
+		if err := chaosRun(*chaos, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "nxbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -117,6 +127,8 @@ func runOne(id string) []*experiments.Table {
 		return []*experiments.Table{experiments.E17SmallRequests()}
 	case "E18":
 		return []*experiments.Table{experiments.E18TopologyScaling()}
+	case "E19":
+		return []*experiments.Table{experiments.E19ChaosDegradation()}
 	case "A1":
 		return []*experiments.Table{experiments.A1Banks()}
 	case "A2":

@@ -17,6 +17,8 @@
 //	nxzip -trace t.json -stream corpus.txt  # Chrome trace of every request
 //	nxzip -devices 4 -v corpus.txt       # shard chunks across a 4-device node
 //	nxzip -devices 4 -dispatch least-loaded corpus.txt
+//	nxzip -devices 4 -chaos heavy -v corpus.txt   # inject faults; watch recovery
+//	nxzip -chaos crc-error=1 -v corpus.txt        # kill the device: software fallback
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"nxzip"
+	"nxzip/internal/faultinject"
 	"nxzip/internal/nx"
 	"nxzip/internal/stats"
 	"nxzip/internal/telemetry"
@@ -55,10 +58,18 @@ func run() error {
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON of every request to this file")
 		devices    = flag.Int("devices", 1, "device count: >1 opens a multi-accelerator node and shards compression across it")
 		dispatch   = flag.String("dispatch", "", "node dispatch policy: round-robin (default), least-loaded, affinity")
+		chaos      = flag.String("chaos", "", "inject faults: a named profile (mild, heavy, fault-storm, ...) or \"class=rate,...\"")
 	)
 	flag.Parse()
 	if *devices < 1 {
 		return fmt.Errorf("-devices %d: need at least one device", *devices)
+	}
+	var chaosProfile faultinject.Profile
+	if *chaos != "" {
+		var perr error
+		if chaosProfile, perr = faultinject.ParseProfile(*chaos); perr != nil {
+			return perr
+		}
 	}
 
 	in := os.Stdin
@@ -96,7 +107,9 @@ func run() error {
 	var node *nxzip.Node
 	var traceFile *os.File
 	open := func(cfg nxzip.Config) (*nxzip.Accelerator, error) {
-		if *devices > 1 || *dispatch != "" {
+		// -chaos needs the node path even for one device: injectors install
+		// through the node, and so do failover and software fallback.
+		if *devices > 1 || *dispatch != "" || *chaos != "" {
 			devCfgs := make([]nx.DeviceConfig, *devices)
 			for i := range devCfgs {
 				devCfgs[i] = cfg.Device
@@ -109,6 +122,9 @@ func run() error {
 				return nil, nerr
 			}
 			node = n
+			if *chaos != "" {
+				n.InstallInjectors(1, chaosProfile)
+			}
 			acc = n.View()
 		} else {
 			acc = nxzip.Open(cfg)
@@ -226,6 +242,10 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "device time %v (%d cycles, %d faults) = %s\n",
 				metrics.DeviceTime, metrics.DeviceCycles, metrics.Faults,
 				stats.Rate(metrics.Throughput()))
+			if metrics.Redispatches > 0 || metrics.Degraded {
+				fmt.Fprintf(os.Stderr, "recovery: %d redispatches, degraded=%v\n",
+					metrics.Redispatches, metrics.Degraded)
+			}
 		}
 		if node != nil {
 			fmt.Fprintf(os.Stderr, "dispatch:")

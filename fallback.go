@@ -1,0 +1,288 @@
+package nxzip
+
+// fallback.go is the graceful-degradation layer: every public operation
+// first tries the accelerator pool (re-dispatching device-local failures
+// to other healthy devices through the topology health scoreboard), and
+// when the pool is unhealthy or the retry budget is exhausted it falls
+// back to the software path — the same internal/lz77 + internal/deflate
+// code the paper's software baseline uses — so callers still get correct
+// bytes. Degraded results are flagged in Metrics and counted in the
+// nxzip.fallbacks / nxzip.redispatches instruments.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nxzip/internal/checksum"
+	"nxzip/internal/deflate"
+	"nxzip/internal/lz77"
+	"nxzip/internal/nx"
+	"nxzip/internal/topology"
+	"nxzip/internal/x842"
+)
+
+// softLevel is the zlib-equivalent compression level of the software
+// fallback path.
+const softLevel = 6
+
+// failoverEligible reports whether a device-path error should be
+// absorbed by re-dispatch/fallback rather than surfaced: transient
+// device-local failures (nx.Retryable), plus error completion codes that
+// an injected flake can force on intact input (data check, invalid CRB,
+// CRC mismatch) — for genuinely bad input the software path fails too
+// and its error is authoritative. Deadline and cancellation failures
+// surface directly: that budget belongs to the caller.
+func failoverEligible(err error) bool {
+	return nx.Retryable(err) ||
+		errors.Is(err, nx.ErrDataCorrupt) ||
+		errors.Is(err, nx.ErrInvalidCRB)
+}
+
+// ccFail wraps a non-OK completion into an errors.Is-able error carrying
+// the CSB detail.
+func ccFail(op string, csb *nx.CSB) error {
+	if csb.Detail != "" {
+		return fmt.Errorf("nxzip: %s: %w: %s", op, csb.CC.Err(), csb.Detail)
+	}
+	return fmt.Errorf("nxzip: %s: %w", op, csb.CC.Err())
+}
+
+// failoverOn runs op against the pool with re-dispatch and software
+// fallback: each attempt picks a healthy device through nctx (feeding
+// the outcome back into the health scoreboard), device-local failures
+// re-dispatch up to one attempt per device plus one, and when no healthy
+// device remains or the budget runs out, soft produces the result
+// instead. The returned Metrics carry the wasted device cycles of failed
+// attempts, the re-dispatch count, and Degraded=true for software
+// results.
+func (a *Accelerator) failoverOn(nctx *topology.Context, op func(*nx.Context) ([]byte, *Metrics, error), soft func() ([]byte, *Metrics, error)) ([]byte, *Metrics, error) {
+	wasted := &Metrics{}
+	attempts := nctx.Size() + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		ctx, release, perr := nctx.PickAvail()
+		if perr != nil {
+			break // pool unhealthy: straight to software
+		}
+		out, m, err := op(ctx)
+		release(err)
+		if err == nil {
+			if m == nil {
+				m = &Metrics{}
+			}
+			m.Redispatches = attempt
+			m.DeviceCycles += wasted.DeviceCycles
+			m.DeviceTime += wasted.DeviceTime
+			m.Faults += wasted.Faults
+			if attempt > 0 {
+				a.met.redispatches.Add(int64(attempt))
+			}
+			return out, m, nil
+		}
+		addMetricsInto(wasted, m)
+		if !failoverEligible(err) {
+			return nil, wasted, err
+		}
+		wasted.Redispatches = attempt + 1
+	}
+	if wasted.Redispatches > 0 {
+		a.met.redispatches.Add(int64(wasted.Redispatches))
+	}
+	out, m, err := soft()
+	if err != nil {
+		// The software path is authoritative: its failure (e.g. genuinely
+		// corrupt input) is the real answer, not the device flake.
+		return nil, wasted, err
+	}
+	a.met.fallbacks.Inc()
+	m.Degraded = true
+	m.Redispatches = wasted.Redispatches
+	m.DeviceCycles += wasted.DeviceCycles
+	m.DeviceTime += wasted.DeviceTime
+	m.Faults += wasted.Faults
+	return out, m, nil
+}
+
+// withFailover is failoverOn over the accelerator's own node context.
+func (a *Accelerator) withFailover(op func(*nx.Context) ([]byte, *Metrics, error), soft func() ([]byte, *Metrics, error)) ([]byte, *Metrics, error) {
+	return a.failoverOn(a.nctx, op, soft)
+}
+
+// softMetrics builds the Metrics of a software-path result: host
+// wall-clock stands in for device time (so Throughput stays meaningful),
+// no device cycles are charged, and checksums cover the plaintext.
+func softMetrics(plain []byte, in, out int, start time.Time) *Metrics {
+	m := &Metrics{
+		InBytes:    in,
+		OutBytes:   out,
+		DeviceTime: time.Since(start),
+		CRC32:      checksum.Sum32(plain),
+		Adler32:    checksum.SumAdler32(plain),
+		Degraded:   true,
+	}
+	if in > 0 && out > 0 {
+		if out > in { // decompression: output/input
+			m.Ratio = float64(out) / float64(in)
+		} else {
+			m.Ratio = float64(in) / float64(out)
+		}
+	}
+	return m
+}
+
+// softCompress is the software fallback of the one-shot compression
+// paths.
+func (a *Accelerator) softCompress(src []byte, wrap nx.Wrap) ([]byte, *Metrics, error) {
+	start := time.Now()
+	opts := deflate.Options{Level: softLevel}
+	var (
+		out []byte
+		err error
+	)
+	switch wrap {
+	case nx.WrapGzip:
+		out, err = deflate.CompressGzip(src, opts)
+	case nx.WrapZlib:
+		out, err = deflate.CompressZlib(src, opts)
+	default:
+		out, err = deflate.Compress(src, opts)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	m := softMetrics(src, len(src), len(out), start)
+	m.Ratio = 0
+	if len(out) > 0 {
+		m.Ratio = float64(len(src)) / float64(len(out))
+	}
+	return out, m, nil
+}
+
+// softDecompress is the software fallback of the one-shot decompression
+// paths. Its verdict on the input is authoritative: an error here means
+// the stream really is corrupt (or over budget), not that a device
+// flaked.
+func (a *Accelerator) softDecompress(src []byte, wrap nx.Wrap, maxOutput int) ([]byte, *Metrics, error) {
+	start := time.Now()
+	opts := deflate.InflateOptions{MaxOutput: maxOutput}
+	var (
+		out []byte
+		err error
+	)
+	switch wrap {
+	case nx.WrapGzip:
+		out, err = deflate.DecompressGzip(src, opts)
+	case nx.WrapZlib:
+		out, err = deflate.DecompressZlib(src, opts)
+	default:
+		out, err = deflate.Decompress(src, opts)
+	}
+	if err != nil {
+		if errors.Is(err, deflate.ErrTooLarge) {
+			err = fmt.Errorf("nxzip: decompressed stream exceeds %d bytes", maxOutput)
+		}
+		return nil, nil, err
+	}
+	m := softMetrics(out, len(src), len(out), start)
+	m.Ratio = 0
+	if len(src) > 0 {
+		m.Ratio = float64(len(out)) / float64(len(src))
+	}
+	return out, m, nil
+}
+
+// compressMember compresses one chunk into a gzip member through nctx
+// with re-dispatch and software fallback — the per-worker entry point of
+// Writer and ParallelWriter.
+func (a *Accelerator) compressMember(nctx *topology.Context, src []byte) ([]byte, *Metrics, error) {
+	return a.failoverOn(nctx,
+		func(ctx *nx.Context) ([]byte, *Metrics, error) { return a.compressOn(ctx, src, nx.WrapGzip) },
+		func() ([]byte, *Metrics, error) { return a.softCompress(src, nx.WrapGzip) })
+}
+
+// decompressMember inflates the first gzip member of src through nctx
+// with re-dispatch and software fallback, returning the plaintext, the
+// encoded bytes consumed, and metrics.
+func (a *Accelerator) decompressMember(nctx *topology.Context, src []byte, budget int) ([]byte, int, *Metrics, error) {
+	if budget < 1 {
+		budget = 1
+	}
+	var consumed int
+	out, m, err := a.failoverOn(nctx,
+		func(ctx *nx.Context) ([]byte, *Metrics, error) {
+			plain, c, m, err := a.decompressMemberOn(ctx, src, budget)
+			if err == nil {
+				consumed = c
+			}
+			return plain, m, err
+		},
+		func() ([]byte, *Metrics, error) {
+			start := time.Now()
+			plain, c, err := deflate.DecompressGzipTail(src, deflate.InflateOptions{MaxOutput: budget})
+			if err != nil {
+				if errors.Is(err, deflate.ErrTooLarge) {
+					err = fmt.Errorf("nxzip: decompressed stream exceeds %d bytes", budget)
+				}
+				return nil, nil, err
+			}
+			consumed = c
+			m := softMetrics(plain, c, len(plain), start)
+			m.Ratio = 0
+			if c > 0 {
+				m.Ratio = float64(len(plain)) / float64(c)
+			}
+			return plain, m, nil
+		})
+	return out, consumed, m, err
+}
+
+// softSegment compresses one raw stream segment in software, carrying
+// the history window exactly as the engine does: matches may reach into
+// the previous 32 KiB, non-final segments end in a sync flush so the
+// outputs concatenate into one valid DEFLATE stream.
+func (a *Accelerator) softSegment(history, chunk []byte, final bool) ([]byte, *Metrics, error) {
+	start := time.Now()
+	matcher := lz77.NewSoftMatcher(lz77.LevelParams(softLevel))
+	var toks []lz77.Token
+	if len(history) > 0 {
+		toks = matcher.TokenizeWithHistory(nil, history, chunk)
+	} else {
+		toks = matcher.Tokenize(nil, chunk)
+	}
+	body, err := deflate.EncodeTokensStream(toks, chunk, deflate.ModeFixed, nil, final)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := softMetrics(chunk, len(chunk), len(body), start)
+	m.Ratio = 0
+	if len(body) > 0 {
+		m.Ratio = float64(len(chunk)) / float64(len(body))
+	}
+	return body, m, nil
+}
+
+// soft842Compress / soft842Decompress are the 842 fallbacks.
+func soft842Compress(src []byte) ([]byte, *Metrics, error) {
+	start := time.Now()
+	out := x842.Compress(src)
+	m := softMetrics(src, len(src), len(out), start)
+	m.Ratio = 0
+	if len(out) > 0 {
+		m.Ratio = float64(len(src)) / float64(len(out))
+	}
+	return out, m, nil
+}
+
+func soft842Decompress(src []byte, maxOutput int) ([]byte, *Metrics, error) {
+	start := time.Now()
+	out, err := x842.Decompress(src, maxOutput)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := softMetrics(out, len(src), len(out), start)
+	m.Ratio = 0
+	if len(src) > 0 {
+		m.Ratio = float64(len(out)) / float64(len(src))
+	}
+	return out, m, nil
+}

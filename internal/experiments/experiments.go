@@ -506,6 +506,7 @@ func All() []*Table {
 		E16QoS(),
 		E17SmallRequests(),
 		E18TopologyScaling(),
+		E19ChaosDegradation(),
 	}
 }
 

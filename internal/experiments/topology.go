@@ -72,7 +72,7 @@ func measureTopology(devices int, policy topology.Policy) (totalBytes int, makes
 		chunk := src[i*topologyChunkSize : (i+1)*topologyChunkSize]
 		ctx, done := nctx.Pick()
 		_, _, err := ctx.Compress(chunk, nx.FCCompressDHT, nx.WrapGzip, true)
-		done()
+		done(err)
 		if err != nil {
 			panic(fmt.Sprintf("E18 %d devices: %v", devices, err))
 		}

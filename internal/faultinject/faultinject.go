@@ -1,0 +1,324 @@
+// Package faultinject is the failure model of the accelerator
+// reproduction: a deterministic, seedable injector that the device,
+// engine, NMMU and VAS layers consult at well-defined hook points to
+// force the unhappy paths a production deployment must survive — CSB
+// error completion codes (CRC mismatch, data check, invalid CRB),
+// translation-fault storms, paste-rejection storms, credit leaks,
+// engine hangs (no CSB write), and whole-device offlining.
+//
+// The wiring mirrors internal/telemetry: each layer holds an
+// atomic.Pointer[faultinject.Injector] that is nil by default, and every
+// Injector method is nil-receiver safe, so a disabled injector costs
+// exactly one atomic load plus a nil check on the hot path — no
+// allocation, no branch on configuration data, no lock.
+//
+// Determinism: decisions come from a splitmix64 stream seeded at
+// construction. Concurrent callers interleave draws nondeterministically,
+// but the multiset of values drawn is a pure function of the seed, so
+// single-goroutine tests replay exactly and concurrent chaos runs are
+// statistically reproducible.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Class enumerates the injectable fault classes. Each maps to one hook
+// point in the stack.
+type Class int
+
+const (
+	// CRCError forces a successful engine completion into a CRC-mismatch
+	// CSB (the engine's read-back verify failed) — retryable: the input
+	// is intact and a resubmission usually succeeds.
+	CRCError Class = iota
+	// DataCheck forces a data-check completion (CSB reports the stream
+	// invalid). On compression this can only be a flake; on decompression
+	// it is indistinguishable from genuinely corrupt input, which is why
+	// the fallback layer re-checks in software before giving up.
+	DataCheck
+	// InvalidCRB forces a malformed-request completion.
+	InvalidCRB
+	// TransFault forces a translation fault from the NMMU even for
+	// resident pages. At high rates this is the fault storm the
+	// submit-side round cap (ErrFaultStorm) exists for.
+	TransFault
+	// PasteReject forces the switchboard to bounce a paste (CR0 busy)
+	// regardless of credits or FIFO depth — a paste-rejection storm.
+	PasteReject
+	// CreditLeak makes a completion swallow the send-window credit
+	// instead of returning it; enough leaks wedge the window.
+	CreditLeak
+	// EngineHang makes the engine drop a dequeued request without ever
+	// writing its CSB.
+	EngineHang
+
+	classCount
+)
+
+func (c Class) String() string {
+	switch c {
+	case CRCError:
+		return "crc-error"
+	case DataCheck:
+		return "data-check"
+	case InvalidCRB:
+		return "invalid-crb"
+	case TransFault:
+		return "trans-fault"
+	case PasteReject:
+		return "paste-reject"
+	case CreditLeak:
+		return "credit-leak"
+	case EngineHang:
+		return "engine-hang"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Classes returns every injectable class, in declaration order.
+func Classes() []Class {
+	cs := make([]Class, classCount)
+	for i := range cs {
+		cs[i] = Class(i)
+	}
+	return cs
+}
+
+// Profile sets the per-class injection probability (0..1). The zero
+// Profile injects nothing.
+type Profile struct {
+	CRCError    float64
+	DataCheck   float64
+	InvalidCRB  float64
+	TransFault  float64
+	PasteReject float64
+	CreditLeak  float64
+	EngineHang  float64
+}
+
+// Rate returns the probability configured for class c.
+func (p Profile) Rate(c Class) float64 {
+	switch c {
+	case CRCError:
+		return p.CRCError
+	case DataCheck:
+		return p.DataCheck
+	case InvalidCRB:
+		return p.InvalidCRB
+	case TransFault:
+		return p.TransFault
+	case PasteReject:
+		return p.PasteReject
+	case CreditLeak:
+		return p.CreditLeak
+	case EngineHang:
+		return p.EngineHang
+	}
+	return 0
+}
+
+// setRate sets the probability for class c (clamped to [0,1]).
+func (p *Profile) setRate(c Class, r float64) {
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	switch c {
+	case CRCError:
+		p.CRCError = r
+	case DataCheck:
+		p.DataCheck = r
+	case InvalidCRB:
+		p.InvalidCRB = r
+	case TransFault:
+		p.TransFault = r
+	case PasteReject:
+		p.PasteReject = r
+	case CreditLeak:
+		p.CreditLeak = r
+	case EngineHang:
+		p.EngineHang = r
+	}
+}
+
+// Uniform returns a profile injecting every class at the same rate —
+// the x-axis of the E19 graceful-degradation sweep.
+func Uniform(rate float64) Profile {
+	var p Profile
+	for c := Class(0); c < classCount; c++ {
+		p.setRate(c, rate)
+	}
+	return p
+}
+
+// Named chaos profiles for the -chaos CLI flag.
+var namedProfiles = map[string]Profile{
+	"off":         {},
+	"mild":        Uniform(0.01),
+	"heavy":       Uniform(0.10),
+	"cc-errors":   {CRCError: 0.10, DataCheck: 0.05, InvalidCRB: 0.02},
+	"fault-storm": {TransFault: 0.50},
+	"paste-storm": {PasteReject: 0.80},
+	"credit-leak": {CreditLeak: 0.20},
+	"hang":        {EngineHang: 0.10},
+}
+
+// ProfileNames lists the named profiles, sorted.
+func ProfileNames() []string {
+	names := make([]string, 0, len(namedProfiles))
+	for n := range namedProfiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseProfile resolves a -chaos flag value: a named profile ("mild",
+// "heavy", "fault-storm", ...) or an explicit "class=rate,class=rate"
+// list ("crc-error=0.1,engine-hang=0.05").
+func ParseProfile(s string) (Profile, error) {
+	if p, ok := namedProfiles[s]; ok {
+		return p, nil
+	}
+	var p Profile
+	if s == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return p, fmt.Errorf("faultinject: bad profile term %q (want class=rate or one of %s)",
+				kv, strings.Join(ProfileNames(), ", "))
+		}
+		rate, err := strconv.ParseFloat(v, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return p, fmt.Errorf("faultinject: bad rate %q for %q (want 0..1)", v, k)
+		}
+		found := false
+		for c := Class(0); c < classCount; c++ {
+			if c.String() == k {
+				p.setRate(c, rate)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return p, fmt.Errorf("faultinject: unknown fault class %q", k)
+		}
+	}
+	return p, nil
+}
+
+// Injector is one device's fault source. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops / false), so layers
+// consult a possibly-nil pointer without guarding.
+type Injector struct {
+	state atomic.Uint64 // splitmix64 stream position
+
+	// thresholds[c] is the uint64 cut-off a draw is compared against —
+	// precomputed so Decide is one atomic add, one mix, one compare.
+	// Swapped wholesale by SetProfile.
+	thresholds atomic.Pointer[[classCount]uint64]
+	profile    atomic.Pointer[Profile]
+
+	offline atomic.Bool
+
+	injected [classCount]atomic.Int64
+}
+
+// New builds an injector seeded deterministically.
+func New(seed int64, p Profile) *Injector {
+	inj := &Injector{}
+	inj.state.Store(uint64(seed)*0x9E3779B97F4A7C15 + 0x1234567) // spread small seeds
+	inj.SetProfile(p)
+	return inj
+}
+
+// SetProfile replaces the active profile. Safe during traffic.
+func (i *Injector) SetProfile(p Profile) {
+	if i == nil {
+		return
+	}
+	var th [classCount]uint64
+	for c := Class(0); c < classCount; c++ {
+		r := p.Rate(c)
+		switch {
+		case r <= 0:
+			th[c] = 0
+		case r >= 1:
+			th[c] = ^uint64(0)
+		default:
+			th[c] = uint64(r * float64(^uint64(0)))
+		}
+	}
+	i.thresholds.Store(&th)
+	i.profile.Store(&p)
+}
+
+// Profile returns the active profile (zero Profile on nil).
+func (i *Injector) Profile() Profile {
+	if i == nil {
+		return Profile{}
+	}
+	return *i.profile.Load()
+}
+
+// splitmix64 finalizer.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Decide draws once from the stream and reports whether a fault of class
+// c fires. Nil receivers never fire and draw nothing.
+func (i *Injector) Decide(c Class) bool {
+	if i == nil {
+		return false
+	}
+	th := (*i.thresholds.Load())[c]
+	if th == 0 {
+		return false // rate 0: don't burn a draw, keeps off-classes free
+	}
+	v := mix(i.state.Add(0x9E3779B97F4A7C15))
+	if v <= th {
+		i.injected[c].Add(1)
+		return true
+	}
+	return false
+}
+
+// SetOffline marks the whole device as gone (true) or back (false) —
+// the chaos harness's kill/revive switch.
+func (i *Injector) SetOffline(off bool) {
+	if i != nil {
+		i.offline.Store(off)
+	}
+}
+
+// Offline reports whether the device is currently offlined.
+func (i *Injector) Offline() bool { return i != nil && i.offline.Load() }
+
+// Injected reports how many faults of class c have fired.
+func (i *Injector) Injected(c Class) int64 {
+	if i == nil {
+		return 0
+	}
+	return i.injected[c].Load()
+}
+
+// TotalInjected sums fired faults across every class.
+func (i *Injector) TotalInjected() int64 {
+	var n int64
+	for c := Class(0); c < classCount; c++ {
+		n += i.Injected(c)
+	}
+	return n
+}

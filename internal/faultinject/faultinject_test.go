@@ -1,0 +1,137 @@
+package faultinject
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	for _, c := range Classes() {
+		if inj.Decide(c) {
+			t.Fatalf("nil injector fired %s", c)
+		}
+		if inj.Injected(c) != 0 {
+			t.Fatalf("nil injector counted %s", c)
+		}
+	}
+	if inj.Offline() {
+		t.Fatal("nil injector offline")
+	}
+	inj.SetOffline(true) // must not panic
+	inj.SetProfile(Uniform(1))
+	if inj.TotalInjected() != 0 {
+		t.Fatal("nil injector total")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a := New(42, Uniform(0.3))
+	b := New(42, Uniform(0.3))
+	for i := 0; i < 10000; i++ {
+		c := Class(i % int(classCount))
+		if a.Decide(c) != b.Decide(c) {
+			t.Fatalf("draw %d diverged between same-seed injectors", i)
+		}
+	}
+	if a.TotalInjected() != b.TotalInjected() {
+		t.Fatalf("totals diverged: %d vs %d", a.TotalInjected(), b.TotalInjected())
+	}
+}
+
+func TestRateAccuracy(t *testing.T) {
+	for _, rate := range []float64{0, 0.05, 0.5, 1} {
+		inj := New(7, Profile{EngineHang: rate})
+		const n = 20000
+		fired := 0
+		for i := 0; i < n; i++ {
+			if inj.Decide(EngineHang) {
+				fired++
+			}
+		}
+		got := float64(fired) / n
+		if math.Abs(got-rate) > 0.02 {
+			t.Errorf("rate %.2f: observed %.3f", rate, got)
+		}
+		// Classes at rate 0 must never fire.
+		if inj.Decide(CreditLeak) {
+			t.Error("zero-rate class fired")
+		}
+	}
+}
+
+func TestConcurrentDecide(t *testing.T) {
+	inj := New(99, Uniform(0.5))
+	var wg sync.WaitGroup
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				inj.Decide(CRCError)
+			}
+		}()
+	}
+	wg.Wait()
+	got := inj.Injected(CRCError)
+	want := float64(goroutines * perG / 2)
+	if math.Abs(float64(got)-want) > want*0.1 {
+		t.Fatalf("concurrent fire count %d, want ~%.0f", got, want)
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile("mild")
+	if err != nil || p.CRCError != 0.01 || p.EngineHang != 0.01 {
+		t.Fatalf("mild: %+v err %v", p, err)
+	}
+	p, err = ParseProfile("crc-error=0.25, engine-hang=0.5")
+	if err != nil || p.CRCError != 0.25 || p.EngineHang != 0.5 || p.DataCheck != 0 {
+		t.Fatalf("explicit: %+v err %v", p, err)
+	}
+	if _, err = ParseProfile("bogus-class=0.1"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err = ParseProfile("crc-error=7"); err == nil {
+		t.Fatal("out-of-range rate accepted")
+	}
+	if _, err = ParseProfile("notaprofile"); err == nil {
+		t.Fatal("bare unknown name accepted")
+	}
+	if p, err = ParseProfile("off"); err != nil || p != (Profile{}) {
+		t.Fatalf("off: %+v err %v", p, err)
+	}
+}
+
+func TestOfflineToggle(t *testing.T) {
+	inj := New(1, Profile{})
+	if inj.Offline() {
+		t.Fatal("fresh injector offline")
+	}
+	inj.SetOffline(true)
+	if !inj.Offline() {
+		t.Fatal("SetOffline(true) ignored")
+	}
+	inj.SetOffline(false)
+	if inj.Offline() {
+		t.Fatal("SetOffline(false) ignored")
+	}
+}
+
+func TestSetProfileSwap(t *testing.T) {
+	inj := New(3, Profile{})
+	for i := 0; i < 100; i++ {
+		if inj.Decide(TransFault) {
+			t.Fatal("empty profile fired")
+		}
+	}
+	inj.SetProfile(Profile{TransFault: 1})
+	if !inj.Decide(TransFault) {
+		t.Fatal("rate-1 class did not fire")
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"nxzip/internal/faultinject"
 	"nxzip/internal/telemetry"
 )
 
@@ -67,6 +69,9 @@ type Stats struct {
 	Faults  int64
 	Touches int64 // OS touch-and-resubmit fault handling rounds
 	Cycles  int64 // total translation cycles spent
+	// InjectedFaults counts faults forced by the fault injector on pages
+	// that were actually resident (included in Faults too).
+	InjectedFaults int64
 }
 
 // RangeStats is the per-call accounting of one TranslateRangeStats:
@@ -98,6 +103,8 @@ type MMU struct {
 	nextPA uint64
 	stats  Stats
 	met    *metrics
+
+	inj atomic.Pointer[faultinject.Injector]
 }
 
 type space struct {
@@ -140,6 +147,11 @@ func (m *MMU) SetMetrics(reg *telemetry.Registry) {
 	m.met = met
 	m.mu.Unlock()
 }
+
+// SetInjector installs (or, with nil, removes) the fault injector
+// consulted on every translation to force faults on resident pages — a
+// translation-fault storm at high rates.
+func (m *MMU) SetInjector(inj *faultinject.Injector) { m.inj.Store(inj) }
 
 // CreateSpace registers an address space for pid (idempotent).
 func (m *MMU) CreateSpace(pid PID) {
@@ -231,6 +243,20 @@ func (m *MMU) translateLocked(pid PID, va uint64) (pa uint64, cycles int64, hit 
 	}
 	ps := uint64(m.cfg.PageSize)
 	vpn := va / ps
+	if m.inj.Load().Decide(faultinject.TransFault) {
+		// Injected fault: report the page not translatable even when it
+		// is resident. The OS touch-and-resubmit protocol runs exactly as
+		// for a real fault; the submit-side round cap bounds the storm.
+		m.stats.Faults++
+		m.stats.InjectedFaults++
+		if m.met != nil {
+			m.met.faults.Inc()
+		}
+		cycles = m.cfg.WalkCycles + m.cfg.FaultTripCycles
+		m.stats.Cycles += cycles
+		delete(m.erat, eratKey{pid, vpn})
+		return 0, cycles, false, &Fault{PID: pid, VA: va}
+	}
 	key := eratKey{pid, vpn}
 	if pa, ok := m.erat[key]; ok {
 		m.stats.Hits++

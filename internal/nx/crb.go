@@ -9,7 +9,9 @@
 package nx
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"nxzip/internal/deflate"
 	"nxzip/internal/lz77"
@@ -98,6 +100,11 @@ const (
 	CCDataCorrupt
 	// CCInvalidCRB: malformed request.
 	CCInvalidCRB
+	// CCCRCError: the engine's inline read-back verify found a CRC
+	// mismatch between what was written and what was computed — a
+	// transient data-path flake, not a property of the input, so software
+	// retries the request (usually on another device).
+	CCCRCError
 
 	// ccCount sizes per-CC counter arrays.
 	ccCount
@@ -115,8 +122,66 @@ func (c CC) String() string {
 		return "data-corrupt"
 	case CCInvalidCRB:
 		return "invalid-crb"
+	case CCCRCError:
+		return "crc-error"
 	}
 	return fmt.Sprintf("CC(%d)", int(c))
+}
+
+// Typed errors for every non-OK completion code, so callers can sort
+// retryable from fatal completions with errors.Is instead of parsing
+// messages. Compress/Decompress/submit wrap these (with the CSB detail
+// string) into the errors they return.
+var (
+	// ErrTranslationFault is normally consumed by the touch-and-resubmit
+	// protocol; it surfaces only when the fault handler itself fails.
+	ErrTranslationFault = errors.New("nx: translation fault")
+	// ErrTargetSpace: output exceeded the target buffer. Retryable with
+	// a larger buffer (the grow-and-resubmit loop), fatal as-is.
+	ErrTargetSpace = errors.New("nx: target buffer space exhausted")
+	// ErrDataCorrupt: the stream failed to decode or checksum. Fatal for
+	// a genuinely corrupt input; a fault-injected data check on intact
+	// input is indistinguishable here, which is why the fallback layer
+	// re-verifies in software before reporting corruption.
+	ErrDataCorrupt = errors.New("nx: data corrupt")
+	// ErrInvalidCRB: malformed request. Fatal — resubmitting the same
+	// block cannot succeed (an injected flake is the one exception the
+	// failover layer absorbs by rebuilding the request elsewhere).
+	ErrInvalidCRB = errors.New("nx: invalid CRB")
+	// ErrCRCMismatch: inline verify failed. Retryable.
+	ErrCRCMismatch = errors.New("nx: crc mismatch")
+)
+
+// Err maps a completion code to its typed error (nil for CCSuccess).
+func (c CC) Err() error {
+	switch c {
+	case CCSuccess:
+		return nil
+	case CCTranslationFault:
+		return ErrTranslationFault
+	case CCTargetSpace:
+		return ErrTargetSpace
+	case CCDataCorrupt:
+		return ErrDataCorrupt
+	case CCInvalidCRB:
+		return ErrInvalidCRB
+	case CCCRCError:
+		return ErrCRCMismatch
+	}
+	return fmt.Errorf("nx: unknown completion code %d", int(c))
+}
+
+// ccError wraps a non-OK completion into a typed, errors.Is-able error
+// carrying the human-readable CSB detail.
+func ccError(op string, csb *CSB) error {
+	err := csb.CC.Err()
+	if err == nil {
+		return nil
+	}
+	if csb.Detail != "" {
+		return fmt.Errorf("nx: %s: %w: %s", op, err, csb.Detail)
+	}
+	return fmt.Errorf("nx: %s: %w", op, err)
 }
 
 // CRB is the coprocessor request block: one self-describing request.
@@ -174,6 +239,17 @@ type CRB struct {
 	// operation and waits, skipping the VAS queue and its setup cost.
 	// Only honoured on devices whose pipeline has SyncSetupCycles > 0.
 	SyncSubmit bool
+
+	// Deadline, when non-zero, bounds this request's wall-clock
+	// lifetime: paste retries, backoff waits and fault-resubmit rounds
+	// all check it, and submission fails with ErrDeadlineExceeded once it
+	// passes. Zero applies the device's SubmitPolicy.Timeout (if any).
+	Deadline time.Time
+	// Cancel, when non-nil, aborts the request between recovery rounds
+	// when the channel closes (submission fails with ErrCanceled). A
+	// round already running on the engine completes; cancellation is
+	// checked at the same points as Deadline.
+	Cancel <-chan struct{}
 }
 
 // CSB is the coprocessor status block written back at completion.

@@ -35,6 +35,20 @@ func (d *DecompState) Produced() int64 { return d.produced }
 // Tail returns unconsumed bytes after the final block (stream trailer).
 func (d *DecompState) Tail() []byte { return d.session.Tail() }
 
+// SoftFeed advances the stream in software: the same inflate session the
+// engine drives processes input on the host instead. A stream can move
+// between device and software freely across requests — the resume state
+// is this object either way. This is the degraded path the failover
+// layer uses when no healthy device remains.
+func (d *DecompState) SoftFeed(input []byte, final bool) ([]byte, error) {
+	out, err := d.session.Feed(input, final)
+	if err != nil {
+		return nil, err
+	}
+	d.produced += int64(len(out))
+	return out, nil
+}
+
 // decompressResume feeds one request's input into the carried session.
 // Wrap must be WrapRaw: framing belongs to the stream owner, exactly as
 // with compression segments.

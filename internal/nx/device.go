@@ -3,12 +3,12 @@ package nx
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"nxzip/internal/faultinject"
 	"nxzip/internal/lz77"
 	"nxzip/internal/nmmu"
 	"nxzip/internal/pipeline"
@@ -26,6 +26,72 @@ type DeviceConfig struct {
 	// (the P9 NX has separate gzip/842 engines; the z15 NXU has two
 	// compression cores). Default 1.
 	Engines int
+	// Submit bounds the recovery work one request may consume (fault
+	// resubmit rounds, paste retries, backoff waits, wall-clock). Zero
+	// fields take DefaultSubmitPolicy values.
+	Submit SubmitPolicy
+}
+
+// SubmitPolicy is the submission-side recovery budget: how hard
+// Context.submit fights for one request before reporting a typed
+// failure instead of spinning forever.
+type SubmitPolicy struct {
+	// MaxFaultRounds caps translation-fault touch-and-resubmit rounds;
+	// beyond it submission fails with ErrFaultStorm. A page that never
+	// becomes resident (or an injected fault storm) is bounded by this.
+	MaxFaultRounds int
+	// MaxPasteAttempts caps paste tries per round (draining the FIFO
+	// between tries, as before); beyond it submission fails with
+	// ErrDeviceBusy.
+	MaxPasteAttempts int
+	// MaxBackoffWaits caps how many backoff sleeps a round may take while
+	// the FIFO is empty and the paste keeps bouncing — the signature of a
+	// wedged window (leaked credits) rather than ordinary saturation.
+	// Beyond it submission fails with ErrDeviceBusy.
+	MaxBackoffWaits int
+	// BackoffBase/BackoffMax shape the exponential backoff (with jitter)
+	// between paste retries when there is no queued work to drain,
+	// replacing the old busy yield loop.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Timeout, when non-zero, is the default per-request deadline applied
+	// to CRBs that carry none of their own.
+	Timeout time.Duration
+}
+
+// DefaultSubmitPolicy returns the shipped recovery budget.
+func DefaultSubmitPolicy() SubmitPolicy {
+	return SubmitPolicy{
+		MaxFaultRounds:   64,
+		MaxPasteAttempts: 1 << 20,
+		MaxBackoffWaits:  2048,
+		BackoffBase:      2 * time.Microsecond,
+		BackoffMax:       time.Millisecond,
+	}
+}
+
+// withDefaults fills zero fields from DefaultSubmitPolicy.
+func (p SubmitPolicy) withDefaults() SubmitPolicy {
+	def := DefaultSubmitPolicy()
+	if p.MaxFaultRounds <= 0 {
+		p.MaxFaultRounds = def.MaxFaultRounds
+	}
+	if p.MaxPasteAttempts <= 0 {
+		p.MaxPasteAttempts = def.MaxPasteAttempts
+	}
+	if p.MaxBackoffWaits <= 0 {
+		p.MaxBackoffWaits = def.MaxBackoffWaits
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = def.BackoffBase
+	}
+	if p.BackoffMax < p.BackoffBase {
+		p.BackoffMax = def.BackoffMax
+		if p.BackoffMax < p.BackoffBase {
+			p.BackoffMax = p.BackoffBase
+		}
+	}
+	return p
 }
 
 // P9Device returns the POWER9 single-chip device configuration.
@@ -51,6 +117,7 @@ type Device struct {
 	reg     *telemetry.Registry
 	met     *devMetrics
 	tracer  atomic.Pointer[telemetry.Tracer]
+	inj     atomic.Pointer[faultinject.Injector]
 	created time.Time
 }
 
@@ -64,6 +131,14 @@ type devMetrics struct {
 	syncCalls    *telemetry.Counter
 	queueWaitUS  *telemetry.Histogram // paste-accept to dequeue, µs wall-clock
 	cc           [ccCount]*telemetry.Counter
+
+	// Recovery instruments (the failure model's visible surface).
+	faultStorms    *telemetry.Counter   // submissions that hit the fault-round cap
+	engineHangs    *telemetry.Counter   // requests dropped without a CSB write
+	offlineRejects *telemetry.Counter   // submissions refused: device offline
+	deadlineFails  *telemetry.Counter   // submissions that ran out of deadline
+	backoffWaits   *telemetry.Counter   // paste backoff sleeps taken
+	backoffUS      *telemetry.Histogram // per-request total backoff, µs wall-clock
 }
 
 // NewDevice builds a device.
@@ -71,6 +146,7 @@ func NewDevice(cfg DeviceConfig) *Device {
 	if cfg.Engines <= 0 {
 		cfg.Engines = 1
 	}
+	cfg.Submit = cfg.Submit.withDefaults()
 	reg := telemetry.NewRegistry()
 	d := &Device{
 		cfg:     cfg,
@@ -86,6 +162,13 @@ func NewDevice(cfg DeviceConfig) *Device {
 		faultRetries: reg.Counter("nx.fault_retries"),
 		syncCalls:    reg.Counter("nx.sync_calls"),
 		queueWaitUS:  reg.Histogram("nx.queue_wait_us"),
+
+		faultStorms:    reg.Counter("nx.fault_storms"),
+		engineHangs:    reg.Counter("nx.engine_hangs"),
+		offlineRejects: reg.Counter("nx.offline_rejects"),
+		deadlineFails:  reg.Counter("nx.deadline_exceeded"),
+		backoffWaits:   reg.Counter("nx.backoff_waits"),
+		backoffUS:      reg.Histogram("nx.backoff_us"),
 	}
 	ccVec := reg.CounterVec("nx.cc")
 	for cc := CC(0); cc < ccCount; cc++ {
@@ -129,6 +212,30 @@ func (d *Device) RemoveTracer() *telemetry.Tracer { return d.tracer.Swap(nil) }
 
 // Tracer returns the installed tracer, or nil when tracing is off.
 func (d *Device) Tracer() *telemetry.Tracer { return d.tracer.Load() }
+
+// SetInjector installs a fault injector across every layer of the
+// device — submission path, engines, translation unit and switchboard
+// all consult it at their hook points. Passing nil uninstalls it. With
+// no injector installed (the default) every hook is an atomic load plus
+// a nil check, mirroring the tracer wiring.
+func (d *Device) SetInjector(inj *faultinject.Injector) {
+	d.inj.Store(inj)
+	for _, e := range d.engines {
+		e.SetInjector(inj)
+	}
+	d.mmu.SetInjector(inj)
+	d.sb.SetInjector(inj)
+}
+
+// Injector returns the installed injector, or nil when fault injection
+// is off.
+func (d *Device) Injector() *faultinject.Injector { return d.inj.Load() }
+
+// Offline reports whether the device is currently offlined by the
+// injector (the chaos harness's kill switch). An offline device refuses
+// new submissions with ErrDeviceOffline; requests already on an engine
+// complete normally, like a drawer being fenced.
+func (d *Device) Offline() bool { return d.inj.Load().Offline() }
 
 // engineStageNames orders a breakdown's per-stage sums for labeling.
 var engineStageNames = []string{
@@ -288,17 +395,65 @@ type Report struct {
 	Ratio        float64 // input/output for compression, output/input for decompression
 	Breakdown    pipeline.Breakdown
 	Retries      int   // fault-and-resubmit rounds
-	WastedCycles int64 // cycles burned by faulted attempts
+	PasteRejects int   // paste bounces (credit/FIFO/injected) across all rounds
+	BackoffWaits int   // backoff sleeps taken while pasting
+	BackoffTime  time.Duration
+	WastedCycles int64 // cycles burned by faulted attempts and backoff waits
 	TotalCycles  int64 // wasted + final attempt
 	Time         time.Duration
 	LZ           lz77.HWStats
 }
 
-// ErrDeviceBusy is returned when paste retries exhaust (queue saturated).
-var ErrDeviceBusy = errors.New("nx: device busy: paste rejected repeatedly")
+// Submission-path errors. All are errors.Is-able; Retryable classifies
+// them for the failover layer.
+var (
+	// ErrDeviceBusy: the recovery budget for paste retries/backoff waits
+	// exhausted (queue saturated or window wedged by leaked credits).
+	ErrDeviceBusy = errors.New("nx: device busy: paste rejected repeatedly")
+	// ErrFaultStorm: the translation-fault resubmit round cap tripped —
+	// a page that never becomes resident, or an injected fault storm.
+	ErrFaultStorm = errors.New("nx: translation-fault storm: resubmit budget exhausted")
+	// ErrDeviceOffline: the device is fenced (chaos kill, hardware gone).
+	ErrDeviceOffline = errors.New("nx: device offline")
+	// ErrEngineHang: the engine dropped the request without writing its
+	// CSB; the OS-side watchdog reset the engine and reclaimed the credit.
+	ErrEngineHang = errors.New("nx: engine hang: no CSB written")
+	// ErrDeadlineExceeded: the request's wall-clock budget ran out
+	// between recovery rounds.
+	ErrDeadlineExceeded = errors.New("nx: request deadline exceeded")
+	// ErrCanceled: the request's Cancel channel closed.
+	ErrCanceled = errors.New("nx: request canceled")
+)
 
-// maxPasteRetries bounds the submission spin.
-const maxPasteRetries = 1 << 20
+// Retryable reports whether a submission error is worth re-dispatching
+// (to the same or, better, another device): the input is intact and the
+// failure was transient or device-local. Deadline/cancel failures are
+// not retryable (the budget belongs to the caller), and data-plane
+// completions (ErrDataCorrupt, ErrInvalidCRB, ErrTargetSpace) are not
+// retryable as-is — the failover layer handles those by re-checking or
+// rebuilding in software.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrCRCMismatch) ||
+		errors.Is(err, ErrEngineHang) ||
+		errors.Is(err, ErrDeviceOffline) ||
+		errors.Is(err, ErrDeviceBusy) ||
+		errors.Is(err, ErrFaultStorm)
+}
+
+// backoffSeq drives the deterministic-enough jitter of paste backoff.
+var backoffSeq atomic.Uint64
+
+// jitter returns a sleep in [d/2, d].
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	z := backoffSeq.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	half := uint64(d) / 2
+	return time.Duration(half + z%(half+1))
+}
 
 // pendingCRB is the switchboard payload for one in-flight request: the
 // request itself plus a completion slot. Whichever submitter goroutine
@@ -321,88 +476,166 @@ type pendingCRB struct {
 	pasteRejects int       // credit/FIFO bounces this round
 }
 
+// backoffCycles converts wall-clock backoff into engine cycles at the
+// modelled clock, so recovery waits show up in the cycle accounting.
+func backoffCycles(d *Device, t time.Duration) int64 {
+	return int64(t.Seconds() * d.cfg.Engine.Pipeline.ClockGHz * 1e9)
+}
+
 // submit pastes the CRB, runs an engine, and implements the OS side of
-// the fault protocol: on CCTranslationFault, touch the page and resubmit.
-// Safe for concurrent callers: the model has no dedicated engine thread,
-// so every submitter doubles as an engine driver — it drains the receive
-// FIFO (running whatever it dequeues, its own request or a neighbour's)
-// until its own request completes, then builds the report from its CSB.
+// the recovery protocol: on CCTranslationFault, touch the page and
+// resubmit (bounded by SubmitPolicy.MaxFaultRounds — ErrFaultStorm
+// beyond it); on paste rejection, drain the FIFO and retry with
+// exponential backoff and jitter (bounded by MaxPasteAttempts /
+// MaxBackoffWaits — ErrDeviceBusy beyond them). Deadlines, cancellation
+// and device offlining are checked between rounds. Safe for concurrent
+// callers: the model has no dedicated engine thread, so every submitter
+// doubles as an engine driver — it drains the receive FIFO (running
+// whatever it dequeues, its own request or a neighbour's) until its own
+// request completes, then builds the report from its CSB.
 func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
-	tr := c.dev.tracer.Load()
+	d := c.dev
+	pol := d.cfg.Submit
+	deadline := crb.Deadline
+	if deadline.IsZero() && pol.Timeout > 0 {
+		deadline = time.Now().Add(pol.Timeout)
+	}
+	tr := d.tracer.Load()
 	span := tr.Start(crb.Func.String(), int(c.pid), c.window)
 	var (
-		retries int
-		wasted  int64
+		retries      int
+		wasted       int64
+		pasteRejects int
+		backoffWaits int
+		backoffTime  time.Duration
 	)
+	// fail finishes the span and surfaces err; lastCSB (may be nil) rides
+	// along so callers can inspect the final completion block.
+	fail := func(label string, lastCSB *CSB, err error) (*CSB, *Report, error) {
+		if backoffTime > 0 {
+			d.met.backoffUS.Observe(float64(backoffTime) / float64(time.Microsecond))
+		}
+		if span != nil {
+			span.CC = label
+		}
+		tr.Finish(span)
+		return lastCSB, nil, err
+	}
+	// abort checks the request's liveness gates: cancellation, deadline,
+	// device offline. Called between recovery rounds, never mid-engine.
+	abort := func() (string, error) {
+		if crb.Cancel != nil {
+			select {
+			case <-crb.Cancel:
+				return "canceled", ErrCanceled
+			default:
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			d.met.deadlineFails.Inc()
+			return "deadline", fmt.Errorf("%w (after %d fault rounds, %d backoff waits)", ErrDeadlineExceeded, retries, backoffWaits)
+		}
+		if d.Offline() {
+			d.met.offlineRejects.Inc()
+			return "device-offline", ErrDeviceOffline
+		}
+		return "", nil
+	}
 	for {
+		if label, err := abort(); err != nil {
+			return fail(label, nil, err)
+		}
 		p := &pendingCRB{crb: crb, done: make(chan struct{}), span: span}
 		p.submitStart = time.Now()
 		wrapped := &vas.CRB{Payload: p}
 		pasted := false
-		for try := 0; try < maxPasteRetries; try++ {
+		backoff := pol.BackoffBase
+		roundWaits := 0
+		for try := 0; try < pol.MaxPasteAttempts && roundWaits < pol.MaxBackoffWaits; try++ {
 			p.pastedAt = time.Now()
-			err := c.dev.sb.Paste(c.window, wrapped)
+			err := d.sb.Paste(c.window, wrapped)
 			if err == nil {
 				pasted = true
 				break
 			}
 			if errors.Is(err, vas.ErrWindowClosed) {
-				if span != nil {
-					span.CC = "window-closed"
-				}
-				tr.Finish(span)
-				return nil, nil, err
+				return fail("window-closed", nil, err)
 			}
 			p.pasteRejects++
-			// Credit/FIFO pressure: drain one entry and retry. If the FIFO
-			// is empty the backlog is running on other goroutines — yield
-			// until a credit comes back.
-			if pending := c.dev.sb.Dequeue(); pending != nil {
+			if label, aerr := abort(); aerr != nil {
+				pasteRejects += p.pasteRejects
+				return fail(label, nil, aerr)
+			}
+			// Credit/FIFO pressure: drain one entry and retry. An empty
+			// FIFO with the paste still bouncing means the backlog is
+			// running on other goroutines — or the window's credits have
+			// leaked — so back off exponentially instead of spinning.
+			if pending := d.sb.Dequeue(); pending != nil {
 				c.runOne(pending)
-			} else {
-				runtime.Gosched()
+				continue
+			}
+			sleep := jitter(backoff)
+			time.Sleep(sleep)
+			roundWaits++
+			backoffTime += sleep
+			d.met.backoffWaits.Inc()
+			if backoff *= 2; backoff > pol.BackoffMax {
+				backoff = pol.BackoffMax
 			}
 		}
+		backoffWaits += roundWaits
 		if !pasted {
-			if span != nil {
-				span.CC = "device-busy"
-			}
-			tr.Finish(span)
-			return nil, nil, ErrDeviceBusy
+			pasteRejects += p.pasteRejects
+			return fail("device-busy", nil, fmt.Errorf("%w (%d rejects, %d backoff waits)", ErrDeviceBusy, pasteRejects, backoffWaits))
 		}
 		// Engine picks up work in FIFO order; drain until ours completes.
 		// An empty FIFO before our completion means another submitter
 		// dequeued our entry — wait for it to finish the run.
-		var csb *CSB
-		for csb == nil {
+		waiting := true
+		for waiting {
 			select {
 			case <-p.done:
-				csb = p.csb
+				waiting = false
 			default:
-				if pending := c.dev.sb.Dequeue(); pending != nil {
+				if pending := d.sb.Dequeue(); pending != nil {
 					c.runOne(pending)
 					continue
 				}
 				<-p.done
-				csb = p.csb
+				waiting = false
 			}
 		}
+		pasteRejects += p.pasteRejects
+		csb := p.csb
+		if csb == nil {
+			// Engine hang: the dequeuer dropped the request without a CSB
+			// write (runOne counted it; the watchdog reset reclaimed the
+			// window credit).
+			return fail("engine-hang", nil, fmt.Errorf("%w (func %s)", ErrEngineHang, crb.Func))
+		}
 		if csb.CC != CCTranslationFault {
+			wastedAll := wasted + backoffCycles(d, backoffTime)
 			rep := &Report{
-				Engine:       c.dev.cfg.Engine.Pipeline.Name,
+				Engine:       d.cfg.Engine.Pipeline.Name,
 				Func:         crb.Func,
 				Wrap:         crb.Wrap,
 				InBytes:      csb.SPBC,
 				OutBytes:     csb.TPBC,
 				Breakdown:    csb.Cycles,
 				Retries:      retries,
-				WastedCycles: wasted,
-				TotalCycles:  wasted + csb.Cycles.Total,
+				PasteRejects: pasteRejects,
+				BackoffWaits: backoffWaits,
+				BackoffTime:  backoffTime,
+				WastedCycles: wastedAll,
+				TotalCycles:  wastedAll + csb.Cycles.Total,
 				LZ:           csb.LZ,
 			}
-			rep.Time = c.dev.cfg.Engine.Pipeline.Time(rep.TotalCycles)
+			rep.Time = d.cfg.Engine.Pipeline.Time(rep.TotalCycles)
 			if csb.SPBC > 0 && csb.TPBC > 0 {
 				rep.Ratio = float64(csb.SPBC) / float64(csb.TPBC)
+			}
+			if backoffTime > 0 {
+				d.met.backoffUS.Observe(float64(backoffTime) / float64(time.Microsecond))
 			}
 			if span != nil {
 				span.InBytes = csb.SPBC
@@ -412,12 +645,16 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 			tr.Finish(span)
 			return csb, rep, nil
 		}
-		// Fault protocol: touch and resubmit.
+		// Fault protocol: touch and resubmit, bounded by the round cap.
 		retries++
 		wasted += csb.Cycles.Total
-		c.dev.met.faultRetries.Inc()
+		d.met.faultRetries.Inc()
+		if retries >= pol.MaxFaultRounds {
+			d.met.faultStorms.Inc()
+			return fail("fault-storm", csb, fmt.Errorf("%w (%d rounds, va %#x)", ErrFaultStorm, retries, csb.FaultVA))
+		}
 		faultStart := time.Now()
-		if err := c.dev.mmu.Touch(c.pid, csb.FaultVA); err != nil {
+		if err := d.mmu.Touch(c.pid, csb.FaultVA); err != nil {
 			if span != nil {
 				span.CC = csb.CC.String()
 			}
@@ -441,6 +678,23 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 func (c *Context) runOne(wrapped *vas.CRB) {
 	p := wrapped.Payload.(*pendingCRB)
 	dequeuedAt := time.Now()
+	if c.dev.inj.Load().Decide(faultinject.EngineHang) {
+		// Hung engine: the request is dropped without a CSB write. The
+		// OS watchdog resets the engine and completes the window credit
+		// so the queue keeps flowing; the submitter sees a nil CSB and
+		// reports ErrEngineHang. Modelled as an immediate drop — no
+		// wall-clock stall — to keep chaos tests deterministic and fast.
+		c.dev.met.engineHangs.Inc()
+		if s := p.span; s != nil {
+			s.Engine = -1
+			s.PasteRejects += p.pasteRejects
+			s.RecordStage(telemetry.StageSubmit, p.submitStart, p.pastedAt, 0)
+			s.RecordStage(telemetry.StageFIFO, p.pastedAt, dequeuedAt, 0)
+		}
+		c.dev.sb.Complete(wrapped)
+		close(p.done)
+		return
+	}
 	idx := int(c.dev.nextEng.Add(1)-1) % len(c.dev.engines)
 	p.csb = c.dev.engines[idx].Process(wrapped.PID, p.crb)
 	engineEnd := time.Now()
@@ -508,7 +762,7 @@ func (c *Context) Compress(input []byte, fc FuncCode, wrap Wrap, resident bool) 
 		return nil, rep, err
 	}
 	if csb.CC != CCSuccess {
-		return nil, rep, fmt.Errorf("nx: %s: %s %s", fc, csb.CC, csb.Detail)
+		return nil, rep, ccError(fc.String(), csb)
 	}
 	return csb.Output, rep, nil
 }
@@ -540,7 +794,7 @@ func (c *Context) Decompress(input []byte, wrap Wrap, maxOutput int, resident bo
 		return nil, rep, err
 	}
 	if csb.CC != CCSuccess {
-		return nil, rep, fmt.Errorf("nx: decompress: %s %s", csb.CC, csb.Detail)
+		return nil, rep, ccError("decompress", csb)
 	}
 	return csb.Output, rep, nil
 }
@@ -616,6 +870,14 @@ func (c *Context) SyncCall(crb *CRB) (*CSB, *Report, error) {
 		retries++
 		wasted += csb.Cycles.Total
 		c.dev.met.faultRetries.Inc()
+		if retries >= c.dev.cfg.Submit.MaxFaultRounds {
+			c.dev.met.faultStorms.Inc()
+			if span != nil {
+				span.CC = "fault-storm"
+			}
+			tr.Finish(span)
+			return csb, nil, fmt.Errorf("%w (%d rounds, va %#x)", ErrFaultStorm, retries, csb.FaultVA)
+		}
 		faultStart := time.Now()
 		if err := c.dev.mmu.Touch(c.pid, csb.FaultVA); err != nil {
 			if span != nil {

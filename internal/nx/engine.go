@@ -3,9 +3,11 @@ package nx
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"nxzip/internal/checksum"
 	"nxzip/internal/deflate"
+	"nxzip/internal/faultinject"
 	"nxzip/internal/lz77"
 	"nxzip/internal/nmmu"
 	"nxzip/internal/pipeline"
@@ -34,6 +36,7 @@ func Z15Engine() EngineConfig {
 type Engine struct {
 	cfg EngineConfig
 	mmu *nmmu.MMU
+	inj atomic.Pointer[faultinject.Injector]
 
 	mu      sync.Mutex
 	matcher *lz77.HWMatcher
@@ -56,6 +59,40 @@ func NewEngine(cfg EngineConfig, mmu *nmmu.MMU) *Engine {
 
 // Config returns the engine configuration.
 func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// SetInjector installs (or, with nil, removes) the fault injector
+// consulted after each successful completion to force CSB error codes.
+func (e *Engine) SetInjector(inj *faultinject.Injector) { e.inj.Store(inj) }
+
+// injectCC flips a successful completion into an injected error CC:
+// CRC mismatch (inline read-back verify failed), data check, or invalid
+// CRB. The work was done — cycles stand — but the output is withheld,
+// exactly as hardware suppresses the target store on a failed verify.
+// Resume requests are exempt: hardware checkpoints suspend/resume state
+// only on successful completion, but the model's session advances as it
+// feeds, so an injected failure here would leave state the submitter
+// cannot safely replay.
+func (e *Engine) injectCC(crb *CRB, csb *CSB) {
+	inj := e.inj.Load()
+	if inj == nil || csb.CC != CCSuccess || crb.DecompState != nil {
+		return
+	}
+	var cc CC
+	switch {
+	case inj.Decide(faultinject.CRCError):
+		cc = CCCRCError
+	case inj.Decide(faultinject.DataCheck):
+		cc = CCDataCorrupt
+	case inj.Decide(faultinject.InvalidCRB):
+		cc = CCInvalidCRB
+	default:
+		return
+	}
+	csb.CC = cc
+	csb.Detail = "injected " + cc.String()
+	csb.Output = nil
+	csb.TPBC = 0
+}
 
 // Process executes one request for the given address space and returns the
 // completion status block. It never returns a Go error for data-plane
@@ -124,6 +161,8 @@ func (e *Engine) Process(pid nmmu.PID, crb *CRB) *CSB {
 		csb.CC = CCInvalidCRB
 		csb.Detail = "unknown function code"
 	}
+
+	e.injectCC(crb, csb)
 
 	if crb.SyncSubmit && e.cfg.Pipeline.SyncSetupCycles > 0 {
 		// Synchronous-instruction dispatch replaces the queued setup cost.

@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"nxzip/internal/faultinject"
+	"nxzip/internal/nx"
+)
+
+// ErrNoHealthyDevice is returned by PickAvail when every device of the
+// node is quarantined and none is due for a probe — the signal the
+// failover layer uses to fall back to the software path.
+var ErrNoHealthyDevice = errors.New("topology: no healthy device available")
+
+// HealthPolicy configures the per-device health scoreboard: when a
+// device is quarantined and how it earns its way back.
+type HealthPolicy struct {
+	// FailureThreshold is the number of consecutive device-local failures
+	// (hangs, CRC flakes, fault storms, busy/deadline exhaustion) that
+	// quarantines a device. ErrDeviceOffline quarantines immediately.
+	FailureThreshold int
+	// ProbeInterval is the minimum wait between probe admissions of a
+	// quarantined device: once it elapses, the next pick routes a single
+	// live request to the device as a probe (circuit-breaker half-open).
+	ProbeInterval time.Duration
+	// ProbeSuccesses is the number of consecutive successful probes
+	// required to readmit a quarantined device.
+	ProbeSuccesses int
+}
+
+// DefaultHealthPolicy returns the shipped scoreboard configuration.
+func DefaultHealthPolicy() HealthPolicy {
+	return HealthPolicy{
+		FailureThreshold: 3,
+		ProbeInterval:    5 * time.Millisecond,
+		ProbeSuccesses:   1,
+	}
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	def := DefaultHealthPolicy()
+	if p.FailureThreshold <= 0 {
+		p.FailureThreshold = def.FailureThreshold
+	}
+	if p.ProbeInterval <= 0 {
+		p.ProbeInterval = def.ProbeInterval
+	}
+	if p.ProbeSuccesses <= 0 {
+		p.ProbeSuccesses = def.ProbeSuccesses
+	}
+	return p
+}
+
+// devHealth is one device's scoreboard entry — a small circuit breaker:
+// healthy (closed) until FailureThreshold consecutive failures, then
+// quarantined (open) with probe admissions every ProbeInterval
+// (half-open) until ProbeSuccesses consecutive successes readmit it.
+type devHealth struct {
+	mu          sync.Mutex
+	quarantined bool
+	consecFails int
+	probeOK     int
+	lastProbe   time.Time
+}
+
+// countsAgainstHealth reports whether a submission error indicts the
+// device (rather than the request): transient device-local failures and
+// timeouts feed the scoreboard; data-plane completions and caller
+// cancellation do not.
+func countsAgainstHealth(err error) bool {
+	return nx.Retryable(err) || errors.Is(err, nx.ErrDeadlineExceeded)
+}
+
+// admit reports whether device i may receive a request right now:
+// healthy devices always, quarantined devices only when a probe is due
+// (in which case the request doubles as the probe).
+func (n *Node) admit(i int) bool {
+	h := &n.health[i]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.quarantined {
+		return true
+	}
+	if time.Since(h.lastProbe) >= n.hp.ProbeInterval {
+		h.lastProbe = time.Now()
+		n.probes[i].Inc()
+		return true
+	}
+	return false
+}
+
+// ReportResult feeds one submission outcome for device i into the
+// scoreboard. A nil error is a success; device-local failures count
+// toward quarantine and ErrDeviceOffline quarantines immediately.
+func (n *Node) ReportResult(i int, err error) {
+	if i < 0 || i >= len(n.health) {
+		return
+	}
+	h := &n.health[i]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch {
+	case err == nil:
+		h.consecFails = 0
+		if h.quarantined {
+			h.probeOK++
+			if h.probeOK >= n.hp.ProbeSuccesses {
+				h.quarantined = false
+				h.probeOK = 0
+				n.readmissions[i].Inc()
+				n.healthyGauge.Add(1)
+			}
+		}
+	case countsAgainstHealth(err):
+		h.consecFails++
+		h.probeOK = 0
+		if errors.Is(err, nx.ErrDeviceOffline) && h.consecFails < n.hp.FailureThreshold {
+			h.consecFails = n.hp.FailureThreshold
+		}
+		if !h.quarantined && h.consecFails >= n.hp.FailureThreshold {
+			h.quarantined = true
+			h.lastProbe = time.Now()
+			n.quarantines[i].Inc()
+			n.healthyGauge.Add(-1)
+		} else if h.quarantined {
+			// A failed probe restarts the interval.
+			h.lastProbe = time.Now()
+		}
+	}
+}
+
+// Quarantined reports whether device i is currently quarantined.
+func (n *Node) Quarantined(i int) bool {
+	h := &n.health[i]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quarantined
+}
+
+// HealthyCount returns the number of non-quarantined devices.
+func (n *Node) HealthyCount() int {
+	count := 0
+	for i := range n.health {
+		if !n.Quarantined(i) {
+			count++
+		}
+	}
+	return count
+}
+
+// SetHealthPolicy replaces the scoreboard configuration. Call before
+// traffic; fields are read without locking afterwards.
+func (n *Node) SetHealthPolicy(hp HealthPolicy) { n.hp = hp.withDefaults() }
+
+// HealthPolicy returns the active scoreboard configuration.
+func (n *Node) HealthPolicy() HealthPolicy { return n.hp }
+
+// InstallInjectors builds one fault injector per device — seeds derived
+// deterministically from seed so runs replay — installs them across
+// every device layer, and returns them so the chaos harness can flip
+// profiles or offline individual devices mid-run.
+func (n *Node) InstallInjectors(seed int64, p faultinject.Profile) []*faultinject.Injector {
+	injs := make([]*faultinject.Injector, len(n.devs))
+	for i, d := range n.devs {
+		injs[i] = faultinject.New(seed+int64(i)*0x5DEECE66D, p)
+		d.SetInjector(injs[i])
+	}
+	return injs
+}

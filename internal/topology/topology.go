@@ -21,6 +21,7 @@ package topology
 import (
 	"fmt"
 
+	"sync"
 	"sync/atomic"
 
 	"nxzip/internal/nmmu"
@@ -119,6 +120,15 @@ type Node struct {
 	// registry and are merged at snapshot time.
 	reg      *telemetry.Registry
 	dispatch []*telemetry.Counter // topology.dispatch{<device label>}
+
+	// Health scoreboard (health.go): one circuit breaker per device plus
+	// the instruments that make quarantine activity visible in snapshots.
+	hp           HealthPolicy
+	health       []devHealth
+	quarantines  []*telemetry.Counter // topology.quarantines{<device label>}
+	readmissions []*telemetry.Counter // topology.readmissions{<device label>}
+	probes       []*telemetry.Counter // topology.probes{<device label>}
+	healthyGauge *telemetry.Gauge     // topology.healthy_devices
 }
 
 // New instantiates a node: every device of the shape is built, each with
@@ -136,12 +146,22 @@ func New(shape Shape, policy Policy) *Node {
 		policy:   policy,
 		inflight: make([]atomic.Int64, len(shape.Devices)),
 		reg:      telemetry.NewRegistry(),
+		hp:       DefaultHealthPolicy(),
+		health:   make([]devHealth, len(shape.Devices)),
 	}
 	vec := n.reg.CounterVec("topology.dispatch")
+	qVec := n.reg.CounterVec("topology.quarantines")
+	rVec := n.reg.CounterVec("topology.readmissions")
+	pVec := n.reg.CounterVec("topology.probes")
 	for _, spec := range shape.Devices {
 		n.devs = append(n.devs, nx.NewDevice(spec.Config))
 		n.dispatch = append(n.dispatch, vec.With(spec.Label))
+		n.quarantines = append(n.quarantines, qVec.With(spec.Label))
+		n.readmissions = append(n.readmissions, rVec.With(spec.Label))
+		n.probes = append(n.probes, pVec.With(spec.Label))
 	}
+	n.healthyGauge = n.reg.Gauge("topology.healthy_devices")
+	n.healthyGauge.Set(int64(len(n.devs)))
 	return n
 }
 
@@ -273,30 +293,117 @@ func (c *Context) Primary() *nx.Context { return c.ctxs[0] }
 // At returns device i's context.
 func (c *Context) At(i int) *nx.Context { return c.ctxs[i] }
 
-// Pick routes one request: the node policy selects a device, and Pick
-// returns that device's context plus a release function the caller runs
-// when the request has completed. Device selection must happen before
-// buffers are mapped — a VA mapped on one device's MMU means nothing to
-// another — which is why submission helpers take the picked context.
-func (c *Context) Pick() (*nx.Context, func()) {
+// pickIndex resolves the policy's choice through the health scoreboard:
+// the picked device must be admissible (healthy, or quarantined with a
+// probe due); otherwise the scan wraps to the next admissible device.
+// ok=false means no device is admissible — the chosen index is the
+// policy's original pick, for callers that submit anyway.
+func (c *Context) pickIndex() (int, bool) {
 	i := c.node.policy.Pick(c.node, int(c.pid), c.id)
 	if i < 0 || i >= len(c.ctxs) {
 		i = 0
 	}
+	if c.node.admit(i) {
+		return i, true
+	}
+	for j := 1; j < len(c.ctxs); j++ {
+		if k := (i + j) % len(c.ctxs); c.node.admit(k) {
+			return k, true
+		}
+	}
+	return i, false
+}
+
+// acquire counts device i in-flight and returns its context plus the
+// release closure. The release takes the submission's outcome and feeds
+// the health scoreboard; it is idempotent.
+func (c *Context) acquire(i int) (*nx.Context, func(error)) {
 	infl := &c.node.inflight[i]
 	infl.Add(1)
 	c.node.dispatch[i].Inc()
-	return c.ctxs[i], func() { infl.Add(-1) }
+	var once sync.Once
+	return c.ctxs[i], func(err error) {
+		once.Do(func() {
+			infl.Add(-1)
+			c.node.ReportResult(i, err)
+		})
+	}
+}
+
+// Pick routes one request: the node policy selects a device (filtered
+// through the health scoreboard), and Pick returns that device's context
+// plus a release function the caller runs with the submission's outcome —
+// release(nil) for success, release(err) to feed failures into the
+// quarantine logic. Device selection must happen before buffers are
+// mapped — a VA mapped on one device's MMU means nothing to another —
+// which is why submission helpers take the picked context. When every
+// device is quarantined Pick still returns the policy's choice (callers
+// that would rather fall back to software use PickAvail).
+func (c *Context) Pick() (*nx.Context, func(error)) {
+	i, _ := c.pickIndex()
+	return c.acquire(i)
+}
+
+// PickAvail is Pick for failover-aware callers: when no device is
+// admissible (all quarantined, no probe due) it reports
+// ErrNoHealthyDevice instead of returning a doomed context, so the
+// caller can take the software path immediately.
+func (c *Context) PickAvail() (*nx.Context, func(error), error) {
+	i, ok := c.pickIndex()
+	if !ok {
+		return nil, nil, ErrNoHealthyDevice
+	}
+	ctx, release := c.acquire(i)
+	return ctx, release, nil
 }
 
 // PickSticky routes a whole stream: the policy assigns a device once (at
 // stream construction — segments share history or resume state, so they
 // stay put) and only the pick itself is counted against the device's
-// in-flight load.
+// in-flight load. Stream owners feed per-segment outcomes through
+// ReportFor and migrate with PickStickyAvoid on failure.
 func (c *Context) PickSticky() *nx.Context {
-	ctx, done := c.Pick()
-	done()
-	return ctx
+	i, _ := c.pickIndex()
+	c.node.dispatch[i].Inc()
+	return c.ctxs[i]
+}
+
+// IndexOf returns the device index owning ctx, or -1 when ctx is not one
+// of this node context's members.
+func (c *Context) IndexOf(ctx *nx.Context) int {
+	for i, m := range c.ctxs {
+		if m == ctx {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReportFor feeds one submission outcome for the device owning ctx into
+// the health scoreboard — the sticky-pick counterpart of Pick's release
+// closure.
+func (c *Context) ReportFor(ctx *nx.Context, err error) {
+	c.node.ReportResult(c.IndexOf(ctx), err)
+}
+
+// PickStickyAvoid re-pins a stream after its device failed: it returns
+// an admissible context other than avoid, preferring the policy's
+// choice. With no admissible alternative it reports ErrNoHealthyDevice
+// (the stream falls back to software). Streams can migrate because
+// history and resume state travel in the CRB, not in the device.
+func (c *Context) PickStickyAvoid(avoid *nx.Context) (*nx.Context, error) {
+	start := c.node.policy.Pick(c.node, int(c.pid), c.id)
+	if start < 0 || start >= len(c.ctxs) {
+		start = 0
+	}
+	for j := 0; j < len(c.ctxs); j++ {
+		k := (start + j) % len(c.ctxs)
+		if c.ctxs[k] != avoid && c.node.admit(k) {
+			c.node.dispatch[k].Inc()
+			return c.ctxs[k], nil
+		}
+	}
+	return nil, ErrNoHealthyDevice
 }
 
 // Close releases every device window. Idempotent and safe against

@@ -60,7 +60,7 @@ func TestRoundRobinBalanceRace(t *testing.T) {
 				if ctx == nil {
 					t.Error("Pick returned nil context")
 				}
-				done()
+				done(nil)
 			}
 		}()
 	}
@@ -100,7 +100,7 @@ func TestLeastLoadedRace(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				_, done := nctx.Pick()
-				done()
+				done(nil)
 			}
 		}()
 	}
@@ -170,7 +170,7 @@ func TestDispatchThroughDevicesRace(t *testing.T) {
 			for i := 0; i < perG; i++ {
 				ctx, done := nctx.Pick()
 				_, _, err := ctx.Compress(src, nx.FCCompressDHT, nx.WrapGzip, true)
-				done()
+				done(nil)
 				if err != nil {
 					t.Errorf("compress: %v", err)
 				}
@@ -214,7 +214,7 @@ func TestSingleDeviceSnapshotCompat(t *testing.T) {
 	if _, _, err := ctx.Compress([]byte("hello hello hello"), nx.FCCompressFHT, nx.WrapGzip, true); err != nil {
 		t.Fatal(err)
 	}
-	done()
+	done(nil)
 	snap := n.MetricsSnapshot()
 	if got := snap.Counter("nx.requests", ""); got != 1 {
 		t.Fatalf("nx.requests = %d under plain label, want 1", got)

@@ -13,7 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"nxzip/internal/faultinject"
 	"nxzip/internal/nmmu"
 	"nxzip/internal/telemetry"
 )
@@ -74,6 +76,11 @@ type Stats struct {
 	// arbitrated between the priority FIFOs, whether or not work was found.
 	ArbitrationRounds int64
 	MaxOccupancy      int
+	// InjectedRejects counts paste bounces forced by the fault injector
+	// (CR0 busy despite credits and FIFO space); CreditLeaks counts
+	// completions whose send-window credit the injector swallowed.
+	InjectedRejects int64
+	CreditLeaks     int64
 }
 
 // Add returns the field-wise sum of s and o — cross-device aggregation
@@ -91,6 +98,8 @@ func (s Stats) Add(o Stats) Stats {
 	if o.MaxOccupancy > s.MaxOccupancy {
 		s.MaxOccupancy = o.MaxOccupancy
 	}
+	s.InjectedRejects += o.InjectedRejects
+	s.CreditLeaks += o.CreditLeaks
 	return s
 }
 
@@ -121,6 +130,8 @@ type Switchboard struct {
 	stats    Stats
 	met      *metrics
 	notify   chan struct{} // signalled on enqueue, capacity 1
+
+	inj atomic.Pointer[faultinject.Injector]
 }
 
 type sendWindow struct {
@@ -168,6 +179,11 @@ func (s *Switchboard) SetMetrics(reg *telemetry.Registry) {
 	s.mu.Unlock()
 }
 
+// SetInjector installs (or, with nil, removes) the fault injector
+// consulted on every paste (forced rejections) and completion (credit
+// leaks).
+func (s *Switchboard) SetInjector(inj *faultinject.Injector) { s.inj.Store(inj) }
+
 // OpenSendWindow allocates a normal-priority send window for pid.
 func (s *Switchboard) OpenSendWindow(pid nmmu.PID) int {
 	return s.OpenSendWindowPri(pid, PriorityNormal)
@@ -206,6 +222,12 @@ func (s *Switchboard) Paste(window int, crb *CRB) error {
 	s.stats.Pastes++
 	if s.met != nil {
 		s.met.pastes.Inc()
+	}
+	if s.inj.Load().Decide(faultinject.PasteReject) {
+		// Injected CR0-busy: the paste bounces regardless of credits or
+		// FIFO depth — a paste-rejection storm.
+		s.stats.InjectedRejects++
+		return ErrNoCredit
 	}
 	if w.credits <= 0 {
 		s.stats.CreditRejects++
@@ -287,6 +309,13 @@ func (s *Switchboard) Complete(crb *CRB) {
 	s.stats.Completes++
 	if s.met != nil {
 		s.met.completes.Inc()
+	}
+	if s.inj.Load().Decide(faultinject.CreditLeak) {
+		// Injected credit leak: the completion never returns the send
+		// window's credit. Enough of these wedge the window, which the
+		// submit-side backoff cap surfaces as ErrDeviceBusy.
+		s.stats.CreditLeaks++
+		return
 	}
 	if w, ok := s.windows[crb.Window]; ok {
 		if w.credits < s.cfg.CreditsPerSend {

@@ -3,6 +3,7 @@ package nxzip
 import (
 	"fmt"
 
+	"nxzip/internal/faultinject"
 	"nxzip/internal/nx"
 	"nxzip/internal/telemetry"
 	"nxzip/internal/topology"
@@ -118,3 +119,19 @@ func (n *Node) StopTrace() error { return n.topo.StopTrace() }
 // Topology exposes the underlying pool for direct internal use
 // (experiments drive dispatch through it).
 func (n *Node) Topology() *topology.Node { return n.topo }
+
+// InstallInjectors builds one deterministic fault injector per device
+// (seeds derived from seed, so chaos runs replay), installs them across
+// every device layer, and returns them so a chaos harness can flip
+// profiles or offline individual devices mid-run. This is the node-level
+// entry point behind the -chaos flag of nxbench and nxzip.
+func (n *Node) InstallInjectors(seed int64, p faultinject.Profile) []*faultinject.Injector {
+	return n.topo.InstallInjectors(seed, p)
+}
+
+// Quarantined reports whether device i is currently quarantined by the
+// health scoreboard.
+func (n *Node) Quarantined(i int) bool { return n.topo.Quarantined(i) }
+
+// HealthyDevices returns the number of non-quarantined devices.
+func (n *Node) HealthyDevices() int { return n.topo.HealthyCount() }

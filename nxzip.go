@@ -92,6 +92,12 @@ type Metrics struct {
 	// CRC32 and Adler32 are computed inline over the plaintext.
 	CRC32   uint32
 	Adler32 uint32
+	// Degraded is set when the result was produced by the software
+	// fallback path because no healthy device could complete the request.
+	Degraded bool
+	// Redispatches counts device-attempt failures absorbed by re-dispatch
+	// to another device (0 on the common first-try-success path).
+	Redispatches int
 }
 
 // Throughput returns the effective device rate in bytes/second for the
@@ -141,6 +147,8 @@ type accMetrics struct {
 	streamSegments *telemetry.Counter
 	parallelChunks *telemetry.Counter
 	reorderDepth   *telemetry.Gauge // in-flight reorder-queue entries; Max = high-water
+	fallbacks      *telemetry.Counter
+	redispatches   *telemetry.Counter
 }
 
 func newAccMetrics(reg *telemetry.Registry) *accMetrics {
@@ -150,6 +158,8 @@ func newAccMetrics(reg *telemetry.Registry) *accMetrics {
 		streamSegments: reg.Counter("nxzip.stream.segments"),
 		parallelChunks: reg.Counter("nxzip.parallel.chunks"),
 		reorderDepth:   reg.Gauge("nxzip.parallel.reorder_depth"),
+		fallbacks:      reg.Counter("nxzip.fallbacks"),
+		redispatches:   reg.Counter("nxzip.redispatches"),
 	}
 }
 
@@ -259,11 +269,13 @@ func reportToMetrics(rep *nx.Report, csb *nx.CSB) *Metrics {
 }
 
 // compress runs one compression request with the configured table mode,
-// on whichever device the node's dispatch policy picks.
+// on whichever device the node's dispatch policy picks, re-dispatching
+// device-local failures and falling back to the software encoder when
+// the pool is unhealthy.
 func (a *Accelerator) compress(src []byte, wrap nx.Wrap) ([]byte, *Metrics, error) {
-	ctx, done := a.nctx.Pick()
-	defer done()
-	return a.compressOn(ctx, src, wrap)
+	return a.withFailover(
+		func(ctx *nx.Context) ([]byte, *Metrics, error) { return a.compressOn(ctx, src, wrap) },
+		func() ([]byte, *Metrics, error) { return a.softCompress(src, wrap) })
 }
 
 // compressOn runs one compression request through an explicit context —
@@ -290,15 +302,21 @@ func (a *Accelerator) compressOn(ctx *nx.Context, src []byte, wrap nx.Wrap) ([]b
 		return nil, nil, err
 	}
 	if csb.CC != nx.CCSuccess {
-		return nil, reportToMetrics(rep, csb), fmt.Errorf("nxzip: compress: %s %s", csb.CC, csb.Detail)
+		return nil, reportToMetrics(rep, csb), ccFail("compress", csb)
 	}
 	return csb.Output, reportToMetrics(rep, csb), nil
 }
 
 func (a *Accelerator) decompress(src []byte, wrap nx.Wrap, maxOutput int) ([]byte, *Metrics, error) {
-	ctx, done := a.nctx.Pick()
-	defer done()
-	return a.decompressOn(ctx, src, wrap, maxOutput)
+	if maxOutput <= 0 {
+		maxOutput = 256 * len(src)
+		if maxOutput < 1<<20 {
+			maxOutput = 1 << 20
+		}
+	}
+	return a.withFailover(
+		func(ctx *nx.Context) ([]byte, *Metrics, error) { return a.decompressOn(ctx, src, wrap, maxOutput) },
+		func() ([]byte, *Metrics, error) { return a.softDecompress(src, wrap, maxOutput) })
 }
 
 // decompressOn runs one decompression request through an explicit
@@ -328,7 +346,7 @@ func (a *Accelerator) decompressOn(ctx *nx.Context, src []byte, wrap nx.Wrap, ma
 		return nil, nil, err
 	}
 	if csb.CC != nx.CCSuccess {
-		return nil, reportToMetrics(rep, csb), fmt.Errorf("nxzip: decompress: %s %s", csb.CC, csb.Detail)
+		return nil, reportToMetrics(rep, csb), ccFail("decompress", csb)
 	}
 	return csb.Output, reportToMetrics(rep, csb), nil
 }
@@ -391,7 +409,7 @@ func (a *Accelerator) decompressMemberOn(ctx *nx.Context, src []byte, budget int
 		case csb.CC == nx.CCTargetSpace:
 			return nil, 0, total, fmt.Errorf("nxzip: decompressed stream exceeds %d bytes", budget)
 		case csb.CC != nx.CCSuccess:
-			return nil, 0, total, fmt.Errorf("nxzip: decompress: %s %s", csb.CC, csb.Detail)
+			return nil, 0, total, ccFail("decompress", csb)
 		default:
 			total.InBytes = csb.SPBC
 			total.OutBytes = csb.TPBC
@@ -449,16 +467,18 @@ func (a *Accelerator) DecompressRaw(src []byte) ([]byte, *Metrics, error) {
 // Compress842 compresses with the 842 engine (the POWER NX's memory
 // compression format).
 func (a *Accelerator) Compress842(src []byte) ([]byte, *Metrics, error) {
-	ctx, done := a.nctx.Pick()
-	defer done()
-	csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Compress, Input: src})
-	if err != nil {
-		return nil, nil, err
-	}
-	if csb.CC != nx.CCSuccess {
-		return nil, reportToMetrics(rep, csb), fmt.Errorf("nxzip: 842: %s %s", csb.CC, csb.Detail)
-	}
-	return csb.Output, reportToMetrics(rep, csb), nil
+	return a.withFailover(
+		func(ctx *nx.Context) ([]byte, *Metrics, error) {
+			csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Compress, Input: src})
+			if err != nil {
+				return nil, nil, err
+			}
+			if csb.CC != nx.CCSuccess {
+				return nil, reportToMetrics(rep, csb), ccFail("842", csb)
+			}
+			return csb.Output, reportToMetrics(rep, csb), nil
+		},
+		func() ([]byte, *Metrics, error) { return soft842Compress(src) })
 }
 
 // Decompress842 decompresses 842 data. maxOutput of 0 applies a size
@@ -470,16 +490,19 @@ func (a *Accelerator) Decompress842(src []byte, maxOutput int) ([]byte, *Metrics
 			maxOutput = 1 << 20
 		}
 	}
-	ctx, done := a.nctx.Pick()
-	defer done()
-	csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Decompress, Input: src, MaxOutput: maxOutput, TargetCap: maxOutput})
-	if err != nil {
-		return nil, nil, err
-	}
-	if csb.CC != nx.CCSuccess {
-		return nil, reportToMetrics(rep, csb), fmt.Errorf("nxzip: 842: %s %s", csb.CC, csb.Detail)
-	}
-	return csb.Output, reportToMetrics(rep, csb), nil
+	budget := maxOutput
+	return a.withFailover(
+		func(ctx *nx.Context) ([]byte, *Metrics, error) {
+			csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Decompress, Input: src, MaxOutput: budget, TargetCap: budget})
+			if err != nil {
+				return nil, nil, err
+			}
+			if csb.CC != nx.CCSuccess {
+				return nil, reportToMetrics(rep, csb), ccFail("842", csb)
+			}
+			return csb.Output, reportToMetrics(rep, csb), nil
+		},
+		func() ([]byte, *Metrics, error) { return soft842Decompress(src, budget) })
 }
 
 // Context exposes the raw device context for advanced use (canned DHTs,
@@ -511,22 +534,39 @@ func GunzipMulti(src []byte) ([]byte, error) {
 // mechanism (the engine replays it through the LZ stage), and the wrapper
 // applies the FDICT framing with the dictionary's Adler-32.
 func (a *Accelerator) CompressZlibDict(src, dict []byte) ([]byte, *Metrics, error) {
-	crb := &nx.CRB{
-		Func:    a.funcCode(),
-		Wrap:    nx.WrapRaw,
-		Input:   src,
-		History: dict,
-	}
-	ctx, done := a.nctx.Pick()
-	defer done()
-	csb, rep, err := ctx.Submit(crb)
-	if err != nil {
-		return nil, nil, err
-	}
-	if csb.CC != nx.CCSuccess {
-		return nil, reportToMetrics(rep, csb), fmt.Errorf("nxzip: dict compress: %s %s", csb.CC, csb.Detail)
-	}
-	return deflate.ZlibWrapDict(csb.Output, src, dict), reportToMetrics(rep, csb), nil
+	return a.withFailover(
+		func(ctx *nx.Context) ([]byte, *Metrics, error) {
+			crb := &nx.CRB{
+				Func:    a.funcCode(),
+				Wrap:    nx.WrapRaw,
+				Input:   src,
+				History: dict,
+			}
+			if crb.Func == nx.FCCompressCannedDHT {
+				crb.DHT = a.canned
+			}
+			csb, rep, err := ctx.Submit(crb)
+			if err != nil {
+				return nil, nil, err
+			}
+			if csb.CC != nx.CCSuccess {
+				return nil, reportToMetrics(rep, csb), ccFail("dict compress", csb)
+			}
+			return deflate.ZlibWrapDict(csb.Output, src, dict), reportToMetrics(rep, csb), nil
+		},
+		func() ([]byte, *Metrics, error) {
+			start := time.Now()
+			out, err := deflate.CompressZlibDict(src, dict, deflate.Options{Level: softLevel})
+			if err != nil {
+				return nil, nil, err
+			}
+			m := softMetrics(src, len(src), len(out), start)
+			m.Ratio = 0
+			if len(out) > 0 {
+				m.Ratio = float64(len(src)) / float64(len(out))
+			}
+			return out, m, nil
+		})
 }
 
 // DecompressZlibDict inflates a zlib stream that may require a preset

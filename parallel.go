@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"io"
 	"sync"
-
-	"nxzip/internal/nx"
 )
 
 // DefaultParallelWorkers is the worker count NewParallelWriter uses.
@@ -102,9 +100,7 @@ func (w *ParallelWriter) worker() {
 	nctx := w.acc.node.OpenContext(w.acc.nctx.PID())
 	defer nctx.Close()
 	for job := range w.jobs {
-		ctx, done := nctx.Pick()
-		gz, m, err := w.acc.compressOn(ctx, job.data, nx.WrapGzip)
-		done()
+		gz, m, err := w.acc.compressMember(nctx, job.data)
 		job.res <- pwRes{gz: gz, m: m, err: err}
 	}
 }
@@ -130,6 +126,10 @@ func (w *ParallelWriter) collect() {
 		w.Stats.DeviceCycles += r.m.DeviceCycles
 		w.Stats.DeviceTime += r.m.DeviceTime
 		w.Stats.Faults += r.m.Faults
+		w.Stats.Redispatches += r.m.Redispatches
+		if r.m.Degraded {
+			w.Stats.Degraded = true
+		}
 		if _, err := w.out.Write(r.gz); err != nil {
 			w.mu.Lock()
 			if w.err == nil {

@@ -110,6 +110,10 @@ func (w *Writer) submit(chunk []byte) error {
 	w.Stats.DeviceCycles += m.DeviceCycles
 	w.Stats.DeviceTime += m.DeviceTime
 	w.Stats.Faults += m.Faults
+	w.Stats.Redispatches += m.Redispatches
+	if m.Degraded {
+		w.Stats.Degraded = true
+	}
 	w.acc.met.writerMembers.Inc()
 	if _, err := w.out.Write(gz); err != nil {
 		w.err = err
@@ -213,9 +217,7 @@ func (r *Reader) primeSerial(comp []byte) ([]byte, error) {
 	var out []byte
 	rest := comp
 	for len(rest) > 0 {
-		ctx, done := r.acc.nctx.Pick()
-		plain, consumed, m, err := r.acc.decompressMemberOn(ctx, rest, limit-len(out))
-		done()
+		plain, consumed, m, err := r.acc.decompressMember(r.acc.nctx, rest, limit-len(out))
 		if err != nil {
 			return nil, err
 		}
@@ -304,9 +306,7 @@ func (r *Reader) primeParallel(comp []byte) ([]byte, error) {
 					return
 				}
 				sp := spans[i]
-				ctx, done := nctx.Pick()
-				plain, _, m, err := r.acc.decompressMemberOn(ctx, comp[sp.off:sp.off+sp.n], sp.plainLen+1)
-				done()
+				plain, _, m, err := r.acc.decompressMember(nctx, comp[sp.off:sp.off+sp.n], sp.plainLen+1)
 				if err == nil && len(plain) != sp.plainLen {
 					err = fmt.Errorf("nxzip: member %d decoded to %d bytes, skim said %d", i, len(plain), sp.plainLen)
 				}
@@ -342,6 +342,10 @@ func (r *Reader) addMetrics(m *Metrics) {
 	r.Stats.DeviceCycles += m.DeviceCycles
 	r.Stats.DeviceTime += m.DeviceTime
 	r.Stats.Faults += m.Faults
+	r.Stats.Redispatches += m.Redispatches
+	if m.Degraded {
+		r.Stats.Degraded = true
+	}
 	r.acc.met.readerMembers.Inc()
 }
 

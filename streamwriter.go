@@ -3,7 +3,6 @@ package nxzip
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
 
 	"nxzip/internal/checksum"
@@ -89,38 +88,88 @@ func (w *StreamWriter) submit(chunk []byte, final bool) error {
 	if err := w.start(); err != nil {
 		return err
 	}
-	crb := &nx.CRB{
-		Func:     w.acc.funcCode(),
-		Wrap:     nx.WrapRaw,
-		Input:    chunk,
-		History:  w.history,
-		NotFinal: !final,
-	}
-	csb, rep, err := w.ctx.Submit(crb)
+	body, m, err := w.submitSegment(chunk, final)
 	if err != nil {
 		w.err = err
 		return err
 	}
-	if csb.CC != nx.CCSuccess {
-		w.err = fmt.Errorf("nxzip: stream segment: %s %s", csb.CC, csb.Detail)
-		return w.err
-	}
-	if _, err := w.out.Write(csb.Output); err != nil {
+	if _, err := w.out.Write(body); err != nil {
 		w.err = err
 		return err
 	}
 	w.crc.Update(chunk)
 	w.isize += uint32(len(chunk))
 	w.Stats.InBytes += len(chunk)
-	w.Stats.OutBytes += len(csb.Output)
-	w.Stats.DeviceCycles += rep.TotalCycles
-	w.Stats.DeviceTime += rep.Time
-	w.Stats.Faults += rep.Retries
+	w.Stats.OutBytes += len(body)
+	w.Stats.DeviceCycles += m.DeviceCycles
+	w.Stats.DeviceTime += m.DeviceTime
+	w.Stats.Faults += m.Faults
+	w.Stats.Redispatches += m.Redispatches
+	if m.Degraded {
+		w.Stats.Degraded = true
+	}
 	w.acc.met.streamSegments.Inc()
 
 	// Maintain the history window: the last 32 KiB of the logical stream.
 	w.history = appendWindow(w.history, chunk)
 	return nil
+}
+
+// submitSegment runs one segment on the pinned device, migrating the pin
+// to another healthy device on device-local failure — the history window
+// rides the CRB, so any device can continue the stream — and falling
+// back to the software segment encoder when no healthy device remains.
+func (w *StreamWriter) submitSegment(chunk []byte, final bool) ([]byte, *Metrics, error) {
+	wasted := &Metrics{}
+	attempts := w.acc.nctx.Size() + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		crb := &nx.CRB{
+			Func:     w.acc.funcCode(),
+			Wrap:     nx.WrapRaw,
+			Input:    chunk,
+			History:  w.history,
+			NotFinal: !final,
+		}
+		if crb.Func == nx.FCCompressCannedDHT {
+			crb.DHT = w.acc.canned
+		}
+		csb, rep, err := w.ctx.Submit(crb)
+		if err == nil && csb.CC != nx.CCSuccess {
+			err = ccFail("stream segment", csb)
+		}
+		w.acc.nctx.ReportFor(w.ctx, err)
+		if err == nil {
+			m := reportToMetrics(rep, csb)
+			m.Redispatches = attempt
+			addMetricsInto(m, wasted)
+			if attempt > 0 {
+				w.acc.met.redispatches.Add(int64(attempt))
+			}
+			return csb.Output, m, nil
+		}
+		addMetricsInto(wasted, reportToMetrics(rep, csb))
+		if !failoverEligible(err) {
+			return nil, wasted, err
+		}
+		wasted.Redispatches = attempt + 1
+		next, perr := w.acc.nctx.PickStickyAvoid(w.ctx)
+		if perr != nil {
+			break
+		}
+		w.ctx = next
+	}
+	if wasted.Redispatches > 0 {
+		w.acc.met.redispatches.Add(int64(wasted.Redispatches))
+	}
+	body, m, err := w.acc.softSegment(w.history, chunk, final)
+	if err != nil {
+		return nil, wasted, err
+	}
+	w.acc.met.fallbacks.Inc()
+	m.Degraded = true
+	m.Redispatches = wasted.Redispatches
+	addMetricsInto(m, wasted)
+	return body, m, nil
 }
 
 func appendWindow(window, chunk []byte) []byte {
