@@ -1,17 +1,20 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos bench bench-json nxbench parallel trace-demo
+.PHONY: check build vet fmt-check test race chaos bench bench-json nxbench parallel trace-demo obs-demo
 
-## check: the tier-1 gate — build, vet, the full test suite under the
-## race detector, and the fault-injection chaos suite. CI and pre-merge
-## runs use this target.
-check: build vet race chaos
+## check: the tier-1 gate — build, vet, gofmt, the full test suite under
+## the race detector, the fault-injection chaos suite, and the
+## observability scrape self-check. CI and pre-merge runs use this target.
+check: build vet fmt-check race chaos obs-demo
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -30,13 +33,22 @@ bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
 ## bench-json: run the E18 topology sweep (aggregate GB/s vs device
-## count, claim C6) and the E19 chaos sweep (throughput/p99 vs injected
-## fault rate) and export the raw points to BENCH_*.json.
+## count, claim C6), the E19 chaos sweep (throughput/p99 vs injected
+## fault rate) and the E20 observability-overhead measurement, exporting
+## the raw points to BENCH_*.json.
 bench-json:
 	$(GO) run ./cmd/nxbench -json BENCH_topology.json
 	$(GO) run ./cmd/nxbench -chaos sweep -json BENCH_chaos.json
+	$(GO) run ./cmd/nxbench -obs-overhead -json BENCH_obs.json
 
-## nxbench: render every experiment table (E1–E19 + ablations).
+## obs-demo: observability self-check — run a workload behind an
+## ephemeral exposition server, scrape /metrics, verify the Prometheus
+## text parses and key series round-trip the snapshot, and that
+## /healthz answers 200 on the healthy node.
+obs-demo:
+	$(GO) run ./cmd/nxbench -obs-demo
+
+## nxbench: render every experiment table (E1–E20 + ablations).
 nxbench:
 	$(GO) run ./cmd/nxbench
 

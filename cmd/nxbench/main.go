@@ -15,6 +15,9 @@
 //	nxbench -devices 8 -dispatch ll     # one topology point
 //	nxbench -chaos sweep -json BENCH_chaos.json   # E19 fault-rate sweep
 //	nxbench -chaos fault-storm                    # one named chaos profile
+//	nxbench -serve :8090 -serve-dur 30s           # workload behind the obs HTTP server
+//	nxbench -obs-demo                             # scrape-and-parse self check
+//	nxbench -obs-overhead -json BENCH_obs.json    # E20 observability overhead
 package main
 
 import (
@@ -29,7 +32,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment id (E1..E18, A1..A11)")
+	only := flag.String("only", "", "run a single experiment id (E1..E20, A1..A11)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation sweeps")
 	host := flag.Bool("host", false, "also measure the host software baseline")
 	parallel := flag.Bool("parallel", false, "measure serial vs parallel Writer/Reader throughput scaling")
@@ -39,8 +42,28 @@ func main() {
 	devices := flag.Int("devices", 0, "measure a single topology point with this many z15 devices")
 	dispatch := flag.String("dispatch", "", "dispatch policy for the topology sweep: round-robin, least-loaded, affinity")
 	chaos := flag.String("chaos", "", "run the E19 chaos harness: \"sweep\", a named profile (mild, heavy, fault-storm, ...) or \"class=rate,...\"")
+	serve := flag.String("serve", "", "run a workload behind the observability HTTP server on this address (e.g. :8090); combine with -chaos and -serve-dur")
+	serveDur := flag.Duration("serve-dur", 0, "how long -serve runs the workload (0 = until interrupted)")
+	obsDemoFlag := flag.Bool("obs-demo", false, "self-check: serve, scrape /metrics, verify Prometheus parse + counter round-trip + /healthz")
+	obsOverhead := flag.Bool("obs-overhead", false, "run the E20 observability-overhead experiment (export points with -json)")
 	flag.Parse()
 
+	if *serve != "" || *obsDemoFlag || *obsOverhead {
+		var err error
+		switch {
+		case *obsDemoFlag:
+			err = obsDemo()
+		case *obsOverhead:
+			err = obsOverheadRun(*jsonPath)
+		default:
+			err = obsServe(*serve, *serveDur, *chaos)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *tracePath != "" || *metrics {
 		if err := traceDemo(*tracePath, *metrics); err != nil {
 			fmt.Fprintf(os.Stderr, "nxbench: %v\n", err)
@@ -129,6 +152,8 @@ func runOne(id string) []*experiments.Table {
 		return []*experiments.Table{experiments.E18TopologyScaling()}
 	case "E19":
 		return []*experiments.Table{experiments.E19ChaosDegradation()}
+	case "E20":
+		return []*experiments.Table{experiments.E20ObservabilityOverhead()}
 	case "A1":
 		return []*experiments.Table{experiments.A1Banks()}
 	case "A2":

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"nxzip"
+	"nxzip/internal/corpus"
+	"nxzip/internal/experiments"
+	"nxzip/internal/faultinject"
+	"nxzip/internal/nx"
+	"nxzip/internal/obs"
+	"nxzip/internal/stats"
+)
+
+// obs.go drives the observability layer from nxbench: -serve runs a
+// workload behind the live HTTP exposition server (poll it with nxtop
+// or curl), -obs-demo is the self-check behind `make obs-demo`, and
+// -obs-overhead measures E20 (exported to BENCH_obs.json with -json).
+
+// obsOpenNode builds the 4-device z15 node the observability modes run
+// on, with the chaos-harness recovery budget so injected faults resolve
+// in microseconds, and installs injectors when a chaos spec is given.
+func obsOpenNode(chaosSpec string) (*nxzip.Node, error) {
+	devs := make([]nx.DeviceConfig, 4)
+	for i := range devs {
+		devs[i] = nx.Z15Device()
+		devs[i].Submit = nx.SubmitPolicy{
+			MaxFaultRounds:   8,
+			MaxPasteAttempts: 1 << 20,
+			MaxBackoffWaits:  16,
+			BackoffBase:      time.Microsecond,
+			BackoffMax:       8 * time.Microsecond,
+		}
+	}
+	node, err := nxzip.OpenNode(nxzip.CustomNode("z15-obs", devs...))
+	if err != nil {
+		return nil, err
+	}
+	if chaosSpec != "" {
+		p, perr := faultinject.ParseProfile(chaosSpec)
+		if perr != nil {
+			return nil, perr
+		}
+		node.InstallInjectors(experiments.Seed, p)
+	}
+	return node, nil
+}
+
+// obsServe runs a continuous compression workload behind the exposition
+// server until dur elapses (0 = until interrupted). Combine with -chaos
+// to watch quarantine/failover events arrive on /events live.
+func obsServe(addr string, dur time.Duration, chaosSpec string) error {
+	node, err := obsOpenNode(chaosSpec)
+	if err != nil {
+		return err
+	}
+	srv, err := node.ServeObs(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("nxbench: serving http://%s/{metrics,snapshot,healthz,events}", srv.Addr())
+	if chaosSpec != "" {
+		fmt.Printf(" with chaos profile %q", chaosSpec)
+	}
+	if dur > 0 {
+		fmt.Printf(" for %v", dur)
+	}
+	fmt.Println()
+
+	acc := node.View()
+	defer acc.Close()
+	const chunkSize = 256 << 10
+	src := corpus.Generate(corpus.Text, 64*chunkSize, experiments.Seed)
+	var deadline time.Time
+	if dur > 0 {
+		deadline = time.Now().Add(dur)
+	}
+	var bytes int64
+	start := time.Now()
+	for i := 0; deadline.IsZero() || time.Now().Before(deadline); i++ {
+		off := (i % 64) * chunkSize
+		if _, _, cerr := acc.CompressGzip(src[off : off+chunkSize]); cerr != nil {
+			return cerr
+		}
+		bytes += chunkSize
+	}
+	fmt.Printf("nxbench: served %s of workload in %v (%s)\n",
+		stats.Bytes(bytes), time.Since(start).Round(time.Millisecond),
+		stats.Rate(float64(bytes)/time.Since(start).Seconds()))
+	return nil
+}
+
+// obsDemo is the in-process self-check behind `make obs-demo`: run a
+// workload behind an ephemeral server, then verify that /metrics is
+// parseable Prometheus text whose key series round-trip the snapshot,
+// and that /healthz answers 200 on the healthy node.
+func obsDemo() error {
+	node, err := obsOpenNode("")
+	if err != nil {
+		return err
+	}
+	srv, err := node.ServeObs("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	acc := node.View()
+	defer acc.Close()
+	const chunkSize = 256 << 10
+	src := corpus.Generate(corpus.Text, 16*chunkSize, experiments.Seed)
+	for i := 0; i < 16; i++ {
+		if _, _, cerr := acc.CompressGzip(src[i*chunkSize : (i+1)*chunkSize]); cerr != nil {
+			return cerr
+		}
+	}
+
+	base := "http://" + srv.Addr()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("obs-demo: /metrics status %d", resp.StatusCode)
+	}
+	series, err := obs.ParseProm(strings.NewReader(string(body)))
+	if err != nil {
+		return fmt.Errorf("obs-demo: /metrics not parseable: %w", err)
+	}
+	snap := node.Metrics()
+	for _, name := range []string{"nx.requests", "nx.in_bytes", "nx.out_bytes", "vas.pastes"} {
+		want := float64(snap.Counter(name, ""))
+		got, ok := series[obs.PromSeries(name, "")]
+		if !ok {
+			return fmt.Errorf("obs-demo: series %s missing from /metrics", obs.PromSeries(name, ""))
+		}
+		// The workload is quiesced, so the scrape can only be <= the later
+		// snapshot — and equal here since nothing runs between them.
+		if got != want {
+			return fmt.Errorf("obs-demo: %s: /metrics %v != snapshot %v", name, got, want)
+		}
+		if got <= 0 {
+			return fmt.Errorf("obs-demo: %s: expected activity, got %v", name, got)
+		}
+	}
+
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("obs-demo: /healthz status %d on healthy node", hresp.StatusCode)
+	}
+	fmt.Printf("obs-demo: PASS — %d series scraped, key counters round-trip, /healthz 200\n", len(series))
+	return nil
+}
+
+// obsOverheadRun renders E20 and, with -json, exports the raw points
+// (BENCH_obs.json in the Makefile).
+func obsOverheadRun(jsonPath string) error {
+	t, points := experiments.ObsOverhead()
+	t.Render(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}

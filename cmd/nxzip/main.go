@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nxzip [-d] [-chip p9|z15] [-fht] [-sw level] [-devices n] [-dispatch policy] [-metrics] [-trace out.json] [-o out] [file]
+//	nxzip [-d] [-chip p9|z15] [-fht] [-sw level] [-devices n] [-dispatch policy] [-metrics] [-trace out.json] [-events out.jsonl] [-o out] [file]
 //
 // Examples:
 //
@@ -18,6 +18,7 @@
 //	nxzip -devices 4 -v corpus.txt       # shard chunks across a 4-device node
 //	nxzip -devices 4 -dispatch least-loaded corpus.txt
 //	nxzip -devices 4 -chaos heavy -v corpus.txt   # inject faults; watch recovery
+//	nxzip -devices 4 -chaos heavy -events ev.jsonl corpus.txt  # log quarantine/failover events
 //	nxzip -chaos crc-error=1 -v corpus.txt        # kill the device: software fallback
 package main
 
@@ -32,6 +33,7 @@ import (
 	"nxzip"
 	"nxzip/internal/faultinject"
 	"nxzip/internal/nx"
+	"nxzip/internal/obs"
 	"nxzip/internal/stats"
 	"nxzip/internal/telemetry"
 )
@@ -56,6 +58,7 @@ func run() error {
 		verbose    = flag.Bool("v", false, "print device accounting to stderr")
 		dumpMet    = flag.Bool("metrics", false, "print the device metrics snapshot to stderr")
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON of every request to this file")
+		eventsPath = flag.String("events", "", "write control-plane events (quarantine, failover, fallback, ...) as JSON lines to this file")
 		devices    = flag.Int("devices", 1, "device count: >1 opens a multi-accelerator node and shards compression across it")
 		dispatch   = flag.String("dispatch", "", "node dispatch policy: round-robin (default), least-loaded, affinity")
 		chaos      = flag.String("chaos", "", "inject faults: a named profile (mild, heavy, fault-storm, ...) or \"class=rate,...\"")
@@ -101,11 +104,17 @@ func run() error {
 	var metrics *nxzip.Metrics
 
 	// open wires the observability flags into whichever accelerator the
-	// mode below decides to use. The software paths never open one, so
-	// -metrics/-trace are silently inert there.
+	// mode below decides to use. The pure-software paths (-sw without
+	// -format 842) never open one, so those flags would be silently
+	// inert — warn up front instead of leaving empty outputs unexplained.
+	if *swLevel > 0 && *format != "842" && (*dumpMet || *tracePath != "" || *eventsPath != "") {
+		fmt.Fprintln(os.Stderr, "nxzip: warning: -metrics, -trace and -events have no effect with -sw: the software-only path opens no accelerator")
+	}
 	var acc *nxzip.Accelerator
 	var node *nxzip.Node
 	var traceFile *os.File
+	var eventsFile *os.File
+	var eventLog *obs.EventLog
 	open := func(cfg nxzip.Config) (*nxzip.Accelerator, error) {
 		// -chaos needs the node path even for one device: injectors install
 		// through the node, and so do failover and software fallback.
@@ -136,6 +145,14 @@ func run() error {
 			}
 			traceFile = f
 			acc.StartTrace(telemetry.NewChromeSink(f))
+		}
+		if *eventsPath != "" {
+			f, ferr := os.Create(*eventsPath)
+			if ferr != nil {
+				return nil, ferr
+			}
+			eventsFile = f
+			eventLog = obs.NewEventLog(acc.EnableEvents(), f, 256)
 		}
 		return acc, nil
 	}
@@ -263,6 +280,16 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
+	if eventLog != nil {
+		dropped, lerr := eventLog.Close()
+		if lerr != nil {
+			return lerr
+		}
+		if cerr := eventsFile.Close(); cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(os.Stderr, "events written to %s (%d dropped)\n", *eventsPath, dropped)
 	}
 	if *dumpMet && acc != nil {
 		acc.Metrics().Format(os.Stderr)

@@ -18,6 +18,7 @@ import (
 	"nxzip/internal/deflate"
 	"nxzip/internal/lz77"
 	"nxzip/internal/nx"
+	"nxzip/internal/obs"
 	"nxzip/internal/topology"
 	"nxzip/internal/x842"
 )
@@ -84,6 +85,14 @@ func (a *Accelerator) failoverOn(nctx *topology.Context, op func(*nx.Context) ([
 			return nil, wasted, err
 		}
 		wasted.Redispatches = attempt + 1
+		if bus := a.node.Bus(); bus != nil {
+			label := ""
+			if i := nctx.IndexOf(ctx); i >= 0 {
+				label = a.node.Label(i)
+			}
+			bus.Publish(obs.Event{Type: obs.EventFailover, Device: label,
+				Detail: fmt.Sprintf("re-dispatching after: %v", err)})
+		}
 	}
 	if wasted.Redispatches > 0 {
 		a.met.redispatches.Add(int64(wasted.Redispatches))
@@ -95,6 +104,8 @@ func (a *Accelerator) failoverOn(nctx *topology.Context, op func(*nx.Context) ([
 		return nil, wasted, err
 	}
 	a.met.fallbacks.Inc()
+	a.node.Bus().Publish(obs.Event{Type: obs.EventFallback,
+		Detail: fmt.Sprintf("software path after %d re-dispatches", wasted.Redispatches)})
 	m.Degraded = true
 	m.Redispatches = wasted.Redispatches
 	m.DeviceCycles += wasted.DeviceCycles

@@ -507,6 +507,7 @@ func All() []*Table {
 		E17SmallRequests(),
 		E18TopologyScaling(),
 		E19ChaosDegradation(),
+		E20ObservabilityOverhead(),
 	}
 }
 

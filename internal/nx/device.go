@@ -11,6 +11,7 @@ import (
 	"nxzip/internal/faultinject"
 	"nxzip/internal/lz77"
 	"nxzip/internal/nmmu"
+	"nxzip/internal/obs"
 	"nxzip/internal/pipeline"
 	"nxzip/internal/telemetry"
 	"nxzip/internal/vas"
@@ -118,7 +119,16 @@ type Device struct {
 	met     *devMetrics
 	tracer  atomic.Pointer[telemetry.Tracer]
 	inj     atomic.Pointer[faultinject.Injector]
+	events  atomic.Pointer[eventHook]
 	created time.Time
+}
+
+// eventHook pairs the node's event bus with this device's topology
+// label, so device-local transitions (engine hangs, credit leaks)
+// publish under the right name.
+type eventHook struct {
+	bus   *obs.Bus
+	label string
 }
 
 // devMetrics holds the device-level instruments, resolved once at
@@ -231,6 +241,22 @@ func (d *Device) SetInjector(inj *faultinject.Injector) {
 // is off.
 func (d *Device) Injector() *faultinject.Injector { return d.inj.Load() }
 
+// SetEventBus attaches the node's event bus; label names this device in
+// published events. Device-local transitions — engine hangs and
+// switchboard credit leaks — publish through it. Passing a nil bus
+// detaches, restoring the zero-cost path (one atomic load + nil check).
+func (d *Device) SetEventBus(bus *obs.Bus, label string) {
+	if bus == nil {
+		d.events.Store(nil)
+		d.sb.SetCreditLeakHook(nil)
+		return
+	}
+	d.events.Store(&eventHook{bus: bus, label: label})
+	d.sb.SetCreditLeakHook(func() {
+		bus.Publish(obs.Event{Type: obs.EventCreditLeak, Device: label, Detail: "completion swallowed send-window credit"})
+	})
+}
+
 // Offline reports whether the device is currently offlined by the
 // injector (the chaos harness's kill switch). An offline device refuses
 // new submissions with ErrDeviceOffline; requests already on an engine
@@ -253,7 +279,7 @@ func breakdownByStage(b pipeline.Breakdown) []int64 {
 // since device creation converted at the modelled clock, minus busy).
 func (d *Device) MetricsSnapshot() *telemetry.Snapshot {
 	snap := d.reg.Snapshot()
-	elapsedCycles := int64(time.Since(d.created).Seconds() * d.cfg.Engine.Pipeline.ClockGHz * 1e9)
+	elapsedCycles := d.UptimeCycles()
 	for i, e := range d.engines {
 		ct := e.Counters()
 		label := strconv.Itoa(i)
@@ -284,6 +310,22 @@ func (d *Device) MetricsSnapshot() *telemetry.Snapshot {
 	}
 	snap.Sort()
 	return snap
+}
+
+// UptimeCycles returns wall-clock time since device creation converted
+// to modelled engine cycles — the denominator for utilization.
+func (d *Device) UptimeCycles() int64 {
+	return int64(time.Since(d.created).Seconds() * d.cfg.Engine.Pipeline.ClockGHz * 1e9)
+}
+
+// BusyCycles sums the busy cycles across the device's engines; paired
+// with UptimeCycles it yields device utilization.
+func (d *Device) BusyCycles() int64 {
+	var total int64
+	for _, e := range d.engines {
+		total += e.Counters().BusyCycles
+	}
+	return total
 }
 
 // MMU exposes the translation unit (tests and the fault experiments evict
@@ -394,9 +436,9 @@ type Report struct {
 	OutBytes     int
 	Ratio        float64 // input/output for compression, output/input for decompression
 	Breakdown    pipeline.Breakdown
-	Retries      int   // fault-and-resubmit rounds
-	PasteRejects int   // paste bounces (credit/FIFO/injected) across all rounds
-	BackoffWaits int   // backoff sleeps taken while pasting
+	Retries      int // fault-and-resubmit rounds
+	PasteRejects int // paste bounces (credit/FIFO/injected) across all rounds
+	BackoffWaits int // backoff sleeps taken while pasting
 	BackoffTime  time.Duration
 	WastedCycles int64 // cycles burned by faulted attempts and backoff waits
 	TotalCycles  int64 // wasted + final attempt
@@ -685,6 +727,10 @@ func (c *Context) runOne(wrapped *vas.CRB) {
 		// reports ErrEngineHang. Modelled as an immediate drop — no
 		// wall-clock stall — to keep chaos tests deterministic and fast.
 		c.dev.met.engineHangs.Inc()
+		if h := c.dev.events.Load(); h != nil {
+			h.bus.Publish(obs.Event{Type: obs.EventEngineHang, Device: h.label,
+				Detail: "request dropped without CSB write; watchdog reclaimed credit"})
+		}
 		if s := p.span; s != nil {
 			s.Engine = -1
 			s.PasteRejects += p.pasteRejects

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nxzip/internal/telemetry"
+)
+
+// prom.go renders a telemetry snapshot in the Prometheus text
+// exposition format (version 0.0.4) and parses it back — the round-trip
+// the obs-demo target and the acceptance tests check.
+//
+// Mapping: instrument names keep their registry spelling with
+// non-metric characters folded to '_' ("nx.requests" → "nx_requests");
+// registry labels land under a single "label" key, so the per-device
+// rows of a merged node snapshot become label="drawer0/cp1/…" series
+// and the aggregate rows stay unlabeled. Counters map to counter,
+// gauges to two gauge series (value plus <name>_max for the high-water
+// mark), histograms to a summary (quantile series plus _sum and
+// _count).
+
+// promName folds a registry instrument name into the Prometheus metric
+// name charset [a-zA-Z0-9_:].
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format.
+func promLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// series renders one sample line: name, optional registry label,
+// optional extra label pair (quantile), and the value.
+func series(name, label, extraKey, extraVal string) string {
+	var parts []string
+	if label != "" {
+		parts = append(parts, `label="`+promLabel(label)+`"`)
+	}
+	if extraKey != "" {
+		parts = append(parts, extraKey+`="`+extraVal+`"`)
+	}
+	if len(parts) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// promFloat formats a value the way Prometheus expects (no exponent
+// surprises for the integer-valued counters).
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders the snapshot as Prometheus text exposition. The
+// snapshot's name-then-label ordering means each family's TYPE header
+// is emitted exactly once, immediately before its samples.
+func WriteProm(w io.Writer, snap *telemetry.Snapshot) error {
+	bw := bufio.NewWriter(w)
+	last := ""
+	for _, c := range snap.Counters {
+		name := promName(c.Name)
+		if name != last {
+			fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+			last = name
+		}
+		fmt.Fprintf(bw, "%s %d\n", series(name, c.Label, "", ""), c.Value)
+	}
+	for i := 0; i < len(snap.Gauges); {
+		j := i
+		for j < len(snap.Gauges) && snap.Gauges[j].Name == snap.Gauges[i].Name {
+			j++
+		}
+		name := promName(snap.Gauges[i].Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+		for _, g := range snap.Gauges[i:j] {
+			fmt.Fprintf(bw, "%s %d\n", series(name, g.Label, "", ""), g.Value)
+		}
+		fmt.Fprintf(bw, "# TYPE %s_max gauge\n", name)
+		for _, g := range snap.Gauges[i:j] {
+			fmt.Fprintf(bw, "%s %d\n", series(name+"_max", g.Label, "", ""), g.Max)
+		}
+		i = j
+	}
+	for _, h := range snap.Histograms {
+		name := promName(h.Name)
+		if name != last {
+			fmt.Fprintf(bw, "# TYPE %s summary\n", name)
+			last = name
+		}
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			fmt.Fprintf(bw, "%s %s\n", series(name, h.Label, "quantile", q.q), promFloat(q.v))
+		}
+		fmt.Fprintf(bw, "%s %s\n", series(name+"_sum", h.Label, "", ""), promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s %d\n", series(name+"_count", h.Label, "", ""), h.Count)
+	}
+	return bw.Flush()
+}
+
+// ParseProm reads Prometheus text exposition and returns every sample
+// keyed by its series text exactly as WriteProm renders it (name plus
+// sorted-as-written label set). It understands the subset WriteProm
+// emits — enough for the round-trip checks and the obs-demo parse
+// gate — and rejects malformed sample lines.
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The series may contain spaces inside quoted label values; the
+		// value is everything after the last space outside braces.
+		cut := -1
+		depth := 0
+		inQuote := false
+		for i := 0; i < len(line); i++ {
+			switch line[i] {
+			case '"':
+				if i == 0 || line[i-1] != '\\' {
+					inQuote = !inQuote
+				}
+			case '{':
+				if !inQuote {
+					depth++
+				}
+			case '}':
+				if !inQuote {
+					depth--
+				}
+			case ' ':
+				if !inQuote && depth == 0 {
+					cut = i
+				}
+			}
+		}
+		if cut < 0 {
+			return nil, fmt.Errorf("obs: prom line %d: no value: %q", lineNo, line)
+		}
+		key := strings.TrimSpace(line[:cut])
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[cut+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: prom line %d: bad value: %q", lineNo, line)
+		}
+		if key == "" {
+			return nil, fmt.Errorf("obs: prom line %d: empty series: %q", lineNo, line)
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PromSeries returns the series key WriteProm uses for a plain
+// counter/gauge sample — test helpers compare snapshot values against
+// ParseProm output through it.
+func PromSeries(name, label string) string {
+	return series(promName(name), label, "", "")
+}

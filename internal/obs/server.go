@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"nxzip/internal/telemetry"
+)
+
+// server.go is the exposition surface: a plain net/http server over the
+// closures the root package supplies. Endpoints:
+//
+//	GET /metrics   Prometheus text exposition of the merged snapshot
+//	GET /snapshot  StatusDoc JSON (devices, totals, windows, events, SLO)
+//	GET /healthz   200/503 by the SLO rule engine, HealthReport body
+//	GET /events    live event stream, one JSON object per line
+//
+// The server owns a Sampler (started with the listener) so windowed
+// rates exist even when nothing polls /snapshot.
+
+// Options configures a Server. Snapshot is required; the rest degrade
+// gracefully when absent (no Devices closure → empty device table, no
+// Bus → /events answers 503, nil Rules → DefaultRules).
+type Options struct {
+	// Addr is the listen address (":8090", "127.0.0.1:0").
+	Addr string
+	// Name identifies the node in /snapshot (host name, "nxbench", …).
+	Name string
+	// Snapshot returns the current merged node snapshot.
+	Snapshot func() *telemetry.Snapshot
+	// Devices returns the per-device status table.
+	Devices func() []DeviceStatus
+	// Health returns the health scoreboard's healthy/total device counts.
+	Health func() (healthy, total int)
+	// Bus is the node's event bus (may be nil).
+	Bus *Bus
+	// Rules is the SLO policy for /healthz (nil → DefaultRules).
+	Rules []Rule
+	// SampleInterval is the window sampler period (<=0 → 1s).
+	SampleInterval time.Duration
+	// RingCap bounds the window ring (<=0 → default).
+	RingCap int
+}
+
+// Server serves the observability endpoints for one node.
+type Server struct {
+	opt     Options
+	sampler *Sampler
+	srv     *http.Server
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewServer builds a server from opts without binding the listener.
+func NewServer(opts Options) *Server {
+	if opts.Rules == nil {
+		opts.Rules = DefaultRules()
+	}
+	if opts.Name == "" {
+		opts.Name = "nxzip"
+	}
+	s := &Server{opt: opts, sampler: NewSampler(opts.Snapshot, opts.RingCap)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/events", s.handleEvents)
+	s.srv = &http.Server{Handler: mux}
+	return s
+}
+
+// Start binds the listener and begins serving and sampling. It returns
+// once the listener is bound; Addr is valid afterwards.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.opt.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.sampler.Tick() // establish the delta baseline
+	s.sampler.Start(s.opt.SampleInterval)
+	go s.srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Sampler exposes the server's window sampler (for tests and for
+// embedding its windows in reports).
+func (s *Server) Sampler() *Sampler { return s.sampler }
+
+// Close stops the sampler and shuts the listener down.
+func (s *Server) Close() error {
+	s.sampler.Stop()
+	return s.srv.Close()
+}
+
+// inputs assembles the SLO evaluation inputs from the closures.
+func (s *Server) inputs(snap *telemetry.Snapshot) Inputs {
+	in := Inputs{Snap: snap, Windows: s.sampler.Windows()}
+	if s.opt.Health != nil {
+		in.HealthyDevices, in.Devices = s.opt.Health()
+	}
+	return in
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.opt.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteProm(w, snap)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.opt.Snapshot()
+	rep := Evaluate(s.inputs(snap), s.opt.Rules)
+	doc := StatusDoc{
+		Name:          s.opt.Name,
+		Time:          time.Now(),
+		Healthy:       rep.Healthy,
+		Health:        rep,
+		Totals:        TotalsFromSnapshot(snap),
+		Windows:       s.sampler.Windows(),
+		Events:        s.opt.Bus.Tail(32),
+		EventsDropped: s.opt.Bus.Dropped(),
+		Metrics:       snap,
+	}
+	if s.opt.Devices != nil {
+		doc.Devices = s.opt.Devices()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rep := Evaluate(s.inputs(s.opt.Snapshot()), s.opt.Rules)
+	w.Header().Set("Content-Type", "application/json")
+	if !rep.Healthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(rep)
+}
+
+// handleEvents streams the bus as JSON lines until the client
+// disconnects. The subscription buffer absorbs bursts; events beyond it
+// are dropped (and counted) rather than stalling publishers.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.opt.Bus == nil {
+		http.Error(w, "no event bus attached", http.StatusServiceUnavailable)
+		return
+	}
+	sub := s.opt.Bus.Subscribe(tailLen)
+	defer sub.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}

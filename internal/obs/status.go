@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nxzip/internal/stats"
+	"nxzip/internal/telemetry"
+)
+
+// status.go defines the digested /snapshot document and the terminal
+// rendering cmd/nxtop draws from it. Keeping the renderer here (instead
+// of in the command) lets the package tests cover it and keeps nxtop a
+// thin poll loop.
+
+// DeviceStatus is one device's operational state at snapshot time.
+// Cycle counters are cumulative; consumers diff consecutive polls for
+// instantaneous utilization (Util carries the lifetime ratio as a
+// fallback for the first frame).
+type DeviceStatus struct {
+	Label       string  `json:"label"`
+	Healthy     bool    `json:"healthy"`
+	Dispatched  int64   `json:"dispatched"`
+	Load        int64   `json:"load"`      // in-flight picks + FIFO occupancy
+	Occupancy   int     `json:"occupancy"` // receive-FIFO depth now
+	Credits     int     `json:"credits"`   // send-window credits available across open windows
+	Requests    int64   `json:"requests"`
+	InBytes     int64   `json:"in_bytes"`
+	OutBytes    int64   `json:"out_bytes"`
+	BusyCycles  int64   `json:"busy_cycles"`
+	TotalCycles int64   `json:"total_cycles"` // modelled cycles since device creation
+	Quarantines int64   `json:"quarantines"`
+	Util        float64 `json:"util"` // lifetime busy/total
+}
+
+// Totals are the node-wide aggregates nxtop's header line shows.
+type Totals struct {
+	Requests     int64 `json:"requests"`
+	InBytes      int64 `json:"in_bytes"`
+	OutBytes     int64 `json:"out_bytes"`
+	Fallbacks    int64 `json:"fallbacks"`
+	Redispatches int64 `json:"redispatches"`
+	Quarantines  int64 `json:"quarantines"`
+	Readmissions int64 `json:"readmissions"`
+}
+
+// StatusDoc is the /snapshot JSON document: identity, SLO verdict,
+// per-device state, node totals, the sampler's recent windows, the
+// recent event tail, and the full merged metrics snapshot.
+type StatusDoc struct {
+	Name          string              `json:"name"`
+	Time          time.Time           `json:"time"`
+	Healthy       bool                `json:"healthy"`
+	Health        HealthReport        `json:"health"`
+	Devices       []DeviceStatus      `json:"devices"`
+	Totals        Totals              `json:"totals"`
+	Windows       []Window            `json:"windows,omitempty"`
+	Events        []Event             `json:"events,omitempty"`
+	EventsDropped int64               `json:"events_dropped"`
+	Metrics       *telemetry.Snapshot `json:"metrics,omitempty"`
+}
+
+// TotalsFromSnapshot digests the node-wide counters a header line needs.
+func TotalsFromSnapshot(snap *telemetry.Snapshot) Totals {
+	if snap == nil {
+		return Totals{}
+	}
+	return Totals{
+		Requests:     snap.Counter("nx.requests", ""),
+		InBytes:      snap.Counter("nx.in_bytes", ""),
+		OutBytes:     snap.Counter("nx.out_bytes", ""),
+		Fallbacks:    snap.Counter("nxzip.fallbacks", ""),
+		Redispatches: snap.Counter("nxzip.redispatches", ""),
+		Quarantines:  snap.CounterSum("topology.quarantines"),
+		Readmissions: snap.CounterSum("topology.readmissions"),
+	}
+}
+
+// utilOf returns busy/total from cycle deltas between prev and cur
+// (lifetime ratio when prev is absent or stale).
+func utilOf(prev *DeviceStatus, cur DeviceStatus) float64 {
+	if prev != nil && cur.TotalCycles > prev.TotalCycles && cur.BusyCycles >= prev.BusyCycles {
+		return float64(cur.BusyCycles-prev.BusyCycles) / float64(cur.TotalCycles-prev.TotalCycles)
+	}
+	return cur.Util
+}
+
+// RenderText draws one dashboard frame of cur onto w. prev, when
+// non-nil, is the previous poll of the same node and sharpens
+// utilization from a lifetime average to the inter-poll delta.
+func RenderText(w io.Writer, prev, cur *StatusDoc) {
+	state := "HEALTHY"
+	if !cur.Healthy {
+		state = "UNHEALTHY"
+	}
+	healthyDevs := 0
+	for _, d := range cur.Devices {
+		if d.Healthy {
+			healthyDevs++
+		}
+	}
+	fmt.Fprintf(w, "nxtop — %s — %s — %s (%d/%d devices healthy)\n",
+		cur.Name, cur.Time.Format("15:04:05"), state, healthyDevs, len(cur.Devices))
+	for _, r := range cur.Health.Rules {
+		if !r.OK {
+			fmt.Fprintf(w, "  SLO FAIL %-18s %s (%s)\n", r.Name, r.Expr, r.Detail)
+		}
+	}
+
+	t := cur.Totals
+	fmt.Fprintf(w, "totals: %d req, in %s, out %s, %d fallback, %d redispatch, %d quarantine / %d readmit\n",
+		t.Requests, stats.Bytes(t.InBytes), stats.Bytes(t.OutBytes),
+		t.Fallbacks, t.Redispatches, t.Quarantines, t.Readmissions)
+	if n := len(cur.Windows); n > 0 {
+		lw := cur.Windows[n-1]
+		fmt.Fprintf(w, "window: %s  %.0f req/s  queue p50/p95/p99 %s/%s/%s µs\n",
+			stats.Rate(lw.GBs*1e9), lw.ReqPerSec,
+			fmt.Sprintf("%.0f", lw.QueueP50), fmt.Sprintf("%.0f", lw.QueueP95), fmt.Sprintf("%.0f", lw.QueueP99))
+	}
+
+	var prevDevs map[string]*DeviceStatus
+	if prev != nil {
+		prevDevs = make(map[string]*DeviceStatus, len(prev.Devices))
+		for i := range prev.Devices {
+			prevDevs[prev.Devices[i].Label] = &prev.Devices[i]
+		}
+	}
+	fmt.Fprintf(w, "\n%-14s %-5s %6s %6s %7s %9s %10s %10s %5s\n",
+		"device", "state", "util%", "fifo", "credits", "load", "dispatched", "requests", "quar")
+	for _, d := range cur.Devices {
+		st := "ok"
+		if !d.Healthy {
+			st = "QUAR"
+		}
+		fmt.Fprintf(w, "%-14s %-5s %6.1f %6d %7d %9d %10d %10d %5d\n",
+			d.Label, st, 100*utilOf(prevDevs[d.Label], d),
+			d.Occupancy, d.Credits, d.Load, d.Dispatched, d.Requests, d.Quarantines)
+	}
+
+	// Recent windows, newest last — a glance at how rates are trending.
+	if n := len(cur.Windows); n > 1 {
+		fmt.Fprintf(w, "\n%-10s %10s %10s %12s %9s\n", "window", "req/s", "rate", "p99-queue", "fallback")
+		start := n - 5
+		if start < 0 {
+			start = 0
+		}
+		for _, lw := range cur.Windows[start:] {
+			fmt.Fprintf(w, "%-10s %10.0f %10s %10.0fµs %9d\n",
+				lw.End.Format("15:04:05"), lw.ReqPerSec, stats.Rate(lw.GBs*1e9), lw.QueueP99, lw.Fallbacks)
+		}
+	}
+
+	if len(cur.Events) > 0 {
+		fmt.Fprintf(w, "\nevents (last %d, %d dropped):\n", len(cur.Events), cur.EventsDropped)
+		start := len(cur.Events) - 8
+		if start < 0 {
+			start = 0
+		}
+		for _, e := range cur.Events[start:] {
+			fmt.Fprintf(w, "  %s  %-11s %-14s %s\n",
+				e.Time.Format("15:04:05.000"), e.Type, e.Device, e.Detail)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"nxzip/internal/telemetry"
+)
+
+// window.go turns the registry's lifetime aggregates into rates over
+// time: a Sampler polls the merged node snapshot on an interval, diffs
+// consecutive snapshots (telemetry.Snapshot.Delta) and keeps a bounded
+// ring of per-window samples, so throughput, request rate and queue-
+// wait percentiles become time series a dashboard can plot.
+
+// Window is one sampling interval's worth of activity, derived from the
+// delta between two consecutive snapshots. Rates use the wall-clock
+// window duration. QueueP50/P95/P99 are the queue-wait percentiles of
+// the snapshot's bounded sample ring at window end (recent-biased, not
+// strictly within-window); MeanQueueUS is exact within the window
+// (delta sum over delta count).
+type Window struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Deltas of the aggregate counters over the window.
+	Requests     int64 `json:"requests"`
+	InBytes      int64 `json:"in_bytes"`
+	OutBytes     int64 `json:"out_bytes"`
+	Fallbacks    int64 `json:"fallbacks"`
+	Redispatches int64 `json:"redispatches"`
+	Quarantines  int64 `json:"quarantines"`
+	// Derived rates.
+	ReqPerSec float64 `json:"req_per_sec"`
+	GBs       float64 `json:"gbs"` // uncompressed-side bytes per second / 1e9
+	// Queue-wait latency, µs.
+	MeanQueueUS float64 `json:"mean_queue_us"`
+	QueueP50    float64 `json:"queue_p50_us"`
+	QueueP95    float64 `json:"queue_p95_us"`
+	QueueP99    float64 `json:"queue_p99_us"`
+}
+
+// defaultRingCap bounds the window ring: at the server's default
+// 1-second interval this keeps the most recent two minutes.
+const defaultRingCap = 120
+
+// Sampler computes Windows from a snapshot source. Drive it manually
+// with Tick (tests, one-shot tools) or start the interval goroutine
+// with Start/Stop. Safe for concurrent use.
+type Sampler struct {
+	snap func() *telemetry.Snapshot
+
+	mu    sync.Mutex
+	prev  *telemetry.Snapshot
+	prevT time.Time
+	ring  []Window
+	cap   int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler builds a sampler over snap keeping up to ringCap windows
+// (<=0 takes the default). The first Tick establishes the baseline
+// snapshot and yields a window covering activity since then.
+func NewSampler(snap func() *telemetry.Snapshot, ringCap int) *Sampler {
+	if ringCap <= 0 {
+		ringCap = defaultRingCap
+	}
+	return &Sampler{snap: snap, cap: ringCap}
+}
+
+// Tick takes one sample: snapshot, delta against the previous sample,
+// append to the ring. It returns the new window.
+func (s *Sampler) Tick() Window {
+	cur := s.snap()
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := cur.Delta(s.prev)
+	w := Window{
+		Start:        s.prevT,
+		End:          now,
+		Requests:     d.Counter("nx.requests", ""),
+		InBytes:      d.Counter("nx.in_bytes", ""),
+		OutBytes:     d.Counter("nx.out_bytes", ""),
+		Fallbacks:    d.Counter("nxzip.fallbacks", ""),
+		Redispatches: d.Counter("nxzip.redispatches", ""),
+		Quarantines:  d.CounterSum("topology.quarantines"),
+	}
+	if s.prevT.IsZero() {
+		w.Start = now
+	}
+	if dur := w.End.Sub(w.Start).Seconds(); dur > 0 {
+		bytes := w.InBytes
+		if w.OutBytes > bytes {
+			bytes = w.OutBytes
+		}
+		w.ReqPerSec = float64(w.Requests) / dur
+		w.GBs = float64(bytes) / dur / 1e9
+	}
+	if h, ok := d.Histogram("nx.queue_wait_us", ""); ok {
+		w.MeanQueueUS = h.Mean
+		w.QueueP50, w.QueueP95, w.QueueP99 = h.P50, h.P95, h.P99
+	}
+	s.prev, s.prevT = cur, now
+	if len(s.ring) >= s.cap {
+		copy(s.ring, s.ring[1:])
+		s.ring = s.ring[:len(s.ring)-1]
+	}
+	s.ring = append(s.ring, w)
+	return w
+}
+
+// Windows returns a copy of the ring, oldest first.
+func (s *Sampler) Windows() []Window {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Window, len(s.ring))
+	copy(out, s.ring)
+	return out
+}
+
+// Last returns the most recent window (zero Window when none yet).
+func (s *Sampler) Last() Window {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) == 0 {
+		return Window{}
+	}
+	return s.ring[len(s.ring)-1]
+}
+
+// Start launches the interval goroutine (no-op if already running).
+func (s *Sampler) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop, done := make(chan struct{}), make(chan struct{})
+	s.stop, s.done = stop, done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the interval goroutine and waits for it to exit.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

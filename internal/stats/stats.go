@@ -9,9 +9,10 @@ import (
 	"sort"
 )
 
-// Summary accumulates streaming count/mean/min/max/variance (Welford).
+// Summary accumulates streaming count/sum/mean/min/max/variance (Welford).
 type Summary struct {
 	n        int64
+	sum      float64
 	mean, m2 float64
 	min, max float64
 }
@@ -29,6 +30,7 @@ func (s *Summary) Add(x float64) {
 		}
 	}
 	s.n++
+	s.sum += x
 	d := x - s.mean
 	s.mean += d / float64(s.n)
 	s.m2 += d * (x - s.mean)
@@ -36,6 +38,11 @@ func (s *Summary) Add(x float64) {
 
 // N returns the observation count.
 func (s *Summary) N() int64 { return s.n }
+
+// Sum returns the running total of every observation (0 for empty).
+// Unlike Mean()*N(), it accumulates directly, so consumers deriving
+// rates from snapshot deltas get exact differences.
+func (s *Summary) Sum() float64 { return s.sum }
 
 // Mean returns the arithmetic mean (0 for empty).
 func (s *Summary) Mean() float64 { return s.mean }

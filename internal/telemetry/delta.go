@@ -1,0 +1,91 @@
+package telemetry
+
+// delta.go turns cumulative snapshots into windowed ones: the
+// observability layer samples the registry on an interval and diffs
+// consecutive snapshots, so lifetime aggregates become rates over time
+// without any cost on the instrumented hot paths.
+
+// Delta returns the change from prev to s, instrument by instrument
+// (matched on name+label).
+//
+// Semantics per section:
+//   - Counters: Value is s minus prev. An instrument absent from prev
+//     (registered mid-window) contributes its full value. Counters are
+//     monotone, so a negative difference can only mean prev belongs to
+//     a different registry generation; it is clamped to the current
+//     value rather than reported as a negative rate.
+//   - Gauges: instantaneous by nature — the current value and high-water
+//     mark are carried through unchanged.
+//   - Histograms: Count and Sum are differenced (so Mean becomes the
+//     within-window mean Sum/Count); Min/Max/P50/P95/P99 cannot be
+//     recovered from two cumulative summaries and keep the current
+//     snapshot's values, which the bounded sample ring already biases
+//     toward recent observations.
+//
+// Both snapshots are left unmodified. A nil prev yields a copy of s.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	out := &Snapshot{
+		Counters:   make([]CounterSnapshot, len(s.Counters)),
+		Gauges:     make([]GaugeSnapshot, len(s.Gauges)),
+		Histograms: make([]HistogramSnapshot, len(s.Histograms)),
+	}
+	copy(out.Counters, s.Counters)
+	copy(out.Gauges, s.Gauges)
+	copy(out.Histograms, s.Histograms)
+	if prev == nil {
+		return out
+	}
+
+	type key struct{ name, label string }
+	pc := make(map[key]int64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		pc[key{c.Name, c.Label}] = c.Value
+	}
+	for i := range out.Counters {
+		c := &out.Counters[i]
+		if v, ok := pc[key{c.Name, c.Label}]; ok && v <= c.Value {
+			c.Value -= v
+		}
+	}
+	ph := make(map[key]HistogramSnapshot, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		ph[key{h.Name, h.Label}] = h
+	}
+	for i := range out.Histograms {
+		h := &out.Histograms[i]
+		p, ok := ph[key{h.Name, h.Label}]
+		if !ok || p.Count > h.Count {
+			continue
+		}
+		h.Count -= p.Count
+		h.Sum -= p.Sum
+		if h.Count > 0 {
+			h.Mean = h.Sum / float64(h.Count)
+		} else {
+			h.Sum, h.Mean = 0, 0
+		}
+	}
+	return out
+}
+
+// Histogram returns the named histogram snapshot (label "" for the
+// unlabeled instrument) and whether it was found.
+func (s *Snapshot) Histogram(name, label string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name && h.Label == label {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// Gauge returns the value of the named gauge (label "" for the
+// unlabeled instrument), or 0 if absent.
+func (s *Snapshot) Gauge(name, label string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name && g.Label == label {
+			return g.Value
+		}
+	}
+	return 0
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import "testing"
+
+func deltaSnap(pairs ...any) *Snapshot {
+	// pairs: alternating name string, value int64 for counters only.
+	s := &Snapshot{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		s.Counters = append(s.Counters, CounterSnapshot{
+			Name: pairs[i].(string), Value: int64(pairs[i+1].(int)),
+		})
+	}
+	s.Sort()
+	return s
+}
+
+func TestDeltaCounters(t *testing.T) {
+	prev := deltaSnap("a", 10, "b", 5)
+	cur := deltaSnap("a", 30, "b", 5, "c", 7)
+	d := cur.Delta(prev)
+	if got := d.Counter("a", ""); got != 20 {
+		t.Fatalf("a delta = %d, want 20", got)
+	}
+	if got := d.Counter("b", ""); got != 0 {
+		t.Fatalf("unchanged counter delta = %d, want 0", got)
+	}
+	if got := d.Counter("c", ""); got != 7 {
+		t.Fatalf("mid-window counter = %d, want full 7", got)
+	}
+	// Source snapshots untouched.
+	if cur.Counter("a", "") != 30 || prev.Counter("a", "") != 10 {
+		t.Fatal("Delta mutated its inputs")
+	}
+}
+
+func TestDeltaClampsRegistryRestart(t *testing.T) {
+	// prev ahead of cur means prev is from a different registry
+	// generation; the delta falls back to the current value rather than
+	// going negative.
+	prev := deltaSnap("a", 100)
+	cur := deltaSnap("a", 3)
+	if got := cur.Delta(prev).Counter("a", ""); got != 3 {
+		t.Fatalf("restart delta = %d, want clamp to 3", got)
+	}
+}
+
+func TestDeltaGaugesCarriedThrough(t *testing.T) {
+	prev := &Snapshot{Gauges: []GaugeSnapshot{{Name: "g", Value: 9, Max: 9}}}
+	cur := &Snapshot{Gauges: []GaugeSnapshot{{Name: "g", Value: 2, Max: 11}}}
+	d := cur.Delta(prev)
+	if len(d.Gauges) != 1 || d.Gauges[0].Value != 2 || d.Gauges[0].Max != 11 {
+		t.Fatalf("gauge not carried: %+v", d.Gauges)
+	}
+}
+
+func TestDeltaHistograms(t *testing.T) {
+	prev := &Snapshot{Histograms: []HistogramSnapshot{
+		{Name: "h", Count: 10, Sum: 100, Mean: 10, P99: 40},
+	}}
+	cur := &Snapshot{Histograms: []HistogramSnapshot{
+		{Name: "h", Count: 30, Sum: 600, Mean: 20, Min: 1, Max: 90, P50: 15, P95: 60, P99: 80},
+	}}
+	h, ok := cur.Delta(prev).Histogram("h", "")
+	if !ok {
+		t.Fatal("histogram missing from delta")
+	}
+	if h.Count != 20 || h.Sum != 500 {
+		t.Fatalf("Count/Sum not differenced: %+v", h)
+	}
+	if h.Mean != 25 {
+		t.Fatalf("window mean = %v, want 500/20", h.Mean)
+	}
+	// Percentiles/min/max keep the (recent-biased) current values.
+	if h.P99 != 80 || h.Max != 90 {
+		t.Fatalf("order stats not carried: %+v", h)
+	}
+}
+
+func TestDeltaHistogramIdleWindow(t *testing.T) {
+	same := &Snapshot{Histograms: []HistogramSnapshot{{Name: "h", Count: 5, Sum: 50, Mean: 10}}}
+	h, _ := same.Delta(same).Histogram("h", "")
+	if h.Count != 0 || h.Sum != 0 || h.Mean != 0 {
+		t.Fatalf("idle window not zeroed: %+v", h)
+	}
+}
+
+func TestDeltaNilPrevCopies(t *testing.T) {
+	cur := deltaSnap("a", 4)
+	d := cur.Delta(nil)
+	if d.Counter("a", "") != 4 {
+		t.Fatalf("nil-prev delta = %d", d.Counter("a", ""))
+	}
+	d.Counters[0].Value = 99
+	if cur.Counter("a", "") != 4 {
+		t.Fatal("nil-prev delta aliases the source")
+	}
+}
+
+func TestHistogramSnapshotSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	hs, ok := r.Snapshot().Histogram("lat", "")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if hs.Sum != 10 {
+		t.Fatalf("Sum = %v, want 10", hs.Sum)
+	}
+	if hs.Mean != 2.5 {
+		t.Fatalf("Mean = %v", hs.Mean)
+	}
+}
+
+func TestMergedHistogramSumAdds(t *testing.T) {
+	mk := func(vals ...float64) *Snapshot {
+		r := NewRegistry()
+		h := r.Histogram("lat")
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	m := MergeSnapshots([]LabeledSnapshot{
+		{Label: "d0", Snap: mk(1, 2)},
+		{Label: "d1", Snap: mk(3, 4)},
+	})
+	agg, ok := m.Histogram("lat", "")
+	if !ok {
+		t.Fatal("aggregate histogram missing")
+	}
+	if agg.Sum != 10 || agg.Count != 4 {
+		t.Fatalf("aggregate Sum/Count = %v/%d, want 10/4", agg.Sum, agg.Count)
+	}
+	per, ok := m.Histogram("lat", "d0")
+	if !ok || per.Sum != 3 {
+		t.Fatalf("per-device sum = %v ok=%v", per.Sum, ok)
+	}
+}
+
+func TestSnapshotGaugeAccessor(t *testing.T) {
+	s := &Snapshot{Gauges: []GaugeSnapshot{{Name: "g", Label: "d0", Value: 6}}}
+	if s.Gauge("g", "d0") != 6 || s.Gauge("g", "") != 0 || s.Gauge("missing", "") != 0 {
+		t.Fatalf("gauge accessor wrong: %d %d", s.Gauge("g", "d0"), s.Gauge("g", ""))
+	}
+}

@@ -114,6 +114,7 @@ func (h *Histogram) snapshot(name, label string) HistogramSnapshot {
 		Name:  name,
 		Label: label,
 		Count: h.sum.N(),
+		Sum:   h.sum.Sum(),
 		Mean:  h.sum.Mean(),
 		Min:   h.sum.Min(),
 		Max:   h.sum.Max(),
@@ -254,13 +255,15 @@ type GaugeSnapshot struct {
 	Max   int64  `json:"max"`
 }
 
-// HistogramSnapshot summarizes one histogram. Count/Mean/Min/Max are
-// exact over all observations; P50/P95/P99 cover the most recent
-// histogramWindow observations.
+// HistogramSnapshot summarizes one histogram. Count/Sum/Mean/Min/Max
+// are exact over all observations; P50/P95/P99 cover the most recent
+// histogramWindow observations. Sum lets consumers derive mean rates
+// from snapshot deltas without access to the sample ring.
 type HistogramSnapshot struct {
 	Name  string  `json:"name"`
 	Label string  `json:"label,omitempty"`
 	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
 	Mean  float64 `json:"mean"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
@@ -473,6 +476,7 @@ func mergeHistogram(a *HistogramSnapshot, h HistogramSnapshot) {
 	}
 	n := a.Count + h.Count
 	wa, wh := float64(a.Count)/float64(n), float64(h.Count)/float64(n)
+	a.Sum += h.Sum
 	a.Mean = a.Mean*wa + h.Mean*wh
 	a.P50 = a.P50*wa + h.P50*wh
 	a.P95 = a.P95*wa + h.P95*wh

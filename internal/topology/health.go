@@ -2,11 +2,13 @@ package topology
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"nxzip/internal/faultinject"
 	"nxzip/internal/nx"
+	"nxzip/internal/obs"
 )
 
 // ErrNoHealthyDevice is returned by PickAvail when every device of the
@@ -86,6 +88,8 @@ func (n *Node) admit(i int) bool {
 	if time.Since(h.lastProbe) >= n.hp.ProbeInterval {
 		h.lastProbe = time.Now()
 		n.probes[i].Inc()
+		n.bus.Load().Publish(obs.Event{Type: obs.EventProbe, Device: n.shape.Devices[i].Label,
+			Detail: "live request admitted to quarantined device as probe"})
 		return true
 	}
 	return false
@@ -111,6 +115,8 @@ func (n *Node) ReportResult(i int, err error) {
 				h.probeOK = 0
 				n.readmissions[i].Inc()
 				n.healthyGauge.Add(1)
+				n.bus.Load().Publish(obs.Event{Type: obs.EventReadmit, Device: n.shape.Devices[i].Label,
+					Detail: fmt.Sprintf("readmitted after %d successful probes", n.hp.ProbeSuccesses)})
 			}
 		}
 	case countsAgainstHealth(err):
@@ -124,6 +130,8 @@ func (n *Node) ReportResult(i int, err error) {
 			h.lastProbe = time.Now()
 			n.quarantines[i].Inc()
 			n.healthyGauge.Add(-1)
+			n.bus.Load().Publish(obs.Event{Type: obs.EventQuarantine, Device: n.shape.Devices[i].Label,
+				Detail: fmt.Sprintf("after %d consecutive failures: %v", h.consecFails, err)})
 		} else if h.quarantined {
 			// A failed probe restarts the interval.
 			h.lastProbe = time.Now()

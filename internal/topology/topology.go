@@ -26,6 +26,7 @@ import (
 
 	"nxzip/internal/nmmu"
 	"nxzip/internal/nx"
+	"nxzip/internal/obs"
 	"nxzip/internal/telemetry"
 	"nxzip/internal/vas"
 )
@@ -129,6 +130,11 @@ type Node struct {
 	readmissions []*telemetry.Counter // topology.readmissions{<device label>}
 	probes       []*telemetry.Counter // topology.probes{<device label>}
 	healthyGauge *telemetry.Gauge     // topology.healthy_devices
+
+	// bus, when attached, receives the scoreboard's state transitions
+	// (quarantine, readmission, probe admissions). Publish is nil-safe, so
+	// the hot path pays one atomic load when no bus is attached.
+	bus atomic.Pointer[obs.Bus]
 }
 
 // New instantiates a node: every device of the shape is built, each with
@@ -206,6 +212,23 @@ func (n *Node) VASStats() vas.Stats {
 	}
 	return agg
 }
+
+// SetEventBus attaches an event bus to the node and to every device
+// (engine hangs and credit leaks publish under each device's label).
+// Passing nil detaches everywhere.
+func (n *Node) SetEventBus(bus *obs.Bus) {
+	n.bus.Store(bus)
+	for i, d := range n.devs {
+		if bus == nil {
+			d.SetEventBus(nil, "")
+		} else {
+			d.SetEventBus(bus, n.shape.Devices[i].Label)
+		}
+	}
+}
+
+// Bus returns the attached event bus, or nil when none is attached.
+func (n *Node) Bus() *obs.Bus { return n.bus.Load() }
 
 // StartTrace installs one shared tracer across every device: spans from
 // all devices interleave in one sink with one id sequence, exactly like

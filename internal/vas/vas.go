@@ -132,6 +132,12 @@ type Switchboard struct {
 	notify   chan struct{} // signalled on enqueue, capacity 1
 
 	inj atomic.Pointer[faultinject.Injector]
+
+	// creditLeakHook, when set, is called (under the switchboard lock)
+	// each time a completion's credit is swallowed. The observability
+	// layer installs a bus publish here; the hook must not call back
+	// into the switchboard.
+	creditLeakHook func()
 }
 
 type sendWindow struct {
@@ -176,6 +182,15 @@ func (s *Switchboard) SetMetrics(reg *telemetry.Registry) {
 	}
 	s.mu.Lock()
 	s.met = m
+	s.mu.Unlock()
+}
+
+// SetCreditLeakHook installs (or, with nil, removes) a callback fired
+// whenever a completion leaks its send-window credit. The callback runs
+// under the switchboard lock and must not re-enter the switchboard.
+func (s *Switchboard) SetCreditLeakHook(fn func()) {
+	s.mu.Lock()
+	s.creditLeakHook = fn
 	s.mu.Unlock()
 }
 
@@ -315,6 +330,9 @@ func (s *Switchboard) Complete(crb *CRB) {
 		// window's credit. Enough of these wedge the window, which the
 		// submit-side backoff cap surfaces as ErrDeviceBusy.
 		s.stats.CreditLeaks++
+		if s.creditLeakHook != nil {
+			s.creditLeakHook()
+		}
 		return
 	}
 	if w, ok := s.windows[crb.Window]; ok {
@@ -344,6 +362,20 @@ func (s *Switchboard) Credits(window int) (int, error) {
 		return 0, fmt.Errorf("vas: unknown window %d", window)
 	}
 	return w.credits, nil
+}
+
+// CreditsAvailable sums the remaining credits across all open send
+// windows — the headroom the node's status table reports per device.
+func (s *Switchboard) CreditsAvailable() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, w := range s.windows {
+		if w.open {
+			total += w.credits
+		}
+	}
+	return total
 }
 
 // Stats returns a snapshot of counters.
