@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check test race chaos bench bench-json nxbench parallel trace-demo obs-demo
+.PHONY: check build vet fmt-check test race chaos bench bench-alloc bench-json nxbench parallel trace-demo obs-demo
 
 ## check: the tier-1 gate — build, vet, gofmt, the full test suite under
-## the race detector, the fault-injection chaos suite, and the
-## observability scrape self-check. CI and pre-merge runs use this target.
-check: build vet fmt-check race chaos obs-demo
+## the race detector, the fault-injection chaos suite, the zero-alloc
+## hot-path gate, and the observability scrape self-check. CI and
+## pre-merge runs use this target.
+check: build vet fmt-check race chaos bench-alloc obs-demo
 
 build:
 	$(GO) build ./...
@@ -32,14 +33,25 @@ chaos:
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
+## bench-alloc: the zero-alloc acceptance gate. The AllocsPerRun assert
+## (0 allocations per steady-state pooled one-shot, compress and
+## decompress) must run without the race detector — race instrumentation
+## allocates — so it runs plain here, and the batch/pooled paths run
+## again under -race for the memory model.
+bench-alloc:
+	$(GO) test -run 'TestIntoPathAllocFree|TestOneShotMappingsStable|TestMemberGrowLoopMappingsBounded' -count=1 .
+	$(GO) test -race -run 'TestCompressBatch|TestCompressGzipInto|TestCompressZlibInto|TestPooledFallback|TestStreamWriterPartialWrite' -count=1 .
+
 ## bench-json: run the E18 topology sweep (aggregate GB/s vs device
 ## count, claim C6), the E19 chaos sweep (throughput/p99 vs injected
-## fault rate) and the E20 observability-overhead measurement, exporting
-## the raw points to BENCH_*.json.
+## fault rate), the E20 observability-overhead measurement and the E21
+## batched small-request sweep, exporting the raw points to
+## BENCH_*.json.
 bench-json:
 	$(GO) run ./cmd/nxbench -json BENCH_topology.json
 	$(GO) run ./cmd/nxbench -chaos sweep -json BENCH_chaos.json
 	$(GO) run ./cmd/nxbench -obs-overhead -json BENCH_obs.json
+	$(GO) run ./cmd/nxbench -smallreq -json BENCH_smallreq.json
 
 ## obs-demo: observability self-check — run a workload behind an
 ## ephemeral exposition server, scrape /metrics, verify the Prometheus

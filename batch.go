@@ -1,0 +1,135 @@
+package nxzip
+
+// batch.go is the public face of batched small-request submission. The
+// per-request overhead of the queued path — paste, credit, FIFO slot,
+// drain round, dispatch pick — is fixed, so at few-KiB payloads it
+// dominates the engine's actual work (the paper's latency-vs-size curves
+// show the wall). CompressBatch amortizes it: requests are grouped by
+// the device the dispatch policy picks, each device's group rides ONE
+// switchboard envelope (one paste, one credit, one FIFO round), and the
+// groups run concurrently across the node. Experiment E21 measures the
+// crossover against the per-request path and software.
+
+import (
+	"nxzip/internal/nx"
+)
+
+// BatchRequest is one request of a CompressBatch call.
+type BatchRequest struct {
+	// Src is the payload to compress.
+	Src []byte
+	// Dst, when non-nil, is a caller-owned output backing with the
+	// append semantics of CompressGzipInto; Out may alias it.
+	Dst []byte
+	// Out receives the gzip frame.
+	Out []byte
+	// Metrics receives the request accounting. The first request of each
+	// device's group additionally carries the batch-level paste
+	// accounting (PasteRejects/BackoffWaits/BackoffTime) — there is one
+	// paste per device per batch, not one per request.
+	Metrics Metrics
+	// Err reports a terminal per-request failure. Requests whose device
+	// flaked mid-batch are transparently completed by the software
+	// fallback with Metrics.Degraded set, so Err is non-nil only when
+	// the input itself is at fault (or the fallback failed too).
+	Err error
+	// Device is the node-local index of the device that served this
+	// request, -1 when the software fallback completed it. E21 uses it to
+	// reconstruct each device's share of the batch timeline.
+	Device int
+}
+
+// CompressBatch compresses every request into a gzip frame using the
+// configured table mode, amortizing submission overhead: one paste and
+// one FIFO round per device per batch instead of one per request.
+// Results and per-request errors land on the requests themselves. Nil
+// requests are skipped. Like the one-shot paths, device-local failures
+// degrade to the software encoder rather than failing the batch.
+func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
+	if len(reqs) == 0 {
+		return
+	}
+	n := a.nctx.Size()
+	groups := make([][]nx.BatchEntry, n)
+	owners := make([][]*BatchRequest, n)
+	spans := make([][][2]uint64, n)
+	var soft []*BatchRequest
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		r.Err = nil
+		r.Device = -1
+		i, perr := a.nctx.PickIndexAvail()
+		if perr != nil {
+			soft = append(soft, r) // pool unhealthy: straight to software
+			continue
+		}
+		ctx := a.nctx.At(i)
+		srcVA, err := ctx.AcquireVA(len(r.Src))
+		if err != nil {
+			r.Err = err
+			continue
+		}
+		capOut := 2*len(r.Src) + 1024
+		dstVA, err := ctx.AcquireVA(capOut)
+		if err != nil {
+			ctx.ReleaseVA(srcVA)
+			r.Err = err
+			continue
+		}
+		en := nx.BatchEntry{CRB: nx.CRB{
+			Func: a.funcCode(), Wrap: nx.WrapGzip, Input: r.Src,
+			SourceVA: srcVA, TargetVA: dstVA, TargetCap: capOut,
+			Target: r.Dst,
+		}}
+		if en.CRB.Func == nx.FCCompressCannedDHT {
+			en.CRB.DHT = a.canned
+		}
+		groups[i] = append(groups[i], en)
+		owners[i] = append(owners[i], r)
+		spans[i] = append(spans[i], [2]uint64{srcVA, dstVA})
+	}
+	errs := a.nctx.SubmitBatch(groups)
+	for i := range groups {
+		if len(groups[i]) == 0 {
+			continue
+		}
+		ctx := a.nctx.At(i)
+		for k := range groups[i] {
+			en := &groups[i][k]
+			r := owners[i][k]
+			ctx.ReleaseVA(spans[i][k][0])
+			ctx.ReleaseVA(spans[i][k][1])
+			err := errs[i] // device-level failure drops the whole group
+			if err == nil {
+				err = en.Err
+			}
+			if err == nil && en.CSB.CC != nx.CCSuccess {
+				err = ccFail("batch compress", &en.CSB)
+			}
+			if err == nil {
+				r.Out = en.CSB.Output
+				fillMetrics(&r.Metrics, &en.Rep, &en.CSB)
+				r.Device = i
+				continue
+			}
+			if !failoverEligible(err) {
+				r.Err = err
+				continue
+			}
+			soft = append(soft, r)
+		}
+	}
+	for _, r := range soft {
+		out, m, err := a.softCompress(r.Src, nx.WrapGzip)
+		if err != nil {
+			r.Err = err
+			continue
+		}
+		a.met.fallbacks.Inc()
+		r.Out = append(r.Dst[:0], out...)
+		r.Metrics = *m
+		r.Device = -1
+	}
+}

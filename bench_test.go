@@ -382,6 +382,14 @@ func BenchmarkE18_TopologyScaling(b *testing.B) {
 	b.ReportMetric(headline(tab, len(tab.Rows)-1, 5), "20dev-efficiency")
 }
 
+func BenchmarkE21_SmallRequestBatching(b *testing.B) {
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.E21SmallRequestBatching()
+	}
+	b.ReportMetric(headline(tab, 2, 4), "4KiB-batch-speedup")
+}
+
 func BenchmarkAblationExpansionBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.A10ExpansionBound()

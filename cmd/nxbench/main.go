@@ -14,6 +14,7 @@
 //	nxbench -json BENCH_topology.json   # E18 sweep, points as JSON
 //	nxbench -devices 8 -dispatch ll     # one topology point
 //	nxbench -chaos sweep -json BENCH_chaos.json   # E19 fault-rate sweep
+//	nxbench -smallreq -json BENCH_smallreq.json   # E21 batched small-request sweep
 //	nxbench -chaos fault-storm                    # one named chaos profile
 //	nxbench -serve :8090 -serve-dur 30s           # workload behind the obs HTTP server
 //	nxbench -obs-demo                             # scrape-and-parse self check
@@ -41,6 +42,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the sweep's raw points to this file as JSON (E18 topology, or E19 with -chaos)")
 	devices := flag.Int("devices", 0, "measure a single topology point with this many z15 devices")
 	dispatch := flag.String("dispatch", "", "dispatch policy for the topology sweep: round-robin, least-loaded, affinity")
+	smallreq := flag.Bool("smallreq", false, "run the E21 batched small-request sweep (export points with -json)")
 	chaos := flag.String("chaos", "", "run the E19 chaos harness: \"sweep\", a named profile (mild, heavy, fault-storm, ...) or \"class=rate,...\"")
 	serve := flag.String("serve", "", "run a workload behind the observability HTTP server on this address (e.g. :8090); combine with -chaos and -serve-dur")
 	serveDur := flag.Duration("serve-dur", 0, "how long -serve runs the workload (0 = until interrupted)")
@@ -66,6 +68,13 @@ func main() {
 	}
 	if *tracePath != "" || *metrics {
 		if err := traceDemo(*tracePath, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "nxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *smallreq {
+		if err := smallreqRun(*jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "nxbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -154,6 +163,8 @@ func runOne(id string) []*experiments.Table {
 		return []*experiments.Table{experiments.E19ChaosDegradation()}
 	case "E20":
 		return []*experiments.Table{experiments.E20ObservabilityOverhead()}
+	case "E21":
+		return []*experiments.Table{experiments.E21SmallRequestBatching()}
 	case "A1":
 		return []*experiments.Table{experiments.A1Banks()}
 	case "A2":
@@ -180,6 +191,21 @@ func runOne(id string) []*experiments.Table {
 		return []*experiments.Table{experiments.EHostReference()}
 	}
 	return nil
+}
+
+// smallreqRun drives the E21 batched small-request sweep and optionally
+// exports the raw points as JSON (BENCH_smallreq.json in make bench-json).
+func smallreqRun(jsonPath string) error {
+	t, points := experiments.SmallRequestBatching()
+	t.Render(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
 }
 
 // topologyRun drives the E18 topology sweep (or one explicit point) and

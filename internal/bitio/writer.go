@@ -35,6 +35,17 @@ func (w *Writer) Reset() {
 	w.start = 0
 }
 
+// ResetTo discards all state and continues appending to buf, which must
+// be byte-aligned (any []byte is). Unlike Reset it adopts the caller's
+// buffer, so an encoder can emit directly into caller-owned storage
+// without the Writer holding onto it afterwards.
+func (w *Writer) ResetTo(buf []byte) {
+	w.buf = buf
+	w.acc = 0
+	w.nacc = 0
+	w.start = len(buf)
+}
+
 // WriteBits writes the low n bits of v, LSB first. n must be in [0, 48].
 // Bits above n in v are ignored.
 func (w *Writer) WriteBits(v uint64, n uint) {

@@ -2,6 +2,7 @@ package deflate
 
 import (
 	"fmt"
+	"sync"
 
 	"nxzip/internal/bitio"
 	"nxzip/internal/huffman"
@@ -13,9 +14,41 @@ import (
 // "DHT" interface exchanges with software — the POWER9 NX API lets callers
 // supply a canned DHT, ask the engine to generate one from the data, or
 // fall back to the fixed table.
+//
+// The code lengths fully determine the canonical encoders and the
+// serialized header, so both are derived once on first use and cached on
+// the table (LitLen/Dist must not be mutated after the table is first
+// used to encode). DHTs are shared by pointer; they must not be copied
+// after first use.
 type DHT struct {
 	LitLen []uint8 // 257..286 entries (must include EndOfBlock)
 	Dist   []uint8 // 1..30 entries
+
+	prepOnce sync.Once
+	prepLL   *huffman.Encoder
+	prepD    *huffman.Encoder
+	prepPlan *headerPlan
+	prepErr  error
+}
+
+// prepared returns the cached canonical encoders and header plan for the
+// table, deriving them on first call. This is what makes the canned-DHT
+// request path allocation-free: a long-lived table — exactly how the NX
+// library ships canned DHTs — pays table construction once, not per
+// request.
+func (d *DHT) prepared() (*huffman.Encoder, *huffman.Encoder, *headerPlan, error) {
+	d.prepOnce.Do(func() {
+		d.prepPlan, d.prepErr = planHeader(d)
+		if d.prepErr != nil {
+			return
+		}
+		d.prepLL, d.prepErr = huffman.NewEncoder(padLengths(d.LitLen, NumLitLen))
+		if d.prepErr != nil {
+			return
+		}
+		d.prepD, d.prepErr = huffman.NewEncoder(padLengths(d.Dist, NumDist))
+	})
+	return d.prepLL, d.prepD, d.prepPlan, d.prepErr
 }
 
 // CountFrequencies tallies litlen/dist symbol frequencies for a token
@@ -24,6 +57,14 @@ type DHT struct {
 func CountFrequencies(tokens []lz77.Token) (litlen, dist []int64) {
 	litlen = make([]int64, NumLitLen)
 	dist = make([]int64, NumDist)
+	CountFrequenciesInto(litlen, dist, tokens)
+	return litlen, dist
+}
+
+// CountFrequenciesInto is the allocation-free form of CountFrequencies:
+// it tallies into caller-provided full-alphabet slices, which must be
+// zeroed by the caller.
+func CountFrequenciesInto(litlen, dist []int64, tokens []lz77.Token) {
 	for _, t := range tokens {
 		if !t.IsMatch() {
 			litlen[t.Literal()]++
@@ -35,7 +76,6 @@ func CountFrequencies(tokens []lz77.Token) (litlen, dist []int64) {
 		dist[ds]++
 	}
 	litlen[EndOfBlock]++
-	return litlen, dist
 }
 
 // BuildDHT constructs length-limited Huffman tables from symbol

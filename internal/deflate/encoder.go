@@ -2,6 +2,7 @@ package deflate
 
 import (
 	"fmt"
+	"sync"
 
 	"nxzip/internal/bitio"
 	"nxzip/internal/huffman"
@@ -43,25 +44,66 @@ const maxStoredBlock = 65535
 
 // BlockWriter serializes token streams into DEFLATE blocks on a bit
 // stream. It is the shared back end of the software codec and the
-// accelerator model's Huffman-encode stage.
+// accelerator model's Huffman-encode stage. The frequency scratch lives
+// in the struct so a reused BlockWriter counts symbols without
+// allocating; the fixed Huffman tables are process-wide (they are
+// defined by RFC 1951 and immutable after construction).
 type BlockWriter struct {
 	w        *bitio.Writer
-	fixedLL  *huffman.Encoder
-	fixedD   *huffman.Encoder
 	wroteEnd bool
+	litFreq  [NumLitLen]int64
+	distFreq [NumDist]int64
+}
+
+var (
+	fixedEncOnce sync.Once
+	fixedLLEnc   *huffman.Encoder
+	fixedDEnc    *huffman.Encoder
+)
+
+// fixedEncoders returns the shared RFC 1951 static-table encoders. They
+// are read-only after construction, so every BlockWriter (and every
+// modeled engine) shares one pair.
+func fixedEncoders() (*huffman.Encoder, *huffman.Encoder) {
+	fixedEncOnce.Do(func() {
+		fl, err := huffman.NewEncoder(FixedLitLenLengths())
+		if err != nil {
+			panic("deflate: fixed litlen table: " + err.Error())
+		}
+		fd, err := huffman.NewEncoder(FixedDistLengths())
+		if err != nil {
+			panic("deflate: fixed dist table: " + err.Error())
+		}
+		fixedLLEnc, fixedDEnc = fl, fd
+	})
+	return fixedLLEnc, fixedDEnc
 }
 
 // NewBlockWriter wraps a bit writer.
 func NewBlockWriter(w *bitio.Writer) *BlockWriter {
-	fl, err := huffman.NewEncoder(FixedLitLenLengths())
-	if err != nil {
-		panic("deflate: fixed litlen table: " + err.Error())
+	return &BlockWriter{w: w}
+}
+
+// Reset retargets the BlockWriter at a (usually freshly reset) bit
+// writer and clears the end-of-stream latch, so one BlockWriter can
+// serialize many independent streams without reallocation.
+func (bw *BlockWriter) Reset(w *bitio.Writer) {
+	bw.w = w
+	bw.wroteEnd = false
+}
+
+// countInto tallies token frequencies into the writer's scratch arrays
+// and returns them as slices.
+func (bw *BlockWriter) countInto(tokens []lz77.Token) ([]int64, []int64) {
+	lf, df := bw.litFreq[:], bw.distFreq[:]
+	for i := range lf {
+		lf[i] = 0
 	}
-	fd, err := huffman.NewEncoder(FixedDistLengths())
-	if err != nil {
-		panic("deflate: fixed dist table: " + err.Error())
+	for i := range df {
+		df[i] = 0
 	}
-	return &BlockWriter{w: w, fixedLL: fl, fixedD: fd}
+	CountFrequenciesInto(lf, df, tokens)
+	return lf, df
 }
 
 // WriteBlock emits one block containing tokens (whose expansion is src,
@@ -72,20 +114,25 @@ func (bw *BlockWriter) WriteBlock(tokens []lz77.Token, src []byte, final bool, m
 	if bw.wroteEnd {
 		return fmt.Errorf("deflate: write after final block")
 	}
-	litFreq, distFreq := CountFrequencies(tokens)
+	litFreq, distFreq := bw.countInto(tokens)
+	fixedLL, fixedD := fixedEncoders()
 
 	// Cost of fixed encoding.
-	fixedBits := 3 + bw.costBits(litFreq, distFreq, bw.fixedLL, bw.fixedD)
+	fixedBits := 3 + bw.costBits(litFreq, distFreq, fixedLL, fixedD)
 
-	// Cost of dynamic encoding.
+	// Cost of dynamic encoding. A canned dht carries its encoders and
+	// header plan from first use (see DHT.prepared), so the canned path
+	// builds no tables per block — only a freshly generated table pays
+	// the construction cost, exactly as the hardware builds its DHT
+	// on-chip in DHT-generate mode.
 	var (
 		plan    *headerPlan
 		dynBits = int64(1) << 62
 		llEnc   *huffman.Encoder
 		dEnc    *huffman.Encoder
 	)
-	useDHT := dht
 	if mode == ModeDynamic || mode == ModeAuto {
+		useDHT := dht
 		var err error
 		if useDHT == nil {
 			useDHT, err = BuildDHT(litFreq, distFreq)
@@ -93,22 +140,12 @@ func (bw *BlockWriter) WriteBlock(tokens []lz77.Token, src []byte, final bool, m
 				return err
 			}
 		}
-		if plan, err = planHeader(useDHT); err != nil {
-			return err
-		}
-		if llEnc, err = huffman.NewEncoder(padLengths(useDHT.LitLen, NumLitLen)); err != nil {
-			return err
-		}
-		if dEnc, err = huffman.NewEncoder(padLengths(useDHT.Dist, NumDist)); err != nil {
+		if llEnc, dEnc, plan, err = useDHT.prepared(); err != nil {
 			return err
 		}
 		// A canned DHT may lack codes for symbols this block uses; detect
 		// and reject (the hardware raises a CC error for this case).
 		if err := checkCoverage(litFreq, llEnc, distFreq, dEnc); err != nil {
-			if mode == ModeDynamic && dht != nil {
-				return err
-			}
-			// Auto mode with generated table never hits this; defensive.
 			return err
 		}
 		dynBits = 3 + int64(plan.bits) + bw.costBits(litFreq, distFreq, llEnc, dEnc)
@@ -121,7 +158,7 @@ func (bw *BlockWriter) WriteBlock(tokens []lz77.Token, src []byte, final bool, m
 		bw.writeStoredChain(src, final)
 	case ModeFixed:
 		bw.writeHeader(final, 1)
-		bw.writeTokens(tokens, bw.fixedLL, bw.fixedD)
+		bw.writeTokens(tokens, fixedLL, fixedD)
 	case ModeDynamic:
 		bw.writeHeader(final, 2)
 		plan.write(bw.w)
@@ -132,7 +169,7 @@ func (bw *BlockWriter) WriteBlock(tokens []lz77.Token, src []byte, final bool, m
 			bw.writeStoredChain(src, final)
 		case fixedBits <= dynBits:
 			bw.writeHeader(final, 1)
-			bw.writeTokens(tokens, bw.fixedLL, bw.fixedD)
+			bw.writeTokens(tokens, fixedLL, fixedD)
 		default:
 			bw.writeHeader(final, 2)
 			plan.write(bw.w)
@@ -362,13 +399,34 @@ func EncodeTokens(tokens []lz77.Token, src []byte, mode BlockMode, dht *DHT) ([]
 // at the request boundary. This is how the accelerator's library composes
 // one long stream from buffer-sized requests.
 func EncodeTokensStream(tokens []lz77.Token, src []byte, mode BlockMode, dht *DHT, final bool) ([]byte, error) {
-	w := bitio.NewWriter(make([]byte, 0, len(src)/2+64))
-	bw := NewBlockWriter(w)
-	if err := bw.WriteBlock(tokens, src, final, mode, dht); err != nil {
+	var e StreamEncoder
+	return e.EncodeStream(make([]byte, 0, len(src)/2+64), tokens, src, mode, dht, final)
+}
+
+// StreamEncoder is a reusable stream-segment serializer: it owns the bit
+// writer and block writer (with their scratch) so a long-lived holder —
+// the modeled engine keeps one per engine — encodes segment after
+// segment with zero allocations, appending each into a caller-supplied
+// buffer. The zero value is ready to use; a StreamEncoder is not safe
+// for concurrent use.
+type StreamEncoder struct {
+	w  bitio.Writer
+	bw BlockWriter
+}
+
+// NewStreamEncoder returns an empty encoder.
+func NewStreamEncoder() *StreamEncoder { return &StreamEncoder{} }
+
+// EncodeStream appends one stream segment (see EncodeTokensStream for
+// the segment semantics) to dst and returns the extended slice.
+func (e *StreamEncoder) EncodeStream(dst []byte, tokens []lz77.Token, src []byte, mode BlockMode, dht *DHT, final bool) ([]byte, error) {
+	e.w.ResetTo(dst)
+	e.bw.Reset(&e.w)
+	if err := e.bw.WriteBlock(tokens, src, final, mode, dht); err != nil {
 		return nil, err
 	}
 	if !final {
-		bw.writeStored(nil, false) // sync flush
+		e.bw.writeStored(nil, false) // sync flush
 	}
-	return w.Bytes(), nil
+	return e.w.Bytes(), nil
 }

@@ -38,6 +38,42 @@ func GzipWrap(deflated []byte, plain []byte) []byte {
 	return append(out, tail[:]...)
 }
 
+// AppendGzipHeader appends the canonical 10-byte gzip header (the one
+// GzipWrap emits) to dst. Together with AppendGzipTrailer it lets an
+// encoder frame in place — header, then DEFLATE body, then trailer — so
+// wrapping costs no extra copy or allocation, exactly as the hardware's
+// wrap function codes frame inline on the output DMA path.
+func AppendGzipHeader(dst []byte) []byte {
+	return append(dst, 0x1F, 0x8B, 8, 0, 0, 0, 0, 0, 0, 255)
+}
+
+// AppendGzipTrailer appends the CRC32/ISIZE gzip trailer for a plaintext
+// with the given checksum and length.
+func AppendGzipTrailer(dst []byte, crc uint32, isize int) []byte {
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[0:4], crc)
+	binary.LittleEndian.PutUint32(tail[4:8], uint32(isize))
+	return append(dst, tail[:]...)
+}
+
+// AppendZlibHeader appends the 2-byte zlib header ZlibWrap emits.
+func AppendZlibHeader(dst []byte) []byte {
+	cmf := byte(0x78)
+	flg := byte(0x80)
+	rem := (uint16(cmf)<<8 | uint16(flg)) % 31
+	if rem != 0 {
+		flg += byte(31 - rem)
+	}
+	return append(dst, cmf, flg)
+}
+
+// AppendZlibTrailer appends the big-endian Adler-32 zlib trailer.
+func AppendZlibTrailer(dst []byte, adler uint32) []byte {
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], adler)
+	return append(dst, tail[:]...)
+}
+
 // GzipUnwrap parses a gzip stream, returning the raw DEFLATE payload and
 // the expected CRC32/ISIZE from the trailer. It tolerates the optional
 // header fields so it can consume streams from other producers.

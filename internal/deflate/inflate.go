@@ -3,6 +3,7 @@ package deflate
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"nxzip/internal/bitio"
@@ -37,13 +38,63 @@ type InflateOptions struct {
 	// accelerator enforces the same bound via the output DDE length; a
 	// too-small target buffer yields a CC error, not unbounded growth.
 	MaxOutput int
+	// Dst, when non-nil, supplies the output backing: decompression
+	// appends to Dst[:0], reusing its capacity — the software analogue of
+	// the accelerator DMA-ing output into the caller's target DDE. The
+	// caller must not alias Dst with the compressed source.
+	Dst []byte
 }
 
 const defaultMaxOutput = 1 << 30
 
+var (
+	fixedDecOnce sync.Once
+	fixedLLDec   *huffman.Decoder
+	fixedDDec    *huffman.Decoder
+)
+
+// fixedDecoders returns the shared RFC 1951 static-table decoders,
+// built once: the tables are read-only during Decode, so every inflate
+// pass (and every modeled engine) shares one pair.
+func fixedDecoders() (*huffman.Decoder, *huffman.Decoder, error) {
+	var err error
+	fixedDecOnce.Do(func() {
+		fixedLLDec, err = huffman.NewDecoder(FixedLitLenLengths(), huffman.DefaultPrimaryBits)
+		if err != nil {
+			return
+		}
+		fixedDDec, err = huffman.NewDecoder(FixedDistLengths(), huffman.DefaultPrimaryBits)
+	})
+	if fixedLLDec == nil || fixedDDec == nil {
+		if err == nil {
+			err = fmt.Errorf("deflate: fixed decode tables unavailable")
+		}
+		return nil, nil, err
+	}
+	return fixedLLDec, fixedDDec, nil
+}
+
+// readerPool recycles bit readers: the decoder consumes them through the
+// BitSource interface, which pins them to the heap, so a stack value
+// would escape anyway — pooling keeps a steady-state inflate into
+// opts.Dst allocation-free.
+var readerPool = sync.Pool{New: func() any { return new(bitio.Reader) }}
+
+func getReader(src []byte) *bitio.Reader {
+	r := readerPool.Get().(*bitio.Reader)
+	r.Reset(src)
+	return r
+}
+
+func putReader(r *bitio.Reader) {
+	r.Reset(nil) // drop the src reference before pooling
+	readerPool.Put(r)
+}
+
 // Decompress inflates a raw DEFLATE stream.
 func Decompress(src []byte, opts InflateOptions) ([]byte, error) {
-	r := bitio.NewReader(src)
+	r := getReader(src)
+	defer putReader(r)
 	out, err := inflate(r, opts)
 	if err != nil {
 		return nil, err
@@ -54,7 +105,8 @@ func Decompress(src []byte, opts InflateOptions) ([]byte, error) {
 // DecompressTail inflates a raw DEFLATE stream and also returns the number
 // of bytes of src consumed (the stream may be followed by a trailer).
 func DecompressTail(src []byte, opts InflateOptions) (out []byte, consumed int, err error) {
-	r := bitio.NewReader(src)
+	r := getReader(src)
+	defer putReader(r)
 	out, err = inflate(r, opts)
 	if err != nil {
 		return nil, 0, err
@@ -70,7 +122,9 @@ func inflate(r *bitio.Reader, opts InflateOptions) ([]byte, error) {
 		maxOut = defaultMaxOutput
 	}
 	var out []byte
-	var fixedLL, fixedD *huffman.Decoder
+	if opts.Dst != nil {
+		out = opts.Dst[:0]
+	}
 	for {
 		final, err := r.ReadBool()
 		if err != nil {
@@ -97,21 +151,19 @@ func inflate(r *bitio.Reader, opts InflateOptions) ([]byte, error) {
 			if len(out)+int(lenv) > maxOut {
 				return nil, ErrTooLarge
 			}
-			buf := make([]byte, lenv)
-			if err := r.ReadBytes(buf); err != nil {
+			// Grow out and read the payload straight into it — no staging
+			// buffer.
+			n := len(out)
+			for j := 0; j < int(lenv); j++ {
+				out = append(out, 0)
+			}
+			if err := r.ReadBytes(out[n:]); err != nil {
 				return nil, fmt.Errorf("%w: stored payload truncated", ErrCorrupt)
 			}
-			out = append(out, buf...)
 		case 1: // fixed Huffman
-			if fixedLL == nil {
-				fixedLL, err = huffman.NewDecoder(FixedLitLenLengths(), huffman.DefaultPrimaryBits)
-				if err != nil {
-					return nil, err
-				}
-				fixedD, err = huffman.NewDecoder(FixedDistLengths(), huffman.DefaultPrimaryBits)
-				if err != nil {
-					return nil, err
-				}
+			fixedLL, fixedD, err := fixedDecoders()
+			if err != nil {
+				return nil, err
 			}
 			out, err = inflateBlock(r, out, maxOut, fixedLL, fixedD)
 			if err != nil {
@@ -142,7 +194,8 @@ func inflate(r *bitio.Reader, opts InflateOptions) ([]byte, error) {
 // it needs no 32 KiB window and writes no output bytes, so it costs a
 // fraction of a full inflate.
 func SkimTail(src []byte, opts InflateOptions) (outLen, consumed int, err error) {
-	r := bitio.NewReader(src)
+	r := getReader(src)
+	defer putReader(r)
 	outLen, err = skim(r, opts)
 	if err != nil {
 		return 0, 0, err
@@ -158,7 +211,6 @@ func skim(r *bitio.Reader, opts InflateOptions) (int, error) {
 		maxOut = defaultMaxOutput
 	}
 	outLen := 0
-	var fixedLL, fixedD *huffman.Decoder
 	for {
 		final, err := r.ReadBool()
 		if err != nil {
@@ -191,15 +243,9 @@ func skim(r *bitio.Reader, opts InflateOptions) (int, error) {
 			}
 			outLen += int(lenv)
 		case 1: // fixed Huffman
-			if fixedLL == nil {
-				fixedLL, err = huffman.NewDecoder(FixedLitLenLengths(), huffman.DefaultPrimaryBits)
-				if err != nil {
-					return 0, err
-				}
-				fixedD, err = huffman.NewDecoder(FixedDistLengths(), huffman.DefaultPrimaryBits)
-				if err != nil {
-					return 0, err
-				}
+			fixedLL, fixedD, err := fixedDecoders()
+			if err != nil {
+				return 0, err
 			}
 			outLen, err = skimBlock(r, outLen, maxOut, fixedLL, fixedD)
 			if err != nil {

@@ -508,6 +508,7 @@ func All() []*Table {
 		E18TopologyScaling(),
 		E19ChaosDegradation(),
 		E20ObservabilityOverhead(),
+		E21SmallRequestBatching(),
 	}
 }
 

@@ -51,7 +51,10 @@ func (m *HWMatcher) tokenizeFrom(dst []Token, src []byte, start int) ([]Token, H
 	w := m.p.InputWidth
 	st.Beats = int64((n - start + w - 1) / w)
 
-	bankUsed := make([]int64, m.p.Banks)
+	if m.bankBeat == nil {
+		m.bankBeat = make([]int64, m.p.Banks)
+	}
+	bankUsed := m.bankBeat
 	for i := range bankUsed {
 		bankUsed[i] = -1
 	}

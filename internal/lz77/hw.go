@@ -58,6 +58,15 @@ type HWMatcher struct {
 	p     HWParams
 	table [][]int32 // [bank*sets + set][way] -> position, -1 if empty
 	sets  int
+	// History invalidation between operations is an epoch tag on each
+	// set's valid bits, the way the silicon does it — a set whose tag
+	// differs from the current generation holds no candidates and is
+	// lazily re-initialised on first insert. A full SRAM wipe per
+	// operation would cost millions of cycles (8 MB of table for the
+	// z15 geometry) and would dominate every small request.
+	gen      uint32
+	setGen   []uint32
+	bankBeat []int64 // per-bank scratch: beat number the bank last served
 }
 
 // NewHWMatcher validates params and builds the matcher.
@@ -77,15 +86,15 @@ func NewHWMatcher(p HWParams) *HWMatcher {
 	if p.MaxDist <= 0 || p.MaxDist > WindowSize {
 		p.MaxDist = WindowSize
 	}
-	m := &HWMatcher{p: p, sets: 1 << p.HashBits}
+	m := &HWMatcher{p: p, sets: 1 << p.HashBits, gen: 1}
 	m.table = make([][]int32, p.Banks*m.sets)
 	ways := make([]int32, len(m.table)*p.Ways)
-	for i := range ways {
-		ways[i] = -1
-	}
 	for i := range m.table {
 		m.table[i] = ways[i*p.Ways : (i+1)*p.Ways : (i+1)*p.Ways]
 	}
+	// setGen starts zeroed: every set is stale relative to gen 1, so the
+	// ways need no -1 fill — insert initialises a set on first touch.
+	m.setGen = make([]uint32, len(m.table))
 	return m
 }
 
@@ -93,10 +102,15 @@ func NewHWMatcher(p HWParams) *HWMatcher {
 func (m *HWMatcher) Params() HWParams { return m.p }
 
 func (m *HWMatcher) reset() {
-	for i := range m.table {
-		for w := range m.table[i] {
-			m.table[i][w] = -1
+	m.gen++
+	if m.gen == 0 {
+		// Generation counter wrapped: pay the full wipe once per 2^32
+		// operations so a set tagged in a previous epoch cannot read as
+		// current.
+		for i := range m.setGen {
+			m.setGen[i] = 0
 		}
+		m.gen = 1
 	}
 }
 
@@ -127,7 +141,10 @@ func (m *HWMatcher) Tokenize(dst []Token, src []byte) ([]Token, HWStats) {
 	// (the hardware inserts every position to keep history complete);
 	// inserts use a write port and do not conflict with probes in this
 	// model.
-	bankUsed := make([]int64, m.p.Banks) // beat number the bank last served, -1 init
+	if m.bankBeat == nil {
+		m.bankBeat = make([]int64, m.p.Banks)
+	}
+	bankUsed := m.bankBeat // -1 init: no bank has served a beat yet
 	for i := range bankUsed {
 		bankUsed[i] = -1
 	}
@@ -194,7 +211,12 @@ func (m *HWMatcher) Tokenize(dst []Token, src []byte) ([]Token, HWStats) {
 // probe compares the (at most Ways) candidates in the set against the
 // current position and returns the best match.
 func (m *HWMatcher) probe(src []byte, i int, st *HWStats, bank, set int) (int, int) {
-	entry := m.table[bank*m.sets+set]
+	idx := bank*m.sets + set
+	if m.setGen[idx] != m.gen {
+		// Stale epoch: the set holds no candidates from this operation.
+		return 0, 0
+	}
+	entry := m.table[idx]
 	maxLen := len(src) - i
 	if maxLen > MaxMatch {
 		maxLen = MaxMatch
@@ -224,7 +246,15 @@ func (m *HWMatcher) probe(src []byte, i int, st *HWStats, bank, set int) (int, i
 // insert records position i in its set with FIFO replacement (the oldest
 // way is evicted), matching a simple hardware shift-register set.
 func (m *HWMatcher) insert(src []byte, i, bank, set int) {
-	entry := m.table[bank*m.sets+set]
+	idx := bank*m.sets + set
+	entry := m.table[idx]
+	if m.setGen[idx] != m.gen {
+		// First touch this operation: lazily invalidate the stale ways.
+		for w := range entry {
+			entry[w] = -1
+		}
+		m.setGen[idx] = m.gen
+	}
 	copy(entry[1:], entry[:len(entry)-1])
 	entry[0] = int32(i)
 }

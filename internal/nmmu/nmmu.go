@@ -321,13 +321,48 @@ func (m *MMU) TranslateRangeStats(pid PID, va uint64, length int) (rs RangeStats
 
 func (m *MMU) insertERAT(key eratKey, pa uint64) {
 	if len(m.erat) >= m.cfg.ERATEntries {
-		// FIFO eviction.
+		// FIFO eviction; shift in place so the queue reuses its backing
+		// array instead of advancing it and reallocating on every append.
 		old := m.eratQ[0]
-		m.eratQ = m.eratQ[1:]
+		copy(m.eratQ, m.eratQ[1:])
+		m.eratQ = m.eratQ[:len(m.eratQ)-1]
 		delete(m.erat, old)
 	}
 	m.erat[key] = pa
 	m.eratQ = append(m.eratQ, key)
+}
+
+// Unmap removes the translations for [va, va+length) and drops their
+// cached ERAT entries. Software frees the virtual range; subsequent
+// device access faults as unmapped.
+func (m *MMU) Unmap(pid PID, va uint64, length int) {
+	if length <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sp, ok := m.spaces[pid]
+	if !ok {
+		return
+	}
+	ps := uint64(m.cfg.PageSize)
+	for vpn := va / ps; vpn <= (va+uint64(length)-1)/ps; vpn++ {
+		delete(sp.pages, vpn)
+		delete(m.erat, eratKey{pid, vpn})
+	}
+}
+
+// MappedPages reports how many virtual pages pid currently has valid
+// translations for — the regression handle that catches request paths
+// minting fresh mappings forever instead of reusing or releasing them.
+func (m *MMU) MappedPages(pid PID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sp, ok := m.spaces[pid]
+	if !ok {
+		return 0
+	}
+	return len(sp.pages)
 }
 
 // InvalidateERAT drops all cached translations (context switch / tlbie).

@@ -1,0 +1,179 @@
+package nx
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nxzip/internal/vas"
+)
+
+// Batched small-request submission.
+//
+// The per-request cost of the queued path — a paste, a send-window
+// credit, a FIFO slot, and a drain round — is fixed, so it dominates once
+// payloads shrink to a few KiB (the paper's latency-vs-size curves show
+// exactly this wall). Software batches: one switchboard envelope carries
+// a whole slice of requests, paying the submission overhead once, and the
+// dequeuer runs the entries back to back across the device's engines the
+// way a driver services a ring of descriptors.
+
+// BatchEntry is one request of a batch: the caller embeds the request
+// and completion blocks by value so a batch is a single contiguous
+// allocation (or a pooled slice) rather than N boxed requests.
+type BatchEntry struct {
+	CRB CRB
+	CSB CSB
+	Rep Report
+	// Err reports per-entry submission-protocol failures (a fault
+	// resubmit that exhausted its budget, a failed touch). Data-plane
+	// completions are CSB.CC, exactly as for single submission.
+	Err error
+}
+
+// SubmitBatch pastes the whole batch as one switchboard envelope — one
+// paste, one credit, one FIFO round for len(entries) requests — and
+// waits for the dequeuer to run every entry. Entries that complete with
+// CCTranslationFault are touched and resubmitted individually through
+// the full single-request protocol; their Err fields carry any terminal
+// submission failure. Per-entry Deadline/Cancel fields are ignored — the
+// batch lives under the device's paste budget as one unit. An injected
+// engine hang drops the whole batch (ErrEngineHang), mirroring a wedged
+// descriptor ring.
+func (c *Context) SubmitBatch(entries []BatchEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	d := c.dev
+	pol := d.cfg.Submit
+	if d.Offline() {
+		d.met.offlineRejects.Inc()
+		return ErrDeviceOffline
+	}
+	p := getPending()
+	defer putPending(p)
+	p.batch = entries
+	p.submitStart = time.Now()
+	wrapped := &p.wrapped
+	var (
+		rejects     int
+		waits       int
+		backoffTime time.Duration
+	)
+	backoff := pol.BackoffBase
+	pasted := false
+	for try := 0; try < pol.MaxPasteAttempts && waits < pol.MaxBackoffWaits; try++ {
+		p.pastedAt = time.Now()
+		err := d.sb.Paste(c.window, wrapped)
+		if err == nil {
+			pasted = true
+			break
+		}
+		if errors.Is(err, vas.ErrWindowClosed) {
+			return err
+		}
+		rejects++
+		if d.Offline() {
+			d.met.offlineRejects.Inc()
+			return ErrDeviceOffline
+		}
+		if pending := d.sb.Dequeue(); pending != nil {
+			c.runOne(pending)
+			continue
+		}
+		sleep := jitter(backoff)
+		time.Sleep(sleep)
+		waits++
+		backoffTime += sleep
+		d.met.backoffWaits.Inc()
+		if backoff *= 2; backoff > pol.BackoffMax {
+			backoff = pol.BackoffMax
+		}
+	}
+	if backoffTime > 0 {
+		d.met.backoffUS.Observe(float64(backoffTime) / float64(time.Microsecond))
+	}
+	if !pasted {
+		return fmt.Errorf("%w (batch of %d: %d rejects, %d backoff waits)", ErrDeviceBusy, len(entries), rejects, waits)
+	}
+	// Drain until our batch completes, running whatever we dequeue —
+	// the same submitter-as-engine-driver protocol as SubmitInto.
+	waiting := true
+	for waiting {
+		select {
+		case <-p.done:
+			waiting = false
+		default:
+			if pending := d.sb.Dequeue(); pending != nil {
+				c.runOne(pending)
+				continue
+			}
+			<-p.done
+			waiting = false
+		}
+	}
+	if !p.ran {
+		return fmt.Errorf("%w (batch of %d)", ErrEngineHang, len(entries))
+	}
+	for i := range entries {
+		en := &entries[i]
+		if en.CSB.CC == CCTranslationFault {
+			// Touch-and-resubmit, per entry: the rest of the batch is
+			// done, so the straggler goes back through the single-request
+			// protocol (which touches again on repeat faults).
+			wasted := en.CSB.Cycles.Total
+			d.met.faultRetries.Inc()
+			if terr := d.mmu.Touch(c.pid, en.CSB.FaultVA); terr != nil {
+				en.Err = fmt.Errorf("nx: fault handler: %w", terr)
+				continue
+			}
+			// The straggler resubmits alone: full setup/complete again.
+			en.CRB.Chained = false
+			en.CRB.ChainedComplete = false
+			en.Err = c.SubmitInto(&en.CRB, &en.CSB, &en.Rep)
+			if en.Err == nil {
+				en.Rep.Retries++
+				en.Rep.WastedCycles += wasted
+				en.Rep.TotalCycles += wasted
+			}
+			continue
+		}
+		fillReport(d, &en.CRB, &en.CSB, &en.Rep)
+		if i == 0 {
+			// Batch-level paste accounting rides on the first entry
+			// (there is one paste for the whole batch, not N).
+			en.Rep.PasteRejects = rejects
+			en.Rep.BackoffWaits = waits
+			en.Rep.BackoffTime = backoffTime
+		}
+	}
+	return nil
+}
+
+// runBatch is the dequeuer side of SubmitBatch: every entry runs back to
+// back, spread round-robin across the device's engines, then the single
+// envelope completes and the owner gets its token. Called from runOne
+// with the injected-hang gate already passed.
+func (c *Context) runBatch(wrapped *vas.CRB, p *pendingCRB, dequeuedAt time.Time) {
+	m := c.dev.met
+	m.queueWaitUS.Observe(float64(dequeuedAt.Sub(p.pastedAt)) / float64(time.Microsecond))
+	for i := range p.batch {
+		en := &p.batch[i]
+		// Entry 0 pays the envelope's full paste-to-dispatch setup; the
+		// rest chain behind it. The last entry's CSB writeback doubles as
+		// the envelope completion; earlier entries only store their CSB.
+		en.CRB.Chained = i > 0
+		en.CRB.ChainedComplete = i < len(p.batch)-1
+		idx := int(c.dev.nextEng.Add(1)-1) % len(c.dev.engines)
+		c.dev.engines[idx].ProcessInto(wrapped.PID, &en.CRB, &en.CSB)
+		m.requests.Inc()
+		m.inBytes.Add(int64(en.CSB.SPBC))
+		m.outBytes.Add(int64(en.CSB.TPBC))
+		if cc := en.CSB.CC; cc >= 0 && cc < ccCount {
+			m.cc[cc].Inc()
+		}
+	}
+	p.ran = true
+	c.dev.sb.Complete(wrapped)
+	p.done <- struct{}{}
+}

@@ -217,6 +217,16 @@ type CRB struct {
 	// segments must use WrapRaw; framing belongs to the stream owner.
 	NotFinal bool
 
+	// Target, when non-nil, is the caller-owned output backing: the
+	// engine appends into Target[:0] and CSB.Output aliases it (or a
+	// regrown copy when the result outgrew cap(Target) — recover the
+	// larger backing from CSB.Output). This is the model's target DMA
+	// buffer: supplying it makes the request path allocation-free.
+	// Callers reusing Target across requests must copy CSB.Output out
+	// before the next submission, and Target must not alias Input.
+	// Nil keeps the engine-allocates behaviour.
+	Target []byte
+
 	// MaxOutput bounds decompression output (guards zip bombs); 0 = 1 GiB.
 	MaxOutput int
 
@@ -239,6 +249,18 @@ type CRB struct {
 	// operation and waits, skipping the VAS queue and its setup cost.
 	// Only honoured on devices whose pipeline has SyncSetupCycles > 0.
 	SyncSubmit bool
+
+	// Chained marks a request that arrived behind another in the same
+	// batch envelope: the descriptor was already resident when the engine
+	// reached it, so setup costs ChainSetupCycles instead of the full
+	// paste-to-dispatch SetupCycles. ChainedComplete marks a request
+	// whose envelope completion is carried by a later entry: the CSB
+	// store happens, but the interrupt/credit return is deferred, so
+	// completion costs ChainCompleteCycles. SubmitBatch sets both; they
+	// are only honoured on devices whose pipeline defines the chained
+	// costs.
+	Chained         bool
+	ChainedComplete bool
 
 	// Deadline, when non-zero, bounds this request's wall-clock
 	// lifetime: paste retries, backoff waits and fault-resubmit rounds
@@ -278,3 +300,7 @@ type CSB struct {
 	LZ     lz77.HWStats
 	Detail string // human-readable error detail for corrupt data
 }
+
+// reset clears a status block for reuse before the engine writes a fresh
+// completion into it (the hardware overwrites the CSB cacheline whole).
+func (csb *CSB) reset() { *csb = CSB{} }

@@ -372,7 +372,18 @@ type Context struct {
 
 	mu     sync.Mutex
 	nextVA uint64
+	// Reusable VA arena: released spans pool in per-size-class free
+	// lists (class = log2 of the page count, rounded up) and are handed
+	// back by AcquireVA without touching the MMU — steady-state one-shot
+	// traffic mints no fresh translations. vaClass remembers each arena
+	// span's class so ReleaseVA is self-describing.
+	arena   [arenaClasses][]uint64
+	vaClass map[uint64]uint8
 }
+
+// arenaClasses bounds the arena's size-class ladder: class c spans
+// 1<<c pages, so 32 classes cover far beyond any modelled buffer.
+const arenaClasses = 32
 
 // ctxVASpan is the size of each context's private VA region. Contexts of
 // the same address space allocate from disjoint regions so concurrent
@@ -425,6 +436,58 @@ func (c *Context) MapBuffer(size int, resident bool) (uint64, error) {
 		return 0, err
 	}
 	return va, nil
+}
+
+// AcquireVA returns a resident mapping for a buffer of size bytes from
+// the context's reusable arena. The first acquisition of a size class
+// maps fresh pages; after ReleaseVA the span is handed out again with no
+// MMU work at all, so repeated one-shot requests stop minting fresh
+// translations (the leak MapBuffer's bump-only allocator had). Spans are
+// rounded up to a power-of-two page count and keep a guard page after
+// them. Use MapBuffer instead for demand-paged (resident=false) ranges.
+func (c *Context) AcquireVA(size int) (uint64, error) {
+	if size <= 0 {
+		size = 1
+	}
+	ps := c.dev.mmu.Config().PageSize
+	pages := (size + ps - 1) / ps
+	cls := uint8(0)
+	for 1<<cls < pages {
+		cls++
+	}
+	span := (uint64(1) << cls) * uint64(ps)
+	c.mu.Lock()
+	if l := c.arena[cls]; len(l) > 0 {
+		va := l[len(l)-1]
+		c.arena[cls] = l[:len(l)-1]
+		c.mu.Unlock()
+		return va, nil
+	}
+	va := c.nextVA
+	c.nextVA += span + uint64(ps) // guard page between spans
+	if c.vaClass == nil {
+		c.vaClass = make(map[uint64]uint8)
+	}
+	c.vaClass[va] = cls
+	c.mu.Unlock()
+	if err := c.dev.mmu.Map(c.pid, va, int(span), true); err != nil {
+		return 0, err
+	}
+	return va, nil
+}
+
+// ReleaseVA returns an AcquireVA span to the arena for reuse. The pages
+// stay mapped (software keeps its buffer pool warm; translations are the
+// expensive part). Releasing a VA not handed out by AcquireVA is a no-op.
+func (c *Context) ReleaseVA(va uint64) {
+	if va == 0 {
+		return
+	}
+	c.mu.Lock()
+	if cls, ok := c.vaClass[va]; ok {
+		c.arena[cls] = append(c.arena[cls], va)
+	}
+	c.mu.Unlock()
 }
 
 // Report summarizes one completed (possibly retried) request.
@@ -499,23 +562,62 @@ func jitter(d time.Duration) time.Duration {
 
 // pendingCRB is the switchboard payload for one in-flight request: the
 // request itself plus a completion slot. Whichever submitter goroutine
-// dequeues the entry runs it and closes done; the owner waits on done, so
-// concurrent submitters never lose a request another goroutine drained.
+// dequeues the entry runs it and signals done; the owner waits on done,
+// so concurrent submitters never lose a request another goroutine
+// drained.
+//
+// Entries are pooled: done is a buffered (capacity-1) channel carrying
+// one token per completed round instead of being closed, so the same
+// entry cycles through fault rounds and back into the pool. ran replaces
+// the old nil-CSB hang check — the CSB is caller-owned now and may hold
+// stale bytes, so only the dequeuer's explicit flag says whether a
+// completion was written.
 //
 // The trace fields cross goroutines with well-defined happens-before
 // edges: the owner writes span/submitStart/pastedAt/pasteRejects before
 // the successful Paste (the switchboard mutex publishes them to the
-// dequeuer); the dequeuer writes the span's execution stages before
-// close(done) publishes them back to the owner.
+// dequeuer); the dequeuer writes the span's execution stages before the
+// done send publishes them back to the owner.
 type pendingCRB struct {
 	crb  *CRB
 	csb  *CSB
 	done chan struct{}
 
+	wrapped vas.CRB // reusable switchboard envelope; Payload points back here
+	ran     bool    // dequeuer wrote a CSB (false after an engine hang)
+
+	// batch, when non-nil, replaces crb/csb: the dequeuer runs every
+	// entry in order on the device's engines and completes the envelope
+	// once — one paste, one credit, one FIFO slot for the whole batch.
+	batch []BatchEntry
+
 	span         *telemetry.Span
 	submitStart  time.Time // first paste attempt of this round
 	pastedAt     time.Time // stamped just before each paste attempt
 	pasteRejects int       // credit/FIFO bounces this round
+}
+
+// pendingPool recycles pendingCRBs (and their done channels and
+// switchboard envelopes) so the steady-state submission path allocates
+// nothing per request.
+var pendingPool = sync.Pool{New: func() any {
+	p := &pendingCRB{done: make(chan struct{}, 1)}
+	p.wrapped.Payload = p
+	return p
+}}
+
+func getPending() *pendingCRB { return pendingPool.Get().(*pendingCRB) }
+
+// putPending drops request references before pooling so recycled entries
+// pin no caller buffers.
+func putPending(p *pendingCRB) {
+	p.crb = nil
+	p.csb = nil
+	p.batch = nil
+	p.span = nil
+	p.ran = false
+	p.pasteRejects = 0
+	pendingPool.Put(p)
 }
 
 // backoffCycles converts wall-clock backoff into engine cycles at the
@@ -524,8 +626,28 @@ func backoffCycles(d *Device, t time.Duration) int64 {
 	return int64(t.Seconds() * d.cfg.Engine.Pipeline.ClockGHz * 1e9)
 }
 
-// submit pastes the CRB, runs an engine, and implements the OS side of
-// the recovery protocol: on CCTranslationFault, touch the page and
+// fillReport builds the success-side accounting from a completion block;
+// submission-level extras (retries, paste/backoff counts, wasted cycles)
+// are layered on by the caller.
+func fillReport(d *Device, crb *CRB, csb *CSB, rep *Report) {
+	*rep = Report{
+		Engine:      d.cfg.Engine.Pipeline.Name,
+		Func:        crb.Func,
+		Wrap:        crb.Wrap,
+		InBytes:     csb.SPBC,
+		OutBytes:    csb.TPBC,
+		Breakdown:   csb.Cycles,
+		TotalCycles: csb.Cycles.Total,
+		LZ:          csb.LZ,
+	}
+	rep.Time = d.cfg.Engine.Pipeline.Time(rep.TotalCycles)
+	if csb.SPBC > 0 && csb.TPBC > 0 {
+		rep.Ratio = float64(csb.SPBC) / float64(csb.TPBC)
+	}
+}
+
+// SubmitInto pastes the CRB, runs an engine, and implements the OS side
+// of the recovery protocol: on CCTranslationFault, touch the page and
 // resubmit (bounded by SubmitPolicy.MaxFaultRounds — ErrFaultStorm
 // beyond it); on paste rejection, drain the FIFO and retry with
 // exponential backoff and jitter (bounded by MaxPasteAttempts /
@@ -534,8 +656,14 @@ func backoffCycles(d *Device, t time.Duration) int64 {
 // callers: the model has no dedicated engine thread, so every submitter
 // doubles as an engine driver — it drains the receive FIFO (running
 // whatever it dequeues, its own request or a neighbour's) until its own
-// request completes, then builds the report from its CSB.
-func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
+// request completes.
+//
+// The caller owns csb and rep (typically pooled or stack-resident): the
+// engine writes the completion into csb and the accounting into rep, so
+// the steady-state path allocates nothing. On error rep is left partially
+// filled and csb holds the last completion written — zero-valued when
+// the request never reached an engine.
+func (c *Context) SubmitInto(crb *CRB, csb *CSB, rep *Report) error {
 	d := c.dev
 	pol := d.cfg.Submit
 	deadline := crb.Deadline
@@ -551,9 +679,9 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 		backoffWaits int
 		backoffTime  time.Duration
 	)
-	// fail finishes the span and surfaces err; lastCSB (may be nil) rides
-	// along so callers can inspect the final completion block.
-	fail := func(label string, lastCSB *CSB, err error) (*CSB, *Report, error) {
+	// fail finishes the span and surfaces err; the caller-owned csb holds
+	// whatever completion was last written.
+	fail := func(label string, err error) error {
 		if backoffTime > 0 {
 			d.met.backoffUS.Observe(float64(backoffTime) / float64(time.Microsecond))
 		}
@@ -561,7 +689,7 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 			span.CC = label
 		}
 		tr.Finish(span)
-		return lastCSB, nil, err
+		return err
 	}
 	// abort checks the request's liveness gates: cancellation, deadline,
 	// device offline. Called between recovery rounds, never mid-engine.
@@ -583,13 +711,19 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 		}
 		return "", nil
 	}
+	p := getPending()
+	defer putPending(p)
+	p.crb = crb
+	p.csb = csb
+	p.span = span
+	wrapped := &p.wrapped
 	for {
 		if label, err := abort(); err != nil {
-			return fail(label, nil, err)
+			return fail(label, err)
 		}
-		p := &pendingCRB{crb: crb, done: make(chan struct{}), span: span}
+		p.ran = false
+		p.pasteRejects = 0
 		p.submitStart = time.Now()
-		wrapped := &vas.CRB{Payload: p}
 		pasted := false
 		backoff := pol.BackoffBase
 		roundWaits := 0
@@ -601,12 +735,12 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 				break
 			}
 			if errors.Is(err, vas.ErrWindowClosed) {
-				return fail("window-closed", nil, err)
+				return fail("window-closed", err)
 			}
 			p.pasteRejects++
 			if label, aerr := abort(); aerr != nil {
 				pasteRejects += p.pasteRejects
-				return fail(label, nil, aerr)
+				return fail(label, aerr)
 			}
 			// Credit/FIFO pressure: drain one entry and retry. An empty
 			// FIFO with the paste still bouncing means the backlog is
@@ -628,7 +762,7 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 		backoffWaits += roundWaits
 		if !pasted {
 			pasteRejects += p.pasteRejects
-			return fail("device-busy", nil, fmt.Errorf("%w (%d rejects, %d backoff waits)", ErrDeviceBusy, pasteRejects, backoffWaits))
+			return fail("device-busy", fmt.Errorf("%w (%d rejects, %d backoff waits)", ErrDeviceBusy, pasteRejects, backoffWaits))
 		}
 		// Engine picks up work in FIFO order; drain until ours completes.
 		// An empty FIFO before our completion means another submitter
@@ -648,34 +782,22 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 			}
 		}
 		pasteRejects += p.pasteRejects
-		csb := p.csb
-		if csb == nil {
+		if !p.ran {
 			// Engine hang: the dequeuer dropped the request without a CSB
 			// write (runOne counted it; the watchdog reset reclaimed the
 			// window credit).
-			return fail("engine-hang", nil, fmt.Errorf("%w (func %s)", ErrEngineHang, crb.Func))
+			return fail("engine-hang", fmt.Errorf("%w (func %s)", ErrEngineHang, crb.Func))
 		}
 		if csb.CC != CCTranslationFault {
 			wastedAll := wasted + backoffCycles(d, backoffTime)
-			rep := &Report{
-				Engine:       d.cfg.Engine.Pipeline.Name,
-				Func:         crb.Func,
-				Wrap:         crb.Wrap,
-				InBytes:      csb.SPBC,
-				OutBytes:     csb.TPBC,
-				Breakdown:    csb.Cycles,
-				Retries:      retries,
-				PasteRejects: pasteRejects,
-				BackoffWaits: backoffWaits,
-				BackoffTime:  backoffTime,
-				WastedCycles: wastedAll,
-				TotalCycles:  wastedAll + csb.Cycles.Total,
-				LZ:           csb.LZ,
-			}
+			fillReport(d, crb, csb, rep)
+			rep.Retries = retries
+			rep.PasteRejects = pasteRejects
+			rep.BackoffWaits = backoffWaits
+			rep.BackoffTime = backoffTime
+			rep.WastedCycles = wastedAll
+			rep.TotalCycles = wastedAll + csb.Cycles.Total
 			rep.Time = d.cfg.Engine.Pipeline.Time(rep.TotalCycles)
-			if csb.SPBC > 0 && csb.TPBC > 0 {
-				rep.Ratio = float64(csb.SPBC) / float64(csb.TPBC)
-			}
 			if backoffTime > 0 {
 				d.met.backoffUS.Observe(float64(backoffTime) / float64(time.Microsecond))
 			}
@@ -685,7 +807,7 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 				span.CC = csb.CC.String()
 			}
 			tr.Finish(span)
-			return csb, rep, nil
+			return nil
 		}
 		// Fault protocol: touch and resubmit, bounded by the round cap.
 		retries++
@@ -693,7 +815,7 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 		d.met.faultRetries.Inc()
 		if retries >= pol.MaxFaultRounds {
 			d.met.faultStorms.Inc()
-			return fail("fault-storm", csb, fmt.Errorf("%w (%d rounds, va %#x)", ErrFaultStorm, retries, csb.FaultVA))
+			return fail("fault-storm", fmt.Errorf("%w (%d rounds, va %#x)", ErrFaultStorm, retries, csb.FaultVA))
 		}
 		faultStart := time.Now()
 		if err := d.mmu.Touch(c.pid, csb.FaultVA); err != nil {
@@ -701,7 +823,7 @@ func (c *Context) submit(crb *CRB) (*CSB, *Report, error) {
 				span.CC = csb.CC.String()
 			}
 			tr.Finish(span)
-			return csb, nil, fmt.Errorf("nx: fault handler: %w", err)
+			return fmt.Errorf("nx: fault handler: %w", err)
 		}
 		if span != nil {
 			// The done channel has closed, so the span is ours again:
@@ -721,11 +843,12 @@ func (c *Context) runOne(wrapped *vas.CRB) {
 	p := wrapped.Payload.(*pendingCRB)
 	dequeuedAt := time.Now()
 	if c.dev.inj.Load().Decide(faultinject.EngineHang) {
-		// Hung engine: the request is dropped without a CSB write. The
-		// OS watchdog resets the engine and completes the window credit
-		// so the queue keeps flowing; the submitter sees a nil CSB and
-		// reports ErrEngineHang. Modelled as an immediate drop — no
-		// wall-clock stall — to keep chaos tests deterministic and fast.
+		// Hung engine: the request (or whole batch) is dropped without a
+		// CSB write. The OS watchdog resets the engine and completes the
+		// window credit so the queue keeps flowing; the submitter sees
+		// ran=false and reports ErrEngineHang. Modelled as an immediate
+		// drop — no wall-clock stall — to keep chaos tests deterministic
+		// and fast.
 		c.dev.met.engineHangs.Inc()
 		if h := c.dev.events.Load(); h != nil {
 			h.bus.Publish(obs.Event{Type: obs.EventEngineHang, Device: h.label,
@@ -738,11 +861,16 @@ func (c *Context) runOne(wrapped *vas.CRB) {
 			s.RecordStage(telemetry.StageFIFO, p.pastedAt, dequeuedAt, 0)
 		}
 		c.dev.sb.Complete(wrapped)
-		close(p.done)
+		p.done <- struct{}{}
+		return
+	}
+	if p.batch != nil {
+		c.runBatch(wrapped, p, dequeuedAt)
 		return
 	}
 	idx := int(c.dev.nextEng.Add(1)-1) % len(c.dev.engines)
-	p.csb = c.dev.engines[idx].Process(wrapped.PID, p.crb)
+	c.dev.engines[idx].ProcessInto(wrapped.PID, p.crb, p.csb)
+	p.ran = true
 	engineEnd := time.Now()
 	m := c.dev.met
 	m.requests.Inc()
@@ -753,7 +881,7 @@ func (c *Context) runOne(wrapped *vas.CRB) {
 	}
 	m.queueWaitUS.Observe(float64(dequeuedAt.Sub(p.pastedAt)) / float64(time.Microsecond))
 	if s := p.span; s != nil {
-		// This goroutine owns the span between Dequeue and close(done).
+		// This goroutine owns the span between Dequeue and the done send.
 		s.Engine = idx
 		s.ERATHits += p.csb.ERATHits
 		s.ERATMisses += p.csb.ERATMisses
@@ -764,7 +892,7 @@ func (c *Context) runOne(wrapped *vas.CRB) {
 		s.RecordPipeline(dequeuedAt, engineEnd, pipelineStages(p.csb.Cycles))
 	}
 	c.dev.sb.Complete(wrapped)
-	close(p.done)
+	p.done <- struct{}{}
 }
 
 // pipelineStages flattens a modelled breakdown into span stages (only
@@ -803,7 +931,7 @@ func (c *Context) Compress(input []byte, fc FuncCode, wrap Wrap, resident bool) 
 		TargetVA:  dstVA,
 		TargetCap: capOut,
 	}
-	csb, rep, err := c.submit(crb)
+	csb, rep, err := c.Submit(crb)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -835,7 +963,7 @@ func (c *Context) Decompress(input []byte, wrap Wrap, maxOutput int, resident bo
 		TargetCap: maxOutput,
 		MaxOutput: maxOutput,
 	}
-	csb, rep, err := c.submit(crb)
+	csb, rep, err := c.Submit(crb)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -847,8 +975,17 @@ func (c *Context) Decompress(input []byte, wrap Wrap, maxOutput int, resident bo
 
 // Submit exposes the raw CRB path for callers that build their own
 // request blocks (the canned-DHT experiment, 842, corrupt-data tests).
+// It allocates the CSB and Report per call; allocation-free callers use
+// SubmitInto with pooled blocks instead. On error the returned CSB is
+// non-nil and holds the last completion written — zero-valued when the
+// request never reached an engine.
 func (c *Context) Submit(crb *CRB) (*CSB, *Report, error) {
-	return c.submit(crb)
+	csb := &CSB{}
+	rep := &Report{}
+	if err := c.SubmitInto(crb, csb, rep); err != nil {
+		return csb, nil, err
+	}
+	return csb, rep, nil
 }
 
 // SyncCall submits a request through the synchronous-instruction

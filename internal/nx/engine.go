@@ -40,6 +40,10 @@ type Engine struct {
 
 	mu      sync.Mutex
 	matcher *lz77.HWMatcher
+	// Request-path scratch, reused across requests under mu — the
+	// engine's fixed internal SRAM rather than per-request allocations.
+	tokBuf []lz77.Token
+	enc    deflate.StreamEncoder
 
 	// accumulated counters
 	requests    int64
@@ -98,10 +102,19 @@ func (e *Engine) injectCC(crb *CRB, csb *CSB) {
 // completion status block. It never returns a Go error for data-plane
 // problems — those are CSB completion codes, exactly as on hardware.
 func (e *Engine) Process(pid nmmu.PID, crb *CRB) *CSB {
+	csb := &CSB{}
+	e.ProcessInto(pid, crb, csb)
+	return csb
+}
+
+// ProcessInto is Process writing the completion into a caller-owned
+// status block (reset first), so pooled submitters allocate nothing per
+// request. With CRB.Target set the output lands in caller memory too.
+func (e *Engine) ProcessInto(pid nmmu.PID, crb *CRB, csb *CSB) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
-	csb := &CSB{}
+	csb.reset()
 
 	// Address translation first: the engine touches the source range, then
 	// the target range. A fault suspends the job; software resolves it and
@@ -133,11 +146,12 @@ func (e *Engine) Process(pid nmmu.PID, crb *CRB) *CSB {
 			csb.ERATHits += rs.Hits
 			csb.ERATMisses += rs.Misses
 			if fault := asFault(err); fault != nil {
-				return e.faultCSB(csb, fault, translateCycles)
+				e.faultCSB(csb, fault, translateCycles)
+				return
 			} else if err != nil {
 				csb.CC = CCInvalidCRB
 				csb.Detail = err.Error()
-				return csb
+				return
 			}
 		}
 	}
@@ -173,12 +187,29 @@ func (e *Engine) Process(pid nmmu.PID, crb *CRB) *CSB {
 			e.busyCycles -= delta
 		}
 	}
+	if crb.Chained && e.cfg.Pipeline.ChainSetupCycles > 0 {
+		// Chained behind the previous envelope entry: descriptor advance,
+		// not a fresh paste round trip.
+		delta := e.cfg.Pipeline.SetupCycles - e.cfg.Pipeline.ChainSetupCycles
+		if delta > 0 && csb.Cycles.Setup >= e.cfg.Pipeline.SetupCycles {
+			csb.Cycles.Setup -= delta
+			csb.Cycles.Total -= delta
+		}
+	}
+	if crb.ChainedComplete && e.cfg.Pipeline.ChainCompleteCycles > 0 {
+		// A later entry carries the envelope's interrupt/credit return;
+		// this one only stores its CSB.
+		delta := e.cfg.Pipeline.CompleteCycles - e.cfg.Pipeline.ChainCompleteCycles
+		if delta > 0 && csb.Cycles.Complete >= e.cfg.Pipeline.CompleteCycles {
+			csb.Cycles.Complete -= delta
+			csb.Cycles.Total -= delta
+		}
+	}
 	e.requests++
 	e.busyCycles += csb.Cycles.Total
 	e.inBytes += int64(csb.SPBC)
 	e.outBytes += int64(csb.TPBC)
 	e.accumStages(csb)
-	return csb
 }
 
 // accumStages folds one request's breakdown and completion code into the
@@ -208,6 +239,12 @@ func targetCap(crb *CRB) int {
 }
 
 func asFault(err error) *nmmu.Fault {
+	if err == nil {
+		// Early out before declaring the target: errors.As forces its
+		// target to escape, which would cost an allocation on every
+		// translation even when nothing faulted.
+		return nil
+	}
 	var f *nmmu.Fault
 	if errors.As(err, &f) {
 		return f
@@ -215,7 +252,7 @@ func asFault(err error) *nmmu.Fault {
 	return nil
 }
 
-func (e *Engine) faultCSB(csb *CSB, f *nmmu.Fault, translateCycles int64) *CSB {
+func (e *Engine) faultCSB(csb *CSB, f *nmmu.Fault, translateCycles int64) {
 	csb.CC = CCTranslationFault
 	csb.FaultVA = f.VA
 	// A faulted attempt still consumed setup plus the translation work up
@@ -229,7 +266,6 @@ func (e *Engine) faultCSB(csb *CSB, f *nmmu.Fault, translateCycles int64) *CSB {
 	e.requests++
 	e.busyCycles += csb.Cycles.Total
 	e.accumStages(csb)
-	return csb
 }
 
 // compress runs the DEFLATE compression path: hardware LZ, table
@@ -246,10 +282,11 @@ func (e *Engine) compress(pid nmmu.PID, crb *CRB, csb *CSB, translateCycles int6
 		lzStats lz77.HWStats
 	)
 	if len(crb.History) > 0 {
-		tokens, lzStats = e.matcher.TokenizeWithHistory(nil, crb.History, input)
+		tokens, lzStats = e.matcher.TokenizeWithHistory(e.tokBuf[:0], crb.History, input)
 	} else {
-		tokens, lzStats = e.matcher.Tokenize(nil, input)
+		tokens, lzStats = e.matcher.Tokenize(e.tokBuf[:0], input)
 	}
+	e.tokBuf = tokens // keep any growth for the next request
 	e.lastLZ = lzStats
 	csb.LZ = lzStats
 
@@ -273,19 +310,33 @@ func (e *Engine) compress(pid nmmu.PID, crb *CRB, csb *CSB, translateCycles int6
 		}
 	}
 
-	body, err := deflate.EncodeTokensStream(tokens, input, mode, dht, !crb.NotFinal)
+	// Frame inline on the output path, exactly as the hardware's wrap
+	// function codes do on the target DMA stream: header, DEFLATE body,
+	// trailer, all appended to one buffer. With CRB.Target set that
+	// buffer is caller memory and the whole path allocates nothing.
+	out := crb.Target[:0]
+	if crb.Target == nil {
+		out = make([]byte, 0, len(input)/2+128)
+	}
+	switch crb.Wrap {
+	case WrapGzip:
+		out = deflate.AppendGzipHeader(out)
+	case WrapZlib:
+		out = deflate.AppendZlibHeader(out)
+	}
+	out, err := e.enc.EncodeStream(out, tokens, input, mode, dht, !crb.NotFinal)
 	if err != nil {
 		csb.CC = CCInvalidCRB
 		csb.Detail = err.Error()
 		return
 	}
-
-	out := body
+	crc := checksum.Sum32(input)
+	adler := checksum.SumAdler32(input)
 	switch crb.Wrap {
 	case WrapGzip:
-		out = deflate.GzipWrap(body, input)
+		out = deflate.AppendGzipTrailer(out, crc, len(input))
 	case WrapZlib:
-		out = deflate.ZlibWrap(body, input)
+		out = deflate.AppendZlibTrailer(out, adler)
 	}
 	if len(out) > targetCap(crb) {
 		csb.CC = CCTargetSpace
@@ -301,8 +352,8 @@ func (e *Engine) compress(pid nmmu.PID, crb *CRB, csb *CSB, translateCycles int6
 	csb.Output = out
 	csb.SPBC = len(input)
 	csb.TPBC = len(out)
-	csb.CRC32 = checksum.Sum32(input)
-	csb.Adler32 = checksum.SumAdler32(input)
+	csb.CRC32 = crc
+	csb.Adler32 = adler
 	// Only the generate-DHT function code pays table-build latency; canned
 	// tables arrive with the CRB.
 	csb.Cycles = e.cfg.Pipeline.Compress(len(input), len(out), lzStats.Cycles, translateCycles, crb.Func == FCCompressDHT)
@@ -359,7 +410,9 @@ func (e *Engine) decompress(pid nmmu.PID, crb *CRB, csb *CSB, translateCycles in
 	if tc := targetCap(crb); limit <= 0 || tc < limit {
 		limit = tc
 	}
-	opts := deflate.InflateOptions{MaxOutput: limit}
+	// Dst threads the caller-owned target buffer into the inflate loop so
+	// a pooled decompression allocates nothing when the output fits.
+	opts := deflate.InflateOptions{MaxOutput: limit, Dst: crb.Target}
 	switch {
 	case crb.Wrap == WrapGzip && crb.FirstMemberOnly:
 		out, consumed, err = deflate.DecompressGzipTail(crb.Input, opts)

@@ -30,6 +30,18 @@ type Config struct {
 	// waits. Zero means the device has no synchronous path.
 	SyncSetupCycles int64
 
+	// ChainSetupCycles is the dispatch cost of a request that arrived
+	// chained behind another in the same batch envelope: the descriptor
+	// is already resident in the FIFO entry, so the engine advances to it
+	// without a fresh paste-to-dispatch round trip. ChainCompleteCycles
+	// is the matching writeback cost when a later chained request carries
+	// the envelope's completion: the CSB store happens, but the
+	// interrupt/credit return is deferred to the end of the chain. Zero
+	// means the device has no chained path and every request pays the
+	// full setup/complete cost.
+	ChainSetupCycles    int64
+	ChainCompleteCycles int64
+
 	DMABytesPerCycle    int // bus read/write width
 	LZBytesPerCycle     int // compression ingest width (matches lz77.HWParams)
 	EncodeBytesPerCycle int // Huffman encoder drain width, input-referred
@@ -48,6 +60,8 @@ func P9() Config {
 		ClockGHz:            1.0,
 		SetupCycles:         2500, // ~2.5us: paste-to-engine-start
 		CompleteCycles:      1000, // ~1us: CSB write + wakeup
+		ChainSetupCycles:    150,  // descriptor advance within a resident envelope
+		ChainCompleteCycles: 100,  // CSB store, interrupt deferred to chain end
 		DMABytesPerCycle:    64,
 		LZBytesPerCycle:     8,
 		EncodeBytesPerCycle: 16,
@@ -67,6 +81,8 @@ func Z15() Config {
 		SetupCycles:         2000,
 		SyncSetupCycles:     400, // DFLTCC-style dispatch: no queue, no doorbell
 		CompleteCycles:      800,
+		ChainSetupCycles:    120,
+		ChainCompleteCycles: 80,
 		DMABytesPerCycle:    128,
 		LZBytesPerCycle:     16,
 		EncodeBytesPerCycle: 32,

@@ -341,16 +341,42 @@ func (c *Context) pickIndex() (int, bool) {
 // release closure. The release takes the submission's outcome and feeds
 // the health scoreboard; it is idempotent.
 func (c *Context) acquire(i int) (*nx.Context, func(error)) {
-	infl := &c.node.inflight[i]
-	infl.Add(1)
-	c.node.dispatch[i].Inc()
+	c.AcquireIndex(i)
 	var once sync.Once
 	return c.ctxs[i], func(err error) {
-		once.Do(func() {
-			infl.Add(-1)
-			c.node.ReportResult(i, err)
-		})
+		once.Do(func() { c.ReleaseIndex(i, err) })
 	}
+}
+
+// PickIndexAvail is PickAvail by index: it routes one request through
+// the policy and health scoreboard and returns the chosen device index,
+// or ErrNoHealthyDevice when nothing is admissible. Paired with
+// AcquireIndex/ReleaseIndex it is the allocation-free dispatch path —
+// no context pointer, no release closure — used by the pooled one-shot
+// and batch submitters (the index also keys At and Device for buffer
+// mapping on the right MMU).
+func (c *Context) PickIndexAvail() (int, error) {
+	i, ok := c.pickIndex()
+	if !ok {
+		return 0, ErrNoHealthyDevice
+	}
+	return i, nil
+}
+
+// AcquireIndex counts one dispatch against device i (in-flight load +
+// dispatch counter). Every AcquireIndex must be paired with exactly one
+// ReleaseIndex carrying the submission's outcome.
+func (c *Context) AcquireIndex(i int) {
+	c.node.inflight[i].Add(1)
+	c.node.dispatch[i].Inc()
+}
+
+// ReleaseIndex ends a dispatch acquired with AcquireIndex, feeding the
+// outcome into the health scoreboard. Unlike Pick's release closure it
+// is not idempotent: call it exactly once per acquire.
+func (c *Context) ReleaseIndex(i int, err error) {
+	c.node.inflight[i].Add(-1)
+	c.node.ReportResult(i, err)
 }
 
 // Pick routes one request: the node policy selects a device (filtered
@@ -427,6 +453,44 @@ func (c *Context) PickStickyAvoid(avoid *nx.Context) (*nx.Context, error) {
 		}
 	}
 	return nil, ErrNoHealthyDevice
+}
+
+// SubmitBatch submits per-device batches concurrently: groups[i] is the
+// batch bound for device i (route entries with PickIndexAvail so the
+// dispatch policy and health scoreboard choose the device); nil or empty
+// groups are skipped. Each non-empty group costs its device one paste,
+// one send-window credit and one FIFO round regardless of size — the
+// batched small-request path — and distinct devices run their groups in
+// parallel. Returns per-device submission errors indexed like groups;
+// per-entry status is in each entry's CSB and Err. Dispatch accounting
+// and health feedback are handled here, one acquire/release per entry.
+func (c *Context) SubmitBatch(groups [][]nx.BatchEntry) []error {
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for i := range groups {
+		if i >= len(c.ctxs) || len(groups[i]) == 0 {
+			continue
+		}
+		for range groups[i] {
+			c.AcquireIndex(i)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := groups[i]
+			err := c.ctxs[i].SubmitBatch(g)
+			errs[i] = err
+			for k := range g {
+				outcome := err
+				if outcome == nil {
+					outcome = g[k].Err
+				}
+				c.ReleaseIndex(i, outcome)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errs
 }
 
 // Close releases every device window. Idempotent and safe against

@@ -122,8 +122,8 @@ type Switchboard struct {
 	cfg Config
 
 	mu       sync.Mutex
-	fifo     []*CRB // normal priority
-	fifoHigh []*CRB // high priority, always served first
+	fifo     crbRing // normal priority
+	fifoHigh crbRing // high priority, always served first
 	windows  map[int]*sendWindow
 	nextWin  int
 	nextSeq  int64
@@ -138,6 +138,38 @@ type Switchboard struct {
 	// layer installs a bus publish here; the hook must not call back
 	// into the switchboard.
 	creditLeakHook func()
+}
+
+// crbRing is a circular queue of CRBs. The receive FIFO is bounded by
+// FIFODepth, so once warm the ring never reallocates — unlike a slice
+// advanced with s = s[1:], whose backing array creeps forward and forces
+// a fresh allocation on every wrap-around of the append window.
+type crbRing struct {
+	buf  []*CRB
+	head int
+	n    int
+}
+
+func (r *crbRing) len() int { return r.n }
+
+func (r *crbRing) push(crb *CRB) {
+	if r.n == len(r.buf) {
+		grown := make([]*CRB, 2*len(r.buf)+8)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = crb
+	r.n++
+}
+
+func (r *crbRing) pop() *CRB {
+	crb := r.buf[r.head]
+	r.buf[r.head] = nil // drop the reference so completed CRBs are collectable
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return crb
 }
 
 type sendWindow struct {
@@ -255,7 +287,7 @@ func (s *Switchboard) Paste(window int, crb *CRB) error {
 	if w.priority == PriorityHigh {
 		target = &s.fifoHigh
 	}
-	if len(*target) >= s.cfg.FIFODepth {
+	if target.len() >= s.cfg.FIFODepth {
 		s.stats.FIFORejects++
 		if s.met != nil {
 			s.met.fifoRejects.Inc()
@@ -268,8 +300,8 @@ func (s *Switchboard) Paste(window int, crb *CRB) error {
 	crb.Priority = w.priority
 	crb.SeqNo = s.nextSeq
 	s.nextSeq++
-	*target = append(*target, crb)
-	occ := len(s.fifo) + len(s.fifoHigh)
+	target.push(crb)
+	occ := s.fifo.len() + s.fifoHigh.len()
 	if occ > s.stats.MaxOccupancy {
 		s.stats.MaxOccupancy = occ
 	}
@@ -293,26 +325,24 @@ func (s *Switchboard) Dequeue() *CRB {
 	if s.met != nil {
 		s.met.arbRounds.Inc()
 	}
-	if len(s.fifoHigh) > 0 {
-		crb := s.fifoHigh[0]
-		s.fifoHigh = s.fifoHigh[1:]
+	if s.fifoHigh.len() > 0 {
+		crb := s.fifoHigh.pop()
 		s.stats.Dequeues++
 		s.stats.HighDequeues++
 		if s.met != nil {
 			s.met.dequeueHigh.Inc()
-			s.met.occupancy.Set(int64(len(s.fifo) + len(s.fifoHigh)))
+			s.met.occupancy.Set(int64(s.fifo.len() + s.fifoHigh.len()))
 		}
 		return crb
 	}
-	if len(s.fifo) == 0 {
+	if s.fifo.len() == 0 {
 		return nil
 	}
-	crb := s.fifo[0]
-	s.fifo = s.fifo[1:]
+	crb := s.fifo.pop()
 	s.stats.Dequeues++
 	if s.met != nil {
 		s.met.dequeueNorm.Inc()
-		s.met.occupancy.Set(int64(len(s.fifo) + len(s.fifoHigh)))
+		s.met.occupancy.Set(int64(s.fifo.len() + s.fifoHigh.len()))
 	}
 	return crb
 }
@@ -350,7 +380,7 @@ func (s *Switchboard) Notify() <-chan struct{} { return s.notify }
 func (s *Switchboard) Occupancy() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.fifo) + len(s.fifoHigh)
+	return s.fifo.len() + s.fifoHigh.len()
 }
 
 // Credits reports the remaining credits of a window.

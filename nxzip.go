@@ -89,6 +89,19 @@ type Metrics struct {
 	DeviceTime   time.Duration
 	// Faults counts translation-fault resubmissions.
 	Faults int
+	// PasteRejects counts VAS paste bounces (credit exhaustion, FIFO
+	// full, injected rejects) absorbed while submitting.
+	PasteRejects int
+	// BackoffWaits counts the exponential-backoff sleeps taken while the
+	// paste kept bouncing with nothing to drain; BackoffTime is their
+	// wall-clock sum. Non-zero values mean the device was saturated (or
+	// its window wedged) when this request arrived.
+	BackoffWaits int
+	BackoffTime  time.Duration
+	// WastedCycles is the engine-cycle cost of work that did not produce
+	// the result: faulted attempts plus backoff converted at the engine
+	// clock. Included in DeviceCycles.
+	WastedCycles int64
 	// CRC32 and Adler32 are computed inline over the plaintext.
 	CRC32   uint32
 	Adler32 uint32
@@ -253,6 +266,14 @@ func (a *Accelerator) TrainTable(sample []byte) error {
 
 func reportToMetrics(rep *nx.Report, csb *nx.CSB) *Metrics {
 	m := &Metrics{}
+	fillMetrics(m, rep, csb)
+	return m
+}
+
+// fillMetrics writes one request's accounting into a caller-owned
+// Metrics — the allocation-free core reportToMetrics wraps.
+func fillMetrics(m *Metrics, rep *nx.Report, csb *nx.CSB) {
+	*m = Metrics{}
 	if rep != nil {
 		m.InBytes = rep.InBytes
 		m.OutBytes = rep.OutBytes
@@ -260,12 +281,15 @@ func reportToMetrics(rep *nx.Report, csb *nx.CSB) *Metrics {
 		m.DeviceCycles = rep.TotalCycles
 		m.DeviceTime = rep.Time
 		m.Faults = rep.Retries
+		m.PasteRejects = rep.PasteRejects
+		m.BackoffWaits = rep.BackoffWaits
+		m.BackoffTime = rep.BackoffTime
+		m.WastedCycles = rep.WastedCycles
 	}
 	if csb != nil {
 		m.CRC32 = csb.CRC32
 		m.Adler32 = csb.Adler32
 	}
-	return m
 }
 
 // compress runs one compression request with the configured table mode,
@@ -279,32 +303,23 @@ func (a *Accelerator) compress(src []byte, wrap nx.Wrap) ([]byte, *Metrics, erro
 }
 
 // compressOn runs one compression request through an explicit context —
-// parallel workers drive their own send windows through this path.
+// parallel workers drive their own send windows through this path. It
+// rides the pooled core: the engine writes into pool-owned scratch, the
+// caller gets an exact-size copy (one allocation — the result itself),
+// and VA spans recycle through the context arena.
 func (a *Accelerator) compressOn(ctx *nx.Context, src []byte, wrap nx.Wrap) ([]byte, *Metrics, error) {
-	srcVA, err := ctx.MapBuffer(len(src), true)
+	os := getOneShot()
+	m := &Metrics{}
+	out, err := a.compressInto(ctx, os, os.buf[:0], src, wrap, m)
 	if err != nil {
-		return nil, nil, err
+		putOneShot(os)
+		return nil, m, err
 	}
-	capOut := 2*len(src) + 1024
-	dstVA, err := ctx.MapBuffer(capOut, true)
-	if err != nil {
-		return nil, nil, err
-	}
-	crb := &nx.CRB{
-		Func: a.funcCode(), Wrap: wrap, Input: src,
-		SourceVA: srcVA, TargetVA: dstVA, TargetCap: capOut,
-	}
-	if crb.Func == nx.FCCompressCannedDHT {
-		crb.DHT = a.canned
-	}
-	csb, rep, err := ctx.Submit(crb)
-	if err != nil {
-		return nil, nil, err
-	}
-	if csb.CC != nx.CCSuccess {
-		return nil, reportToMetrics(rep, csb), ccFail("compress", csb)
-	}
-	return csb.Output, reportToMetrics(rep, csb), nil
+	os.buf = out[:0] // keep the (possibly grown) backing pooled
+	res := make([]byte, len(out))
+	copy(res, out)
+	putOneShot(os)
+	return res, m, nil
 }
 
 func (a *Accelerator) decompress(src []byte, wrap nx.Wrap, maxOutput int) ([]byte, *Metrics, error) {
@@ -321,7 +336,9 @@ func (a *Accelerator) decompress(src []byte, wrap nx.Wrap, maxOutput int) ([]byt
 
 // decompressOn runs one decompression request through an explicit
 // (already dispatched) device context. Buffers must be mapped on the
-// same device the request runs on, so the pick happens before MapBuffer.
+// same device the request runs on, so the pick happens before the
+// arena acquire. Like compressOn it rides the pooled core and returns
+// an exact-size copy of the plaintext.
 func (a *Accelerator) decompressOn(ctx *nx.Context, src []byte, wrap nx.Wrap, maxOutput int) ([]byte, *Metrics, error) {
 	if maxOutput <= 0 {
 		maxOutput = 256 * len(src)
@@ -329,26 +346,18 @@ func (a *Accelerator) decompressOn(ctx *nx.Context, src []byte, wrap nx.Wrap, ma
 			maxOutput = 1 << 20
 		}
 	}
-	srcVA, err := ctx.MapBuffer(len(src), true)
+	os := getOneShot()
+	m := &Metrics{}
+	out, err := a.decompressInto(ctx, os, os.buf[:0], src, wrap, maxOutput, m)
 	if err != nil {
-		return nil, nil, err
+		putOneShot(os)
+		return nil, m, err
 	}
-	dstVA, err := ctx.MapBuffer(maxOutput, true)
-	if err != nil {
-		return nil, nil, err
-	}
-	crb := &nx.CRB{
-		Func: nx.FCDecompress, Wrap: wrap, Input: src,
-		SourceVA: srcVA, TargetVA: dstVA, TargetCap: maxOutput, MaxOutput: maxOutput,
-	}
-	csb, rep, err := ctx.Submit(crb)
-	if err != nil {
-		return nil, nil, err
-	}
-	if csb.CC != nx.CCSuccess {
-		return nil, reportToMetrics(rep, csb), ccFail("decompress", csb)
-	}
-	return csb.Output, reportToMetrics(rep, csb), nil
+	os.buf = out[:0]
+	res := make([]byte, len(out))
+	copy(res, out)
+	putOneShot(os)
+	return res, m, nil
 }
 
 // memberCapInitial is the first output-buffer size decompressMemberOn
@@ -374,17 +383,18 @@ func (a *Accelerator) decompressMemberOn(ctx *nx.Context, src []byte, budget int
 	if budget < 1 {
 		budget = 1
 	}
-	srcVA, err := ctx.MapBuffer(len(src), true)
+	srcVA, err := ctx.AcquireVA(len(src))
 	if err != nil {
 		return nil, 0, nil, err
 	}
+	defer ctx.ReleaseVA(srcVA)
 	capOut := memberCapInitial
 	if capOut > budget {
 		capOut = budget
 	}
 	total := &Metrics{}
 	for {
-		dstVA, err := ctx.MapBuffer(capOut, true)
+		dstVA, err := ctx.AcquireVA(capOut)
 		if err != nil {
 			return nil, 0, nil, err
 		}
@@ -394,6 +404,11 @@ func (a *Accelerator) decompressMemberOn(ctx *nx.Context, src []byte, budget int
 			TargetCap: capOut, MaxOutput: budget, FirstMemberOnly: true,
 		}
 		csb, rep, err := ctx.Submit(crb)
+		// The model's data plane completes inside Submit, so the span can
+		// recycle immediately — each grow round releases its buffer before
+		// acquiring the next size up. (The old per-round MapBuffer leaked
+		// every outgrown mapping for the life of the context.)
+		ctx.ReleaseVA(dstVA)
 		if err != nil {
 			return nil, 0, nil, err
 		}
@@ -430,6 +445,10 @@ func addMetricsInto(dst, m *Metrics) {
 	dst.DeviceCycles += m.DeviceCycles
 	dst.DeviceTime += m.DeviceTime
 	dst.Faults += m.Faults
+	dst.PasteRejects += m.PasteRejects
+	dst.BackoffWaits += m.BackoffWaits
+	dst.BackoffTime += m.BackoffTime
+	dst.WastedCycles += m.WastedCycles
 }
 
 // CompressGzip compresses src into a gzip stream through the accelerator

@@ -1,0 +1,229 @@
+package nxzip
+
+import (
+	"bytes"
+	"testing"
+
+	"nxzip/internal/corpus"
+	"nxzip/internal/faultinject"
+)
+
+// TestCompressGzipIntoRoundtrip covers the caller-owned-buffer contract:
+// append semantics into dst[:0], aliasing when dst is big enough, growth
+// when it is not, and a byte-exact roundtrip through both Into paths.
+func TestCompressGzipIntoRoundtrip(t *testing.T) {
+	acc := Open(Config{Device: P9().Device, TableMode: TableFixed})
+	defer acc.Close()
+	src := corpus.Generate(corpus.Text, 32<<10, 1)
+
+	// Adequately sized dst: the frame must land in dst's backing.
+	dst := make([]byte, 0, 64<<10)
+	var m Metrics
+	gz, err := acc.CompressGzipInto(dst, src, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gz) == 0 || &gz[0] != &dst[:1][0] {
+		t.Fatal("result does not alias the caller's dst despite sufficient capacity")
+	}
+	if m.OutBytes != len(gz) || m.InBytes != len(src) {
+		t.Fatalf("metrics in=%d out=%d, want %d/%d", m.InBytes, m.OutBytes, len(src), len(gz))
+	}
+	if m.DeviceCycles <= 0 || m.Degraded {
+		t.Fatalf("device accounting missing: cycles=%d degraded=%v", m.DeviceCycles, m.Degraded)
+	}
+	plain, err := SoftwareGunzip(gz)
+	if err != nil || !bytes.Equal(plain, src) {
+		t.Fatalf("software gunzip of Into output: %v", err)
+	}
+
+	// Undersized dst: append semantics grow the backing transparently.
+	small := make([]byte, 0, 16)
+	gz2, err := acc.CompressGzipInto(small, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gz2, gz) {
+		t.Fatal("grown-dst frame differs from aliased-dst frame")
+	}
+
+	// Nil dst is valid: plain append semantics from scratch.
+	gz3, err := acc.CompressGzipInto(nil, src, nil)
+	if err != nil || !bytes.Equal(gz3, gz) {
+		t.Fatalf("nil-dst compress: %v", err)
+	}
+
+	// Decompress back through the Into path.
+	pdst := make([]byte, 0, len(src)+1024)
+	var dm Metrics
+	back, err := acc.DecompressGzipInto(pdst, gz, &dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatal("DecompressGzipInto roundtrip mismatch")
+	}
+	if len(back) > 0 && &back[0] != &pdst[:1][0] {
+		t.Fatal("decompress result does not alias the caller's dst")
+	}
+	if dm.OutBytes != len(src) {
+		t.Fatalf("decompress metrics out=%d, want %d", dm.OutBytes, len(src))
+	}
+}
+
+func TestCompressZlibIntoRoundtrip(t *testing.T) {
+	acc := Open(Config{Device: P9().Device, TableMode: TableFixed})
+	defer acc.Close()
+	src := corpus.Generate(corpus.JSONLogs, 16<<10, 2)
+	z, err := acc.CompressZlibInto(make([]byte, 0, 32<<10), src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := acc.DecompressZlibInto(make([]byte, 0, len(src)+64), z, nil)
+	if err != nil || !bytes.Equal(back, src) {
+		t.Fatalf("zlib Into roundtrip: %v", err)
+	}
+}
+
+// TestIntoPathAllocFree is the tentpole's acceptance gate: once warm,
+// the pooled one-shot path performs ZERO heap allocations per request,
+// compress and decompress both. TableFixed avoids the per-request DHT
+// sample (which allocates by design, like the silicon building its
+// tables on-chip).
+func TestIntoPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations; gate runs in non-race builds")
+	}
+	acc := Open(Config{Device: P9().Device, TableMode: TableFixed})
+	defer acc.Close()
+	src := corpus.Generate(corpus.Text, 8<<10, 3)
+	dst := make([]byte, 0, 16<<10)
+	var m Metrics
+	var err error
+	// Warm the pools: first calls mint the pooled blocks, arena spans and
+	// engine scratch that the steady state then reuses.
+	for i := 0; i < 4; i++ {
+		dst, err = acc.CompressGzipInto(dst[:0], src, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	gz := append([]byte(nil), dst...)
+	if n := testing.AllocsPerRun(200, func() {
+		dst, err = acc.CompressGzipInto(dst[:0], src, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("CompressGzipInto: %.1f allocs per steady-state op, want 0", n)
+	}
+
+	pdst := make([]byte, 0, 16<<10)
+	for i := 0; i < 4; i++ {
+		pdst, err = acc.DecompressGzipInto(pdst[:0], gz, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		pdst, err = acc.DecompressGzipInto(pdst[:0], gz, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("DecompressGzipInto: %.1f allocs per steady-state op, want 0", n)
+	}
+	if !bytes.Equal(pdst, src) {
+		t.Fatal("roundtrip mismatch after alloc gate")
+	}
+}
+
+// TestOneShotMappingsStable is the VA-arena regression: repeated
+// one-shots must not mint fresh mappings — the mapped page count of the
+// context settles after warmup and stays put. (Before the arena, every
+// CompressGzip/DecompressGzip call mapped two more buffers forever.)
+func TestOneShotMappingsStable(t *testing.T) {
+	acc := Open(Config{Device: P9().Device, TableMode: TableFixed})
+	defer acc.Close()
+	src := corpus.Generate(corpus.Source, 24<<10, 4)
+	gz, _, err := acc.CompressGzip(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := func() {
+		if _, _, err := acc.CompressGzip(src); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := acc.DecompressGzip(gz); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		warm()
+	}
+	pages := acc.MMU().MappedPages(acc.Context().PID())
+	for i := 0; i < 50; i++ {
+		warm()
+	}
+	if got := acc.MMU().MappedPages(acc.Context().PID()); got != pages {
+		t.Fatalf("mappings grew under repeated one-shots: %d -> %d pages", pages, got)
+	}
+}
+
+// TestMemberGrowLoopMappingsBounded pins the decompressMemberOn leak
+// fix: the CCTargetSpace grow loop recycles each outgrown destination
+// span, so repeated multi-member decodes (with growth) hold the mapped
+// page count flat instead of leaking every intermediate buffer.
+func TestMemberGrowLoopMappingsBounded(t *testing.T) {
+	acc := Open(Config{Device: P9().Device, TableMode: TableFixed})
+	defer acc.Close()
+	// Plaintext larger than memberCapInitial so the grow loop actually
+	// runs (4 MiB initial target, 6 MiB member).
+	src := corpus.Generate(corpus.Text, 6<<20, 5)
+	gz, _, err := acc.CompressGzip(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := len(src) + 1024
+	decode := func() {
+		plain, consumed, _, err := acc.decompressMemberOn(acc.ctx, gz, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if consumed != len(gz) || !bytes.Equal(plain, src) {
+			t.Fatalf("member decode: consumed=%d/%d equal=%v", consumed, len(gz), bytes.Equal(plain, src))
+		}
+	}
+	decode() // warm: populate the arena's size classes
+	pages := acc.MMU().MappedPages(acc.Context().PID())
+	for i := 0; i < 8; i++ {
+		decode()
+	}
+	if got := acc.MMU().MappedPages(acc.Context().PID()); got != pages {
+		t.Fatalf("grow-loop decode leaks mappings: %d -> %d pages", pages, got)
+	}
+}
+
+// TestPooledFallbackIntoDegraded: the Into path's software fallback
+// still honours the caller-owned-buffer contract and flags Degraded.
+func TestPooledFallbackIntoDegraded(t *testing.T) {
+	_, acc, injs := openChaosNode(t, P9Node(1), faultinject.Profile{})
+	injs[0].SetOffline(true)
+	src := corpus.Generate(corpus.Text, 8<<10, 6)
+	dst := make([]byte, 0, 16<<10)
+	var m Metrics
+	gz, err := acc.CompressGzipInto(dst, src, &m)
+	if err != nil {
+		t.Fatalf("Into with dead pool: %v", err)
+	}
+	if !m.Degraded {
+		t.Fatal("software-path Into result not flagged Degraded")
+	}
+	if len(gz) == 0 || &gz[0] != &dst[:1][0] {
+		t.Fatal("fallback result does not reuse the caller's dst")
+	}
+	back, err := acc.DecompressGzipInto(make([]byte, 0, len(src)+64), gz, &m)
+	if err != nil || !bytes.Equal(back, src) || !m.Degraded {
+		t.Fatalf("degraded Into roundtrip: err=%v degraded=%v", err, m.Degraded)
+	}
+}

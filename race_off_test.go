@@ -1,0 +1,8 @@
+//go:build !race
+
+package nxzip
+
+// raceEnabled gates the testing.AllocsPerRun assertions: the race
+// detector instruments allocations (and inflates their count), so the
+// zero-alloc gates only hold in a non-instrumented build.
+const raceEnabled = false

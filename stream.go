@@ -110,6 +110,10 @@ func (w *Writer) submit(chunk []byte) error {
 	w.Stats.DeviceCycles += m.DeviceCycles
 	w.Stats.DeviceTime += m.DeviceTime
 	w.Stats.Faults += m.Faults
+	w.Stats.PasteRejects += m.PasteRejects
+	w.Stats.BackoffWaits += m.BackoffWaits
+	w.Stats.BackoffTime += m.BackoffTime
+	w.Stats.WastedCycles += m.WastedCycles
 	w.Stats.Redispatches += m.Redispatches
 	if m.Degraded {
 		w.Stats.Degraded = true
@@ -342,6 +346,10 @@ func (r *Reader) addMetrics(m *Metrics) {
 	r.Stats.DeviceCycles += m.DeviceCycles
 	r.Stats.DeviceTime += m.DeviceTime
 	r.Stats.Faults += m.Faults
+	r.Stats.PasteRejects += m.PasteRejects
+	r.Stats.BackoffWaits += m.BackoffWaits
+	r.Stats.BackoffTime += m.BackoffTime
+	r.Stats.WastedCycles += m.WastedCycles
 	r.Stats.Redispatches += m.Redispatches
 	if m.Degraded {
 		r.Stats.Degraded = true

@@ -66,7 +66,10 @@ func (w *StreamWriter) start() error {
 	return nil
 }
 
-// Write buffers p and submits full chunks.
+// Write buffers p and submits full chunks. Per the io.Writer contract it
+// reports how many bytes of p were actually accepted: on a submission
+// failure the count excludes the bytes of p that rode the failed chunk,
+// even though earlier chunks were emitted.
 func (w *StreamWriter) Write(p []byte) (int, error) {
 	if w.err != nil {
 		return 0, w.err
@@ -74,14 +77,38 @@ func (w *StreamWriter) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, errors.New("nxzip: write on closed StreamWriter")
 	}
-	w.buf = append(w.buf, p...)
-	for len(w.buf) >= w.chunk {
+	// Bytes already buffered from previous calls; chunks drain these
+	// oldest-first, so they tell us how much of a failed chunk came from
+	// earlier Writes rather than from p.
+	carried := len(w.buf)
+	accepted := 0
+	for {
+		need := w.chunk - len(w.buf)
+		take := len(p) - accepted
+		if take > need {
+			take = need
+		}
+		w.buf = append(w.buf, p[accepted:accepted+take]...)
+		accepted += take
+		if len(w.buf) < w.chunk {
+			return accepted, nil
+		}
 		if err := w.submit(w.buf[:w.chunk], false); err != nil {
-			return 0, err
+			// The failed chunk held min(carried, chunk) old bytes; the
+			// rest were p's — those were consumed but not emitted, so
+			// they don't count as accepted.
+			fromOld := carried
+			if fromOld > w.chunk {
+				fromOld = w.chunk
+			}
+			return accepted - (w.chunk - fromOld), err
 		}
 		w.buf = append(w.buf[:0], w.buf[w.chunk:]...)
+		carried -= w.chunk
+		if carried < 0 {
+			carried = 0
+		}
 	}
-	return len(p), nil
 }
 
 func (w *StreamWriter) submit(chunk []byte, final bool) error {
@@ -104,6 +131,10 @@ func (w *StreamWriter) submit(chunk []byte, final bool) error {
 	w.Stats.DeviceCycles += m.DeviceCycles
 	w.Stats.DeviceTime += m.DeviceTime
 	w.Stats.Faults += m.Faults
+	w.Stats.PasteRejects += m.PasteRejects
+	w.Stats.BackoffWaits += m.BackoffWaits
+	w.Stats.BackoffTime += m.BackoffTime
+	w.Stats.WastedCycles += m.WastedCycles
 	w.Stats.Redispatches += m.Redispatches
 	if m.Degraded {
 		w.Stats.Degraded = true

@@ -3,6 +3,7 @@ package nxzip
 import (
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"io"
 	"math/rand"
 	"testing"
@@ -181,5 +182,70 @@ func TestStreamWriterVsSoftwareRatioClose(t *testing.T) {
 	}
 	if float64(len(gz)) > 1.1*float64(len(oneShot)) {
 		t.Fatalf("stream %d vs one-shot %d: window carry ineffective", len(gz), len(oneShot))
+	}
+}
+
+// callLimitWriter accepts a fixed number of Write calls, then errors —
+// deterministic chunk-boundary failures for partial-write accounting.
+type callLimitWriter struct {
+	calls int
+	err   error
+}
+
+func (w *callLimitWriter) Write(p []byte) (int, error) {
+	if w.calls <= 0 {
+		return 0, w.err
+	}
+	w.calls--
+	return len(p), nil
+}
+
+// TestStreamWriterPartialWriteAccounting pins the io.Writer contract on
+// submission failure: Write must report how many bytes of p made it into
+// successfully emitted chunks, not zero. (The old path returned 0, err
+// after emitting earlier chunks of the same call.)
+func TestStreamWriterPartialWriteAccounting(t *testing.T) {
+	acc := Open(P9())
+	defer acc.Close()
+	const chunk = 8
+	// Allow the gzip header plus exactly one chunk body, then fail.
+	sinkErr := errors.New("sink wedged")
+	sink := &callLimitWriter{calls: 2, err: sinkErr}
+	w := acc.NewStreamWriterChunk(sink, chunk)
+
+	// 20 bytes = two full chunks (first succeeds, second hits the dead
+	// sink) + 4 buffered. Exactly the first chunk's 8 bytes were accepted.
+	n, err := w.Write(bytes.Repeat([]byte("x"), 20))
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+	if n != chunk {
+		t.Fatalf("Write accepted %d bytes, want %d (one emitted chunk)", n, chunk)
+	}
+
+	// Carried bytes: 5 buffered from an earlier call ride the failed
+	// chunk first, so only 3 of p were consumed by it — none emitted,
+	// zero accepted.
+	sink2 := &callLimitWriter{calls: 1, err: sinkErr} // header only
+	w2 := acc.NewStreamWriterChunk(sink2, chunk)
+	if n, err := w2.Write([]byte("abcde")); n != 5 || err != nil {
+		t.Fatalf("buffering write: n=%d err=%v", n, err)
+	}
+	n, err = w2.Write(bytes.Repeat([]byte("y"), 10))
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+	if n != 0 {
+		t.Fatalf("Write accepted %d bytes, want 0 (failed chunk was 5 old + 3 new)", n)
+	}
+
+	// A writer with a healthy sink is unaffected: full acceptance.
+	var ok bytes.Buffer
+	w3 := acc.NewStreamWriterChunk(&ok, chunk)
+	if n, err := w3.Write(bytes.Repeat([]byte("z"), 20)); n != 20 || err != nil {
+		t.Fatalf("healthy write: n=%d err=%v", n, err)
+	}
+	if err := w3.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
