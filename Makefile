@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check test race chaos bench bench-alloc bench-json nxbench parallel trace-demo obs-demo
+.PHONY: check build vet fmt-check test race chaos bench bench-alloc bench-json nxbench parallel trace-demo obs-demo flightrec-demo
 
 ## check: the tier-1 gate — build, vet, gofmt, the full test suite under
 ## the race detector, the fault-injection chaos suite, the zero-alloc
-## hot-path gate, and the observability scrape self-check. CI and
-## pre-merge runs use this target.
-check: build vet fmt-check race chaos bench-alloc obs-demo
+## hot-path gate, and the observability + flight-recorder self-checks.
+## CI and pre-merge runs use this target.
+check: build vet fmt-check race chaos bench-alloc obs-demo flightrec-demo
 
 build:
 	$(GO) build ./...
@@ -35,23 +35,25 @@ bench:
 
 ## bench-alloc: the zero-alloc acceptance gate. The AllocsPerRun assert
 ## (0 allocations per steady-state pooled one-shot, compress and
-## decompress) must run without the race detector — race instrumentation
+## decompress — with the flight recorder both detached AND attached)
+## must run without the race detector — race instrumentation
 ## allocates — so it runs plain here, and the batch/pooled paths run
 ## again under -race for the memory model.
 bench-alloc:
-	$(GO) test -run 'TestIntoPathAllocFree|TestOneShotMappingsStable|TestMemberGrowLoopMappingsBounded' -count=1 .
+	$(GO) test -run 'TestIntoPathAllocFree|TestOneShotMappingsStable|TestMemberGrowLoopMappingsBounded|TestFlightRecorderAllocFree' -count=1 .
 	$(GO) test -race -run 'TestCompressBatch|TestCompressGzipInto|TestCompressZlibInto|TestPooledFallback|TestStreamWriterPartialWrite' -count=1 .
 
 ## bench-json: run the E18 topology sweep (aggregate GB/s vs device
 ## count, claim C6), the E19 chaos sweep (throughput/p99 vs injected
-## fault rate), the E20 observability-overhead measurement and the E21
-## batched small-request sweep, exporting the raw points to
-## BENCH_*.json.
+## fault rate), the E20 observability-overhead measurement, the E21
+## batched small-request sweep and the E22 flight-recorder overhead
+## measurement, exporting the raw points to BENCH_*.json.
 bench-json:
 	$(GO) run ./cmd/nxbench -json BENCH_topology.json
 	$(GO) run ./cmd/nxbench -chaos sweep -json BENCH_chaos.json
 	$(GO) run ./cmd/nxbench -obs-overhead -json BENCH_obs.json
 	$(GO) run ./cmd/nxbench -smallreq -json BENCH_smallreq.json
+	$(GO) run ./cmd/nxbench -flightrec-overhead -json BENCH_flightrec.json
 
 ## obs-demo: observability self-check — run a workload behind an
 ## ephemeral exposition server, scrape /metrics, verify the Prometheus
@@ -60,7 +62,15 @@ bench-json:
 obs-demo:
 	$(GO) run ./cmd/nxbench -obs-demo
 
-## nxbench: render every experiment table (E1–E20 + ablations).
+## flightrec-demo: flight-recorder self-check — recorder attached, clean
+## traffic digested, a forced device outage survived through failover,
+## a postmortem bundle written and fetched back over /debug/postmortems,
+## and the failed request's digest + per-attempt spans + events verified
+## to chain under one RequestID.
+flightrec-demo:
+	$(GO) run ./cmd/nxbench -flightrec-demo
+
+## nxbench: render every experiment table (E1–E22 + ablations).
 nxbench:
 	$(GO) run ./cmd/nxbench
 

@@ -11,7 +11,10 @@ package nxzip
 // crossover against the per-request path and software.
 
 import (
+	"time"
+
 	"nxzip/internal/nx"
+	"nxzip/internal/telemetry"
 )
 
 // BatchRequest is one request of a CompressBatch call.
@@ -37,6 +40,12 @@ type BatchRequest struct {
 	// request, -1 when the software fallback completed it. E21 uses it to
 	// reconstruct each device's share of the batch timeline.
 	Device int
+
+	// req is the root-minted RequestID, stamped on the entry's CRB so the
+	// request's span and digest correlate; devAttempt records whether a
+	// device ran (and failed) the request before the software fallback.
+	req        uint64
+	devAttempt bool
 }
 
 // CompressBatch compresses every request into a gzip frame using the
@@ -49,6 +58,8 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 	if len(reqs) == 0 {
 		return
 	}
+	rec := a.recorder()
+	start := time.Now()
 	n := a.nctx.Size()
 	groups := make([][]nx.BatchEntry, n)
 	owners := make([][]*BatchRequest, n)
@@ -60,6 +71,8 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 		}
 		r.Err = nil
 		r.Device = -1
+		r.req = nextReq()
+		r.devAttempt = false
 		i, perr := a.nctx.PickIndexAvail()
 		if perr != nil {
 			soft = append(soft, r) // pool unhealthy: straight to software
@@ -69,6 +82,7 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 		srcVA, err := ctx.AcquireVA(len(r.Src))
 		if err != nil {
 			r.Err = err
+			a.completeDigest(rec, r.req, "batch-compress", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeError)
 			continue
 		}
 		capOut := 2*len(r.Src) + 1024
@@ -76,12 +90,13 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 		if err != nil {
 			ctx.ReleaseVA(srcVA)
 			r.Err = err
+			a.completeDigest(rec, r.req, "batch-compress", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeError)
 			continue
 		}
 		en := nx.BatchEntry{CRB: nx.CRB{
 			Func: a.funcCode(), Wrap: nx.WrapGzip, Input: r.Src,
 			SourceVA: srcVA, TargetVA: dstVA, TargetCap: capOut,
-			Target: r.Dst,
+			Target: r.Dst, ReqID: r.req,
 		}}
 		if en.CRB.Func == nx.FCCompressCannedDHT {
 			en.CRB.DHT = a.canned
@@ -112,24 +127,39 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 				r.Out = en.CSB.Output
 				fillMetrics(&r.Metrics, &en.Rep, &en.CSB)
 				r.Device = i
+				a.completeDigest(rec, r.req, "batch-compress", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeOK)
 				continue
 			}
 			if !failoverEligible(err) {
 				r.Err = err
+				a.completeDigest(rec, r.req, "batch-compress", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeError)
+				if rec != nil {
+					r.Err = reqError(r.req, r.Err)
+				}
 				continue
 			}
+			r.devAttempt = true
 			soft = append(soft, r)
 		}
 	}
 	for _, r := range soft {
+		attempts := 1
+		if r.devAttempt {
+			attempts = 2
+		}
 		out, m, err := a.softCompress(r.Src, nx.WrapGzip)
 		if err != nil {
 			r.Err = err
+			a.completeDigest(rec, r.req, "batch-compress", "software", &r.Metrics, start, attempts, telemetry.OutcomeError)
+			if rec != nil {
+				r.Err = reqError(r.req, r.Err)
+			}
 			continue
 		}
 		a.met.fallbacks.Inc()
 		r.Out = append(r.Dst[:0], out...)
 		r.Metrics = *m
 		r.Device = -1
+		a.completeDigest(rec, r.req, "batch-compress", "software", &r.Metrics, start, attempts, telemetry.OutcomeDegraded)
 	}
 }

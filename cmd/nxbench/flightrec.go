@@ -1,0 +1,200 @@
+package main
+
+// flightrec.go drives the flight recorder from nxbench: -flightrec-demo
+// is the end-to-end self-check behind `make flightrec-demo` (traffic →
+// forced device failure → failover under one RequestID → postmortem
+// bundle → served and verified over /debug/postmortems), and
+// -flightrec-overhead measures E22 (exported to BENCH_flightrec.json
+// with -json).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"nxzip/internal/corpus"
+	"nxzip/internal/experiments"
+	"nxzip/internal/faultinject"
+	"nxzip/internal/telemetry"
+)
+
+// flightrecDemo exercises the whole recorder pipeline in-process:
+//
+//  1. a 4-device node with the recorder attached runs clean traffic,
+//  2. one device is forced offline mid-run so a request re-dispatches,
+//  3. the postmortem trigger fires and writes a bundle,
+//  4. the bundle is fetched back through /debug/postmortems and checked
+//     for the failed request's digest, its per-attempt spans, and the
+//     failover/quarantine events — all carrying the same RequestID.
+func flightrecDemo() error {
+	dir, err := os.MkdirTemp("", "nx-flightrec-demo-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	node, err := obsOpenNode("")
+	if err != nil {
+		return err
+	}
+	rec := node.EnableFlightRecorder(dir)
+	injs := node.InstallInjectors(experiments.Seed, faultinject.Profile{})
+	srv, err := node.ServeObs("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	acc := node.View()
+	defer acc.Close()
+	const chunkSize = 64 << 10
+	src := corpus.Generate(corpus.Text, 32*chunkSize, experiments.Seed)
+	chunk := func(i int) []byte { off := (i % 32) * chunkSize; return src[off : off+chunkSize] }
+
+	for i := 0; i < 64; i++ { // clean traffic: digests accumulate
+		if _, _, cerr := acc.CompressGzip(chunk(i)); cerr != nil {
+			return fmt.Errorf("flightrec-demo: clean request %d: %w", i, cerr)
+		}
+	}
+	if rec.Seq() < 64 {
+		return fmt.Errorf("flightrec-demo: expected >=64 digests, have %d", rec.Seq())
+	}
+
+	// Kill device 0 and drive traffic until a request survives through
+	// failover (Degraded or re-dispatched — both retain spans).
+	injs[0].SetOffline(true)
+	var survivors int
+	for i := 0; i < 64; i++ {
+		_, m, cerr := acc.CompressGzip(chunk(i))
+		if cerr != nil {
+			return fmt.Errorf("flightrec-demo: request %d during outage: %w", i, cerr)
+		}
+		if m.Redispatches > 0 || m.Degraded {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return fmt.Errorf("flightrec-demo: no request exercised failover with device 0 offline")
+	}
+	injs[0].SetOffline(false)
+
+	path, err := rec.TriggerPostmortem("flightrec-demo: forced device outage")
+	if err != nil {
+		return fmt.Errorf("flightrec-demo: trigger: %w", err)
+	}
+	if path == "" {
+		return fmt.Errorf("flightrec-demo: no bundle written")
+	}
+
+	// Fetch the bundle back through the server and verify the chain.
+	base := "http://" + srv.Addr() + "/debug/postmortems"
+	resp, err := http.Get(base)
+	if err != nil {
+		return err
+	}
+	var listing struct {
+		Count   int64 `json:"count"`
+		Bundles []struct {
+			Name string `json:"name"`
+		} `json:"bundles"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("flightrec-demo: listing: %w", err)
+	}
+	if listing.Count < 1 || len(listing.Bundles) < 1 {
+		return fmt.Errorf("flightrec-demo: listing shows no bundles")
+	}
+	resp, err = http.Get(base + "/" + listing.Bundles[0].Name)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("flightrec-demo: bundle fetch status %d", resp.StatusCode)
+	}
+
+	digestReqs := map[uint64]bool{} // failover-affected requests with a digest
+	spanReqs := map[uint64]int{}
+	eventReqs := map[uint64]bool{}
+	var kinds = map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		var ln struct {
+			Kind   string `json:"kind"`
+			Digest *struct {
+				Req      uint64 `json:"req"`
+				Attempts int    `json:"attempts"`
+				Outcome  int    `json:"outcome"`
+			} `json:"digest"`
+			Span *struct {
+				Req uint64 `json:"req"`
+			} `json:"span"`
+			Event *struct {
+				Req uint64 `json:"req"`
+			} `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			return fmt.Errorf("flightrec-demo: bundle line not JSON: %w", err)
+		}
+		kinds[ln.Kind]++
+		switch ln.Kind {
+		case "digest":
+			if ln.Digest.Attempts > 1 || ln.Digest.Outcome != int(telemetry.OutcomeOK) {
+				digestReqs[ln.Digest.Req] = true
+			}
+		case "span":
+			spanReqs[ln.Span.Req]++
+		case "event":
+			if ln.Event.Req != 0 {
+				eventReqs[ln.Event.Req] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, k := range []string{"meta", "config", "health", "device", "digest", "snapshot"} {
+		if kinds[k] == 0 {
+			return fmt.Errorf("flightrec-demo: bundle missing %q lines (have %v)", k, kinds)
+		}
+	}
+	// The acceptance chain: at least one failover-affected request whose
+	// digest, spans and events all share one RequestID.
+	chained := 0
+	for req := range digestReqs {
+		if spanReqs[req] > 0 && eventReqs[req] {
+			chained++
+		}
+	}
+	if chained == 0 {
+		return fmt.Errorf("flightrec-demo: no request chains digest+spans+events under one RequestID (digests %d, span-reqs %d, event-reqs %d)",
+			len(digestReqs), len(spanReqs), len(eventReqs))
+	}
+
+	st := rec.Status()
+	fmt.Printf("flightrec-demo: PASS — %d requests digested, %d retained, %d failover survivors, bundle %s: %d digests / %d spans / %d events, %d request(s) fully chained\n",
+		st.Requests, st.Retained, survivors, strings.TrimPrefix(path, dir+"/"),
+		kinds["digest"], kinds["span"], kinds["event"], chained)
+	return nil
+}
+
+// flightOverheadRun renders E22 and, with -json, exports the raw points
+// (BENCH_flightrec.json in the Makefile).
+func flightOverheadRun(jsonPath string) error {
+	t, points := experiments.FlightOverhead()
+	t.Render(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}

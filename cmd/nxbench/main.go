@@ -1,5 +1,5 @@
 // Command nxbench regenerates every table and figure of the reproduction
-// (experiments E1–E19 per DESIGN.md) plus the design-choice ablations,
+// (experiments E1–E22 per DESIGN.md) plus the design-choice ablations,
 // printing them as formatted text tables.
 //
 // Usage:
@@ -19,6 +19,8 @@
 //	nxbench -serve :8090 -serve-dur 30s           # workload behind the obs HTTP server
 //	nxbench -obs-demo                             # scrape-and-parse self check
 //	nxbench -obs-overhead -json BENCH_obs.json    # E20 observability overhead
+//	nxbench -flightrec-demo                       # flight recorder end-to-end self check
+//	nxbench -flightrec-overhead -json BENCH_flightrec.json   # E22 recorder overhead
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment id (E1..E20, A1..A11)")
+	only := flag.String("only", "", "run a single experiment id (E1..E22, A1..A11)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation sweeps")
 	host := flag.Bool("host", false, "also measure the host software baseline")
 	parallel := flag.Bool("parallel", false, "measure serial vs parallel Writer/Reader throughput scaling")
@@ -48,15 +50,21 @@ func main() {
 	serveDur := flag.Duration("serve-dur", 0, "how long -serve runs the workload (0 = until interrupted)")
 	obsDemoFlag := flag.Bool("obs-demo", false, "self-check: serve, scrape /metrics, verify Prometheus parse + counter round-trip + /healthz")
 	obsOverhead := flag.Bool("obs-overhead", false, "run the E20 observability-overhead experiment (export points with -json)")
+	flightDemoFlag := flag.Bool("flightrec-demo", false, "self-check: recorder attached, forced device outage, postmortem bundle verified over /debug/postmortems")
+	flightOverhead := flag.Bool("flightrec-overhead", false, "run the E22 flight-recorder-overhead experiment (export points with -json)")
 	flag.Parse()
 
-	if *serve != "" || *obsDemoFlag || *obsOverhead {
+	if *serve != "" || *obsDemoFlag || *obsOverhead || *flightDemoFlag || *flightOverhead {
 		var err error
 		switch {
 		case *obsDemoFlag:
 			err = obsDemo()
 		case *obsOverhead:
 			err = obsOverheadRun(*jsonPath)
+		case *flightDemoFlag:
+			err = flightrecDemo()
+		case *flightOverhead:
+			err = flightOverheadRun(*jsonPath)
 		default:
 			err = obsServe(*serve, *serveDur, *chaos)
 		}
@@ -165,6 +173,8 @@ func runOne(id string) []*experiments.Table {
 		return []*experiments.Table{experiments.E20ObservabilityOverhead()}
 	case "E21":
 		return []*experiments.Table{experiments.E21SmallRequestBatching()}
+	case "E22":
+		return []*experiments.Table{experiments.E22FlightRecorderOverhead()}
 	case "A1":
 		return []*experiments.Table{experiments.A1Banks()}
 	case "A2":

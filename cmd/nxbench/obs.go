@@ -60,6 +60,7 @@ func obsServe(addr string, dur time.Duration, chaosSpec string) error {
 	if err != nil {
 		return err
 	}
+	node.EnableFlightRecorder("") // memory-only: nxtop's flight panel goes live
 	srv, err := node.ServeObs(addr)
 	if err != nil {
 		return err

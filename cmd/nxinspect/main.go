@@ -3,10 +3,18 @@
 // per-block compression ratio. It is the forensic companion to nxzip —
 // "why is this stream the size it is?".
 //
+// With -postmortem it instead reads a flight-recorder postmortem bundle
+// (written by EnableFlightRecorder when the SLO engine flips unhealthy)
+// and renders the incident report; -req narrows to one request's full
+// chained history (digest, per-attempt spans, correlated events).
+//
 // Usage:
 //
 //	nxinspect file.gz
 //	nxzip corpus.txt | nxinspect
+//	nxinspect -postmortem /var/tmp/nx-postmortems            # newest bundle in dir
+//	nxinspect -postmortem postmortem-0...1.jsonl -req 42     # one request
+//	nxinspect -postmortem http://127.0.0.1:8090/debug/postmortems/postmortem-0...1.jsonl
 package main
 
 import (
@@ -28,7 +36,13 @@ func main() {
 
 func run() error {
 	maxOut := flag.Int("max", 1<<30, "decompressed size bound")
+	postmortem := flag.String("postmortem", "", "read a postmortem bundle (file, directory of bundles, '-', or URL) instead of a stream")
+	reqID := flag.Uint64("req", 0, "with -postmortem: narrow the report to one RequestID")
 	flag.Parse()
+
+	if *postmortem != "" {
+		return runPostmortem(*postmortem, *reqID)
+	}
 
 	in := os.Stdin
 	if flag.NArg() > 0 {

@@ -19,6 +19,7 @@ import (
 	"nxzip/internal/lz77"
 	"nxzip/internal/nx"
 	"nxzip/internal/obs"
+	"nxzip/internal/telemetry"
 	"nxzip/internal/topology"
 	"nxzip/internal/x842"
 )
@@ -57,16 +58,28 @@ func ccFail(op string, csb *nx.CSB) error {
 // instead. The returned Metrics carry the wasted device cycles of failed
 // attempts, the re-dispatch count, and Degraded=true for software
 // results.
-func (a *Accelerator) failoverOn(nctx *topology.Context, op func(*nx.Context) ([]byte, *Metrics, error), soft func() ([]byte, *Metrics, error)) ([]byte, *Metrics, error) {
+//
+// One RequestID is minted per call and handed to every attempt as
+// (req, hop): op stamps it into its CRB so the attempt's span, the
+// failover events between attempts, and any quarantine the scoreboard
+// issues all carry the same ID — the flight recorder chains them back
+// into one request history, with the winning attempt identifiable by
+// its hop number.
+func (a *Accelerator) failoverOn(nctx *topology.Context, opName string, op func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error), soft func() ([]byte, *Metrics, error)) ([]byte, *Metrics, error) {
+	rec := a.recorder()
+	req := nextReq()
+	start := time.Now()
 	wasted := &Metrics{}
 	attempts := nctx.Size() + 1
-	for attempt := 0; attempt < attempts; attempt++ {
-		ctx, release, perr := nctx.PickAvail()
+	attempt := 0
+	for ; attempt < attempts; attempt++ {
+		i, perr := nctx.PickIndexAvail()
 		if perr != nil {
 			break // pool unhealthy: straight to software
 		}
-		out, m, err := op(ctx)
-		release(err)
+		nctx.AcquireIndex(i)
+		out, m, err := op(nctx.At(i), req, attempt)
+		nctx.ReleaseIndexReq(i, err, req)
 		if err == nil {
 			if m == nil {
 				m = &Metrics{}
@@ -78,19 +91,20 @@ func (a *Accelerator) failoverOn(nctx *topology.Context, op func(*nx.Context) ([
 			if attempt > 0 {
 				a.met.redispatches.Add(int64(attempt))
 			}
+			a.completeDigest(rec, req, opName, a.node.Label(i), m, start, attempt+1, telemetry.OutcomeOK)
 			return out, m, nil
 		}
 		addMetricsInto(wasted, m)
 		if !failoverEligible(err) {
+			a.completeDigest(rec, req, opName, a.node.Label(i), wasted, start, attempt+1, telemetry.OutcomeError)
+			if rec != nil {
+				err = reqError(req, err)
+			}
 			return nil, wasted, err
 		}
 		wasted.Redispatches = attempt + 1
 		if bus := a.node.Bus(); bus != nil {
-			label := ""
-			if i := nctx.IndexOf(ctx); i >= 0 {
-				label = a.node.Label(i)
-			}
-			bus.Publish(obs.Event{Type: obs.EventFailover, Device: label,
+			bus.Publish(obs.Event{Type: obs.EventFailover, Device: a.node.Label(i), Req: req,
 				Detail: fmt.Sprintf("re-dispatching after: %v", err)})
 		}
 	}
@@ -101,22 +115,27 @@ func (a *Accelerator) failoverOn(nctx *topology.Context, op func(*nx.Context) ([
 	if err != nil {
 		// The software path is authoritative: its failure (e.g. genuinely
 		// corrupt input) is the real answer, not the device flake.
+		a.completeDigest(rec, req, opName, "software", wasted, start, max(attempt, 1), telemetry.OutcomeError)
+		if rec != nil {
+			err = reqError(req, err)
+		}
 		return nil, wasted, err
 	}
 	a.met.fallbacks.Inc()
-	a.node.Bus().Publish(obs.Event{Type: obs.EventFallback,
+	a.node.Bus().Publish(obs.Event{Type: obs.EventFallback, Req: req,
 		Detail: fmt.Sprintf("software path after %d re-dispatches", wasted.Redispatches)})
 	m.Degraded = true
 	m.Redispatches = wasted.Redispatches
 	m.DeviceCycles += wasted.DeviceCycles
 	m.DeviceTime += wasted.DeviceTime
 	m.Faults += wasted.Faults
+	a.completeDigest(rec, req, opName, "software", m, start, max(attempt, 1), telemetry.OutcomeDegraded)
 	return out, m, nil
 }
 
 // withFailover is failoverOn over the accelerator's own node context.
-func (a *Accelerator) withFailover(op func(*nx.Context) ([]byte, *Metrics, error), soft func() ([]byte, *Metrics, error)) ([]byte, *Metrics, error) {
-	return a.failoverOn(a.nctx, op, soft)
+func (a *Accelerator) withFailover(opName string, op func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error), soft func() ([]byte, *Metrics, error)) ([]byte, *Metrics, error) {
+	return a.failoverOn(a.nctx, opName, op, soft)
 }
 
 // softMetrics builds the Metrics of a software-path result: host
@@ -206,8 +225,10 @@ func (a *Accelerator) softDecompress(src []byte, wrap nx.Wrap, maxOutput int) ([
 // with re-dispatch and software fallback — the per-worker entry point of
 // Writer and ParallelWriter.
 func (a *Accelerator) compressMember(nctx *topology.Context, src []byte) ([]byte, *Metrics, error) {
-	return a.failoverOn(nctx,
-		func(ctx *nx.Context) ([]byte, *Metrics, error) { return a.compressOn(ctx, src, nx.WrapGzip) },
+	return a.failoverOn(nctx, "member-compress",
+		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
+			return a.compressOn(ctx, src, nx.WrapGzip, req, hop)
+		},
 		func() ([]byte, *Metrics, error) { return a.softCompress(src, nx.WrapGzip) })
 }
 
@@ -219,9 +240,9 @@ func (a *Accelerator) decompressMember(nctx *topology.Context, src []byte, budge
 		budget = 1
 	}
 	var consumed int
-	out, m, err := a.failoverOn(nctx,
-		func(ctx *nx.Context) ([]byte, *Metrics, error) {
-			plain, c, m, err := a.decompressMemberOn(ctx, src, budget)
+	out, m, err := a.failoverOn(nctx, "member-decompress",
+		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
+			plain, c, m, err := a.decompressMemberOn(ctx, src, budget, req, hop)
 			if err == nil {
 				consumed = c
 			}

@@ -1,0 +1,141 @@
+package nxzip
+
+// flightrec.go wires the always-on flight recorder (internal/flightrec)
+// into the root API. The recorder rides the same zero-cost hook
+// discipline as tracing and events: with EnableFlightRecorder never
+// called, the request path performs one atomic load and a nil check;
+// with it called, every root-level request mints a RequestID, stamps it
+// through dispatch (CRB → span → events → scoreboard), and completes a
+// fixed-size digest into the recorder's ring, while full spans are
+// tail-sampled for the interesting requests only.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"nxzip/internal/flightrec"
+	"nxzip/internal/telemetry"
+)
+
+// reqSeq mints RequestIDs process-wide, so IDs stay unique even across
+// nodes (the recorder's pending table and the bundle reader key on them).
+// ID 0 is reserved as "no request context".
+var reqSeq atomic.Uint64
+
+// nextReq returns a fresh nonzero RequestID.
+func nextReq() uint64 { return reqSeq.Add(1) }
+
+// flightConfig is the node-configuration section of a postmortem bundle.
+type flightConfig struct {
+	Name      string   `json:"name"`
+	Devices   int      `json:"devices"`
+	Dispatch  string   `json:"dispatch,omitempty"`
+	TableMode int      `json:"table_mode"`
+	Labels    []string `json:"labels"`
+}
+
+// flightHealth is the health section of a postmortem bundle.
+type flightHealth struct {
+	HealthyDevices int `json:"healthy_devices"`
+	TotalDevices   int `json:"total_devices"`
+}
+
+// EnableFlightRecorder attaches a flight recorder to the node: every
+// request from every view digests into a bounded ring, interesting
+// requests (errored, degraded, re-dispatched, slow vs the rolling p99)
+// retain their full spans, and postmortem bundles land in dir when
+// triggered (dir "" keeps the recorder memory-only). The recorder's
+// pooled tracer is installed node-wide, so StartTrace and
+// EnableFlightRecorder are mutually exclusive — last installer wins.
+// Idempotent: repeated calls return the same recorder.
+func (n *Node) EnableFlightRecorder(dir string) *flightrec.Recorder {
+	if rec := n.rec.Load(); rec != nil {
+		return rec
+	}
+	bus := n.EnableEvents()
+	rec := flightrec.New(flightrec.Options{Dir: dir})
+	rec.SetSources(flightrec.Sources{
+		Snapshot: n.Metrics,
+		Devices:  n.DeviceStatuses,
+		Events:   bus.Tail,
+		Config: func() any {
+			labels := make([]string, n.topo.Size())
+			for i := range labels {
+				labels[i] = n.topo.Label(i)
+			}
+			return flightConfig{
+				Name:      n.cfg.Shape.Name,
+				Devices:   n.topo.Size(),
+				Dispatch:  n.cfg.Dispatch,
+				TableMode: int(n.cfg.TableMode),
+				Labels:    labels,
+			}
+		},
+		Health: func() any {
+			return flightHealth{HealthyDevices: n.HealthyDevices(), TotalDevices: n.Devices()}
+		},
+	})
+	if !n.rec.CompareAndSwap(nil, rec) {
+		// Lost the race to a concurrent enable: the winner's tracer is (or
+		// will be) installed; ours was never attached.
+		rec.Close()
+		return n.rec.Load()
+	}
+	n.topo.InstallTracer(rec.Tracer())
+	return rec
+}
+
+// FlightRecorder returns the node's flight recorder, or nil before
+// EnableFlightRecorder.
+func (n *Node) FlightRecorder() *flightrec.Recorder { return n.rec.Load() }
+
+// EnableFlightRecorder enables the flight recorder on the accelerator's
+// underlying node (views share the node's recorder). Idempotent.
+func (a *Accelerator) EnableFlightRecorder(dir string) *flightrec.Recorder {
+	return a.root.EnableFlightRecorder(dir)
+}
+
+// FlightRecorder returns the underlying node's flight recorder, or nil
+// before EnableFlightRecorder.
+func (a *Accelerator) FlightRecorder() *flightrec.Recorder { return a.root.rec.Load() }
+
+// recorder is the hot-path accessor: one atomic load, nil when the
+// recorder is not enabled.
+func (a *Accelerator) recorder() *flightrec.Recorder {
+	if a.root == nil {
+		return nil
+	}
+	return a.root.rec.Load()
+}
+
+// completeDigest records one finished root-level request into the
+// recorder (a no-op without one). The Digest is stack-built and copied
+// by Complete, so the call allocates nothing.
+func (a *Accelerator) completeDigest(rec *flightrec.Recorder, req uint64, op, device string, m *Metrics, start time.Time, attempts int, outcome telemetry.Outcome) {
+	if rec == nil {
+		return
+	}
+	d := telemetry.Digest{
+		Req:          req,
+		Op:           op,
+		Device:       device,
+		QueueUS:      float64(m.QueueWait) / float64(time.Microsecond),
+		TotalUS:      float64(time.Since(start)) / float64(time.Microsecond),
+		InBytes:      m.InBytes,
+		OutBytes:     m.OutBytes,
+		EngineCycles: m.DeviceCycles,
+		Attempts:     attempts,
+		Outcome:      outcome,
+	}
+	rec.Complete(&d)
+}
+
+// reqError stamps the RequestID onto a terminal error so log lines
+// correlate with the request's digest, spans and events.
+func reqError(req uint64, err error) error {
+	if req == 0 || err == nil {
+		return err
+	}
+	return fmt.Errorf("req %d: %w", req, err)
+}

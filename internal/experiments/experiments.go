@@ -509,6 +509,7 @@ func All() []*Table {
 		E19ChaosDegradation(),
 		E20ObservabilityOverhead(),
 		E21SmallRequestBatching(),
+		E22FlightRecorderOverhead(),
 	}
 }
 

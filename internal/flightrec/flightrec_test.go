@@ -1,0 +1,420 @@
+package flightrec
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nxzip/internal/obs"
+	"nxzip/internal/telemetry"
+)
+
+// okDigest builds a clean first-try digest for request req.
+func okDigest(req uint64, totalUS float64) *telemetry.Digest {
+	return &telemetry.Digest{
+		Req: req, Op: "compress", Device: "dev0",
+		InBytes: 64 << 10, OutBytes: 20 << 10,
+		QueueUS: 2, TotalUS: totalUS,
+		Attempts: 1, Outcome: telemetry.OutcomeOK,
+	}
+}
+
+func TestRetentionPredicates(t *testing.T) {
+	r := New(Options{})
+	emitSpan := func(req uint64) {
+		s := r.Tracer().Start("compress", 1, 0)
+		s.ReqID = req
+		r.Tracer().Finish(s)
+	}
+
+	// Clean first-try request: digest recorded, spans recycled.
+	emitSpan(1)
+	r.Complete(okDigest(1, 100))
+	if got := len(r.RetainedRequests()); got != 0 {
+		t.Fatalf("clean request retained: %d entries", got)
+	}
+
+	// Errored request: retained with its span.
+	emitSpan(2)
+	d := okDigest(2, 100)
+	d.Outcome = telemetry.OutcomeError
+	r.Complete(d)
+
+	// Degraded request: retained.
+	emitSpan(3)
+	d = okDigest(3, 100)
+	d.Outcome = telemetry.OutcomeDegraded
+	r.Complete(d)
+
+	// Re-dispatched request (failover): retained even though it ended OK.
+	emitSpan(4)
+	d = okDigest(4, 100)
+	d.Attempts = 2
+	r.Complete(d)
+
+	ret := r.RetainedRequests()
+	if len(ret) != 3 {
+		t.Fatalf("retained %d requests, want 3", len(ret))
+	}
+	for i, want := range []uint64{2, 3, 4} {
+		if ret[i].Digest.Req != want {
+			t.Errorf("retained[%d].Req = %d, want %d", i, ret[i].Digest.Req, want)
+		}
+		if len(ret[i].Spans) != 1 || ret[i].Spans[0].ReqID != want {
+			t.Errorf("retained[%d] spans not chained to req %d", i, want)
+		}
+	}
+	if r.Seq() != 4 {
+		t.Fatalf("Seq = %d, want 4", r.Seq())
+	}
+}
+
+func TestSlowPredicateGatedByMinSamples(t *testing.T) {
+	r := New(Options{MinSamples: 16, Window: 64})
+	// Before MinSamples, even a wild outlier is not "slow".
+	d := okDigest(1, 1e6)
+	r.Complete(d)
+	if len(r.RetainedRequests()) != 0 {
+		t.Fatal("outlier retained before MinSamples")
+	}
+	// Feed a uniform baseline past MinSamples and the first recalc.
+	for i := uint64(2); i <= 70; i++ {
+		r.Complete(okDigest(i, 100))
+	}
+	p99t, _ := r.P99s()
+	if p99t <= 0 {
+		t.Fatalf("p99 not established: %v", p99t)
+	}
+	before := len(r.RetainedRequests())
+	r.Complete(okDigest(1000, 50*p99t))
+	if len(r.RetainedRequests()) != before+1 {
+		t.Fatal("slow outlier not retained after MinSamples")
+	}
+	r.Complete(okDigest(1001, p99t/2))
+	if len(r.RetainedRequests()) != before+1 {
+		t.Fatal("fast request wrongly retained")
+	}
+}
+
+// TestSamplerDeterminism feeds the identical completion sequence into
+// two independent recorders and requires identical retention decisions
+// and identical rolling p99s — the sampler must be a pure function of
+// its input stream.
+func TestSamplerDeterminism(t *testing.T) {
+	run := func() ([]uint64, float64, float64) {
+		r := New(Options{MinSamples: 32, Window: 128})
+		for i := uint64(1); i <= 400; i++ {
+			d := okDigest(i, float64(50+(i*37)%200)) // deterministic sawtooth
+			if i%97 == 0 {
+				d.Attempts = 2
+			}
+			if i%131 == 0 {
+				d.Outcome = telemetry.OutcomeDegraded
+			}
+			r.Complete(d)
+		}
+		var kept []uint64
+		for _, e := range r.RetainedRequests() {
+			kept = append(kept, e.Digest.Req)
+		}
+		p99t, p99q := r.P99s()
+		return kept, p99t, p99q
+	}
+	k1, t1, q1 := run()
+	k2, t2, q2 := run()
+	if t1 != t2 || q1 != q2 {
+		t.Fatalf("p99s diverged: (%v,%v) vs (%v,%v)", t1, q1, t2, q2)
+	}
+	if len(k1) == 0 || len(k1) != len(k2) {
+		t.Fatalf("retention diverged: %d vs %d requests", len(k1), len(k2))
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("retention diverged at %d: req %d vs %d", i, k1[i], k2[i])
+		}
+	}
+}
+
+// TestDigestRingMonotonicity hammers Complete from many goroutines and
+// checks the ring's sequence numbers come out strictly increasing and
+// dense — the -race soak for the digest path.
+func TestDigestRingMonotonicity(t *testing.T) {
+	r := New(Options{DigestRing: 256})
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Complete(okDigest(uint64(w*perWorker+i+1), 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Seq() != workers*perWorker {
+		t.Fatalf("Seq = %d, want %d", r.Seq(), workers*perWorker)
+	}
+	held := r.Digests(0)
+	if len(held) != 256 {
+		t.Fatalf("ring holds %d, want 256", len(held))
+	}
+	for i := 1; i < len(held); i++ {
+		if held[i].Seq != held[i-1].Seq+1 {
+			t.Fatalf("ring seq not dense at %d: %d then %d", i, held[i-1].Seq, held[i].Seq)
+		}
+	}
+	if held[len(held)-1].Seq != workers*perWorker {
+		t.Fatalf("newest seq = %d, want %d", held[len(held)-1].Seq, workers*perWorker)
+	}
+}
+
+// TestPendingCollision puts two live requests in the same pending slot:
+// the newer claims it; the evicted one still retains digest-only.
+func TestPendingCollision(t *testing.T) {
+	r := New(Options{Pending: 4})
+	tr := r.Tracer()
+	emit := func(req uint64) {
+		s := tr.Start("compress", 1, 0)
+		s.ReqID = req
+		tr.Finish(s)
+	}
+	emit(3)
+	emit(7) // 7 % 4 == 3 % 4: evicts request 3's span
+	d := okDigest(3, 100)
+	d.Outcome = telemetry.OutcomeError
+	r.Complete(d)
+	d = okDigest(7, 100)
+	d.Outcome = telemetry.OutcomeError
+	r.Complete(d)
+
+	ret := r.RetainedRequests()
+	if len(ret) != 2 {
+		t.Fatalf("retained %d, want 2", len(ret))
+	}
+	if len(ret[0].Spans) != 0 {
+		t.Errorf("evicted request 3 kept %d spans, want digest-only", len(ret[0].Spans))
+	}
+	if len(ret[1].Spans) != 1 {
+		t.Errorf("request 7 kept %d spans, want 1", len(ret[1].Spans))
+	}
+}
+
+func testSources(reg *telemetry.Registry) Sources {
+	return Sources{
+		Snapshot: func() *telemetry.Snapshot { return reg.Snapshot() },
+		Devices: func() []obs.DeviceStatus {
+			return []obs.DeviceStatus{{Label: "dev0", Healthy: false}, {Label: "dev1", Healthy: true}}
+		},
+		Events: func(n int) []obs.Event {
+			return []obs.Event{{Type: obs.EventFailover, Device: "dev0", Req: 9, Detail: "test"}}
+		},
+		Config: func() any { return map[string]int{"devices": 2} },
+		Health: func() any { return map[string]bool{"healthy": false} },
+	}
+}
+
+// TestPostmortemBundleCompleteness triggers a bundle and checks every
+// section kind appears and parses, and that the retained request's
+// span made it in with its ReqID intact.
+func TestPostmortemBundleCompleteness(t *testing.T) {
+	dir := t.TempDir()
+	r := New(Options{Dir: dir})
+	reg := telemetry.NewRegistry()
+	reg.Counter("nx.requests").Add(5)
+	r.SetSources(testSources(reg))
+
+	tr := r.Tracer()
+	s := tr.Start("compress", 1, 0)
+	s.ReqID = 9
+	s.Hop = 1
+	tr.Finish(s)
+	d := okDigest(9, 100)
+	d.Attempts = 2
+	r.Complete(d)
+	r.Complete(okDigest(10, 100))
+
+	path, err := r.TriggerPostmortem("test trigger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	kinds := map[string]int{}
+	var spanReq uint64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		var ln struct {
+			Kind   string `json:"kind"`
+			Reason string `json:"reason"`
+			Seq    uint64 `json:"seq"`
+			Span   *struct {
+				Req uint64 `json:"req"`
+				Hop int    `json:"hop"`
+			} `json:"span"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			t.Fatalf("bundle line not JSON: %v", err)
+		}
+		kinds[ln.Kind]++
+		if ln.Kind == "meta" {
+			if ln.Reason != "test trigger" || ln.Seq != 2 {
+				t.Errorf("meta = %+v", ln)
+			}
+		}
+		if ln.Kind == "span" {
+			spanReq = ln.Span.Req
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"meta", "config", "health", "device", "digest", "span", "event", "snapshot"} {
+		if kinds[k] == 0 {
+			t.Errorf("bundle missing kind %q (have %v)", k, kinds)
+		}
+	}
+	if kinds["digest"] != 2 || kinds["device"] != 2 {
+		t.Errorf("counts: %v", kinds)
+	}
+	if spanReq != 9 {
+		t.Errorf("retained span req = %d, want 9", spanReq)
+	}
+	if n := r.PostmortemCount(); n != 1 {
+		t.Errorf("PostmortemCount = %d", n)
+	}
+	if _, reason := r.LastTrigger(); reason != "test trigger" {
+		t.Errorf("LastTrigger reason = %q", reason)
+	}
+}
+
+// TestPostmortemDirBounded triggers more bundles than MaxBundles and
+// checks the oldest are pruned.
+func TestPostmortemDirBounded(t *testing.T) {
+	dir := t.TempDir()
+	r := New(Options{Dir: dir, MaxBundles: 2})
+	var last string
+	for i := 0; i < 5; i++ {
+		p, err := r.TriggerPostmortem(fmt.Sprintf("t%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = p
+		time.Sleep(time.Millisecond) // distinct UnixNano names
+	}
+	got := r.Bundles()
+	if len(got) != 2 {
+		t.Fatalf("dir holds %d bundles, want 2: %v", len(got), got)
+	}
+	if got[len(got)-1] != last {
+		t.Fatalf("newest bundle pruned: kept %v, last written %s", got, last)
+	}
+}
+
+func TestTriggerWithoutDir(t *testing.T) {
+	r := New(Options{})
+	path, err := r.TriggerPostmortem("memory only")
+	if err != nil || path != "" {
+		t.Fatalf("TriggerPostmortem() = (%q, %v), want (\"\", nil)", path, err)
+	}
+	if r.PostmortemCount() != 1 {
+		t.Fatal("memory-only trigger did not count")
+	}
+}
+
+// TestHandler exercises the /debug/postmortems listing and bundle fetch,
+// including traversal rejection.
+func TestHandler(t *testing.T) {
+	dir := t.TempDir()
+	r := New(Options{Dir: dir})
+	r.Complete(okDigest(1, 100))
+	if _, err := r.TriggerPostmortem("handler test"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/postmortems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Count   int64 `json:"count"`
+		Bundles []struct {
+			Name string `json:"name"`
+			Size int64  `json:"size"`
+		} `json:"bundles"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if listing.Count != 1 || len(listing.Bundles) != 1 || listing.Bundles[0].Size <= 0 {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/postmortems/" + listing.Bundles[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := bufio.NewScanner(resp.Body)
+	var lines int
+	for body.Scan() {
+		lines++
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || lines < 2 {
+		t.Fatalf("bundle fetch: status %d, %d lines", resp.StatusCode, lines)
+	}
+
+	for _, bad := range []string{"/debug/postmortems/../secret", "/debug/postmortems/nope.jsonl"} {
+		resp, err := srv.Client().Get(srv.URL + strings.ReplaceAll(bad, "..", "%2e%2e"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Errorf("GET %s: status %d, want 404", bad, resp.StatusCode)
+		}
+	}
+
+	// Directory contents stay confined to bundle files.
+	if err := os.WriteFile(filepath.Join(dir, "unrelated.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/debug/postmortems/unrelated.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("non-bundle file served: status %d", resp.StatusCode)
+	}
+}
+
+// TestCloseStopsIntake verifies a closed recorder drops work instead of
+// corrupting state.
+func TestCloseStopsIntake(t *testing.T) {
+	r := New(Options{})
+	r.Complete(okDigest(1, 100))
+	r.Close()
+	if seq := r.Complete(okDigest(2, 100)); seq != 0 {
+		t.Fatalf("Complete after Close returned seq %d", seq)
+	}
+	if r.Seq() != 1 {
+		t.Fatalf("Seq moved after Close: %d", r.Seq())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"nxzip/internal/telemetry"
 	"nxzip/internal/vas"
 )
 
@@ -29,6 +30,11 @@ type BatchEntry struct {
 	// resubmit that exhausted its budget, a failed touch). Data-plane
 	// completions are CSB.CC, exactly as for single submission.
 	Err error
+
+	// span is the per-entry trace record when a tracer is installed: the
+	// shared submit/FIFO phases of the envelope plus this entry's own
+	// pipeline breakdown, so chained-setup savings are visible per entry.
+	span *telemetry.Span
 }
 
 // SubmitBatch pastes the whole batch as one switchboard envelope — one
@@ -54,6 +60,35 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 	defer putPending(p)
 	p.batch = entries
 	p.submitStart = time.Now()
+	tr := d.tracer.Load()
+	if tr != nil {
+		for i := range entries {
+			en := &entries[i]
+			sp := tr.Start(en.CRB.Func.String(), int(c.pid), c.window)
+			sp.ReqID = en.CRB.ReqID
+			sp.Hop = en.CRB.Hop
+			en.span = sp
+		}
+	}
+	// finishSpans closes every still-open entry span; cc overrides the
+	// completion label for envelope-level failures (the dequeuer stamps
+	// per-entry CCs on success).
+	finishSpans := func(cc string) {
+		if tr == nil {
+			return
+		}
+		for i := range entries {
+			en := &entries[i]
+			if en.span == nil {
+				continue
+			}
+			if cc != "" {
+				en.span.CC = cc
+			}
+			tr.Finish(en.span)
+			en.span = nil
+		}
+	}
 	wrapped := &p.wrapped
 	var (
 		rejects     int
@@ -70,11 +105,13 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 			break
 		}
 		if errors.Is(err, vas.ErrWindowClosed) {
+			finishSpans("window-closed")
 			return err
 		}
 		rejects++
 		if d.Offline() {
 			d.met.offlineRejects.Inc()
+			finishSpans("device-offline")
 			return ErrDeviceOffline
 		}
 		if pending := d.sb.Dequeue(); pending != nil {
@@ -94,6 +131,7 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 		d.met.backoffUS.Observe(float64(backoffTime) / float64(time.Microsecond))
 	}
 	if !pasted {
+		finishSpans("device-busy")
 		return fmt.Errorf("%w (batch of %d: %d rejects, %d backoff waits)", ErrDeviceBusy, len(entries), rejects, waits)
 	}
 	// Drain until our batch completes, running whatever we dequeue —
@@ -113,6 +151,7 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 		}
 	}
 	if !p.ran {
+		finishSpans("engine-hang")
 		return fmt.Errorf("%w (batch of %d)", ErrEngineHang, len(entries))
 	}
 	for i := range entries {
@@ -120,7 +159,13 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 		if en.CSB.CC == CCTranslationFault {
 			// Touch-and-resubmit, per entry: the rest of the batch is
 			// done, so the straggler goes back through the single-request
-			// protocol (which touches again on repeat faults).
+			// protocol (which touches again on repeat faults). The entry's
+			// batch span closes on the fault; the resubmission emits its
+			// own span under the same ReqID.
+			if en.span != nil {
+				tr.Finish(en.span)
+				en.span = nil
+			}
 			wasted := en.CSB.Cycles.Total
 			d.met.faultRetries.Inc()
 			if terr := d.mmu.Touch(c.pid, en.CSB.FaultVA); terr != nil {
@@ -147,6 +192,7 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 			en.Rep.BackoffTime = backoffTime
 		}
 	}
+	finishSpans("")
 	return nil
 }
 
@@ -156,7 +202,8 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 // with the injected-hang gate already passed.
 func (c *Context) runBatch(wrapped *vas.CRB, p *pendingCRB, dequeuedAt time.Time) {
 	m := c.dev.met
-	m.queueWaitUS.Observe(float64(dequeuedAt.Sub(p.pastedAt)) / float64(time.Microsecond))
+	queueWait := dequeuedAt.Sub(p.pastedAt)
+	m.queueWaitUS.Observe(float64(queueWait) / float64(time.Microsecond))
 	for i := range p.batch {
 		en := &p.batch[i]
 		// Entry 0 pays the envelope's full paste-to-dispatch setup; the
@@ -165,12 +212,29 @@ func (c *Context) runBatch(wrapped *vas.CRB, p *pendingCRB, dequeuedAt time.Time
 		en.CRB.Chained = i > 0
 		en.CRB.ChainedComplete = i < len(p.batch)-1
 		idx := int(c.dev.nextEng.Add(1)-1) % len(c.dev.engines)
+		engStart := time.Now()
 		c.dev.engines[idx].ProcessInto(wrapped.PID, &en.CRB, &en.CSB)
+		en.CSB.QueueWait = queueWait
 		m.requests.Inc()
 		m.inBytes.Add(int64(en.CSB.SPBC))
 		m.outBytes.Add(int64(en.CSB.TPBC))
 		if cc := en.CSB.CC; cc >= 0 && cc < ccCount {
 			m.cc[cc].Inc()
+		}
+		if s := en.span; s != nil {
+			// Each entry's span shares the envelope's submit/FIFO phases
+			// and carries its own pipeline breakdown — the chained-setup
+			// discount shows up as a smaller setup stage on entries > 0.
+			s.Engine = idx
+			s.ERATHits += en.CSB.ERATHits
+			s.ERATMisses += en.CSB.ERATMisses
+			s.DeviceCycles += en.CSB.Cycles.Total
+			s.InBytes = en.CSB.SPBC
+			s.OutBytes = en.CSB.TPBC
+			s.CC = en.CSB.CC.String()
+			s.RecordStage(telemetry.StageSubmit, p.submitStart, p.pastedAt, 0)
+			s.RecordStage(telemetry.StageFIFO, p.pastedAt, dequeuedAt, 0)
+			s.RecordPipeline(engStart, time.Now(), pipelineStages(en.CSB.Cycles))
 		}
 	}
 	p.ran = true

@@ -192,6 +192,16 @@ type CRB struct {
 	Func FuncCode
 	Wrap Wrap
 
+	// ReqID is the root-level request identity stamped by the public API:
+	// every span and event this submission produces carries it, across
+	// failover re-dispatches and fault resubmits, so the whole history of
+	// one caller-visible request links up. Zero when unset (internal
+	// traffic, raw Context users).
+	ReqID uint64
+	// Hop is the dispatch attempt ordinal under ReqID: 0 for the original
+	// dispatch, 1.. for failover re-dispatches to other devices.
+	Hop int
+
 	Input     []byte
 	SourceVA  uint64
 	TargetVA  uint64
@@ -297,8 +307,13 @@ type CSB struct {
 	// LZ reports the match-search statistics of this request (compression
 	// function codes only). Carried per-CSB so concurrent submitters never
 	// read another request's counters.
-	LZ     lz77.HWStats
-	Detail string // human-readable error detail for corrupt data
+	LZ lz77.HWStats
+	// QueueWait is the request's receive-FIFO residency (paste accept to
+	// dequeue) for the attempt that produced this completion — the raw
+	// sample behind the nx.queue_wait_us histogram, surfaced per-CSB so
+	// the flight recorder can digest it without a registry read.
+	QueueWait time.Duration
+	Detail    string // human-readable error detail for corrupt data
 }
 
 // reset clears a status block for reuse before the engine writes a fresh

@@ -672,6 +672,10 @@ func (c *Context) SubmitInto(crb *CRB, csb *CSB, rep *Report) error {
 	}
 	tr := d.tracer.Load()
 	span := tr.Start(crb.Func.String(), int(c.pid), c.window)
+	if span != nil {
+		span.ReqID = crb.ReqID
+		span.Hop = crb.Hop
+	}
 	var (
 		retries      int
 		wasted       int64
@@ -851,7 +855,13 @@ func (c *Context) runOne(wrapped *vas.CRB) {
 		// and fast.
 		c.dev.met.engineHangs.Inc()
 		if h := c.dev.events.Load(); h != nil {
-			h.bus.Publish(obs.Event{Type: obs.EventEngineHang, Device: h.label,
+			var req uint64
+			if p.crb != nil {
+				req = p.crb.ReqID
+			} else if len(p.batch) > 0 {
+				req = p.batch[0].CRB.ReqID
+			}
+			h.bus.Publish(obs.Event{Type: obs.EventEngineHang, Device: h.label, Req: req,
 				Detail: "request dropped without CSB write; watchdog reclaimed credit"})
 		}
 		if s := p.span; s != nil {
@@ -859,6 +869,13 @@ func (c *Context) runOne(wrapped *vas.CRB) {
 			s.PasteRejects += p.pasteRejects
 			s.RecordStage(telemetry.StageSubmit, p.submitStart, p.pastedAt, 0)
 			s.RecordStage(telemetry.StageFIFO, p.pastedAt, dequeuedAt, 0)
+		}
+		for i := range p.batch {
+			if s := p.batch[i].span; s != nil {
+				s.Engine = -1
+				s.RecordStage(telemetry.StageSubmit, p.submitStart, p.pastedAt, 0)
+				s.RecordStage(telemetry.StageFIFO, p.pastedAt, dequeuedAt, 0)
+			}
 		}
 		c.dev.sb.Complete(wrapped)
 		p.done <- struct{}{}
@@ -872,6 +889,8 @@ func (c *Context) runOne(wrapped *vas.CRB) {
 	c.dev.engines[idx].ProcessInto(wrapped.PID, p.crb, p.csb)
 	p.ran = true
 	engineEnd := time.Now()
+	queueWait := dequeuedAt.Sub(p.pastedAt)
+	p.csb.QueueWait = queueWait
 	m := c.dev.met
 	m.requests.Inc()
 	m.inBytes.Add(int64(p.csb.SPBC))
@@ -879,7 +898,7 @@ func (c *Context) runOne(wrapped *vas.CRB) {
 	if cc := p.csb.CC; cc >= 0 && cc < ccCount {
 		m.cc[cc].Inc()
 	}
-	m.queueWaitUS.Observe(float64(dequeuedAt.Sub(p.pastedAt)) / float64(time.Microsecond))
+	m.queueWaitUS.Observe(float64(queueWait) / float64(time.Microsecond))
 	if s := p.span; s != nil {
 		// This goroutine owns the span between Dequeue and the done send.
 		s.Engine = idx
@@ -1002,6 +1021,10 @@ func (c *Context) SyncCall(crb *CRB) (*CSB, *Report, error) {
 	tr := c.dev.tracer.Load()
 	// Window -1: the synchronous interface bypasses the VAS queue.
 	span := tr.Start(crb.Func.String(), int(c.pid), -1)
+	if span != nil {
+		span.ReqID = crb.ReqID
+		span.Hop = crb.Hop
+	}
 	var (
 		retries int
 		wasted  int64

@@ -54,11 +54,15 @@ const (
 // label of the device involved ("chip0", "drawer1/cp2"); empty when the
 // event is node-scoped.
 type Event struct {
-	Seq    uint64    `json:"seq"`
-	Time   time.Time `json:"time"`
-	Type   EventType `json:"type"`
-	Device string    `json:"device,omitempty"`
-	Detail string    `json:"detail,omitempty"`
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Type EventType `json:"type"`
+	// Req links the event to the root-level request that triggered it
+	// (the CRB.ReqID minted by the public API); 0 for events with no
+	// originating request (periodic probes, sampler-driven transitions).
+	Req    uint64 `json:"req,omitempty"`
+	Device string `json:"device,omitempty"`
+	Detail string `json:"detail,omitempty"`
 }
 
 // tailLen bounds the ring of recent events the bus keeps for /snapshot

@@ -218,7 +218,8 @@ func TestPromRoundTrip(t *testing.T) {
 		PromSeries("topology.healthy_devices", ""):      3,
 		"topology_healthy_devices_max":                  4,
 		PromSeries("vas.fifo_occupancy", `odd"label\n`): 7,
-		`nx_queue_wait_us{quantile="0.99"}`:             9.9,
+		"nx_queue_wait_us_p99":                          9.9,
+		`nx_queue_wait_us_bucket{le="+Inf"}`:            10,
 		"nx_queue_wait_us_sum":                          55.5,
 		"nx_queue_wait_us_count":                        10,
 	}
@@ -250,8 +251,57 @@ func TestPromTypeHeadersOncePerFamily(t *testing.T) {
 			t.Errorf("%q emitted %d times", header, n)
 		}
 	}
-	if seen["# TYPE nx_requests counter"] != 1 || seen["# TYPE nx_queue_wait_us summary"] != 1 {
+	if seen["# TYPE nx_requests counter"] != 1 || seen["# TYPE nx_queue_wait_us histogram"] != 1 ||
+		seen["# TYPE nx_queue_wait_us_p99 gauge"] != 1 {
 		t.Fatalf("expected families missing: %v", seen)
+	}
+}
+
+// TestPromHistogramBuckets drives a live registry histogram through the
+// exposition and back: cumulative bucket counts must round-trip, agree
+// with _count at +Inf, and be monotone non-decreasing over the ladder.
+func TestPromHistogramBuckets(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("nx.queue_wait_us")
+	values := []float64{0.5, 3, 3, 40, 700, 9e3, 2e5, 6e8}
+	for _, v := range values {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	series, err := ParseProm(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, buf.String())
+	}
+	bounds := telemetry.BucketBounds()
+	prev := 0.0
+	for _, b := range bounds {
+		key := fmt.Sprintf(`nx_queue_wait_us_bucket{le="%s"}`, promFloat(b))
+		got, ok := series[key]
+		if !ok {
+			t.Fatalf("bucket %s missing; exposition:\n%s", key, buf.String())
+		}
+		if got < prev {
+			t.Fatalf("bucket %s = %v decreased below %v", key, got, prev)
+		}
+		want := 0
+		for _, v := range values {
+			if v <= b {
+				want++
+			}
+		}
+		if got != float64(want) {
+			t.Fatalf("bucket %s = %v, want %d", key, got, want)
+		}
+		prev = got
+	}
+	if inf := series[`nx_queue_wait_us_bucket{le="+Inf"}`]; inf != float64(len(values)) {
+		t.Fatalf("+Inf bucket = %v, want %d", inf, len(values))
+	}
+	if series["nx_queue_wait_us_count"] != float64(len(values)) {
+		t.Fatalf("count = %v", series["nx_queue_wait_us_count"])
 	}
 }
 

@@ -20,8 +20,13 @@ import (
 // rows of a merged node snapshot become label="drawer0/cp1/…" series
 // and the aggregate rows stay unlabeled. Counters map to counter,
 // gauges to two gauge series (value plus <name>_max for the high-water
-// mark), histograms to a summary (quantile series plus _sum and
-// _count).
+// mark), histograms to native Prometheus histograms — cumulative
+// <name>_bucket{le="…"} series over the registry's fixed bucket ladder
+// plus the le="+Inf", _sum and _count samples — so server-side
+// histogram_quantile works across scrapes and instances. The sample
+// ring's point-in-time percentiles remain available as <name>_p50 /
+// _p95 / _p99 gauge families (snapshots without bucket data, e.g.
+// synthetic ones, emit only the +Inf bucket).
 
 // promName folds a registry instrument name into the Prometheus metric
 // name charset [a-zA-Z0-9_:].
@@ -101,20 +106,39 @@ func WriteProm(w io.Writer, snap *telemetry.Snapshot) error {
 		}
 		i = j
 	}
-	for _, h := range snap.Histograms {
-		name := promName(h.Name)
-		if name != last {
-			fmt.Fprintf(bw, "# TYPE %s summary\n", name)
-			last = name
+	bounds := telemetry.BucketBounds()
+	for i := 0; i < len(snap.Histograms); {
+		j := i
+		for j < len(snap.Histograms) && snap.Histograms[j].Name == snap.Histograms[i].Name {
+			j++
 		}
-		for _, q := range []struct {
-			q string
-			v float64
-		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
-			fmt.Fprintf(bw, "%s %s\n", series(name, h.Label, "quantile", q.q), promFloat(q.v))
+		name := promName(snap.Histograms[i].Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		for _, h := range snap.Histograms[i:j] {
+			if len(h.Buckets) == len(bounds) {
+				for k, b := range bounds {
+					fmt.Fprintf(bw, "%s %d\n", series(name+"_bucket", h.Label, "le", promFloat(b)), h.Buckets[k])
+				}
+			}
+			fmt.Fprintf(bw, "%s %d\n", series(name+"_bucket", h.Label, "le", "+Inf"), h.Count)
+			fmt.Fprintf(bw, "%s %s\n", series(name+"_sum", h.Label, "", ""), promFloat(h.Sum))
+			fmt.Fprintf(bw, "%s %d\n", series(name+"_count", h.Label, "", ""), h.Count)
 		}
-		fmt.Fprintf(bw, "%s %s\n", series(name+"_sum", h.Label, "", ""), promFloat(h.Sum))
-		fmt.Fprintf(bw, "%s %d\n", series(name+"_count", h.Label, "", ""), h.Count)
+		for _, p := range []struct {
+			suffix string
+			value  func(telemetry.HistogramSnapshot) float64
+		}{
+			{"p50", func(h telemetry.HistogramSnapshot) float64 { return h.P50 }},
+			{"p95", func(h telemetry.HistogramSnapshot) float64 { return h.P95 }},
+			{"p99", func(h telemetry.HistogramSnapshot) float64 { return h.P99 }},
+		} {
+			fname := name + "_" + p.suffix
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", fname)
+			for _, h := range snap.Histograms[i:j] {
+				fmt.Fprintf(bw, "%s %s\n", series(fname, h.Label, "", ""), promFloat(p.value(h)))
+			}
+		}
+		i = j
 	}
 	return bw.Flush()
 }

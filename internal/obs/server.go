@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nxzip/internal/telemetry"
@@ -43,6 +44,20 @@ type Options struct {
 	SampleInterval time.Duration
 	// RingCap bounds the window ring (<=0 → default).
 	RingCap int
+	// Flight returns the flight recorder's status for /snapshot (nil →
+	// no flight section).
+	Flight func() *FlightStatus
+	// Postmortems, when non-nil, is mounted at /debug/postmortems — the
+	// flight recorder's bundle browser.
+	Postmortems http.Handler
+	// OnTransition fires whenever the SLO verdict changes, including the
+	// first evaluation (a transition from unknown). The server checks on
+	// every health evaluation — the periodic watcher tick, /healthz and
+	// /snapshot — so a flip is noticed within one SampleInterval even
+	// with no pollers. Called from those paths: keep it brief or hand
+	// off. The flight recorder's postmortem trigger hangs off the
+	// healthy→unhealthy edge.
+	OnTransition func(healthy bool, rep HealthReport)
 }
 
 // Server serves the observability endpoints for one node.
@@ -50,6 +65,13 @@ type Server struct {
 	opt     Options
 	sampler *Sampler
 	srv     *http.Server
+
+	// healthState is the last SLO verdict: 0 unknown, 1 healthy,
+	// 2 unhealthy. Transitions fire Options.OnTransition exactly once
+	// per edge regardless of which evaluation path noticed it.
+	healthState atomic.Int32
+	stopWatch   chan struct{}
+	stopOnce    sync.Once
 
 	mu sync.Mutex
 	ln net.Listener
@@ -63,12 +85,17 @@ func NewServer(opts Options) *Server {
 	if opts.Name == "" {
 		opts.Name = "nxzip"
 	}
-	s := &Server{opt: opts, sampler: NewSampler(opts.Snapshot, opts.RingCap)}
+	s := &Server{opt: opts, sampler: NewSampler(opts.Snapshot, opts.RingCap),
+		stopWatch: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/events", s.handleEvents)
+	if opts.Postmortems != nil {
+		mux.Handle("/debug/postmortems", opts.Postmortems)
+		mux.Handle("/debug/postmortems/", opts.Postmortems)
+	}
 	s.srv = &http.Server{Handler: mux}
 	return s
 }
@@ -86,7 +113,44 @@ func (s *Server) Start() error {
 	s.sampler.Tick() // establish the delta baseline
 	s.sampler.Start(s.opt.SampleInterval)
 	go s.srv.Serve(ln)
+	go s.watchHealth()
 	return nil
+}
+
+// watchHealth evaluates the SLO rules on the sample interval so health
+// transitions (and the postmortem trigger behind them) fire even when
+// nothing polls /healthz.
+func (s *Server) watchHealth() {
+	iv := s.opt.SampleInterval
+	if iv <= 0 {
+		iv = time.Second
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopWatch:
+			return
+		case <-t.C:
+			s.noteHealth(Evaluate(s.inputs(s.opt.Snapshot()), s.opt.Rules))
+		}
+	}
+}
+
+// noteHealth records the verdict and fires OnTransition on each edge.
+// Every evaluation path funnels through here, so /healthz pollers and
+// the periodic watcher cannot double-fire one transition.
+func (s *Server) noteHealth(rep HealthReport) {
+	cur := int32(1)
+	if !rep.Healthy {
+		cur = 2
+	}
+	if s.healthState.Swap(cur) == cur {
+		return
+	}
+	if s.opt.OnTransition != nil {
+		s.opt.OnTransition(rep.Healthy, rep)
+	}
 }
 
 // Addr returns the bound listen address ("" before Start).
@@ -103,8 +167,9 @@ func (s *Server) Addr() string {
 // embedding its windows in reports).
 func (s *Server) Sampler() *Sampler { return s.sampler }
 
-// Close stops the sampler and shuts the listener down.
+// Close stops the sampler, the health watcher, and the listener.
 func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stopWatch) })
 	s.sampler.Stop()
 	return s.srv.Close()
 }
@@ -127,6 +192,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snap := s.opt.Snapshot()
 	rep := Evaluate(s.inputs(snap), s.opt.Rules)
+	s.noteHealth(rep)
 	doc := StatusDoc{
 		Name:          s.opt.Name,
 		Time:          time.Now(),
@@ -141,6 +207,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.opt.Devices != nil {
 		doc.Devices = s.opt.Devices()
 	}
+	if s.opt.Flight != nil {
+		doc.Flight = s.opt.Flight()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -149,6 +218,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	rep := Evaluate(s.inputs(s.opt.Snapshot()), s.opt.Rules)
+	s.noteHealth(rep)
 	w.Header().Set("Content-Type", "application/json")
 	if !rep.Healthy {
 		w.WriteHeader(http.StatusServiceUnavailable)

@@ -45,6 +45,27 @@ type Totals struct {
 	Readmissions int64 `json:"readmissions"`
 }
 
+// FlightStatus digests the flight recorder for /snapshot and nxtop:
+// how much history is in memory, the rolling tail thresholds, the
+// postmortem trail, and the slowest recent requests. Produced by
+// internal/flightrec (obs only defines the shape, keeping the
+// dependency pointing one way).
+type FlightStatus struct {
+	// Requests is the total number of requests digested.
+	Requests uint64 `json:"requests"`
+	// Retained is how many requests currently hold full spans.
+	Retained int `json:"retained"`
+	// P99TotalUS / P99QueueUS are the recorder's rolling p99s (µs).
+	P99TotalUS  float64 `json:"p99_total_us"`
+	P99QueueUS  float64 `json:"p99_queue_us"`
+	Postmortems int64   `json:"postmortems"`
+	// LastTrigger/LastReason describe the most recent postmortem.
+	LastTrigger time.Time `json:"last_trigger,omitempty"`
+	LastReason  string    `json:"last_reason,omitempty"`
+	// Slowest is the "slowest recent requests" feed, worst first.
+	Slowest []telemetry.Digest `json:"slowest,omitempty"`
+}
+
 // StatusDoc is the /snapshot JSON document: identity, SLO verdict,
 // per-device state, node totals, the sampler's recent windows, the
 // recent event tail, and the full merged metrics snapshot.
@@ -55,6 +76,7 @@ type StatusDoc struct {
 	Health        HealthReport        `json:"health"`
 	Devices       []DeviceStatus      `json:"devices"`
 	Totals        Totals              `json:"totals"`
+	Flight        *FlightStatus       `json:"flight,omitempty"`
 	Windows       []Window            `json:"windows,omitempty"`
 	Events        []Event             `json:"events,omitempty"`
 	EventsDropped int64               `json:"events_dropped"`
@@ -138,6 +160,25 @@ func RenderText(w io.Writer, prev, cur *StatusDoc) {
 			d.Occupancy, d.Credits, d.Load, d.Dispatched, d.Requests, d.Quarantines)
 	}
 
+	// Flight recorder: postmortem trail plus the slowest recent requests.
+	if f := cur.Flight; f != nil {
+		fmt.Fprintf(w, "\nflight: %d req digested, %d retained, p99 total/queue %.0f/%.0fµs, %d postmortems",
+			f.Requests, f.Retained, f.P99TotalUS, f.P99QueueUS, f.Postmortems)
+		if f.Postmortems > 0 {
+			fmt.Fprintf(w, " (last %s: %s)", f.LastTrigger.Format("15:04:05"), f.LastReason)
+		}
+		fmt.Fprintln(w)
+		if len(f.Slowest) > 0 {
+			fmt.Fprintf(w, "%-8s %-16s %-14s %10s %10s %8s %4s %-8s\n",
+				"req", "op", "device", "total-µs", "queue-µs", "in", "att", "outcome")
+			for _, d := range f.Slowest {
+				fmt.Fprintf(w, "%-8d %-16s %-14s %10.0f %10.0f %8s %4d %-8s\n",
+					d.Req, d.Op, d.Device, d.TotalUS, d.QueueUS,
+					stats.Bytes(int64(d.InBytes)), d.Attempts, d.Outcome.String())
+			}
+		}
+	}
+
 	// Recent windows, newest last — a glance at how rates are trending.
 	if n := len(cur.Windows); n > 1 {
 		fmt.Fprintf(w, "\n%-10s %10s %10s %12s %9s\n", "window", "req/s", "rate", "p99-queue", "fallback")
@@ -158,8 +199,13 @@ func RenderText(w io.Writer, prev, cur *StatusDoc) {
 			start = 0
 		}
 		for _, e := range cur.Events[start:] {
-			fmt.Fprintf(w, "  %s  %-11s %-14s %s\n",
-				e.Time.Format("15:04:05.000"), e.Type, e.Device, e.Detail)
+			if e.Req != 0 {
+				fmt.Fprintf(w, "  %s  %-11s %-14s req=%d %s\n",
+					e.Time.Format("15:04:05.000"), e.Type, e.Device, e.Req, e.Detail)
+			} else {
+				fmt.Fprintf(w, "  %s  %-11s %-14s %s\n",
+					e.Time.Format("15:04:05.000"), e.Type, e.Device, e.Detail)
+			}
 		}
 	}
 }

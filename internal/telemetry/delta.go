@@ -64,6 +64,17 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 		} else {
 			h.Sum, h.Mean = 0, 0
 		}
+		// Cumulative bucket counts difference elementwise (clamped like
+		// counters); the slice is copied so neither input is mutated.
+		if h.Buckets != nil && len(p.Buckets) == len(h.Buckets) {
+			b := make([]int64, len(h.Buckets))
+			for j := range b {
+				if d := h.Buckets[j] - p.Buckets[j]; d > 0 {
+					b[j] = d
+				}
+			}
+			h.Buckets = b
+		}
 	}
 	return out
 }

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// digest.go is the flight recorder's cheap half: a fixed-size digest per
+// request — identity, size, cost, outcome — recorded for EVERY request
+// into a bounded ring. Where a Span is the full story of one request
+// (and is only retained for interesting requests), the digest ring is
+// the always-on index: constant size, no pointers into request data,
+// one mutexed struct copy per request.
+
+// Outcome classifies how a request ended.
+type Outcome uint8
+
+const (
+	// OutcomeOK is a device-path success.
+	OutcomeOK Outcome = iota
+	// OutcomeError is a terminal failure surfaced to the caller.
+	OutcomeError
+	// OutcomeDegraded is a success produced by the software fallback.
+	OutcomeDegraded
+)
+
+var outcomeNames = [...]string{"ok", "error", "degraded"}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "outcome?"
+}
+
+// Digest is the fixed-size flight record of one root-level request.
+// String fields hold constant strings (function-code names, device
+// labels), so recording a digest copies no request data and performs no
+// allocation.
+type Digest struct {
+	// Seq is the ring's monotone record number, stamped by Record.
+	Seq uint64 `json:"seq"`
+	// Req is the root-minted RequestID shared with the request's spans,
+	// events and errors.
+	Req uint64 `json:"req"`
+	// Op is the function-code name ("compress-dht", "decompress", …).
+	Op string `json:"op"`
+	// Device is the serving device's label, "software" for fallback
+	// results, "" when the request failed before any device ran it.
+	Device   string `json:"device"`
+	InBytes  int    `json:"in_bytes"`
+	OutBytes int    `json:"out_bytes"`
+	// QueueUS is receive-FIFO residency (paste accept to dequeue) in
+	// microseconds, for the winning attempt.
+	QueueUS float64 `json:"queue_us"`
+	// TotalUS is the request's total wall-clock latency in microseconds,
+	// measured at the root API (all attempts plus fallback).
+	TotalUS float64 `json:"total_us"`
+	// EngineCycles is the modelled device-cycle cost including faulted
+	// and failed attempts.
+	EngineCycles int64 `json:"engine_cycles"`
+	// Attempts counts dispatch attempts: 1 on first-try success, +1 per
+	// failover re-dispatch (the software fallback does not count).
+	Attempts int     `json:"attempts"`
+	Outcome  Outcome `json:"outcome"`
+}
+
+// DigestRing is a bounded, concurrency-safe ring of request digests.
+// Record is allocation-free (a locked struct copy); Snapshot and
+// Slowest allocate and are meant for scrape-time readers.
+type DigestRing struct {
+	mu   sync.Mutex
+	buf  []Digest
+	next uint64 // total records ever; buf[(next-1) % len] is the newest
+}
+
+// NewDigestRing builds a ring holding the last size digests (minimum 1).
+func NewDigestRing(size int) *DigestRing {
+	if size < 1 {
+		size = 1
+	}
+	return &DigestRing{buf: make([]Digest, size)}
+}
+
+// Record stamps d.Seq with the next monotone sequence number and stores
+// a copy in the ring, returning the stamped sequence.
+func (r *DigestRing) Record(d *Digest) uint64 {
+	r.mu.Lock()
+	seq := r.next + 1
+	r.next = seq
+	d.Seq = seq
+	r.buf[(seq-1)%uint64(len(r.buf))] = *d
+	r.mu.Unlock()
+	return seq
+}
+
+// Seq returns the total number of digests ever recorded (the newest
+// record's Seq).
+func (r *DigestRing) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns up to n of the most recent digests, oldest first.
+// n <= 0 means everything the ring holds.
+func (r *DigestRing) Snapshot(n int) []Digest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	held := int(r.next)
+	if held > len(r.buf) {
+		held = len(r.buf)
+	}
+	if n <= 0 || n > held {
+		n = held
+	}
+	out := make([]Digest, n)
+	for i := 0; i < n; i++ {
+		seq := r.next - uint64(n) + uint64(i) + 1
+		out[i] = r.buf[(seq-1)%uint64(len(r.buf))]
+	}
+	return out
+}
+
+// Slowest returns up to n held digests ordered by TotalUS descending —
+// the "slowest recent requests" feed for dashboards.
+func (r *DigestRing) Slowest(n int) []Digest {
+	all := r.Snapshot(0)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].TotalUS != all[j].TotalUS {
+			return all[i].TotalUS > all[j].TotalUS
+		}
+		return all[i].Seq > all[j].Seq
+	})
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}

@@ -78,19 +78,41 @@ func (g *Gauge) Max() int64 { return g.max.Load() }
 // histogramWindow observations.
 const histogramWindow = 4096
 
+// bucketBounds is the fixed cumulative-bucket ladder every Histogram
+// counts observations into: a 1-2.5-5 decade ladder spanning 1..5e8 in
+// the instrument's own unit (microseconds for the latency histograms).
+// Observations above the last bound land only in the implicit +Inf
+// bucket (the total count). A fixed ladder keeps Observe allocation-free
+// and makes per-device bucket rows mergeable by plain elementwise
+// addition.
+var bucketBounds = []float64{
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5,
+	1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8, 2.5e8, 5e8,
+}
+
+// BucketBounds returns the shared histogram bucket ladder (callers must
+// not modify it). HistogramSnapshot.Buckets is indexed the same way.
+func BucketBounds() []float64 { return bucketBounds }
+
 // Histogram records a distribution: an exact streaming summary
-// (stats.Summary) plus a bounded ring of recent samples for percentile
-// queries (stats.Samples at snapshot time). Observe never allocates after
-// construction; a short mutex keeps snapshot-during-update tear-free.
+// (stats.Summary), per-bucket counts over the fixed ladder, plus a
+// bounded ring of recent samples for percentile queries (stats.Samples
+// at snapshot time). Observe never allocates after construction; a short
+// mutex keeps snapshot-during-update tear-free.
 type Histogram struct {
-	mu   sync.Mutex
-	sum  stats.Summary
-	ring []float64
-	n    int64 // total observations (ring writes wrap at histogramWindow)
+	mu     sync.Mutex
+	sum    stats.Summary
+	ring   []float64
+	n      int64 // total observations (ring writes wrap at histogramWindow)
+	counts []int64
 }
 
 func newHistogram() *Histogram {
-	return &Histogram{ring: make([]float64, 0, histogramWindow)}
+	return &Histogram{
+		ring:   make([]float64, 0, histogramWindow),
+		counts: make([]int64, len(bucketBounds)),
+	}
 }
 
 // Observe records one observation.
@@ -103,6 +125,9 @@ func (h *Histogram) Observe(v float64) {
 		h.ring[h.n%histogramWindow] = v
 	}
 	h.n++
+	if i := sort.SearchFloat64s(bucketBounds, v); i < len(h.counts) {
+		h.counts[i]++
+	}
 	h.mu.Unlock()
 }
 
@@ -118,6 +143,14 @@ func (h *Histogram) snapshot(name, label string) HistogramSnapshot {
 		Mean:  h.sum.Mean(),
 		Min:   h.sum.Min(),
 		Max:   h.sum.Max(),
+	}
+	if h.counts != nil {
+		s.Buckets = make([]int64, len(h.counts))
+		var cum int64
+		for i, c := range h.counts {
+			cum += c
+			s.Buckets[i] = cum
+		}
 	}
 	if len(h.ring) > 0 {
 		var ps stats.Samples
@@ -270,6 +303,11 @@ type HistogramSnapshot struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// Buckets are cumulative observation counts per BucketBounds entry
+	// (Prometheus _bucket semantics: Buckets[i] counts observations
+	// <= BucketBounds()[i]; the implicit +Inf bucket is Count). Nil on
+	// snapshots assembled without bucket data.
+	Buckets []int64 `json:"buckets,omitempty"`
 }
 
 // Snapshot is a point-in-time view of every instrument, sorted by name
@@ -443,6 +481,11 @@ func MergeSnapshots(sources []LabeledSnapshot) *Snapshot {
 			a := hagg[k]
 			if a == nil {
 				cp := h
+				// The aggregate row owns its bucket slice: merging in
+				// later sources must not mutate the per-source row.
+				if h.Buckets != nil {
+					cp.Buckets = append([]int64(nil), h.Buckets...)
+				}
 				hagg[k] = &cp
 				horder = append(horder, k)
 				continue
@@ -472,6 +515,9 @@ func mergeHistogram(a *HistogramSnapshot, h HistogramSnapshot) {
 		label := a.Label
 		*a = h
 		a.Label = label
+		if h.Buckets != nil {
+			a.Buckets = append([]int64(nil), h.Buckets...)
+		}
 		return
 	}
 	n := a.Count + h.Count
@@ -488,6 +534,11 @@ func mergeHistogram(a *HistogramSnapshot, h HistogramSnapshot) {
 		a.Max = h.Max
 	}
 	a.Count = n
+	// Cumulative bucket rows over the shared fixed ladder sum
+	// elementwise.
+	for i := 0; i < len(a.Buckets) && i < len(h.Buckets); i++ {
+		a.Buckets[i] += h.Buckets[i]
+	}
 }
 
 // Counter returns the value of the named counter (label "" for the

@@ -107,6 +107,8 @@ func (t *TextSink) Close() error {
 // spanJSON is the export shape of a span (JSONSink).
 type spanJSON struct {
 	ID           uint64      `json:"id"`
+	Req          uint64      `json:"req,omitempty"`
+	Hop          int         `json:"hop,omitempty"`
 	Op           string      `json:"op"`
 	PID          int         `json:"pid"`
 	Window       int         `json:"window"`
@@ -134,7 +136,8 @@ type stageJSON struct {
 
 func spanToJSON(s *Span) spanJSON {
 	j := spanJSON{
-		ID: s.ID, Op: s.Op, PID: s.PID, Window: s.Window, Engine: s.Engine,
+		ID: s.ID, Req: s.ReqID, Hop: s.Hop,
+		Op: s.Op, PID: s.PID, Window: s.Window, Engine: s.Engine,
 		StartUnixNs: s.Start.UnixNano(), HostNs: s.End.Sub(s.Start).Nanoseconds(),
 		InBytes: s.InBytes, OutBytes: s.OutBytes, CC: s.CC,
 		Retries: s.Retries, PasteRejects: s.PasteRejects,
@@ -148,6 +151,11 @@ func spanToJSON(s *Span) spanJSON {
 	}
 	return j
 }
+
+// MarshalJSON exports the span in the JSONSink line shape, so external
+// serializers (the flight recorder's postmortem bundles) emit spans
+// identically to the trace sinks.
+func (s *Span) MarshalJSON() ([]byte, error) { return json.Marshal(spanToJSON(s)) }
 
 // JSONSink writes one JSON object per line per span (JSON Lines).
 type JSONSink struct {
@@ -245,6 +253,7 @@ func (c *ChromeSink) Emit(s *Span) {
 				"paste_rejects": s.PasteRejects,
 				"erat_hits":     s.ERATHits, "erat_misses": s.ERATMisses,
 				"engine": s.Engine, "window": s.Window,
+				"req": s.ReqID, "hop": s.Hop,
 			},
 		})
 	for _, r := range s.Stages {

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -77,7 +78,16 @@ type StageRecord struct {
 // dequeued the request in between — with the switchboard mutex and the
 // completion channel providing the happens-before edges.
 type Span struct {
-	ID       uint64
+	ID uint64
+	// ReqID is the root-level request identity: every span belonging to
+	// one public API call — the original attempt, failover re-dispatches,
+	// batch entries, the fault-resubmit straggler — carries the same
+	// ReqID, so one grep over a sink reconstructs the request's history.
+	// Zero when the caller did not mint one (internal traffic).
+	ReqID uint64
+	// Hop is the dispatch attempt ordinal under one ReqID: 0 for the
+	// original dispatch, 1.. for failover re-dispatches.
+	Hop      int
 	Op       string // function code
 	PID      int
 	Window   int
@@ -196,12 +206,21 @@ func (s *Span) Monotonic() bool {
 	return true
 }
 
+// spanStageCap is the Stages capacity new (and recycled) spans carry:
+// enough for the submit/FIFO records plus a full pipeline breakdown
+// without growing on the fault-free path.
+const spanStageCap = 12
+
 // Tracer hands out spans and forwards finished ones to its sink. A nil
 // *Tracer is a valid no-op tracer: Start returns nil and every Span
 // method on nil is a no-op, which is the zero-cost disabled path.
 type Tracer struct {
 	sink Sink
 	seq  atomic.Uint64
+	// pool, when non-nil, recycles spans: Start draws from it and the
+	// sink's owner returns consumed spans with Recycle, so an always-on
+	// recorder keeps the steady-state request path allocation-free.
+	pool *sync.Pool
 }
 
 // NewTracer builds a tracer emitting to sink.
@@ -209,10 +228,40 @@ func NewTracer(sink Sink) *Tracer {
 	return &Tracer{sink: sink}
 }
 
+// NewPooledTracer builds a tracer whose spans recycle through a
+// sync.Pool: Start reuses spans previously returned with Recycle
+// (preserving their Stages backing), so a sink that calls Recycle once
+// it is done with each span — the flight recorder does — makes tracing
+// allocation-free in the steady state.
+func NewPooledTracer(sink Sink) *Tracer {
+	return &Tracer{sink: sink, pool: &sync.Pool{New: func() any {
+		return &Span{Stages: make([]StageRecord, 0, spanStageCap)}
+	}}}
+}
+
+// Recycle returns a consumed span to the tracer's pool (no-op for
+// unpooled tracers). The caller must not touch s afterwards.
+func (t *Tracer) Recycle(s *Span) {
+	if t == nil || t.pool == nil || s == nil {
+		return
+	}
+	*s = Span{Stages: s.Stages[:0]}
+	t.pool.Put(s)
+}
+
 // Start opens a span for one request. Returns nil on a nil tracer.
 func (t *Tracer) Start(op string, pid, window int) *Span {
 	if t == nil {
 		return nil
+	}
+	if t.pool != nil {
+		s := t.pool.Get().(*Span)
+		s.ID = t.seq.Add(1)
+		s.Op = op
+		s.PID = pid
+		s.Window = window
+		s.Start = time.Now()
+		return s
 	}
 	return &Span{
 		ID:     t.seq.Add(1),
@@ -220,7 +269,7 @@ func (t *Tracer) Start(op string, pid, window int) *Span {
 		PID:    pid,
 		Window: window,
 		Start:  time.Now(),
-		Stages: make([]StageRecord, 0, 12),
+		Stages: make([]StageRecord, 0, spanStageCap),
 	}
 }
 

@@ -98,7 +98,12 @@ func (n *Node) admit(i int) bool {
 // ReportResult feeds one submission outcome for device i into the
 // scoreboard. A nil error is a success; device-local failures count
 // toward quarantine and ErrDeviceOffline quarantines immediately.
-func (n *Node) ReportResult(i int, err error) {
+func (n *Node) ReportResult(i int, err error) { n.ReportResultReq(i, err, 0) }
+
+// ReportResultReq is ReportResult carrying the root RequestID of the
+// submission, stamped onto any quarantine/readmission event this
+// outcome provokes so the incident links back to the request.
+func (n *Node) ReportResultReq(i int, err error, req uint64) {
 	if i < 0 || i >= len(n.health) {
 		return
 	}
@@ -116,6 +121,7 @@ func (n *Node) ReportResult(i int, err error) {
 				n.readmissions[i].Inc()
 				n.healthyGauge.Add(1)
 				n.bus.Load().Publish(obs.Event{Type: obs.EventReadmit, Device: n.shape.Devices[i].Label,
+					Req:    req,
 					Detail: fmt.Sprintf("readmitted after %d successful probes", n.hp.ProbeSuccesses)})
 			}
 		}
@@ -131,6 +137,7 @@ func (n *Node) ReportResult(i int, err error) {
 			n.quarantines[i].Inc()
 			n.healthyGauge.Add(-1)
 			n.bus.Load().Publish(obs.Event{Type: obs.EventQuarantine, Device: n.shape.Devices[i].Label,
+				Req:    req,
 				Detail: fmt.Sprintf("after %d consecutive failures: %v", h.consecFails, err)})
 		} else if h.quarantined {
 			// A failed probe restarts the interval.

@@ -234,7 +234,13 @@ func (n *Node) Bus() *obs.Bus { return n.bus.Load() }
 // all devices interleave in one sink with one id sequence, exactly like
 // the single-device Device.StartTrace.
 func (n *Node) StartTrace(sink telemetry.Sink) {
-	t := telemetry.NewTracer(sink)
+	n.InstallTracer(telemetry.NewTracer(sink))
+}
+
+// InstallTracer installs an existing tracer across every device — the
+// flight recorder uses this to attach its pooled tracer (whose spans
+// recycle through the recorder) instead of a fresh unpooled one.
+func (n *Node) InstallTracer(t *telemetry.Tracer) {
 	for _, d := range n.devs {
 		d.InstallTracer(t)
 	}
@@ -375,8 +381,15 @@ func (c *Context) AcquireIndex(i int) {
 // outcome into the health scoreboard. Unlike Pick's release closure it
 // is not idempotent: call it exactly once per acquire.
 func (c *Context) ReleaseIndex(i int, err error) {
+	c.ReleaseIndexReq(i, err, 0)
+}
+
+// ReleaseIndexReq is ReleaseIndex carrying the root RequestID, so a
+// quarantine or readmission provoked by this outcome is attributable to
+// the request that tripped it (the event's Req field).
+func (c *Context) ReleaseIndexReq(i int, err error, req uint64) {
 	c.node.inflight[i].Add(-1)
-	c.node.ReportResult(i, err)
+	c.node.ReportResultReq(i, err, req)
 }
 
 // Pick routes one request: the node policy selects a device (filtered
@@ -485,7 +498,7 @@ func (c *Context) SubmitBatch(groups [][]nx.BatchEntry) []error {
 				if outcome == nil {
 					outcome = g[k].Err
 				}
-				c.ReleaseIndex(i, outcome)
+				c.ReleaseIndexReq(i, outcome, g[k].CRB.ReqID)
 			}
 		}(i)
 	}

@@ -2,8 +2,10 @@ package nxzip
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nxzip/internal/faultinject"
+	"nxzip/internal/flightrec"
 	"nxzip/internal/nx"
 	"nxzip/internal/telemetry"
 	"nxzip/internal/topology"
@@ -56,6 +58,11 @@ func CustomNode(name string, devices ...nx.DeviceConfig) NodeConfig {
 type Node struct {
 	cfg  NodeConfig
 	topo *topology.Node
+
+	// rec is the node's flight recorder, nil until EnableFlightRecorder.
+	// Views reach it through their root back-reference with one atomic
+	// load, preserving the zero-cost-when-absent hook discipline.
+	rec atomic.Pointer[flightrec.Recorder]
 }
 
 // OpenNode instantiates every device of the shape — per-device VAS
@@ -78,6 +85,7 @@ func (n *Node) View() *Accelerator {
 	nctx := n.topo.OpenContext(1)
 	return &Accelerator{
 		cfg:  Config{Device: n.cfg.Shape.Devices[0].Config, TableMode: n.cfg.TableMode},
+		root: n,
 		node: n.topo,
 		nctx: nctx,
 		dev:  n.topo.Device(0),

@@ -102,6 +102,10 @@ type Metrics struct {
 	// the result: faulted attempts plus backoff converted at the engine
 	// clock. Included in DeviceCycles.
 	WastedCycles int64
+	// QueueWait is the request's receive-FIFO residency (paste accept to
+	// engine dequeue) for the winning attempt — the queueing component of
+	// latency, as distinct from the engine's DeviceTime.
+	QueueWait time.Duration
 	// CRC32 and Adler32 are computed inline over the plaintext.
 	CRC32   uint32
 	Adler32 uint32
@@ -143,6 +147,7 @@ func (m *Metrics) Throughput() float64 {
 // devices when there are several.
 type Accelerator struct {
 	cfg    Config
+	root   *Node // owning node (flight recorder lives there)
 	node   *topology.Node
 	nctx   *topology.Context
 	dev    *nx.Device  // primary device (node device 0), for compat accessors
@@ -289,6 +294,7 @@ func fillMetrics(m *Metrics, rep *nx.Report, csb *nx.CSB) {
 	if csb != nil {
 		m.CRC32 = csb.CRC32
 		m.Adler32 = csb.Adler32
+		m.QueueWait = csb.QueueWait
 	}
 }
 
@@ -297,8 +303,10 @@ func fillMetrics(m *Metrics, rep *nx.Report, csb *nx.CSB) {
 // device-local failures and falling back to the software encoder when
 // the pool is unhealthy.
 func (a *Accelerator) compress(src []byte, wrap nx.Wrap) ([]byte, *Metrics, error) {
-	return a.withFailover(
-		func(ctx *nx.Context) ([]byte, *Metrics, error) { return a.compressOn(ctx, src, wrap) },
+	return a.withFailover("compress",
+		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
+			return a.compressOn(ctx, src, wrap, req, hop)
+		},
 		func() ([]byte, *Metrics, error) { return a.softCompress(src, wrap) })
 }
 
@@ -307,10 +315,10 @@ func (a *Accelerator) compress(src []byte, wrap nx.Wrap) ([]byte, *Metrics, erro
 // rides the pooled core: the engine writes into pool-owned scratch, the
 // caller gets an exact-size copy (one allocation — the result itself),
 // and VA spans recycle through the context arena.
-func (a *Accelerator) compressOn(ctx *nx.Context, src []byte, wrap nx.Wrap) ([]byte, *Metrics, error) {
+func (a *Accelerator) compressOn(ctx *nx.Context, src []byte, wrap nx.Wrap, req uint64, hop int) ([]byte, *Metrics, error) {
 	os := getOneShot()
 	m := &Metrics{}
-	out, err := a.compressInto(ctx, os, os.buf[:0], src, wrap, m)
+	out, err := a.compressInto(ctx, os, os.buf[:0], src, wrap, m, req, hop)
 	if err != nil {
 		putOneShot(os)
 		return nil, m, err
@@ -329,8 +337,10 @@ func (a *Accelerator) decompress(src []byte, wrap nx.Wrap, maxOutput int) ([]byt
 			maxOutput = 1 << 20
 		}
 	}
-	return a.withFailover(
-		func(ctx *nx.Context) ([]byte, *Metrics, error) { return a.decompressOn(ctx, src, wrap, maxOutput) },
+	return a.withFailover("decompress",
+		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
+			return a.decompressOn(ctx, src, wrap, maxOutput, req, hop)
+		},
 		func() ([]byte, *Metrics, error) { return a.softDecompress(src, wrap, maxOutput) })
 }
 
@@ -339,7 +349,7 @@ func (a *Accelerator) decompress(src []byte, wrap nx.Wrap, maxOutput int) ([]byt
 // same device the request runs on, so the pick happens before the
 // arena acquire. Like compressOn it rides the pooled core and returns
 // an exact-size copy of the plaintext.
-func (a *Accelerator) decompressOn(ctx *nx.Context, src []byte, wrap nx.Wrap, maxOutput int) ([]byte, *Metrics, error) {
+func (a *Accelerator) decompressOn(ctx *nx.Context, src []byte, wrap nx.Wrap, maxOutput int, req uint64, hop int) ([]byte, *Metrics, error) {
 	if maxOutput <= 0 {
 		maxOutput = 256 * len(src)
 		if maxOutput < 1<<20 {
@@ -348,7 +358,7 @@ func (a *Accelerator) decompressOn(ctx *nx.Context, src []byte, wrap nx.Wrap, ma
 	}
 	os := getOneShot()
 	m := &Metrics{}
-	out, err := a.decompressInto(ctx, os, os.buf[:0], src, wrap, maxOutput, m)
+	out, err := a.decompressInto(ctx, os, os.buf[:0], src, wrap, maxOutput, m, req, hop)
 	if err != nil {
 		putOneShot(os)
 		return nil, m, err
@@ -379,7 +389,7 @@ const (
 // more pages than the member itself; this way the common member costs one
 // small mapping and a bomb is rejected after at most one buffer's worth
 // of decode per size step.
-func (a *Accelerator) decompressMemberOn(ctx *nx.Context, src []byte, budget int) ([]byte, int, *Metrics, error) {
+func (a *Accelerator) decompressMemberOn(ctx *nx.Context, src []byte, budget int, req uint64, hop int) ([]byte, int, *Metrics, error) {
 	if budget < 1 {
 		budget = 1
 	}
@@ -402,6 +412,7 @@ func (a *Accelerator) decompressMemberOn(ctx *nx.Context, src []byte, budget int
 			Func: nx.FCDecompress, Wrap: nx.WrapGzip, Input: src,
 			SourceVA: srcVA, TargetVA: dstVA,
 			TargetCap: capOut, MaxOutput: budget, FirstMemberOnly: true,
+			ReqID: req, Hop: hop,
 		}
 		csb, rep, err := ctx.Submit(crb)
 		// The model's data plane completes inside Submit, so the span can
@@ -486,9 +497,9 @@ func (a *Accelerator) DecompressRaw(src []byte) ([]byte, *Metrics, error) {
 // Compress842 compresses with the 842 engine (the POWER NX's memory
 // compression format).
 func (a *Accelerator) Compress842(src []byte) ([]byte, *Metrics, error) {
-	return a.withFailover(
-		func(ctx *nx.Context) ([]byte, *Metrics, error) {
-			csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Compress, Input: src})
+	return a.withFailover("842-compress",
+		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
+			csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Compress, Input: src, ReqID: req, Hop: hop})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -510,9 +521,9 @@ func (a *Accelerator) Decompress842(src []byte, maxOutput int) ([]byte, *Metrics
 		}
 	}
 	budget := maxOutput
-	return a.withFailover(
-		func(ctx *nx.Context) ([]byte, *Metrics, error) {
-			csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Decompress, Input: src, MaxOutput: budget, TargetCap: budget})
+	return a.withFailover("842-decompress",
+		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
+			csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Decompress, Input: src, MaxOutput: budget, TargetCap: budget, ReqID: req, Hop: hop})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -553,13 +564,15 @@ func GunzipMulti(src []byte) ([]byte, error) {
 // mechanism (the engine replays it through the LZ stage), and the wrapper
 // applies the FDICT framing with the dictionary's Adler-32.
 func (a *Accelerator) CompressZlibDict(src, dict []byte) ([]byte, *Metrics, error) {
-	return a.withFailover(
-		func(ctx *nx.Context) ([]byte, *Metrics, error) {
+	return a.withFailover("dict-compress",
+		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
 			crb := &nx.CRB{
 				Func:    a.funcCode(),
 				Wrap:    nx.WrapRaw,
 				Input:   src,
 				History: dict,
+				ReqID:   req,
+				Hop:     hop,
 			}
 			if crb.Func == nx.FCCompressCannedDHT {
 				crb.DHT = a.canned

@@ -9,6 +9,10 @@ package nxzip
 // hooks.
 
 import (
+	"fmt"
+	"net/http"
+	"strings"
+
 	"nxzip/internal/obs"
 )
 
@@ -76,8 +80,11 @@ func (n *Node) DeviceStatuses() []obs.DeviceStatus {
 // ServeObs starts the observability HTTP server on addr (":8090", or
 // "127.0.0.1:0" for an ephemeral port — read the bound address from
 // Server.Addr). Events are enabled implicitly so /events and the
-// /snapshot event tail are live. The caller owns the returned server
-// and closes it when done.
+// /snapshot event tail are live. With EnableFlightRecorder active
+// (before or after this call) the server additionally exposes the
+// flight section of /snapshot and /debug/postmortems, and a
+// healthy→unhealthy SLO transition triggers a postmortem bundle. The
+// caller owns the returned server and closes it when done.
 func (n *Node) ServeObs(addr string) (*obs.Server, error) {
 	bus := n.EnableEvents()
 	srv := obs.NewServer(obs.Options{
@@ -87,6 +94,33 @@ func (n *Node) ServeObs(addr string) (*obs.Server, error) {
 		Devices:  n.DeviceStatuses,
 		Health:   func() (healthy, total int) { return n.HealthyDevices(), n.Devices() },
 		Bus:      bus,
+		Flight: func() *obs.FlightStatus {
+			if rec := n.rec.Load(); rec != nil {
+				return rec.Status()
+			}
+			return nil
+		},
+		Postmortems: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := n.rec.Load()
+			if rec == nil {
+				http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+				return
+			}
+			rec.Handler().ServeHTTP(w, r)
+		}),
+		OnTransition: func(healthy bool, rep obs.HealthReport) {
+			rec := n.rec.Load()
+			if healthy || rec == nil {
+				return
+			}
+			var failing []string
+			for _, r := range rep.Rules {
+				if !r.OK {
+					failing = append(failing, r.Name)
+				}
+			}
+			rec.TriggerPostmortem(fmt.Sprintf("slo unhealthy: %s", strings.Join(failing, ", ")))
+		},
 	})
 	if err := srv.Start(); err != nil {
 		return nil, err

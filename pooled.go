@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"nxzip/internal/nx"
+	"nxzip/internal/telemetry"
 )
 
 // oneShot bundles one request's reusable blocks: the CRB/CSB/Report
@@ -53,7 +54,7 @@ func putOneShot(os *oneShot) {
 // cap(dst), and m receives the request accounting. VA spans come from
 // the context arena, so the steady state performs no MMU mapping work
 // and no allocation.
-func (a *Accelerator) compressInto(ctx *nx.Context, os *oneShot, dst, src []byte, wrap nx.Wrap, m *Metrics) ([]byte, error) {
+func (a *Accelerator) compressInto(ctx *nx.Context, os *oneShot, dst, src []byte, wrap nx.Wrap, m *Metrics, req uint64, hop int) ([]byte, error) {
 	*m = Metrics{}
 	srcVA, err := ctx.AcquireVA(len(src))
 	if err != nil {
@@ -69,7 +70,7 @@ func (a *Accelerator) compressInto(ctx *nx.Context, os *oneShot, dst, src []byte
 	os.crb = nx.CRB{
 		Func: a.funcCode(), Wrap: wrap, Input: src,
 		SourceVA: srcVA, TargetVA: dstVA, TargetCap: capOut,
-		Target: dst,
+		Target: dst, ReqID: req, Hop: hop,
 	}
 	if os.crb.Func == nx.FCCompressCannedDHT {
 		os.crb.DHT = a.canned
@@ -88,7 +89,7 @@ func (a *Accelerator) compressInto(ctx *nx.Context, os *oneShot, dst, src []byte
 // decompressInto is compressInto's inflate twin: the decoded plaintext
 // is appended into dst[:0] (via the inflater's destination threading),
 // bounded by maxOutput.
-func (a *Accelerator) decompressInto(ctx *nx.Context, os *oneShot, dst, src []byte, wrap nx.Wrap, maxOutput int, m *Metrics) ([]byte, error) {
+func (a *Accelerator) decompressInto(ctx *nx.Context, os *oneShot, dst, src []byte, wrap nx.Wrap, maxOutput int, m *Metrics, req uint64, hop int) ([]byte, error) {
 	*m = Metrics{}
 	srcVA, err := ctx.AcquireVA(len(src))
 	if err != nil {
@@ -103,7 +104,7 @@ func (a *Accelerator) decompressInto(ctx *nx.Context, os *oneShot, dst, src []by
 	os.crb = nx.CRB{
 		Func: nx.FCDecompress, Wrap: wrap, Input: src,
 		SourceVA: srcVA, TargetVA: dstVA, TargetCap: maxOutput, MaxOutput: maxOutput,
-		Target: dst,
+		Target: dst, ReqID: req, Hop: hop,
 	}
 	err = ctx.SubmitInto(&os.crb, &os.csb, &os.rep)
 	fillMetrics(m, &os.rep, &os.csb)
@@ -156,6 +157,9 @@ func (a *Accelerator) compressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *Met
 	if m == nil {
 		m = &scratch
 	}
+	rec := a.recorder()
+	req := nextReq()
+	start := time.Now()
 	os := getOneShot()
 	var (
 		wastedCycles int64
@@ -170,8 +174,8 @@ func (a *Accelerator) compressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *Met
 			break // pool unhealthy: straight to software
 		}
 		a.nctx.AcquireIndex(i)
-		out, err := a.compressInto(a.nctx.At(i), os, dst, src, wrap, m)
-		a.nctx.ReleaseIndex(i, err)
+		out, err := a.compressInto(a.nctx.At(i), os, dst, src, wrap, m, req, attempt)
+		a.nctx.ReleaseIndexReq(i, err, req)
 		if err == nil {
 			m.Redispatches = attempt
 			m.DeviceCycles += wastedCycles
@@ -181,6 +185,7 @@ func (a *Accelerator) compressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *Met
 				a.met.redispatches.Add(int64(attempt))
 			}
 			putOneShot(os)
+			a.completeDigest(rec, req, "compress", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeOK)
 			return out, nil
 		}
 		wastedCycles += m.DeviceCycles
@@ -188,6 +193,10 @@ func (a *Accelerator) compressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *Met
 		wastedFaults += m.Faults
 		if !failoverEligible(err) {
 			putOneShot(os)
+			a.completeDigest(rec, req, "compress", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeError)
+			if rec != nil {
+				err = reqError(req, err)
+			}
 			return nil, err
 		}
 		redispatches = attempt + 1
@@ -198,6 +207,10 @@ func (a *Accelerator) compressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *Met
 	}
 	out, sm, err := a.softCompress(src, wrap)
 	if err != nil {
+		a.completeDigest(rec, req, "compress", "software", m, start, max(redispatches, 1), telemetry.OutcomeError)
+		if rec != nil {
+			err = reqError(req, err)
+		}
 		return nil, err
 	}
 	a.met.fallbacks.Inc()
@@ -206,6 +219,7 @@ func (a *Accelerator) compressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *Met
 	m.DeviceCycles += wastedCycles
 	m.DeviceTime += wastedTime
 	m.Faults += wastedFaults
+	a.completeDigest(rec, req, "compress", "software", m, start, max(redispatches, 1), telemetry.OutcomeDegraded)
 	return append(dst[:0], out...), nil
 }
 
@@ -222,6 +236,9 @@ func (a *Accelerator) decompressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *M
 	if c := cap(dst); c > maxOutput {
 		maxOutput = c
 	}
+	rec := a.recorder()
+	req := nextReq()
+	start := time.Now()
 	os := getOneShot()
 	var (
 		wastedCycles int64
@@ -236,8 +253,8 @@ func (a *Accelerator) decompressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *M
 			break
 		}
 		a.nctx.AcquireIndex(i)
-		out, err := a.decompressInto(a.nctx.At(i), os, dst, src, wrap, maxOutput, m)
-		a.nctx.ReleaseIndex(i, err)
+		out, err := a.decompressInto(a.nctx.At(i), os, dst, src, wrap, maxOutput, m, req, attempt)
+		a.nctx.ReleaseIndexReq(i, err, req)
 		if err == nil {
 			m.Redispatches = attempt
 			m.DeviceCycles += wastedCycles
@@ -247,6 +264,7 @@ func (a *Accelerator) decompressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *M
 				a.met.redispatches.Add(int64(attempt))
 			}
 			putOneShot(os)
+			a.completeDigest(rec, req, "decompress", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeOK)
 			return out, nil
 		}
 		wastedCycles += m.DeviceCycles
@@ -254,6 +272,10 @@ func (a *Accelerator) decompressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *M
 		wastedFaults += m.Faults
 		if !failoverEligible(err) {
 			putOneShot(os)
+			a.completeDigest(rec, req, "decompress", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeError)
+			if rec != nil {
+				err = reqError(req, err)
+			}
 			return nil, err
 		}
 		redispatches = attempt + 1
@@ -264,6 +286,10 @@ func (a *Accelerator) decompressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *M
 	}
 	out, sm, err := a.softDecompress(src, wrap, maxOutput)
 	if err != nil {
+		a.completeDigest(rec, req, "decompress", "software", m, start, max(redispatches, 1), telemetry.OutcomeError)
+		if rec != nil {
+			err = reqError(req, err)
+		}
 		return nil, err
 	}
 	a.met.fallbacks.Inc()
@@ -272,5 +298,6 @@ func (a *Accelerator) decompressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *M
 	m.DeviceCycles += wastedCycles
 	m.DeviceTime += wastedTime
 	m.Faults += wastedFaults
+	a.completeDigest(rec, req, "decompress", "software", m, start, max(redispatches, 1), telemetry.OutcomeDegraded)
 	return append(dst[:0], out...), nil
 }
