@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check test race chaos bench bench-alloc bench-json nxbench parallel trace-demo obs-demo flightrec-demo
+.PHONY: check build vet fmt-check test race chaos bench bench-alloc bench-json fuzz-smoke nxbench parallel trace-demo obs-demo flightrec-demo
 
 ## check: the tier-1 gate — build, vet, gofmt, the full test suite under
 ## the race detector, the fault-injection chaos suite, the zero-alloc
-## hot-path gate, and the observability + flight-recorder self-checks.
-## CI and pre-merge runs use this target.
-check: build vet fmt-check race chaos bench-alloc obs-demo flightrec-demo
+## hot-path gate, the decoder fuzz smoke, and the observability +
+## flight-recorder self-checks. CI and pre-merge runs use this target.
+check: build vet fmt-check race chaos bench-alloc fuzz-smoke obs-demo flightrec-demo
 
 build:
 	$(GO) build ./...
@@ -46,14 +46,24 @@ bench-alloc:
 ## bench-json: run the E18 topology sweep (aggregate GB/s vs device
 ## count, claim C6), the E19 chaos sweep (throughput/p99 vs injected
 ## fault rate), the E20 observability-overhead measurement, the E21
-## batched small-request sweep and the E22 flight-recorder overhead
-## measurement, exporting the raw points to BENCH_*.json.
+## batched small-request sweep, the E22 flight-recorder overhead
+## measurement and the E23 codec shoot-out, exporting the raw points to
+## BENCH_*.json.
 bench-json:
 	$(GO) run ./cmd/nxbench -json BENCH_topology.json
 	$(GO) run ./cmd/nxbench -chaos sweep -json BENCH_chaos.json
 	$(GO) run ./cmd/nxbench -obs-overhead -json BENCH_obs.json
 	$(GO) run ./cmd/nxbench -smallreq -json BENCH_smallreq.json
 	$(GO) run ./cmd/nxbench -flightrec-overhead -json BENCH_flightrec.json
+	$(GO) run ./cmd/nxbench -codecs -json BENCH_codecs.json
+
+## fuzz-smoke: 30 s of coverage-guided fuzzing over each block-decoder
+## attack surface (LZ4 block decode, 842 decode) from the checked-in
+## seed corpora. Finds panics/OOMs in the bounds-checked decode loops;
+## go test -fuzz accepts one fuzz target per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzBlockDecode -fuzztime 30s ./internal/lz4
+	$(GO) test -run '^$$' -fuzz FuzzDecompressRobust -fuzztime 30s ./internal/x842
 
 ## obs-demo: observability self-check — run a workload behind an
 ## ephemeral exposition server, scrape /metrics, verify the Prometheus
@@ -70,7 +80,7 @@ obs-demo:
 flightrec-demo:
 	$(GO) run ./cmd/nxbench -flightrec-demo
 
-## nxbench: render every experiment table (E1–E22 + ablations).
+## nxbench: render every experiment table (E1–E23 + ablations).
 nxbench:
 	$(GO) run ./cmd/nxbench
 

@@ -82,7 +82,7 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 		srcVA, err := ctx.AcquireVA(len(r.Src))
 		if err != nil {
 			r.Err = err
-			a.completeDigest(rec, r.req, "batch-compress", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeError)
+			a.completeDigest(rec, r.req, "batch-compress", "deflate", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeError)
 			continue
 		}
 		capOut := 2*len(r.Src) + 1024
@@ -90,7 +90,7 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 		if err != nil {
 			ctx.ReleaseVA(srcVA)
 			r.Err = err
-			a.completeDigest(rec, r.req, "batch-compress", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeError)
+			a.completeDigest(rec, r.req, "batch-compress", "deflate", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeError)
 			continue
 		}
 		en := nx.BatchEntry{CRB: nx.CRB{
@@ -127,12 +127,12 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 				r.Out = en.CSB.Output
 				fillMetrics(&r.Metrics, &en.Rep, &en.CSB)
 				r.Device = i
-				a.completeDigest(rec, r.req, "batch-compress", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeOK)
+				a.completeDigest(rec, r.req, "batch-compress", "deflate", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeOK)
 				continue
 			}
 			if !failoverEligible(err) {
 				r.Err = err
-				a.completeDigest(rec, r.req, "batch-compress", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeError)
+				a.completeDigest(rec, r.req, "batch-compress", "deflate", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeError)
 				if rec != nil {
 					r.Err = reqError(r.req, r.Err)
 				}
@@ -150,16 +150,16 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 		out, m, err := a.softCompress(r.Src, nx.WrapGzip)
 		if err != nil {
 			r.Err = err
-			a.completeDigest(rec, r.req, "batch-compress", "software", &r.Metrics, start, attempts, telemetry.OutcomeError)
+			a.completeDigest(rec, r.req, "batch-compress", "deflate", "software", &r.Metrics, start, attempts, telemetry.OutcomeError)
 			if rec != nil {
 				r.Err = reqError(r.req, r.Err)
 			}
 			continue
 		}
-		a.met.fallbacks.Inc()
+		a.met.fallback(nx.Codecs(nx.CodecDeflate))
 		r.Out = append(r.Dst[:0], out...)
 		r.Metrics = *m
 		r.Device = -1
-		a.completeDigest(rec, r.req, "batch-compress", "software", &r.Metrics, start, attempts, telemetry.OutcomeDegraded)
+		a.completeDigest(rec, r.req, "batch-compress", "deflate", "software", &r.Metrics, start, attempts, telemetry.OutcomeDegraded)
 	}
 }

@@ -1,5 +1,5 @@
 // Command nxbench regenerates every table and figure of the reproduction
-// (experiments E1–E22 per DESIGN.md) plus the design-choice ablations,
+// (experiments E1–E23 per DESIGN.md) plus the design-choice ablations,
 // printing them as formatted text tables.
 //
 // Usage:
@@ -15,6 +15,7 @@
 //	nxbench -devices 8 -dispatch ll     # one topology point
 //	nxbench -chaos sweep -json BENCH_chaos.json   # E19 fault-rate sweep
 //	nxbench -smallreq -json BENCH_smallreq.json   # E21 batched small-request sweep
+//	nxbench -codecs -json BENCH_codecs.json       # E23 codec shoot-out
 //	nxbench -chaos fault-storm                    # one named chaos profile
 //	nxbench -serve :8090 -serve-dur 30s           # workload behind the obs HTTP server
 //	nxbench -obs-demo                             # scrape-and-parse self check
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment id (E1..E22, A1..A11)")
+	only := flag.String("only", "", "run a single experiment id (E1..E23, A1..A11)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation sweeps")
 	host := flag.Bool("host", false, "also measure the host software baseline")
 	parallel := flag.Bool("parallel", false, "measure serial vs parallel Writer/Reader throughput scaling")
@@ -45,6 +46,7 @@ func main() {
 	devices := flag.Int("devices", 0, "measure a single topology point with this many z15 devices")
 	dispatch := flag.String("dispatch", "", "dispatch policy for the topology sweep: round-robin, least-loaded, affinity")
 	smallreq := flag.Bool("smallreq", false, "run the E21 batched small-request sweep (export points with -json)")
+	codecs := flag.Bool("codecs", false, "run the E23 codec shoot-out (export points with -json)")
 	chaos := flag.String("chaos", "", "run the E19 chaos harness: \"sweep\", a named profile (mild, heavy, fault-storm, ...) or \"class=rate,...\"")
 	serve := flag.String("serve", "", "run a workload behind the observability HTTP server on this address (e.g. :8090); combine with -chaos and -serve-dur")
 	serveDur := flag.Duration("serve-dur", 0, "how long -serve runs the workload (0 = until interrupted)")
@@ -83,6 +85,13 @@ func main() {
 	}
 	if *smallreq {
 		if err := smallreqRun(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "nxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *codecs {
+		if err := codecsRun(*jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "nxbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -175,6 +184,8 @@ func runOne(id string) []*experiments.Table {
 		return []*experiments.Table{experiments.E21SmallRequestBatching()}
 	case "E22":
 		return []*experiments.Table{experiments.E22FlightRecorderOverhead()}
+	case "E23":
+		return []*experiments.Table{experiments.E23CodecShootout()}
 	case "A1":
 		return []*experiments.Table{experiments.A1Banks()}
 	case "A2":
@@ -207,6 +218,21 @@ func runOne(id string) []*experiments.Table {
 // exports the raw points as JSON (BENCH_smallreq.json in make bench-json).
 func smallreqRun(jsonPath string) error {
 	t, points := experiments.SmallRequestBatching()
+	t.Render(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}
+
+// codecsRun drives the E23 codec shoot-out and optionally exports the
+// raw points as JSON (BENCH_codecs.json in make bench-json).
+func codecsRun(jsonPath string) error {
+	t, points := experiments.CodecShootout()
 	t.Render(os.Stdout)
 	if jsonPath == "" {
 		return nil

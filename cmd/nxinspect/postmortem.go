@@ -225,11 +225,15 @@ func runPostmortem(source string, req uint64) error {
 		show = show[len(show)-20:]
 	}
 	if len(show) > 0 {
-		fmt.Printf("\n%s:\n%-8s %-16s %-14s %10s %10s %8s %4s %-8s\n",
-			header, "req", "op", "device", "total-µs", "queue-µs", "in", "att", "outcome")
+		fmt.Printf("\n%s:\n%-8s %-16s %-12s %-14s %10s %10s %8s %4s %-8s\n",
+			header, "req", "op", "codec", "device", "total-µs", "queue-µs", "in", "att", "outcome")
 		for _, d := range show {
-			fmt.Printf("%-8d %-16s %-14s %10.0f %10.0f %8s %4d %-8s\n",
-				d.Req, d.Op, d.Device, d.TotalUS, d.QueueUS,
+			codec := d.Codec
+			if codec == "" {
+				codec = "-"
+			}
+			fmt.Printf("%-8d %-16s %-12s %-14s %10.0f %10.0f %8s %4d %-8s\n",
+				d.Req, d.Op, codec, d.Device, d.TotalUS, d.QueueUS,
 				stats.Bytes(int64(d.InBytes)), d.Attempts, d.Outcome.String())
 		}
 	}
@@ -258,8 +262,8 @@ func printRequest(req uint64, digests []*telemetry.Digest, spans []*pmSpan, even
 			continue
 		}
 		found = true
-		fmt.Printf("  digest: op=%s device=%s total=%.0fµs queue=%.0fµs in=%s out=%s cycles=%d attempts=%d outcome=%s\n",
-			d.Op, d.Device, d.TotalUS, d.QueueUS,
+		fmt.Printf("  digest: op=%s codec=%s device=%s total=%.0fµs queue=%.0fµs in=%s out=%s cycles=%d attempts=%d outcome=%s\n",
+			d.Op, d.Codec, d.Device, d.TotalUS, d.QueueUS,
 			stats.Bytes(int64(d.InBytes)), stats.Bytes(int64(d.OutBytes)),
 			d.EngineCycles, d.Attempts, d.Outcome.String())
 	}

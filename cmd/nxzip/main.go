@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nxzip [-d] [-chip p9|z15] [-fht] [-sw level] [-devices n] [-dispatch policy] [-metrics] [-trace out.json] [-events out.jsonl] [-o out] [file]
+//	nxzip [-d] [-chip p9|z15] [-fht] [-sw level] [-format gzip|zlib|raw|842|lz4] [-devices n] [-dispatch policy] [-metrics] [-trace out.json] [-events out.jsonl] [-o out] [file]
 //
 // Examples:
 //
@@ -20,6 +20,7 @@
 //	nxzip -devices 4 -chaos heavy -v corpus.txt   # inject faults; watch recovery
 //	nxzip -devices 4 -chaos heavy -events ev.jsonl corpus.txt  # log quarantine/failover events
 //	nxzip -chaos crc-error=1 -v corpus.txt        # kill the device: software fallback
+//	nxzip -format lz4 -v corpus.txt               # LZ4 block through codec dispatch
 package main
 
 import (
@@ -51,7 +52,7 @@ func run() error {
 		chip       = flag.String("chip", "p9", "accelerator model: p9 or z15")
 		fht        = flag.Bool("fht", false, "use the fixed Huffman table function code")
 		swLevel    = flag.Int("sw", 0, "bypass the accelerator; software codec at this level (1..9)")
-		format     = flag.String("format", "gzip", "stream format: gzip or 842")
+		format     = flag.String("format", "gzip", "stream format: gzip, zlib, raw, 842 or lz4")
 		stream     = flag.Bool("stream", false, "single-member streaming mode with 32 KiB history carry")
 		chunk      = flag.Int("chunk", 1<<20, "streaming request size in bytes")
 		outPath    = flag.String("o", "", "output file (default stdout)")
@@ -66,6 +67,10 @@ func run() error {
 	flag.Parse()
 	if *devices < 1 {
 		return fmt.Errorf("-devices %d: need at least one device", *devices)
+	}
+	ff, err := nxzip.ParseFormat(*format)
+	if err != nil {
+		return err
 	}
 	var chaosProfile faultinject.Profile
 	if *chaos != "" {
@@ -104,10 +109,10 @@ func run() error {
 	var metrics *nxzip.Metrics
 
 	// open wires the observability flags into whichever accelerator the
-	// mode below decides to use. The pure-software paths (-sw without
-	// -format 842) never open one, so those flags would be silently
+	// mode below decides to use. The pure-software paths (-sw with the
+	// gzip format) never open one, so those flags would be silently
 	// inert — warn up front instead of leaving empty outputs unexplained.
-	if *swLevel > 0 && *format != "842" && (*dumpMet || *tracePath != "" || *eventsPath != "") {
+	if *swLevel > 0 && ff == nxzip.FormatGzip && (*dumpMet || *tracePath != "" || *eventsPath != "") {
 		fmt.Fprintln(os.Stderr, "nxzip: warning: -metrics, -trace and -events have no effect with -sw: the software-only path opens no accelerator")
 	}
 	var acc *nxzip.Accelerator
@@ -163,14 +168,26 @@ func run() error {
 	}()
 
 	switch {
-	case *format == "842":
-		if _, err := open(nxzip.P9()); err != nil {
+	case ff != nxzip.FormatGzip:
+		// Non-gzip formats route through the format-parameterized API:
+		// zlib/raw one-shots on the DEFLATE engine, 842 and LZ4 through
+		// codec-capable dispatch with per-codec software fallback.
+		cfg := nxzip.P9()
+		if *chip == "z15" {
+			cfg = nxzip.Z15()
+		} else if *chip != "p9" {
+			return fmt.Errorf("unknown chip %q", *chip)
+		}
+		if *fht {
+			cfg.TableMode = nxzip.TableFixed
+		}
+		if _, err := open(cfg); err != nil {
 			return err
 		}
 		if *decompress {
-			result, metrics, err = acc.Decompress842(src, 0)
+			result, metrics, err = acc.DecompressFormat(ff, src, 0)
 		} else {
-			result, metrics, err = acc.Compress842(src)
+			result, metrics, err = acc.CompressFormat(ff, src)
 		}
 	case *swLevel > 0 && !*decompress:
 		result, err = nxzip.SoftwareGzip(src, *swLevel)

@@ -16,6 +16,7 @@ import (
 
 	"nxzip/internal/checksum"
 	"nxzip/internal/deflate"
+	"nxzip/internal/lz4"
 	"nxzip/internal/lz77"
 	"nxzip/internal/nx"
 	"nxzip/internal/obs"
@@ -65,17 +66,20 @@ func ccFail(op string, csb *nx.CSB) error {
 // issues all carry the same ID — the flight recorder chains them back
 // into one request history, with the winning attempt identifiable by
 // its hop number.
-func (a *Accelerator) failoverOn(nctx *topology.Context, opName string, op func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error), soft func() ([]byte, *Metrics, error)) ([]byte, *Metrics, error) {
+func (a *Accelerator) failoverOn(nctx *topology.Context, opName string, need nx.CodecSet, op func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error), soft func() ([]byte, *Metrics, error)) ([]byte, *Metrics, error) {
 	rec := a.recorder()
 	req := nextReq()
 	start := time.Now()
+	codec := need.String()
 	wasted := &Metrics{}
 	attempts := nctx.Size() + 1
 	attempt := 0
 	for ; attempt < attempts; attempt++ {
-		i, perr := nctx.PickIndexAvail()
+		i, perr := nctx.PickIndexCodec(need)
 		if perr != nil {
-			break // pool unhealthy: straight to software
+			// Pool unhealthy — or, with ErrNoCapableDevice, wrong
+			// hardware entirely: straight to software either way.
+			break
 		}
 		nctx.AcquireIndex(i)
 		out, m, err := op(nctx.At(i), req, attempt)
@@ -91,12 +95,12 @@ func (a *Accelerator) failoverOn(nctx *topology.Context, opName string, op func(
 			if attempt > 0 {
 				a.met.redispatches.Add(int64(attempt))
 			}
-			a.completeDigest(rec, req, opName, a.node.Label(i), m, start, attempt+1, telemetry.OutcomeOK)
+			a.completeDigest(rec, req, opName, codec, a.node.Label(i), m, start, attempt+1, telemetry.OutcomeOK)
 			return out, m, nil
 		}
 		addMetricsInto(wasted, m)
 		if !failoverEligible(err) {
-			a.completeDigest(rec, req, opName, a.node.Label(i), wasted, start, attempt+1, telemetry.OutcomeError)
+			a.completeDigest(rec, req, opName, codec, a.node.Label(i), wasted, start, attempt+1, telemetry.OutcomeError)
 			if rec != nil {
 				err = reqError(req, err)
 			}
@@ -115,13 +119,13 @@ func (a *Accelerator) failoverOn(nctx *topology.Context, opName string, op func(
 	if err != nil {
 		// The software path is authoritative: its failure (e.g. genuinely
 		// corrupt input) is the real answer, not the device flake.
-		a.completeDigest(rec, req, opName, "software", wasted, start, max(attempt, 1), telemetry.OutcomeError)
+		a.completeDigest(rec, req, opName, codec, "software", wasted, start, max(attempt, 1), telemetry.OutcomeError)
 		if rec != nil {
 			err = reqError(req, err)
 		}
 		return nil, wasted, err
 	}
-	a.met.fallbacks.Inc()
+	a.met.fallback(need)
 	a.node.Bus().Publish(obs.Event{Type: obs.EventFallback, Req: req,
 		Detail: fmt.Sprintf("software path after %d re-dispatches", wasted.Redispatches)})
 	m.Degraded = true
@@ -129,13 +133,21 @@ func (a *Accelerator) failoverOn(nctx *topology.Context, opName string, op func(
 	m.DeviceCycles += wasted.DeviceCycles
 	m.DeviceTime += wasted.DeviceTime
 	m.Faults += wasted.Faults
-	a.completeDigest(rec, req, opName, "software", m, start, max(attempt, 1), telemetry.OutcomeDegraded)
+	a.completeDigest(rec, req, opName, codec, "software", m, start, max(attempt, 1), telemetry.OutcomeDegraded)
 	return out, m, nil
 }
 
-// withFailover is failoverOn over the accelerator's own node context.
+// withFailover is failoverOn over the accelerator's own node context,
+// for the DEFLATE entry points.
 func (a *Accelerator) withFailover(opName string, op func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error), soft func() ([]byte, *Metrics, error)) ([]byte, *Metrics, error) {
-	return a.failoverOn(a.nctx, opName, op, soft)
+	return a.failoverOn(a.nctx, opName, nx.Codecs(nx.CodecDeflate), op, soft)
+}
+
+// withFailoverCodec is withFailover with an explicit codec requirement:
+// dispatch only considers devices advertising every codec in need, and
+// the digest/fallback telemetry is labeled with the set.
+func (a *Accelerator) withFailoverCodec(opName string, need nx.CodecSet, op func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error), soft func() ([]byte, *Metrics, error)) ([]byte, *Metrics, error) {
+	return a.failoverOn(a.nctx, opName, need, op, soft)
 }
 
 // softMetrics builds the Metrics of a software-path result: host
@@ -225,7 +237,7 @@ func (a *Accelerator) softDecompress(src []byte, wrap nx.Wrap, maxOutput int) ([
 // with re-dispatch and software fallback — the per-worker entry point of
 // Writer and ParallelWriter.
 func (a *Accelerator) compressMember(nctx *topology.Context, src []byte) ([]byte, *Metrics, error) {
-	return a.failoverOn(nctx, "member-compress",
+	return a.failoverOn(nctx, "member-compress", nx.Codecs(nx.CodecDeflate),
 		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
 			return a.compressOn(ctx, src, nx.WrapGzip, req, hop)
 		},
@@ -240,7 +252,7 @@ func (a *Accelerator) decompressMember(nctx *topology.Context, src []byte, budge
 		budget = 1
 	}
 	var consumed int
-	out, m, err := a.failoverOn(nctx, "member-decompress",
+	out, m, err := a.failoverOn(nctx, "member-decompress", nx.Codecs(nx.CodecDeflate),
 		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
 			plain, c, m, err := a.decompressMemberOn(ctx, src, budget, req, hop)
 			if err == nil {
@@ -293,10 +305,20 @@ func (a *Accelerator) softSegment(history, chunk []byte, final bool) ([]byte, *M
 	return body, m, nil
 }
 
-// soft842Compress / soft842Decompress are the 842 fallbacks.
-func soft842Compress(src []byte) ([]byte, *Metrics, error) {
+// softBlockCompress / softBlockDecompress are the per-codec software
+// fallbacks of the block-codec entry points: the same pure-Go codecs
+// the engine model runs, minus the device.
+func softBlockCompress(codec nx.Codec, src []byte) ([]byte, *Metrics, error) {
 	start := time.Now()
-	out := x842.Compress(src)
+	var out []byte
+	switch codec {
+	case nx.Codec842:
+		out = x842.Compress(src)
+	case nx.CodecLZ4:
+		out = lz4.Compress(src)
+	default:
+		return nil, nil, fmt.Errorf("nxzip: no software block compressor for codec %s", codec)
+	}
 	m := softMetrics(src, len(src), len(out), start)
 	m.Ratio = 0
 	if len(out) > 0 {
@@ -305,9 +327,20 @@ func soft842Compress(src []byte) ([]byte, *Metrics, error) {
 	return out, m, nil
 }
 
-func soft842Decompress(src []byte, maxOutput int) ([]byte, *Metrics, error) {
+func softBlockDecompress(codec nx.Codec, src []byte, maxOutput int) ([]byte, *Metrics, error) {
 	start := time.Now()
-	out, err := x842.Decompress(src, maxOutput)
+	var (
+		out []byte
+		err error
+	)
+	switch codec {
+	case nx.Codec842:
+		out, err = x842.Decompress(src, maxOutput)
+	case nx.CodecLZ4:
+		out, err = lz4.Decompress(src, maxOutput)
+	default:
+		return nil, nil, fmt.Errorf("nxzip: no software block decompressor for codec %s", codec)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

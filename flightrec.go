@@ -112,13 +112,14 @@ func (a *Accelerator) recorder() *flightrec.Recorder {
 // completeDigest records one finished root-level request into the
 // recorder (a no-op without one). The Digest is stack-built and copied
 // by Complete, so the call allocates nothing.
-func (a *Accelerator) completeDigest(rec *flightrec.Recorder, req uint64, op, device string, m *Metrics, start time.Time, attempts int, outcome telemetry.Outcome) {
+func (a *Accelerator) completeDigest(rec *flightrec.Recorder, req uint64, op, codec, device string, m *Metrics, start time.Time, attempts int, outcome telemetry.Outcome) {
 	if rec == nil {
 		return
 	}
 	d := telemetry.Digest{
 		Req:          req,
 		Op:           op,
+		Codec:        codec,
 		Device:       device,
 		QueueUS:      float64(m.QueueWait) / float64(time.Microsecond),
 		TotalUS:      float64(time.Since(start)) / float64(time.Microsecond),

@@ -510,6 +510,7 @@ func All() []*Table {
 		E20ObservabilityOverhead(),
 		E21SmallRequestBatching(),
 		E22FlightRecorderOverhead(),
+		E23CodecShootout(),
 	}
 }
 

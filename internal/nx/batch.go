@@ -218,6 +218,7 @@ func (c *Context) runBatch(wrapped *vas.CRB, p *pendingCRB, dequeuedAt time.Time
 		m.requests.Inc()
 		m.inBytes.Add(int64(en.CSB.SPBC))
 		m.outBytes.Add(int64(en.CSB.TPBC))
+		m.bumpCodec(&en.CRB, &en.CSB)
 		if cc := en.CSB.CC; cc >= 0 && cc < ccCount {
 			m.cc[cc].Inc()
 		}

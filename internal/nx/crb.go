@@ -38,6 +38,14 @@ const (
 	// FCMove copies source to target computing CRC32/Adler-32 inline
 	// without compressing — the engine's checksum/memcpy offload.
 	FCMove
+	// FCLZ4Compress compresses with the LZ4 block engine.
+	FCLZ4Compress
+	// FCLZ4Decompress decompresses an LZ4 block.
+	FCLZ4Decompress
+	// FCTranscode decodes CRB.SourceCodec input and re-encodes it as
+	// CRB.TargetCodec in one engine pass (DEFLATE output framed per
+	// CRB.Wrap) — the recompression pipeline as a single node request.
+	FCTranscode
 )
 
 func (f FuncCode) String() string {
@@ -56,6 +64,12 @@ func (f FuncCode) String() string {
 		return "842-decompress"
 	case FCMove:
 		return "move"
+	case FCLZ4Compress:
+		return "lz4-compress"
+	case FCLZ4Decompress:
+		return "lz4-decompress"
+	case FCTranscode:
+		return "transcode"
 	}
 	return fmt.Sprintf("FuncCode(%d)", int(f))
 }
@@ -191,6 +205,13 @@ func ccError(op string, csb *CSB) error {
 type CRB struct {
 	Func FuncCode
 	Wrap Wrap
+
+	// SourceCodec/TargetCodec select the two sides of an FCTranscode
+	// request: Input is a SourceCodec stream (framed per Wrap when
+	// DEFLATE), Output a TargetCodec stream. Ignored by every other
+	// function code, whose codec comes from the function-code table.
+	SourceCodec Codec
+	TargetCodec Codec
 
 	// ReqID is the root-level request identity stamped by the public API:
 	// every span and event this submission produces carries it, across

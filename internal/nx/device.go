@@ -142,6 +142,13 @@ type devMetrics struct {
 	queueWaitUS  *telemetry.Histogram // paste-accept to dequeue, µs wall-clock
 	cc           [ccCount]*telemetry.Counter
 
+	// Per-codec traffic split (nx.codec.* vecs, labeled by codec name):
+	// the aggregate nx.requests/in_bytes/out_bytes stay untouched — the
+	// SLO engine reads them by exact name.
+	codecRequests [codecCount]*telemetry.Counter
+	codecInBytes  [codecCount]*telemetry.Counter
+	codecOutBytes [codecCount]*telemetry.Counter
+
 	// Recovery instruments (the failure model's visible surface).
 	faultStorms    *telemetry.Counter   // submissions that hit the fault-round cap
 	engineHangs    *telemetry.Counter   // requests dropped without a CSB write
@@ -149,6 +156,20 @@ type devMetrics struct {
 	deadlineFails  *telemetry.Counter   // submissions that ran out of deadline
 	backoffWaits   *telemetry.Counter   // paste backoff sleeps taken
 	backoffUS      *telemetry.Histogram // per-request total backoff, µs wall-clock
+}
+
+// bumpCodec splits one completed request into the per-codec series.
+// Transcode requests bump both sides; FCMove (no codec) bumps none.
+// Allocation-free: it runs on the pooled zero-alloc path.
+func (m *devMetrics) bumpCodec(crb *CRB, csb *CSB) {
+	need := crb.RequiredCodecs()
+	for c := Codec(0); c < codecCount; c++ {
+		if need.Has(c) {
+			m.codecRequests[c].Inc()
+			m.codecInBytes[c].Add(int64(csb.SPBC))
+			m.codecOutBytes[c].Add(int64(csb.TPBC))
+		}
+	}
 }
 
 // NewDevice builds a device.
@@ -183,6 +204,14 @@ func NewDevice(cfg DeviceConfig) *Device {
 	ccVec := reg.CounterVec("nx.cc")
 	for cc := CC(0); cc < ccCount; cc++ {
 		d.met.cc[cc] = ccVec.With(cc.String())
+	}
+	codecReqVec := reg.CounterVec("nx.codec.requests")
+	codecInVec := reg.CounterVec("nx.codec.in_bytes")
+	codecOutVec := reg.CounterVec("nx.codec.out_bytes")
+	for _, c := range AllCodecs() {
+		d.met.codecRequests[c] = codecReqVec.With(c.String())
+		d.met.codecInBytes[c] = codecInVec.With(c.String())
+		d.met.codecOutBytes[c] = codecOutVec.With(c.String())
 	}
 	d.mmu.SetMetrics(reg)
 	d.sb.SetMetrics(reg)
@@ -337,6 +366,10 @@ func (d *Device) Switchboard() *vas.Switchboard { return d.sb }
 
 // EngineCount returns the number of engines behind the receive FIFO.
 func (d *Device) EngineCount() int { return len(d.engines) }
+
+// Codecs returns the codec capability set this device's engines
+// advertise (zero means all codecs). Dispatch layers route by it.
+func (d *Device) Codecs() CodecSet { return d.cfg.Engine.Codecs }
 
 // Engine returns engine i, wrapping modulo EngineCount: Engine(i) never
 // panics for i >= 0, which serves callers spreading work with an
@@ -895,6 +928,7 @@ func (c *Context) runOne(wrapped *vas.CRB) {
 	m.requests.Inc()
 	m.inBytes.Add(int64(p.csb.SPBC))
 	m.outBytes.Add(int64(p.csb.TPBC))
+	m.bumpCodec(p.crb, p.csb)
 	if cc := p.csb.CC; cc >= 0 && cc < ccCount {
 		m.cc[cc].Inc()
 	}
@@ -1038,6 +1072,7 @@ func (c *Context) SyncCall(crb *CRB) (*CSB, *Report, error) {
 		m.syncCalls.Inc()
 		m.inBytes.Add(int64(csb.SPBC))
 		m.outBytes.Add(int64(csb.TPBC))
+		m.bumpCodec(crb, csb)
 		if cc := csb.CC; cc >= 0 && cc < ccCount {
 			m.cc[cc].Inc()
 		}

@@ -11,13 +11,18 @@ import (
 	"nxzip/internal/lz77"
 	"nxzip/internal/nmmu"
 	"nxzip/internal/pipeline"
-	"nxzip/internal/x842"
 )
 
 // EngineConfig assembles an engine model.
 type EngineConfig struct {
 	Pipeline pipeline.Config
 	LZ       lz77.HWParams
+	// Codecs advertises which codec families this engine implements.
+	// The zero value means all of them, so existing configurations keep
+	// serving everything; a restricted set makes the engine NACK
+	// out-of-set requests with CCInvalidCRB, and the topology layer
+	// routes around it.
+	Codecs CodecSet
 }
 
 // P9Engine returns the POWER9 NX GZIP engine configuration.
@@ -116,6 +121,16 @@ func (e *Engine) ProcessInto(pid nmmu.PID, crb *CRB, csb *CSB) {
 
 	csb.reset()
 
+	// Capability gate before any work: a function code outside the
+	// engine's advertised codec set is NACKed at CRB parse, exactly as
+	// hardware rejects an unimplemented function code. No cycles charged
+	// — the request never entered the pipeline.
+	if need := crb.RequiredCodecs(); !e.cfg.Codecs.Supports(need) {
+		csb.CC = CCInvalidCRB
+		csb.Detail = "codec not supported: " + need.String() + " (engine serves " + e.cfg.Codecs.String() + ")"
+		return
+	}
+
 	// Address translation first: the engine touches the source range, then
 	// the target range. A fault suspends the job; software resolves it and
 	// resubmits, and the engine restarts the request (P9 semantics).
@@ -165,10 +180,12 @@ func (e *Engine) ProcessInto(pid nmmu.PID, crb *CRB, csb *CSB) {
 		} else {
 			e.decompress(pid, crb, csb, translateCycles)
 		}
-	case FC842Compress:
-		e.compress842(crb, csb, translateCycles)
-	case FC842Decompress:
-		e.decompress842(crb, csb, translateCycles)
+	case FC842Compress, FCLZ4Compress:
+		e.blockCompress(crb, csb, translateCycles, crb.Func.Codec())
+	case FC842Decompress, FCLZ4Decompress:
+		e.blockDecompress(crb, csb, translateCycles, crb.Func.Codec())
+	case FCTranscode:
+		e.transcode(pid, crb, csb, translateCycles)
 	case FCMove:
 		e.move(crb, csb, translateCycles)
 	default:
@@ -451,11 +468,23 @@ func (e *Engine) decompress(pid nmmu.PID, crb *CRB, csb *CSB, translateCycles in
 	csb.Cycles = e.cfg.Pipeline.Decompress(consumed, len(out), translateCycles)
 }
 
-func (e *Engine) compress842(crb *CRB, csb *CSB, translateCycles int64) {
-	out := x842.Compress(crb.Input)
+// blockCompress runs any byte-aligned block codec (842, LZ4) through one
+// generalized path: codec table lookup, compress, inline CRC over the
+// input, and the per-codec cycle model — the ingest-lane multiplier
+// scales how many input bytes the match pipeline consumes per cycle.
+func (e *Engine) blockCompress(crb *CRB, csb *CSB, translateCycles int64, codec Codec) {
+	bt := blockCodecs[codec]
+	if bt.compress == nil {
+		csb.CC = CCInvalidCRB
+		csb.Detail = "no block compressor for codec " + codec.String()
+		return
+	}
+	out := bt.compress(crb.Input)
+	ingest := int64(len(crb.Input)/(e.cfg.LZ.InputWidth*bt.ingestLanes) + 1)
+	cycles := e.cfg.Pipeline.Compress(len(crb.Input), len(out), ingest, translateCycles, false)
 	if len(out) > targetCap(crb) {
 		csb.CC = CCTargetSpace
-		csb.Cycles = e.cfg.Pipeline.Compress(len(crb.Input), len(out), int64(len(crb.Input)/e.cfg.LZ.InputWidth+1), translateCycles, false)
+		csb.Cycles = cycles
 		return
 	}
 	csb.CC = CCSuccess
@@ -463,12 +492,18 @@ func (e *Engine) compress842(crb *CRB, csb *CSB, translateCycles int64) {
 	csb.SPBC = len(crb.Input)
 	csb.TPBC = len(out)
 	csb.CRC32 = checksum.Sum32(crb.Input)
-	// 842 streams through the same ingest path at line rate.
-	csb.Cycles = e.cfg.Pipeline.Compress(len(crb.Input), len(out), int64(len(crb.Input)/e.cfg.LZ.InputWidth+1), translateCycles, false)
+	csb.Cycles = cycles
 }
 
-func (e *Engine) decompress842(crb *CRB, csb *CSB, translateCycles int64) {
-	out, err := x842.Decompress(crb.Input, crb.MaxOutput)
+// blockDecompress is the matching generalized decompress path.
+func (e *Engine) blockDecompress(crb *CRB, csb *CSB, translateCycles int64, codec Codec) {
+	bt := blockCodecs[codec]
+	if bt.decompress == nil {
+		csb.CC = CCInvalidCRB
+		csb.Detail = "no block decompressor for codec " + codec.String()
+		return
+	}
+	out, err := bt.decompress(crb.Input, crb.MaxOutput)
 	if err != nil {
 		csb.CC = CCDataCorrupt
 		csb.Detail = err.Error()
@@ -486,6 +521,74 @@ func (e *Engine) decompress842(crb *CRB, csb *CSB, translateCycles int64) {
 	csb.TPBC = len(out)
 	csb.CRC32 = checksum.Sum32(out)
 	csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), len(out), translateCycles)
+}
+
+// transcode decodes CRB.SourceCodec input and re-encodes the plaintext
+// as CRB.TargetCodec without leaving the engine — the paper's
+// recompression pipeline (e.g. LZ4 ingest → DEFLATE at rest) as one
+// request. Setup/complete are paid once; the decode pass's translate,
+// DMA-in and decode cycles fold into the encode pass's breakdown. The
+// intermediate plaintext never crosses the bus, so there is no DMA-out
+// charge for stage one.
+func (e *Engine) transcode(pid nmmu.PID, crb *CRB, csb *CSB, translateCycles int64) {
+	if crb.SourceCodec == crb.TargetCodec {
+		csb.CC = CCInvalidCRB
+		csb.Detail = "transcode with identical source and target codec " + crb.SourceCodec.String()
+		return
+	}
+	limit := crb.MaxOutput
+	if limit <= 0 {
+		limit = 1 << 30
+	}
+	var (
+		plain []byte
+		err   error
+	)
+	if crb.SourceCodec == CodecDeflate {
+		opts := deflate.InflateOptions{MaxOutput: limit}
+		switch crb.Wrap {
+		case WrapGzip:
+			plain, err = deflate.DecompressGzip(crb.Input, opts)
+		case WrapZlib:
+			plain, err = deflate.DecompressZlib(crb.Input, opts)
+		default:
+			plain, err = deflate.Decompress(crb.Input, opts)
+		}
+	} else {
+		plain, err = blockCodecs[crb.SourceCodec].decompress(crb.Input, limit)
+	}
+	if err != nil {
+		csb.CC = CCDataCorrupt
+		csb.Detail = err.Error()
+		csb.Cycles = e.cfg.Pipeline.Decompress(len(crb.Input), 0, translateCycles)
+		return
+	}
+	dec := e.cfg.Pipeline.Decompress(len(crb.Input), len(plain), translateCycles)
+
+	// Re-encode through the regular compress paths so wrap, checksum and
+	// target-space handling are not duplicated; translate was already
+	// charged on the decode pass.
+	inner := CRB{
+		Func:      compressFunc(crb.TargetCodec),
+		Wrap:      crb.Wrap,
+		Input:     plain,
+		TargetCap: crb.TargetCap,
+		Target:    crb.Target,
+	}
+	if crb.TargetCodec == CodecDeflate {
+		e.compress(pid, &inner, csb, 0)
+	} else {
+		e.blockCompress(&inner, csb, 0, crb.TargetCodec)
+	}
+	csb.Cycles.Translate += dec.Translate
+	csb.Cycles.DMAIn += dec.DMAIn
+	csb.Cycles.Decode += dec.Decode
+	csb.Cycles.Total += dec.Translate + dec.DMAIn + dec.Decode
+	if csb.CC == CCSuccess {
+		// Source-processed counts the codec-side input, not the
+		// intermediate plaintext.
+		csb.SPBC = len(crb.Input)
+	}
 }
 
 // move is the checksum/copy offload: data streams through the DMA path

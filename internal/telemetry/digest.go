@@ -45,6 +45,10 @@ type Digest struct {
 	Req uint64 `json:"req"`
 	// Op is the function-code name ("compress-dht", "decompress", …).
 	Op string `json:"op"`
+	// Codec names the codec family the request ran under ("deflate",
+	// "842", "lz4", or "deflate+lz4" for a transcode). Empty in digests
+	// recorded before codec-plural dispatch existed.
+	Codec string `json:"codec,omitempty"`
 	// Device is the serving device's label, "software" for fallback
 	// results, "" when the request failed before any device ran it.
 	Device   string `json:"device"`

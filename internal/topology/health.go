@@ -16,6 +16,13 @@ import (
 // failover layer uses to fall back to the software path.
 var ErrNoHealthyDevice = errors.New("topology: no healthy device available")
 
+// ErrNoCapableDevice is returned by the codec-aware picks when no
+// device of the node — healthy or quarantined — advertises the codec a
+// request requires: the pool has the wrong hardware, so failover
+// re-dispatch is pointless and the caller degrades to software
+// immediately.
+var ErrNoCapableDevice = errors.New("topology: no device supports the requested codec")
+
 // HealthPolicy configures the per-device health scoreboard: when a
 // device is quarantined and how it earns its way back.
 type HealthPolicy struct {

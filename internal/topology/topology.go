@@ -116,6 +116,11 @@ type Node struct {
 	inflight []atomic.Int64
 	ctxSeq   atomic.Uint64
 
+	// caps caches each device's advertised codec set (zero = all), so
+	// capability filtering on the pick path is one mask test with no
+	// device indirection.
+	caps []nx.CodecSet
+
 	// reg holds node-scope instruments (dispatch counters and whatever
 	// callers register); per-device instruments live in each device's own
 	// registry and are merged at snapshot time.
@@ -161,6 +166,7 @@ func New(shape Shape, policy Policy) *Node {
 	pVec := n.reg.CounterVec("topology.probes")
 	for _, spec := range shape.Devices {
 		n.devs = append(n.devs, nx.NewDevice(spec.Config))
+		n.caps = append(n.caps, spec.Config.Engine.Codecs)
 		n.dispatch = append(n.dispatch, vec.With(spec.Label))
 		n.quarantines = append(n.quarantines, qVec.With(spec.Label))
 		n.readmissions = append(n.readmissions, rVec.With(spec.Label))
@@ -191,6 +197,34 @@ func (n *Node) Policy() Policy { return n.policy }
 // (stream-layer counters, dispatch counts) registered here appear
 // unprefixed in MetricsSnapshot alongside the merged device registries.
 func (n *Node) Registry() *telemetry.Registry { return n.reg }
+
+// Capable reports whether device i advertises every codec in need (a
+// zero advertised set serves everything; a zero need set asks nothing).
+func (n *Node) Capable(i int, need nx.CodecSet) bool { return n.caps[i].Supports(need) }
+
+// AnyCapable reports whether any device — healthy or not — could serve
+// a request requiring need. Distinguishes "wrong hardware"
+// (ErrNoCapableDevice, retrying is pointless) from "all quarantined"
+// (ErrNoHealthyDevice, the pool may recover).
+func (n *Node) AnyCapable(need nx.CodecSet) bool {
+	for i := range n.caps {
+		if n.caps[i].Supports(need) {
+			return true
+		}
+	}
+	return false
+}
+
+// CapableCount returns how many devices advertise every codec in need.
+func (n *Node) CapableCount(need nx.CodecSet) int {
+	count := 0
+	for i := range n.caps {
+		if n.caps[i].Supports(need) {
+			count++
+		}
+	}
+	return count
+}
 
 // Load reports device i's dispatch load: requests picked but not yet
 // released plus the device's receive-FIFO occupancy. The least-loaded
@@ -322,21 +356,34 @@ func (c *Context) Primary() *nx.Context { return c.ctxs[0] }
 // At returns device i's context.
 func (c *Context) At(i int) *nx.Context { return c.ctxs[i] }
 
-// pickIndex resolves the policy's choice through the health scoreboard:
-// the picked device must be admissible (healthy, or quarantined with a
-// probe due); otherwise the scan wraps to the next admissible device.
-// ok=false means no device is admissible — the chosen index is the
-// policy's original pick, for callers that submit anyway.
-func (c *Context) pickIndex() (int, bool) {
+// deflateNeed is the capability requirement of the classic
+// single-format entry points (Pick, PickAvail, PickIndexAvail,
+// PickSticky): they all submit DEFLATE work, so on a mixed-capability
+// node they must route past devices that only serve other codecs.
+var deflateNeed = nx.Codecs(nx.CodecDeflate)
+
+// pickIndex resolves the policy's choice for DEFLATE work — see
+// pickIndexFor.
+func (c *Context) pickIndex() (int, bool) { return c.pickIndexFor(deflateNeed) }
+
+// pickIndexFor resolves the policy's choice through the capability mask
+// and the health scoreboard: the picked device must advertise every
+// codec in need and be admissible (healthy, or quarantined with a probe
+// due); otherwise the scan wraps to the next capable admissible device.
+// The capability test runs first — admit spends probe admissions, which
+// must not leak to devices the request could never run on. ok=false
+// means no device qualifies — the chosen index is the policy's original
+// pick, for callers that submit anyway.
+func (c *Context) pickIndexFor(need nx.CodecSet) (int, bool) {
 	i := c.node.policy.Pick(c.node, int(c.pid), c.id)
 	if i < 0 || i >= len(c.ctxs) {
 		i = 0
 	}
-	if c.node.admit(i) {
+	if c.node.Capable(i, need) && c.node.admit(i) {
 		return i, true
 	}
 	for j := 1; j < len(c.ctxs); j++ {
-		if k := (i + j) % len(c.ctxs); c.node.admit(k) {
+		if k := (i + j) % len(c.ctxs); c.node.Capable(k, need) && c.node.admit(k) {
 			return k, true
 		}
 	}
@@ -362,8 +409,20 @@ func (c *Context) acquire(i int) (*nx.Context, func(error)) {
 // and batch submitters (the index also keys At and Device for buffer
 // mapping on the right MMU).
 func (c *Context) PickIndexAvail() (int, error) {
-	i, ok := c.pickIndex()
+	return c.PickIndexCodec(deflateNeed)
+}
+
+// PickIndexCodec is PickIndexAvail for an explicit codec requirement:
+// only devices advertising every codec in need are considered. It
+// distinguishes a pool with no such hardware (ErrNoCapableDevice —
+// degrade to software now, re-dispatching is pointless) from one whose
+// capable devices are all quarantined (ErrNoHealthyDevice).
+func (c *Context) PickIndexCodec(need nx.CodecSet) (int, error) {
+	i, ok := c.pickIndexFor(need)
 	if !ok {
+		if !c.node.AnyCapable(need) {
+			return 0, ErrNoCapableDevice
+		}
 		return 0, ErrNoHealthyDevice
 	}
 	return i, nil
@@ -460,7 +519,7 @@ func (c *Context) PickStickyAvoid(avoid *nx.Context) (*nx.Context, error) {
 	}
 	for j := 0; j < len(c.ctxs); j++ {
 		k := (start + j) % len(c.ctxs)
-		if c.ctxs[k] != avoid && c.node.admit(k) {
+		if c.ctxs[k] != avoid && c.node.Capable(k, deflateNeed) && c.node.admit(k) {
 			c.node.dispatch[k].Inc()
 			return c.ctxs[k], nil
 		}

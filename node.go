@@ -63,6 +63,26 @@ type Node struct {
 	// Views reach it through their root back-reference with one atomic
 	// load, preserving the zero-cost-when-absent hook discipline.
 	rec atomic.Pointer[flightrec.Recorder]
+
+	// view is the lazily-created default accelerator view behind the
+	// node-level format API (CompressFormat/DecompressFormat/Transcode).
+	view atomic.Pointer[Accelerator]
+}
+
+// defaultView returns the node's shared accelerator view, creating it
+// on first use. Format-routed node calls share this one view (and its
+// PID-1 address space); callers needing isolated address spaces keep
+// opening their own with View.
+func (n *Node) defaultView() *Accelerator {
+	if v := n.view.Load(); v != nil {
+		return v
+	}
+	v := n.View()
+	if !n.view.CompareAndSwap(nil, v) {
+		v.Close()
+		return n.view.Load()
+	}
+	return v
 }
 
 // OpenNode instantiates every device of the shape — per-device VAS

@@ -167,10 +167,27 @@ type accMetrics struct {
 	reorderDepth   *telemetry.Gauge // in-flight reorder-queue entries; Max = high-water
 	fallbacks      *telemetry.Counter
 	redispatches   *telemetry.Counter
+
+	// codecFallbacks splits fallbacks by codec family
+	// (nxzip.codec.fallbacks{deflate|842|lz4}); the aggregate
+	// nxzip.fallbacks stays untouched — the SLO fallback-ratio rule
+	// reads it by exact name.
+	codecFallbacks [nx.CodecCount]*telemetry.Counter
+}
+
+// fallback counts one software fallback: the aggregate plus every codec
+// the degraded request required.
+func (m *accMetrics) fallback(need nx.CodecSet) {
+	m.fallbacks.Inc()
+	for _, c := range nx.AllCodecs() {
+		if need.Has(c) {
+			m.codecFallbacks[c].Inc()
+		}
+	}
 }
 
 func newAccMetrics(reg *telemetry.Registry) *accMetrics {
-	return &accMetrics{
+	m := &accMetrics{
 		writerMembers:  reg.Counter("nxzip.writer.members"),
 		readerMembers:  reg.Counter("nxzip.reader.members"),
 		streamSegments: reg.Counter("nxzip.stream.segments"),
@@ -179,6 +196,11 @@ func newAccMetrics(reg *telemetry.Registry) *accMetrics {
 		fallbacks:      reg.Counter("nxzip.fallbacks"),
 		redispatches:   reg.Counter("nxzip.redispatches"),
 	}
+	vec := reg.CounterVec("nxzip.codec.fallbacks")
+	for _, c := range nx.AllCodecs() {
+		m.codecFallbacks[c] = vec.With(c.String())
+	}
+	return m
 }
 
 // Open instantiates the device model and a context (address space + VAS
@@ -497,23 +519,49 @@ func (a *Accelerator) DecompressRaw(src []byte) ([]byte, *Metrics, error) {
 // Compress842 compresses with the 842 engine (the POWER NX's memory
 // compression format).
 func (a *Accelerator) Compress842(src []byte) ([]byte, *Metrics, error) {
-	return a.withFailover("842-compress",
-		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
-			csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Compress, Input: src, ReqID: req, Hop: hop})
-			if err != nil {
-				return nil, nil, err
-			}
-			if csb.CC != nx.CCSuccess {
-				return nil, reportToMetrics(rep, csb), ccFail("842", csb)
-			}
-			return csb.Output, reportToMetrics(rep, csb), nil
-		},
-		func() ([]byte, *Metrics, error) { return soft842Compress(src) })
+	return a.blockCompressOp(nx.Codec842, src)
 }
 
 // Decompress842 decompresses 842 data. maxOutput of 0 applies a size
 // heuristic; pass an explicit bound for untrusted input.
 func (a *Accelerator) Decompress842(src []byte, maxOutput int) ([]byte, *Metrics, error) {
+	return a.blockDecompressOp(nx.Codec842, src, maxOutput)
+}
+
+// CompressLZ4 compresses src into one LZ4 block through the pool's
+// LZ4-capable devices, with software fallback.
+func (a *Accelerator) CompressLZ4(src []byte) ([]byte, *Metrics, error) {
+	return a.blockCompressOp(nx.CodecLZ4, src)
+}
+
+// DecompressLZ4 decompresses one LZ4 block. maxOutput of 0 applies a
+// size heuristic; pass an explicit bound for untrusted input.
+func (a *Accelerator) DecompressLZ4(src []byte, maxOutput int) ([]byte, *Metrics, error) {
+	return a.blockDecompressOp(nx.CodecLZ4, src, maxOutput)
+}
+
+// blockCompressOp runs any block codec (842, LZ4) through the
+// codec-routed failover path: dispatch considers only devices
+// advertising the codec, and when none is healthy — or the pool simply
+// has no such hardware — the matching software codec produces the
+// result with Metrics.Degraded set.
+func (a *Accelerator) blockCompressOp(codec nx.Codec, src []byte) ([]byte, *Metrics, error) {
+	return a.withFailoverCodec(codec.String()+"-compress", nx.Codecs(codec),
+		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
+			csb, rep, err := ctx.Submit(&nx.CRB{Func: codec.CompressFunc(), Input: src, ReqID: req, Hop: hop})
+			if err != nil {
+				return nil, nil, err
+			}
+			if csb.CC != nx.CCSuccess {
+				return nil, reportToMetrics(rep, csb), ccFail(codec.String(), csb)
+			}
+			return csb.Output, reportToMetrics(rep, csb), nil
+		},
+		func() ([]byte, *Metrics, error) { return softBlockCompress(codec, src) })
+}
+
+// blockDecompressOp is blockCompressOp's decompression side.
+func (a *Accelerator) blockDecompressOp(codec nx.Codec, src []byte, maxOutput int) ([]byte, *Metrics, error) {
 	if maxOutput <= 0 {
 		maxOutput = 256 * len(src)
 		if maxOutput < 1<<20 {
@@ -521,18 +569,18 @@ func (a *Accelerator) Decompress842(src []byte, maxOutput int) ([]byte, *Metrics
 		}
 	}
 	budget := maxOutput
-	return a.withFailover("842-decompress",
+	return a.withFailoverCodec(codec.String()+"-decompress", nx.Codecs(codec),
 		func(ctx *nx.Context, req uint64, hop int) ([]byte, *Metrics, error) {
-			csb, rep, err := ctx.Submit(&nx.CRB{Func: nx.FC842Decompress, Input: src, MaxOutput: budget, TargetCap: budget, ReqID: req, Hop: hop})
+			csb, rep, err := ctx.Submit(&nx.CRB{Func: codec.DecompressFunc(), Input: src, MaxOutput: budget, TargetCap: budget, ReqID: req, Hop: hop})
 			if err != nil {
 				return nil, nil, err
 			}
 			if csb.CC != nx.CCSuccess {
-				return nil, reportToMetrics(rep, csb), ccFail("842", csb)
+				return nil, reportToMetrics(rep, csb), ccFail(codec.String(), csb)
 			}
 			return csb.Output, reportToMetrics(rep, csb), nil
 		},
-		func() ([]byte, *Metrics, error) { return soft842Decompress(src, budget) })
+		func() ([]byte, *Metrics, error) { return softBlockDecompress(codec, src, budget) })
 }
 
 // Context exposes the raw device context for advanced use (canned DHTs,

@@ -185,7 +185,7 @@ func (a *Accelerator) compressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *Met
 				a.met.redispatches.Add(int64(attempt))
 			}
 			putOneShot(os)
-			a.completeDigest(rec, req, "compress", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeOK)
+			a.completeDigest(rec, req, "compress", "deflate", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeOK)
 			return out, nil
 		}
 		wastedCycles += m.DeviceCycles
@@ -193,7 +193,7 @@ func (a *Accelerator) compressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *Met
 		wastedFaults += m.Faults
 		if !failoverEligible(err) {
 			putOneShot(os)
-			a.completeDigest(rec, req, "compress", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeError)
+			a.completeDigest(rec, req, "compress", "deflate", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeError)
 			if rec != nil {
 				err = reqError(req, err)
 			}
@@ -207,19 +207,19 @@ func (a *Accelerator) compressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *Met
 	}
 	out, sm, err := a.softCompress(src, wrap)
 	if err != nil {
-		a.completeDigest(rec, req, "compress", "software", m, start, max(redispatches, 1), telemetry.OutcomeError)
+		a.completeDigest(rec, req, "compress", "deflate", "software", m, start, max(redispatches, 1), telemetry.OutcomeError)
 		if rec != nil {
 			err = reqError(req, err)
 		}
 		return nil, err
 	}
-	a.met.fallbacks.Inc()
+	a.met.fallback(nx.Codecs(nx.CodecDeflate))
 	*m = *sm
 	m.Redispatches = redispatches
 	m.DeviceCycles += wastedCycles
 	m.DeviceTime += wastedTime
 	m.Faults += wastedFaults
-	a.completeDigest(rec, req, "compress", "software", m, start, max(redispatches, 1), telemetry.OutcomeDegraded)
+	a.completeDigest(rec, req, "compress", "deflate", "software", m, start, max(redispatches, 1), telemetry.OutcomeDegraded)
 	return append(dst[:0], out...), nil
 }
 
@@ -264,7 +264,7 @@ func (a *Accelerator) decompressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *M
 				a.met.redispatches.Add(int64(attempt))
 			}
 			putOneShot(os)
-			a.completeDigest(rec, req, "decompress", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeOK)
+			a.completeDigest(rec, req, "decompress", "deflate", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeOK)
 			return out, nil
 		}
 		wastedCycles += m.DeviceCycles
@@ -272,7 +272,7 @@ func (a *Accelerator) decompressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *M
 		wastedFaults += m.Faults
 		if !failoverEligible(err) {
 			putOneShot(os)
-			a.completeDigest(rec, req, "decompress", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeError)
+			a.completeDigest(rec, req, "decompress", "deflate", a.node.Label(i), m, start, attempt+1, telemetry.OutcomeError)
 			if rec != nil {
 				err = reqError(req, err)
 			}
@@ -286,18 +286,18 @@ func (a *Accelerator) decompressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *M
 	}
 	out, sm, err := a.softDecompress(src, wrap, maxOutput)
 	if err != nil {
-		a.completeDigest(rec, req, "decompress", "software", m, start, max(redispatches, 1), telemetry.OutcomeError)
+		a.completeDigest(rec, req, "decompress", "deflate", "software", m, start, max(redispatches, 1), telemetry.OutcomeError)
 		if rec != nil {
 			err = reqError(req, err)
 		}
 		return nil, err
 	}
-	a.met.fallbacks.Inc()
+	a.met.fallback(nx.Codecs(nx.CodecDeflate))
 	*m = *sm
 	m.Redispatches = redispatches
 	m.DeviceCycles += wastedCycles
 	m.DeviceTime += wastedTime
 	m.Faults += wastedFaults
-	a.completeDigest(rec, req, "decompress", "software", m, start, max(redispatches, 1), telemetry.OutcomeDegraded)
+	a.completeDigest(rec, req, "decompress", "deflate", "software", m, start, max(redispatches, 1), telemetry.OutcomeDegraded)
 	return append(dst[:0], out...), nil
 }

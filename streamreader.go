@@ -185,7 +185,7 @@ func (r *StreamReader) submitResume(chunk []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.acc.met.fallbacks.Inc()
+	r.acc.met.fallback(nx.Codecs(nx.CodecDeflate))
 	r.Stats.Degraded = true
 	r.Stats.InBytes += len(chunk)
 	return out, nil

@@ -196,7 +196,7 @@ func (w *StreamWriter) submitSegment(chunk []byte, final bool) ([]byte, *Metrics
 	if err != nil {
 		return nil, wasted, err
 	}
-	w.acc.met.fallbacks.Inc()
+	w.acc.met.fallback(nx.Codecs(nx.CodecDeflate))
 	m.Degraded = true
 	m.Redispatches = wasted.Redispatches
 	addMetricsInto(m, wasted)
