@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check test race chaos bench bench-alloc bench-json fuzz-smoke nxbench parallel trace-demo obs-demo flightrec-demo
+.PHONY: check build vet fmt-check test race chaos bench bench-alloc bench-json fuzz-smoke nxbench parallel trace-demo obs-demo flightrec-demo drain-demo
 
 ## check: the tier-1 gate — build, vet, gofmt, the full test suite under
 ## the race detector, the fault-injection chaos suite, the zero-alloc
-## hot-path gate, the decoder fuzz smoke, and the observability +
-## flight-recorder self-checks. CI and pre-merge runs use this target.
-check: build vet fmt-check race chaos bench-alloc fuzz-smoke obs-demo flightrec-demo
+## hot-path gate, the parser/decoder fuzz smoke, and the observability +
+## flight-recorder + graceful-drain self-checks. CI and pre-merge runs
+## use this target.
+check: build vet fmt-check race chaos bench-alloc fuzz-smoke obs-demo flightrec-demo drain-demo
 
 build:
 	$(GO) build ./...
@@ -25,9 +26,10 @@ race:
 
 ## chaos: the fault-injection suite under the race detector — injected
 ## CC errors, fault/paste storms, credit leaks, engine hangs, device
-## kill/revive, failover, software fallback and the parallel soak.
+## kill/revive, failover, software fallback, graceful drain (including
+## the kill-mid-drain race), overload shedding and the parallel soak.
 chaos:
-	$(GO) test -race -run 'Chaos|Inject|FaultStorm|EngineHang|Offline|Deadline|Cancel|CreditLeak|Backoff|Resume' . ./internal/nx ./internal/faultinject ./internal/topology
+	$(GO) test -race -run 'Chaos|Inject|FaultStorm|EngineHang|Offline|Deadline|Cancel|CreditLeak|Backoff|Resume|Drain|Overload|Admission' . ./internal/nx ./internal/faultinject ./internal/topology ./internal/admission
 
 ## bench: regenerate the paper's tables/figures as Go benchmarks.
 bench:
@@ -47,8 +49,8 @@ bench-alloc:
 ## count, claim C6), the E19 chaos sweep (throughput/p99 vs injected
 ## fault rate), the E20 observability-overhead measurement, the E21
 ## batched small-request sweep, the E22 flight-recorder overhead
-## measurement and the E23 codec shoot-out, exporting the raw points to
-## BENCH_*.json.
+## measurement, the E23 codec shoot-out and the E24 overload-protection
+## sweep, exporting the raw points to BENCH_*.json.
 bench-json:
 	$(GO) run ./cmd/nxbench -json BENCH_topology.json
 	$(GO) run ./cmd/nxbench -chaos sweep -json BENCH_chaos.json
@@ -56,14 +58,19 @@ bench-json:
 	$(GO) run ./cmd/nxbench -smallreq -json BENCH_smallreq.json
 	$(GO) run ./cmd/nxbench -flightrec-overhead -json BENCH_flightrec.json
 	$(GO) run ./cmd/nxbench -codecs -json BENCH_codecs.json
+	$(GO) run ./cmd/nxbench -overload -json BENCH_overload.json
 
-## fuzz-smoke: 30 s of coverage-guided fuzzing over each block-decoder
-## attack surface (LZ4 block decode, 842 decode) from the checked-in
-## seed corpora. Finds panics/OOMs in the bounds-checked decode loops;
-## go test -fuzz accepts one fuzz target per invocation, hence two runs.
+## fuzz-smoke: 30 s of coverage-guided fuzzing over each attack surface
+## fed by untrusted or operator input — the block decoders (LZ4 block
+## decode, 842 decode) and the CLI-facing parsers (format names, the
+## admission -key=value policy). Finds panics/OOMs in the bounds-checked
+## decode loops and parser edge cases; go test -fuzz accepts one fuzz
+## target per invocation, hence one run each.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBlockDecode -fuzztime 30s ./internal/lz4
 	$(GO) test -run '^$$' -fuzz FuzzDecompressRobust -fuzztime 30s ./internal/x842
+	$(GO) test -run '^$$' -fuzz FuzzParseFormat -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime 30s ./internal/admission
 
 ## obs-demo: observability self-check — run a workload behind an
 ## ephemeral exposition server, scrape /metrics, verify the Prometheus
@@ -80,7 +87,15 @@ obs-demo:
 flightrec-demo:
 	$(GO) run ./cmd/nxbench -flightrec-demo
 
-## nxbench: render every experiment table (E1–E23 + ablations).
+## drain-demo: graceful-drain self-check — live traffic across two
+## devices, one drained mid-flight: the drain must quiesce with zero
+## dropped in-flight requests (dequeues == completes everywhere), the
+## survivor stays byte-exact, the drain shows on the event bus, and
+## Undrain restores the device to service.
+drain-demo:
+	$(GO) run ./cmd/nxbench -drain-demo
+
+## nxbench: render every experiment table (E1–E24 + ablations).
 nxbench:
 	$(GO) run ./cmd/nxbench
 

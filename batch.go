@@ -11,8 +11,10 @@ package nxzip
 // crossover against the per-request path and software.
 
 import (
+	"fmt"
 	"time"
 
+	"nxzip/internal/admission"
 	"nxzip/internal/nx"
 	"nxzip/internal/telemetry"
 )
@@ -21,6 +23,17 @@ import (
 type BatchRequest struct {
 	// Src is the payload to compress.
 	Src []byte
+	// Deadline, when non-zero, bounds this request's wall-clock,
+	// including admission queueing, paste backoff and the software
+	// fallback: once it passes, the request fails with
+	// nx.ErrDeadlineExceeded at the next checkpoint instead of consuming
+	// further capacity. That budget belongs to the caller, so expiry
+	// surfaces directly — it is never absorbed by the fallback.
+	Deadline time.Time
+	// Cancel, when non-nil, abandons the request when the channel
+	// closes, checked at the same points as Deadline (failing with
+	// nx.ErrCanceled).
+	Cancel <-chan struct{}
 	// Dst, when non-nil, is a caller-owned output backing with the
 	// append semantics of CompressGzipInto; Out may alias it.
 	Dst []byte
@@ -34,7 +47,9 @@ type BatchRequest struct {
 	// Err reports a terminal per-request failure. Requests whose device
 	// flaked mid-batch are transparently completed by the software
 	// fallback with Metrics.Degraded set, so Err is non-nil only when
-	// the input itself is at fault (or the fallback failed too).
+	// the input itself is at fault (or the fallback failed too), the
+	// Deadline/Cancel gate tripped, or the admission gate shed the
+	// request under overload (admission.ErrOverloaded).
 	Err error
 	// Device is the node-local index of the device that served this
 	// request, -1 when the software fallback completed it. E21 uses it to
@@ -65,6 +80,36 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 	owners := make([][]*BatchRequest, n)
 	spans := make([][][2]uint64, n)
 	var soft []*BatchRequest
+	// Admission tickets are held until the whole batch settles: the batch
+	// is one synchronous call, so its requests are in flight together and
+	// the gate sees them as such. Release is idempotent and nil-safe.
+	var tickets []*admission.Ticket
+	defer func() {
+		for _, t := range tickets {
+			t.Release()
+		}
+	}()
+	// expired fails r in place when its Deadline/Cancel gate has tripped.
+	expired := func(r *BatchRequest, attempts int, device string) bool {
+		if r.Cancel != nil {
+			select {
+			case <-r.Cancel:
+				r.Err = fmt.Errorf("nxzip: batch compress: %w", nx.ErrCanceled)
+			default:
+			}
+		}
+		if r.Err == nil && !r.Deadline.IsZero() && time.Now().After(r.Deadline) {
+			r.Err = fmt.Errorf("nxzip: batch compress: %w", nx.ErrDeadlineExceeded)
+		}
+		if r.Err == nil {
+			return false
+		}
+		a.completeDigest(rec, r.req, "batch-compress", "deflate", device, &r.Metrics, start, attempts, telemetry.OutcomeError)
+		if rec != nil {
+			r.Err = reqError(r.req, r.Err)
+		}
+		return true
+	}
 	for _, r := range reqs {
 		if r == nil {
 			continue
@@ -73,6 +118,26 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 		r.Device = -1
 		r.req = nextReq()
 		r.devAttempt = false
+		if expired(r, 0, "") {
+			continue
+		}
+		// Overload gate, per request: a shed fails the request with
+		// ErrOverloaded before any device work; a brownout degrade routes
+		// it straight to the software fallback.
+		ticket, dec, aerr := a.admitOp(r.Deadline, r.Cancel)
+		if aerr != nil {
+			r.Err = aerr
+			a.completeDigest(rec, r.req, "batch-compress", "deflate", "admission", &r.Metrics, start, 0, telemetry.OutcomeShed)
+			if rec != nil {
+				r.Err = reqError(r.req, r.Err)
+			}
+			continue
+		}
+		tickets = append(tickets, ticket)
+		if dec == admission.DecisionDegrade {
+			soft = append(soft, r)
+			continue
+		}
 		i, perr := a.nctx.PickIndexAvail()
 		if perr != nil {
 			soft = append(soft, r) // pool unhealthy: straight to software
@@ -97,6 +162,7 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 			Func: a.funcCode(), Wrap: nx.WrapGzip, Input: r.Src,
 			SourceVA: srcVA, TargetVA: dstVA, TargetCap: capOut,
 			Target: r.Dst, ReqID: r.req,
+			Deadline: r.Deadline, Cancel: r.Cancel,
 		}}
 		if en.CRB.Func == nx.FCCompressCannedDHT {
 			en.CRB.DHT = a.canned
@@ -146,6 +212,9 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 		attempts := 1
 		if r.devAttempt {
 			attempts = 2
+		}
+		if expired(r, attempts, "software") {
+			continue
 		}
 		out, m, err := a.softCompress(r.Src, nx.WrapGzip)
 		if err != nil {

@@ -1,5 +1,5 @@
 // Command nxbench regenerates every table and figure of the reproduction
-// (experiments E1–E23 per DESIGN.md) plus the design-choice ablations,
+// (experiments E1–E24 per DESIGN.md) plus the design-choice ablations,
 // printing them as formatted text tables.
 //
 // Usage:
@@ -22,6 +22,8 @@
 //	nxbench -obs-overhead -json BENCH_obs.json    # E20 observability overhead
 //	nxbench -flightrec-demo                       # flight recorder end-to-end self check
 //	nxbench -flightrec-overhead -json BENCH_flightrec.json   # E22 recorder overhead
+//	nxbench -overload -json BENCH_overload.json   # E24 overload-protection sweep
+//	nxbench -drain-demo                           # graceful-drain end-to-end self check
 package main
 
 import (
@@ -36,7 +38,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment id (E1..E23, A1..A11)")
+	only := flag.String("only", "", "run a single experiment id (E1..E24, A1..A11)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation sweeps")
 	host := flag.Bool("host", false, "also measure the host software baseline")
 	parallel := flag.Bool("parallel", false, "measure serial vs parallel Writer/Reader throughput scaling")
@@ -54,9 +56,11 @@ func main() {
 	obsOverhead := flag.Bool("obs-overhead", false, "run the E20 observability-overhead experiment (export points with -json)")
 	flightDemoFlag := flag.Bool("flightrec-demo", false, "self-check: recorder attached, forced device outage, postmortem bundle verified over /debug/postmortems")
 	flightOverhead := flag.Bool("flightrec-overhead", false, "run the E22 flight-recorder-overhead experiment (export points with -json)")
+	overload := flag.Bool("overload", false, "run the E24 overload-protection sweep (export points with -json)")
+	drainDemoFlag := flag.Bool("drain-demo", false, "self-check: graceful drain under live traffic — zero dropped in-flight, byte-exact results, clean undrain")
 	flag.Parse()
 
-	if *serve != "" || *obsDemoFlag || *obsOverhead || *flightDemoFlag || *flightOverhead {
+	if *serve != "" || *obsDemoFlag || *obsOverhead || *flightDemoFlag || *flightOverhead || *overload || *drainDemoFlag {
 		var err error
 		switch {
 		case *obsDemoFlag:
@@ -67,6 +71,10 @@ func main() {
 			err = flightrecDemo()
 		case *flightOverhead:
 			err = flightOverheadRun(*jsonPath)
+		case *overload:
+			err = overloadRun(*jsonPath)
+		case *drainDemoFlag:
+			err = drainDemo()
 		default:
 			err = obsServe(*serve, *serveDur, *chaos)
 		}
@@ -186,6 +194,8 @@ func runOne(id string) []*experiments.Table {
 		return []*experiments.Table{experiments.E22FlightRecorderOverhead()}
 	case "E23":
 		return []*experiments.Table{experiments.E23CodecShootout()}
+	case "E24":
+		return []*experiments.Table{experiments.E24OverloadProtection()}
 	case "A1":
 		return []*experiments.Table{experiments.A1Banks()}
 	case "A2":
@@ -233,6 +243,21 @@ func smallreqRun(jsonPath string) error {
 // raw points as JSON (BENCH_codecs.json in make bench-json).
 func codecsRun(jsonPath string) error {
 	t, points := experiments.CodecShootout()
+	t.Render(os.Stdout)
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}
+
+// overloadRun drives the E24 overload-protection sweep and optionally
+// exports the raw points as JSON (BENCH_overload.json in make bench-json).
+func overloadRun(jsonPath string) error {
+	t, points := experiments.OverloadProtection()
 	t.Render(os.Stdout)
 	if jsonPath == "" {
 		return nil

@@ -192,7 +192,7 @@ func runPostmortem(source string, req uint64) error {
 	}
 
 	// Digest summary: totals by outcome, then the interesting tail.
-	var ok, degraded, errored int
+	var ok, degraded, errored, shed int
 	for _, d := range digests {
 		switch d.Outcome {
 		case telemetry.OutcomeOK:
@@ -201,9 +201,11 @@ func runPostmortem(source string, req uint64) error {
 			degraded++
 		case telemetry.OutcomeError:
 			errored++
+		case telemetry.OutcomeShed:
+			shed++
 		}
 	}
-	fmt.Printf("\ndigests: %d held (%d ok, %d degraded, %d error)\n", len(digests), ok, degraded, errored)
+	fmt.Printf("\ndigests: %d held (%d ok, %d degraded, %d error, %d shed)\n", len(digests), ok, degraded, errored, shed)
 	interesting := make([]*telemetry.Digest, 0, len(digests))
 	for _, d := range digests {
 		if d.Outcome != telemetry.OutcomeOK || d.Attempts > 1 {

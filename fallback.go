@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"nxzip/internal/admission"
 	"nxzip/internal/checksum"
 	"nxzip/internal/deflate"
 	"nxzip/internal/lz4"
@@ -72,9 +73,25 @@ func (a *Accelerator) failoverOn(nctx *topology.Context, opName string, need nx.
 	start := time.Now()
 	codec := need.String()
 	wasted := &Metrics{}
+
+	// Overload gate: present at admission before any device work. A shed
+	// costs nothing downstream (digested as OutcomeShed with no device);
+	// a brownout degrade skips the device loop and goes straight to the
+	// software path; an admit holds a slot until the request completes.
+	ticket, dec, aerr := a.admitOp(time.Time{}, nil)
+	if aerr != nil {
+		a.completeDigest(rec, req, opName, codec, "admission", wasted, start, 0, telemetry.OutcomeShed)
+		if rec != nil {
+			aerr = reqError(req, aerr)
+		}
+		return nil, wasted, aerr
+	}
+	defer ticket.Release()
+	brownout := dec == admission.DecisionDegrade
+
 	attempts := nctx.Size() + 1
 	attempt := 0
-	for ; attempt < attempts; attempt++ {
+	for ; !brownout && attempt < attempts; attempt++ {
 		i, perr := nctx.PickIndexCodec(need)
 		if perr != nil {
 			// Pool unhealthy — or, with ErrNoCapableDevice, wrong
@@ -126,8 +143,11 @@ func (a *Accelerator) failoverOn(nctx *topology.Context, opName string, need nx.
 		return nil, wasted, err
 	}
 	a.met.fallback(need)
-	a.node.Bus().Publish(obs.Event{Type: obs.EventFallback, Req: req,
-		Detail: fmt.Sprintf("software path after %d re-dispatches", wasted.Redispatches)})
+	detail := fmt.Sprintf("software path after %d re-dispatches", wasted.Redispatches)
+	if brownout {
+		detail = "software path by brownout: admission degraded the request under overload"
+	}
+	a.node.Bus().Publish(obs.Event{Type: obs.EventFallback, Req: req, Detail: detail})
 	m.Degraded = true
 	m.Redispatches = wasted.Redispatches
 	m.DeviceCycles += wasted.DeviceCycles

@@ -1,0 +1,36 @@
+package nxzip
+
+// format_fuzz_test.go fuzzes the CLI-facing format parser. ParseFormat
+// is fed operator input (-format flags, config files), so it must never
+// panic, and anything it accepts must be canonical: the parsed Format's
+// String() re-parses to the same Format, and parsing is insensitive to
+// case and surrounding space.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseFormat(f *testing.F) {
+	for _, s := range []string{
+		"gzip", "gz", "zlib", "raw", "deflate", "842", "lz4",
+		"", " GZIP ", "Lz4\n", "Format(7)", "x842", "gzip,zlib", "8 42",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fm, err := ParseFormat(s)
+		if err != nil {
+			return
+		}
+		back, rerr := ParseFormat(fm.String())
+		if rerr != nil || back != fm {
+			t.Fatalf("String round-trip: %q -> %v -> %v (%v)", s, fm, back, rerr)
+		}
+		canon, cerr := ParseFormat(strings.ToLower(strings.TrimSpace(s)))
+		if cerr != nil || canon != fm {
+			t.Fatalf("canonicalization: %q parsed %v but lowercase/trimmed parsed %v (%v)", s, fm, canon, cerr)
+		}
+		fm.Codec() // must not panic for any accepted format
+	})
+}

@@ -1,0 +1,33 @@
+package admission
+
+import "testing"
+
+// FuzzParseConfig fuzzes the -admission flag grammar: whatever the
+// input, ParseConfig must return cleanly (no panic) and any accepted
+// config must survive withDefaults with ordered thresholds and sane
+// bounds — the invariants the controller relies on.
+func FuzzParseConfig(f *testing.F) {
+	f.Add("")
+	f.Add("inflight=32,queue=10")
+	f.Add("target=2ms,interval=50ms,maxwait=100ms")
+	f.Add("bg=0.5,batch=0.7,alpha=0.9")
+	f.Add("inflight=,queue==,target=2")
+	f.Add("bg=1e308,alpha=0.0000001")
+	f.Add(",,,=,")
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			return
+		}
+		d := cfg.withDefaults()
+		if d.ShedBatch < d.ShedBackground {
+			t.Fatalf("ParseConfig(%q): thresholds inverted after defaults: %+v", s, d)
+		}
+		if d.PressureAlpha <= 0 || d.PressureAlpha > 1 {
+			t.Fatalf("ParseConfig(%q): alpha out of range: %+v", s, d)
+		}
+		if d.QueueLimit <= 0 || d.QueueTarget <= 0 || d.QueueInterval <= 0 || d.MaxWait <= 0 {
+			t.Fatalf("ParseConfig(%q): non-positive queue bounds: %+v", s, d)
+		}
+	})
+}

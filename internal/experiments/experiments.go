@@ -511,6 +511,7 @@ func All() []*Table {
 		E21SmallRequestBatching(),
 		E22FlightRecorderOverhead(),
 		E23CodecShootout(),
+		E24OverloadProtection(),
 	}
 }
 

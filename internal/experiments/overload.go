@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nxzip"
+	"nxzip/internal/admission"
+	"nxzip/internal/corpus"
+	"nxzip/internal/stats"
+)
+
+// E24 measures what the admission gate buys past saturation. Credit/paste
+// flow control alone (C4, C8) degrades badly when offered load exceeds
+// capacity: every caller spins in paste-reject backoff and the tail grows
+// without bound. The brownout ladder makes the degradation deliberate —
+// background work is denied first, batch work re-routes to the software
+// fallback next, and interactive work rides a bounded CoDel-policed
+// queue. The experiment calibrates the node's closed-loop capacity, then
+// offers an open-loop 20/40/40 interactive/batch/background mix at 0.5x,
+// 1x, 2x and 4x that rate and reports per-class goodput, degradation,
+// sheds and p99 latency. The property under test: at 2x offered load the
+// interactive class still completes everything it offers.
+
+// OverloadPoint is one (offered multiplier, class) cell of the overload
+// sweep — the JSON shape `nxbench -overload` emits.
+type OverloadPoint struct {
+	// Multiplier is offered load as a fraction of calibrated capacity.
+	Multiplier float64 `json:"multiplier"`
+	// OfferedRPS is the open-loop arrival rate of the whole mix.
+	OfferedRPS float64 `json:"offered_rps"`
+	Class      string  `json:"class"`
+	Arrivals   int     `json:"arrivals"`
+	// Completed counts requests that returned data (Degraded is the
+	// software-fallback subset, the brownout re-route).
+	Completed int `json:"completed"`
+	Degraded  int `json:"degraded"`
+	// Shed counts typed ErrOverloaded rejections; Errors counts anything
+	// else (must stay zero — overload never corrupts or fails work).
+	Shed       int     `json:"shed"`
+	Errors     int     `json:"errors"`
+	GoodputRPS float64 `json:"goodput_rps"`
+	P99Ms      float64 `json:"p99_ms"`
+	// Level is the highest brownout-ladder rung observed during the point.
+	Level string `json:"level"`
+}
+
+const (
+	// overloadPayload is the request size: 4 KiB, the small-request regime
+	// where per-request protocol cost matters and overload bites first.
+	overloadPayload = 4 << 10
+	// overloadArrivals is the open-loop arrival count per sweep point —
+	// fixed, so higher multipliers compress the same work into less wall
+	// time instead of growing the experiment.
+	overloadArrivals = 3000
+	// overloadCalWorkers/overloadCalReqs shape the closed-loop
+	// calibration run that measures node capacity.
+	overloadCalWorkers = 16
+	overloadCalReqs    = 1024
+)
+
+// overloadMults is the offered-load sweep, in units of calibrated
+// capacity. Ascending order so early points see a cold pressure EWMA.
+var overloadMults = []float64{0.5, 1, 2, 4}
+
+// overloadClassOf deals arrivals 20/40/40: of every five arrivals, one
+// interactive, two batch, two background.
+func overloadClassOf(i int) admission.Class {
+	switch i % 5 {
+	case 0:
+		return admission.Interactive
+	case 1, 2:
+		return admission.Batch
+	default:
+		return admission.Background
+	}
+}
+
+// levelRank orders ladder names for the max-level sampler.
+var levelRank = map[string]int{"normal": 0, "shed-background": 1, "shed-batch": 2, "saturated": 3}
+
+// E24OverloadProtection renders the sweep as a table.
+func E24OverloadProtection() *Table {
+	t, _ := OverloadProtection()
+	return t
+}
+
+// OverloadProtection runs the sweep on a one-unit POWER9 node with
+// admission enabled and returns both the table and the raw points for
+// -json export. The queue policy is deliberately generous (deep queue,
+// 1s MaxWait) so the interactive class absorbs the burst by waiting
+// rather than timing out — the sweep points are short, so queued work
+// always outlives the burst that queued it.
+func OverloadProtection() (*Table, []OverloadPoint) {
+	t := &Table{
+		ID:    "E24",
+		Title: "overload protection: 20/40/40 class mix at 0.5x-4x offered capacity (1 NX unit, FHT)",
+		Header: []string{"offered", "class", "arrivals", "completed", "degraded",
+			"shed", "errors", "goodput req/s", "p99 ms", "peak level"},
+	}
+	cfg := nxzip.P9Node(1)
+	cfg.TableMode = nxzip.TableFixed
+	node, err := nxzip.OpenNode(cfg)
+	if err != nil {
+		panic(err)
+	}
+	ctrl := node.EnableAdmission(admission.Config{
+		QueueLimit:  8192,
+		QueueTarget: 50 * time.Millisecond,
+		MaxWait:     time.Second,
+	})
+
+	var views [admission.ClassCount]*nxzip.Accelerator
+	for cl := admission.Class(0); cl < admission.ClassCount; cl++ {
+		v := node.View()
+		v.SetPriority(cl)
+		views[cl] = v
+		defer v.Close()
+	}
+
+	payloads := make([][]byte, 64)
+	for i := range payloads {
+		payloads[i] = corpus.Generate(corpus.JSONLogs, overloadPayload, Seed+int64(i))
+	}
+
+	// Closed-loop calibration: a fixed worker pool measures the request
+	// rate the node sustains when callers wait for completions, gate
+	// included. This is the capacity the sweep's multipliers scale.
+	var wg sync.WaitGroup
+	per := overloadCalReqs / overloadCalWorkers
+	calStart := time.Now()
+	for w := 0; w < overloadCalWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var m nxzip.Metrics
+			for k := 0; k < per; k++ {
+				p := payloads[(w*per+k)%len(payloads)]
+				if _, err := views[admission.Interactive].CompressGzipInto(nil, p, &m); err != nil {
+					panic(fmt.Sprintf("E24 calibration: %v", err))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	capacity := float64(overloadCalWorkers*per) / time.Since(calStart).Seconds()
+
+	type outcome struct {
+		class    admission.Class
+		latency  time.Duration
+		degraded bool
+		err      error
+	}
+	var points []OverloadPoint
+	for _, mult := range overloadMults {
+		rate := mult * capacity
+		interval := time.Duration(float64(time.Second) / rate)
+		results := make([]outcome, overloadArrivals)
+
+		// Max-level sampler: polls the ladder while the point runs so the
+		// row records the deepest brownout rung the burst reached.
+		peak := 0
+		stop := make(chan struct{})
+		var sampler sync.WaitGroup
+		sampler.Add(1)
+		go func() {
+			defer sampler.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(2 * time.Millisecond):
+					if r := levelRank[ctrl.StatusNow().Level]; r > peak {
+						peak = r
+					}
+				}
+			}
+		}()
+
+		pointStart := time.Now()
+		next := pointStart
+		for i := 0; i < overloadArrivals; i++ {
+			if wait := time.Until(next); wait > 100*time.Microsecond {
+				time.Sleep(wait)
+			}
+			next = next.Add(interval)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cl := overloadClassOf(i)
+				var m nxzip.Metrics
+				t0 := time.Now()
+				_, err := views[cl].CompressGzipInto(nil, payloads[i%len(payloads)], &m)
+				results[i] = outcome{cl, time.Since(t0), m.Degraded, err}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(pointStart).Seconds()
+		close(stop)
+		sampler.Wait()
+
+		var (
+			arrivals, completed, degraded, shed, errCount [admission.ClassCount]int
+			lat                                           [admission.ClassCount]stats.Samples
+		)
+		for _, r := range results {
+			arrivals[r.class]++
+			switch {
+			case r.err == nil:
+				completed[r.class]++
+				if r.degraded {
+					degraded[r.class]++
+				}
+				lat[r.class].Add(float64(r.latency) / float64(time.Millisecond))
+			case errors.Is(r.err, admission.ErrOverloaded):
+				shed[r.class]++
+			default:
+				errCount[r.class]++
+			}
+		}
+		level := "normal"
+		for name, r := range levelRank {
+			if r == peak {
+				level = name
+			}
+		}
+		for cl := admission.Class(0); cl < admission.ClassCount; cl++ {
+			goodput := float64(completed[cl]) / elapsed
+			p99 := lat[cl].Percentile(99)
+			points = append(points, OverloadPoint{
+				Multiplier: mult, OfferedRPS: rate, Class: cl.String(),
+				Arrivals: arrivals[cl], Completed: completed[cl],
+				Degraded: degraded[cl], Shed: shed[cl], Errors: errCount[cl],
+				GoodputRPS: goodput, P99Ms: p99, Level: level,
+			})
+			t.AddRow(fmt.Sprintf("%.1fx", mult), cl.String(),
+				fmt.Sprintf("%d", arrivals[cl]),
+				fmt.Sprintf("%d", completed[cl]),
+				fmt.Sprintf("%d", degraded[cl]),
+				fmt.Sprintf("%d", shed[cl]),
+				fmt.Sprintf("%d", errCount[cl]),
+				fmt.Sprintf("%.0f", goodput),
+				fmt.Sprintf("%.2f", p99),
+				level)
+		}
+	}
+	t.Note("closed-loop calibrated capacity: %.0f req/s (%d workers, %s payloads); offered load is open-loop at the multiplier",
+		capacity, overloadCalWorkers, stats.Bytes(overloadPayload))
+	t.Note("ladder: background denied first, batch degrades to software under brownout, interactive queues (bounded, CoDel-policed)")
+	t.Note("errors must stay zero in every cell — overload protection sheds work, it never corrupts or fails it")
+	return t, points
+}

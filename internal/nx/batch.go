@@ -42,10 +42,14 @@ type BatchEntry struct {
 // waits for the dequeuer to run every entry. Entries that complete with
 // CCTranslationFault are touched and resubmitted individually through
 // the full single-request protocol; their Err fields carry any terminal
-// submission failure. Per-entry Deadline/Cancel fields are ignored — the
-// batch lives under the device's paste budget as one unit. An injected
-// engine hang drops the whole batch (ErrEngineHang), mirroring a wedged
-// descriptor ring.
+// submission failure. Per-entry Deadline/Cancel gates are honored at
+// the same boundaries as single submission: entries whose gate has
+// tripped before the paste (or while the envelope waits out paste
+// backoff) complete with ErrDeadlineExceeded/ErrCanceled and never
+// reach an engine; once the envelope is pasted the batch runs as one
+// unit, and only the fault-straggler resubmission path re-checks. An
+// injected engine hang drops the whole batch (ErrEngineHang), mirroring
+// a wedged descriptor ring.
 func (c *Context) SubmitBatch(entries []BatchEntry) error {
 	if len(entries) == 0 {
 		return nil
@@ -69,6 +73,46 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 			sp.Hop = en.CRB.Hop
 			en.span = sp
 		}
+	}
+	// expireEntries fails entries whose liveness gates tripped and
+	// reports how many are still live. Run before the paste and after
+	// each backoff sleep — the points where the envelope is still ours.
+	expireEntries := func() (live int) {
+		now := time.Now()
+		for i := range entries {
+			en := &entries[i]
+			if en.Err != nil {
+				continue
+			}
+			if en.CRB.Cancel != nil {
+				select {
+				case <-en.CRB.Cancel:
+					en.Err = ErrCanceled
+					if en.span != nil {
+						en.span.CC = "canceled"
+						tr.Finish(en.span)
+						en.span = nil
+					}
+					continue
+				default:
+				}
+			}
+			if !en.CRB.Deadline.IsZero() && now.After(en.CRB.Deadline) {
+				d.met.deadlineFails.Inc()
+				en.Err = fmt.Errorf("%w (expired before batch dispatch)", ErrDeadlineExceeded)
+				if en.span != nil {
+					en.span.CC = "deadline"
+					tr.Finish(en.span)
+					en.span = nil
+				}
+				continue
+			}
+			live++
+		}
+		return live
+	}
+	if expireEntries() == 0 {
+		return nil
 	}
 	// finishSpans closes every still-open entry span; cc overrides the
 	// completion label for envelope-level failures (the dequeuer stamps
@@ -126,6 +170,14 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 		if backoff *= 2; backoff > pol.BackoffMax {
 			backoff = pol.BackoffMax
 		}
+		if expireEntries() == 0 {
+			// Every entry's gate tripped while we backed off; the
+			// envelope has nothing left to carry.
+			if backoffTime > 0 {
+				d.met.backoffUS.Observe(float64(backoffTime) / float64(time.Microsecond))
+			}
+			return nil
+		}
 	}
 	if backoffTime > 0 {
 		d.met.backoffUS.Observe(float64(backoffTime) / float64(time.Microsecond))
@@ -154,8 +206,13 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 		finishSpans("engine-hang")
 		return fmt.Errorf("%w (batch of %d)", ErrEngineHang, len(entries))
 	}
+	pasteAccounted := false
 	for i := range entries {
 		en := &entries[i]
+		if en.Err != nil {
+			// Expired/canceled before the paste: never ran, CSB is zero.
+			continue
+		}
 		if en.CSB.CC == CCTranslationFault {
 			// Touch-and-resubmit, per entry: the rest of the batch is
 			// done, so the straggler goes back through the single-request
@@ -184,12 +241,14 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 			continue
 		}
 		fillReport(d, &en.CRB, &en.CSB, &en.Rep)
-		if i == 0 {
-			// Batch-level paste accounting rides on the first entry
-			// (there is one paste for the whole batch, not N).
+		if !pasteAccounted {
+			// Batch-level paste accounting rides on the first entry that
+			// completed in the envelope (there is one paste for the whole
+			// batch, not N).
 			en.Rep.PasteRejects = rejects
 			en.Rep.BackoffWaits = waits
 			en.Rep.BackoffTime = backoffTime
+			pasteAccounted = true
 		}
 	}
 	finishSpans("")
@@ -204,13 +263,28 @@ func (c *Context) runBatch(wrapped *vas.CRB, p *pendingCRB, dequeuedAt time.Time
 	m := c.dev.met
 	queueWait := dequeuedAt.Sub(p.pastedAt)
 	m.queueWaitUS.Observe(float64(queueWait) / float64(time.Microsecond))
+	// Entries whose Deadline/Cancel gate tripped before the paste carry a
+	// pre-set Err and never run; the chained-setup flags are computed over
+	// the entries that actually execute.
+	last := -1
+	for i := range p.batch {
+		if p.batch[i].Err == nil {
+			last = i
+		}
+	}
+	ran := 0
 	for i := range p.batch {
 		en := &p.batch[i]
-		// Entry 0 pays the envelope's full paste-to-dispatch setup; the
-		// rest chain behind it. The last entry's CSB writeback doubles as
-		// the envelope completion; earlier entries only store their CSB.
-		en.CRB.Chained = i > 0
-		en.CRB.ChainedComplete = i < len(p.batch)-1
+		if en.Err != nil {
+			continue
+		}
+		// The first run entry pays the envelope's full paste-to-dispatch
+		// setup; the rest chain behind it. The last run entry's CSB
+		// writeback doubles as the envelope completion; earlier entries
+		// only store their CSB.
+		en.CRB.Chained = ran > 0
+		en.CRB.ChainedComplete = i != last
+		ran++
 		idx := int(c.dev.nextEng.Add(1)-1) % len(c.dev.engines)
 		engStart := time.Now()
 		c.dev.engines[idx].ProcessInto(wrapped.PID, &en.CRB, &en.CSB)

@@ -48,6 +48,12 @@ const (
 	// EventEngineHang: an engine dropped a dequeued request without
 	// writing its CSB; the watchdog reclaimed the credit.
 	EventEngineHang EventType = "engine-hang"
+	// EventShed: the admission gate refused a request under overload
+	// (brownout, quota, queue overflow or CoDel eviction).
+	EventShed EventType = "shed"
+	// EventDrain: a device entered or completed graceful drain (Detail
+	// distinguishes the phases).
+	EventDrain EventType = "drain"
 )
 
 // Event is one typed record on the bus. Device carries the topology

@@ -344,7 +344,7 @@ func TestSLOHealthyNode(t *testing.T) {
 	if !rep.Healthy {
 		t.Fatalf("healthy node evaluated unhealthy: %+v", rep)
 	}
-	if len(rep.Rules) != 3 {
+	if len(rep.Rules) != 4 {
 		t.Fatalf("rule count %d", len(rep.Rules))
 	}
 }

@@ -47,6 +47,9 @@ type Options struct {
 	// Flight returns the flight recorder's status for /snapshot (nil →
 	// no flight section).
 	Flight func() *FlightStatus
+	// Admission returns the admission gate's status for /snapshot (nil
+	// closure or nil result → no admission section).
+	Admission func() *AdmissionStatus
 	// Postmortems, when non-nil, is mounted at /debug/postmortems — the
 	// flight recorder's bundle browser.
 	Postmortems http.Handler
@@ -209,6 +212,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.opt.Flight != nil {
 		doc.Flight = s.opt.Flight()
+	}
+	if s.opt.Admission != nil {
+		doc.Admission = s.opt.Admission()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -117,13 +117,41 @@ func MaxHistogramP99(name string, bound float64) Rule {
 	}
 }
 
+// MaxShedRatio bounds the fraction of offered requests refused by the
+// admission gate: admission.shed / (admission.admitted + admission.shed),
+// summed over every priority class. Shedding background traffic under a
+// short burst is the gate working as designed; a sustained ratio above
+// the bound means the node is running brownout as a steady state. Nodes
+// without admission enabled (no counters) pass.
+func MaxShedRatio(max float64) Rule {
+	return Rule{
+		Name: "overload-shed",
+		Expr: fmt.Sprintf("shed/(admitted+shed) <= %g", max),
+		Check: func(in Inputs) (bool, float64, string) {
+			if in.Snap == nil {
+				return true, 0, "no snapshot"
+			}
+			shed := in.Snap.CounterSum("admission.shed")
+			admitted := in.Snap.CounterSum("admission.admitted")
+			total := shed + admitted
+			if total == 0 {
+				return true, 0, "no gated traffic"
+			}
+			f := float64(shed) / float64(total)
+			return f <= max, f, fmt.Sprintf("%d of %d shed", shed, total)
+		},
+	}
+}
+
 // DefaultRules is the shipped SLO: at least half the devices healthy,
-// at most 10% of operations degraded to software, and queue wait p99
-// under 100 ms — generous bounds meant to catch broken, not busy.
+// at most 10% of operations degraded to software, queue wait p99 under
+// 100 ms, and at most 25% of gated traffic shed — generous bounds meant
+// to catch broken, not busy.
 func DefaultRules() []Rule {
 	return []Rule{
 		MinHealthyFraction(0.5),
 		MaxFallbackRatio(0.10),
 		MaxHistogramP99("nx.queue_wait_us", 100_000),
+		MaxShedRatio(0.25),
 	}
 }

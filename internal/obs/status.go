@@ -19,8 +19,11 @@ import (
 // instantaneous utilization (Util carries the lifetime ratio as a
 // fallback for the first frame).
 type DeviceStatus struct {
-	Label       string  `json:"label"`
-	Healthy     bool    `json:"healthy"`
+	Label   string `json:"label"`
+	Healthy bool   `json:"healthy"`
+	// Draining marks a device under graceful drain: admission stopped by
+	// operator decision (not the breaker), waiting for in-flight work.
+	Draining    bool    `json:"draining,omitempty"`
 	Dispatched  int64   `json:"dispatched"`
 	Load        int64   `json:"load"`      // in-flight picks + FIFO occupancy
 	Occupancy   int     `json:"occupancy"` // receive-FIFO depth now
@@ -43,6 +46,35 @@ type Totals struct {
 	Redispatches int64 `json:"redispatches"`
 	Quarantines  int64 `json:"quarantines"`
 	Readmissions int64 `json:"readmissions"`
+	// Shed counts requests refused by the admission gate (all classes);
+	// Drains counts graceful-drain starts.
+	Shed   int64 `json:"shed"`
+	Drains int64 `json:"drains"`
+}
+
+// AdmissionClassStatus is one priority class's admission counters.
+type AdmissionClassStatus struct {
+	Class    string `json:"class"`
+	Admitted int64  `json:"admitted"`
+	Shed     int64  `json:"shed"`
+	Degraded int64  `json:"degraded"` // routed to software by the brownout ladder
+}
+
+// AdmissionStatus digests the admission gate for /snapshot and nxtop's
+// overload panel. Produced by the root package (obs only defines the
+// shape, keeping the dependency pointing one way, exactly as with
+// FlightStatus).
+type AdmissionStatus struct {
+	// Level is the brownout ladder rung: "normal", "shed-background",
+	// "shed-batch", "saturated".
+	Level string `json:"level"`
+	// Pressure is the gate's smoothed occupancy signal in [0,~2].
+	Pressure    float64                `json:"pressure"`
+	Inflight    int                    `json:"inflight"`
+	MaxInflight int                    `json:"max_inflight"`
+	Queued      int                    `json:"queued"`
+	Evicted     int64                  `json:"evicted"` // CoDel + timeout queue evictions
+	Classes     []AdmissionClassStatus `json:"classes,omitempty"`
 }
 
 // FlightStatus digests the flight recorder for /snapshot and nxtop:
@@ -76,6 +108,7 @@ type StatusDoc struct {
 	Health        HealthReport        `json:"health"`
 	Devices       []DeviceStatus      `json:"devices"`
 	Totals        Totals              `json:"totals"`
+	Admission     *AdmissionStatus    `json:"admission,omitempty"`
 	Flight        *FlightStatus       `json:"flight,omitempty"`
 	Windows       []Window            `json:"windows,omitempty"`
 	Events        []Event             `json:"events,omitempty"`
@@ -96,6 +129,8 @@ func TotalsFromSnapshot(snap *telemetry.Snapshot) Totals {
 		Redispatches: snap.Counter("nxzip.redispatches", ""),
 		Quarantines:  snap.CounterSum("topology.quarantines"),
 		Readmissions: snap.CounterSum("topology.readmissions"),
+		Shed:         snap.CounterSum("admission.shed"),
+		Drains:       snap.CounterSum("topology.drains"),
 	}
 }
 
@@ -131,9 +166,23 @@ func RenderText(w io.Writer, prev, cur *StatusDoc) {
 	}
 
 	t := cur.Totals
-	fmt.Fprintf(w, "totals: %d req, in %s, out %s, %d fallback, %d redispatch, %d quarantine / %d readmit\n",
+	fmt.Fprintf(w, "totals: %d req, in %s, out %s, %d fallback, %d redispatch, %d quarantine / %d readmit, %d shed, %d drains\n",
 		t.Requests, stats.Bytes(t.InBytes), stats.Bytes(t.OutBytes),
-		t.Fallbacks, t.Redispatches, t.Quarantines, t.Readmissions)
+		t.Fallbacks, t.Redispatches, t.Quarantines, t.Readmissions, t.Shed, t.Drains)
+
+	// Overload panel: the admission gate's ladder rung and per-class
+	// counters (only when admission is enabled on the node).
+	if adm := cur.Admission; adm != nil {
+		fmt.Fprintf(w, "admission: %s  pressure %.2f  inflight %d/%d  queued %d  evicted %d\n",
+			adm.Level, adm.Pressure, adm.Inflight, adm.MaxInflight, adm.Queued, adm.Evicted)
+		for _, c := range adm.Classes {
+			if c.Admitted == 0 && c.Shed == 0 && c.Degraded == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-12s admitted %-10d shed %-10d degraded %d\n",
+				c.Class, c.Admitted, c.Shed, c.Degraded)
+		}
+	}
 	if n := len(cur.Windows); n > 0 {
 		lw := cur.Windows[n-1]
 		fmt.Fprintf(w, "window: %s  %.0f req/s  queue p50/p95/p99 %s/%s/%s µs\n",
@@ -152,7 +201,10 @@ func RenderText(w io.Writer, prev, cur *StatusDoc) {
 		"device", "state", "util%", "fifo", "credits", "load", "dispatched", "requests", "quar")
 	for _, d := range cur.Devices {
 		st := "ok"
-		if !d.Healthy {
+		switch {
+		case d.Draining:
+			st = "DRAIN"
+		case !d.Healthy:
 			st = "QUAR"
 		}
 		fmt.Fprintf(w, "%-14s %-5s %6.1f %6d %7d %9d %10d %10d %5d\n",

@@ -22,9 +22,12 @@ const (
 	OutcomeError
 	// OutcomeDegraded is a success produced by the software fallback.
 	OutcomeDegraded
+	// OutcomeShed is a request refused by the admission gate under
+	// overload — no device or software cycles were spent on it.
+	OutcomeShed
 )
 
-var outcomeNames = [...]string{"ok", "error", "degraded"}
+var outcomeNames = [...]string{"ok", "error", "degraded", "shed"}
 
 func (o Outcome) String() string {
 	if int(o) < len(outcomeNames) {

@@ -72,6 +72,10 @@ type devHealth struct {
 	consecFails int
 	probeOK     int
 	lastProbe   time.Time
+	// draining is the graceful-drain bit (drain.go): an operator
+	// decision orthogonal to the breaker — admit refuses the device, but
+	// there are no probes and only Undrain clears it.
+	draining bool
 }
 
 // countsAgainstHealth reports whether a submission error indicts the
@@ -84,11 +88,15 @@ func countsAgainstHealth(err error) bool {
 
 // admit reports whether device i may receive a request right now:
 // healthy devices always, quarantined devices only when a probe is due
-// (in which case the request doubles as the probe).
+// (in which case the request doubles as the probe), draining devices
+// never — a drain must quiesce, so not even probes are admitted.
 func (n *Node) admit(i int) bool {
 	h := &n.health[i]
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.draining {
+		return false
+	}
 	if !h.quarantined {
 		return true
 	}
@@ -127,6 +135,9 @@ func (n *Node) ReportResultReq(i int, err error, req uint64) {
 				h.probeOK = 0
 				n.readmissions[i].Inc()
 				n.healthyGauge.Add(1)
+				if !h.draining {
+					n.acceptingGauge.Add(1)
+				}
 				n.bus.Load().Publish(obs.Event{Type: obs.EventReadmit, Device: n.shape.Devices[i].Label,
 					Req:    req,
 					Detail: fmt.Sprintf("readmitted after %d successful probes", n.hp.ProbeSuccesses)})
@@ -143,6 +154,9 @@ func (n *Node) ReportResultReq(i int, err error, req uint64) {
 			h.lastProbe = time.Now()
 			n.quarantines[i].Inc()
 			n.healthyGauge.Add(-1)
+			if !h.draining {
+				n.acceptingGauge.Add(-1)
+			}
 			n.bus.Load().Publish(obs.Event{Type: obs.EventQuarantine, Device: n.shape.Devices[i].Label,
 				Req:    req,
 				Detail: fmt.Sprintf("after %d consecutive failures: %v", h.consecFails, err)})

@@ -134,7 +134,12 @@ type Node struct {
 	quarantines  []*telemetry.Counter // topology.quarantines{<device label>}
 	readmissions []*telemetry.Counter // topology.readmissions{<device label>}
 	probes       []*telemetry.Counter // topology.probes{<device label>}
+	drains       []*telemetry.Counter // topology.drains{<device label>}
 	healthyGauge *telemetry.Gauge     // topology.healthy_devices
+	// acceptingGauge tracks devices eligible for new work — neither
+	// quarantined nor draining. Both the breaker and drain.go move it,
+	// each only when the other bit is clear.
+	acceptingGauge *telemetry.Gauge // topology.accepting_devices
 
 	// bus, when attached, receives the scoreboard's state transitions
 	// (quarantine, readmission, probe admissions). Publish is nil-safe, so
@@ -164,6 +169,7 @@ func New(shape Shape, policy Policy) *Node {
 	qVec := n.reg.CounterVec("topology.quarantines")
 	rVec := n.reg.CounterVec("topology.readmissions")
 	pVec := n.reg.CounterVec("topology.probes")
+	dVec := n.reg.CounterVec("topology.drains")
 	for _, spec := range shape.Devices {
 		n.devs = append(n.devs, nx.NewDevice(spec.Config))
 		n.caps = append(n.caps, spec.Config.Engine.Codecs)
@@ -171,9 +177,12 @@ func New(shape Shape, policy Policy) *Node {
 		n.quarantines = append(n.quarantines, qVec.With(spec.Label))
 		n.readmissions = append(n.readmissions, rVec.With(spec.Label))
 		n.probes = append(n.probes, pVec.With(spec.Label))
+		n.drains = append(n.drains, dVec.With(spec.Label))
 	}
 	n.healthyGauge = n.reg.Gauge("topology.healthy_devices")
 	n.healthyGauge.Set(int64(len(n.devs)))
+	n.acceptingGauge = n.reg.Gauge("topology.accepting_devices")
+	n.acceptingGauge.Set(int64(len(n.devs)))
 	return n
 }
 
@@ -345,6 +354,10 @@ func (n *Node) OpenContext(pid nmmu.PID) *Context {
 
 // PID returns the context's address-space id.
 func (c *Context) PID() nmmu.PID { return c.pid }
+
+// ID returns the context's node-unique identity (the tenant key of the
+// admission gate's per-view quotas).
+func (c *Context) ID() uint64 { return c.id }
 
 // Size returns the device count.
 func (c *Context) Size() int { return len(c.ctxs) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"nxzip/internal/admission"
 	"nxzip/internal/faultinject"
 	"nxzip/internal/flightrec"
 	"nxzip/internal/nx"
@@ -67,6 +68,10 @@ type Node struct {
 	// view is the lazily-created default accelerator view behind the
 	// node-level format API (CompressFormat/DecompressFormat/Transcode).
 	view atomic.Pointer[Accelerator]
+
+	// adm is the admission controller, nil until EnableAdmission. Same
+	// hook discipline as rec: one atomic load on the hot path.
+	adm atomic.Pointer[admission.Controller]
 }
 
 // defaultView returns the node's shared accelerator view, creating it

@@ -155,6 +155,9 @@ type Accelerator struct {
 	canned *deflate.DHT
 	met    *accMetrics
 	closed atomic.Bool
+	// class is this view's admission priority (admission.Class), set by
+	// SetPriority. Zero value is Interactive.
+	class atomic.Int32
 }
 
 // accMetrics holds the host-side (stream-layer) instruments, registered

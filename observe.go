@@ -58,6 +58,7 @@ func (n *Node) DeviceStatuses() []obs.DeviceStatus {
 		ds := obs.DeviceStatus{
 			Label:       label,
 			Healthy:     !n.topo.Quarantined(i),
+			Draining:    n.topo.Draining(i),
 			Dispatched:  n.topo.Dispatched(i),
 			Load:        n.topo.Load(i),
 			Occupancy:   d.Switchboard().Occupancy(),
@@ -100,6 +101,7 @@ func (n *Node) ServeObs(addr string) (*obs.Server, error) {
 			}
 			return nil
 		},
+		Admission: n.AdmissionStatus,
 		Postmortems: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			rec := n.rec.Load()
 			if rec == nil {

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"nxzip/internal/admission"
 	"nxzip/internal/nx"
 	"nxzip/internal/telemetry"
 )
@@ -160,6 +161,20 @@ func (a *Accelerator) compressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *Met
 	rec := a.recorder()
 	req := nextReq()
 	start := time.Now()
+	// Overload gate, same contract as failoverOn: a shed fails the
+	// request before any device work; a brownout degrade skips the device
+	// loop and runs the software path. With admission off the ticket is
+	// nil and this is one atomic load (the zero-alloc guarantee holds);
+	// with it on, the gate costs one small ticket allocation.
+	ticket, dec, aerr := a.admitOp(time.Time{}, nil)
+	if aerr != nil {
+		a.completeDigest(rec, req, "compress", "deflate", "admission", m, start, 0, telemetry.OutcomeShed)
+		if rec != nil {
+			aerr = reqError(req, aerr)
+		}
+		return nil, aerr
+	}
+	defer ticket.Release()
 	os := getOneShot()
 	var (
 		wastedCycles int64
@@ -168,6 +183,9 @@ func (a *Accelerator) compressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *Met
 		redispatches int
 	)
 	attempts := a.nctx.Size() + 1
+	if dec == admission.DecisionDegrade {
+		attempts = 0 // brownout: straight to software
+	}
 	for attempt := 0; attempt < attempts; attempt++ {
 		i, perr := a.nctx.PickIndexAvail()
 		if perr != nil {
@@ -239,6 +257,16 @@ func (a *Accelerator) decompressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *M
 	rec := a.recorder()
 	req := nextReq()
 	start := time.Now()
+	// Overload gate, mirroring compressIntoDispatch.
+	ticket, dec, aerr := a.admitOp(time.Time{}, nil)
+	if aerr != nil {
+		a.completeDigest(rec, req, "decompress", "deflate", "admission", m, start, 0, telemetry.OutcomeShed)
+		if rec != nil {
+			aerr = reqError(req, aerr)
+		}
+		return nil, aerr
+	}
+	defer ticket.Release()
 	os := getOneShot()
 	var (
 		wastedCycles int64
@@ -247,6 +275,9 @@ func (a *Accelerator) decompressIntoDispatch(dst, src []byte, wrap nx.Wrap, m *M
 		redispatches int
 	)
 	attempts := a.nctx.Size() + 1
+	if dec == admission.DecisionDegrade {
+		attempts = 0
+	}
 	for attempt := 0; attempt < attempts; attempt++ {
 		i, perr := a.nctx.PickIndexAvail()
 		if perr != nil {

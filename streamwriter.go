@@ -151,6 +151,16 @@ func (w *StreamWriter) submit(chunk []byte, final bool) error {
 // rides the CRB, so any device can continue the stream — and falling
 // back to the software segment encoder when no healthy device remains.
 func (w *StreamWriter) submitSegment(chunk []byte, final bool) ([]byte, *Metrics, error) {
+	// Proactive drain migration: a draining device stops admitting but
+	// a pinned stream would otherwise keep submitting to it. The history
+	// window travels in the CRB, so re-pin before this segment — the
+	// stream continues byte-identically elsewhere and the draining
+	// device quiesces without waiting out the stream.
+	if i := w.acc.nctx.IndexOf(w.ctx); i >= 0 && w.acc.node.Draining(i) {
+		if next, perr := w.acc.nctx.PickStickyAvoid(w.ctx); perr == nil {
+			w.ctx = next
+		}
+	}
 	wasted := &Metrics{}
 	attempts := w.acc.nctx.Size() + 1
 	for attempt := 0; attempt < attempts; attempt++ {
