@@ -227,6 +227,82 @@ func TestAdmissionRootWiring(t *testing.T) {
 	}
 }
 
+// TestBatchLargerThanGate: a batch with more requests than the gate's
+// in-flight ceiling must not saturate the gate with its own tickets —
+// on an otherwise idle node every request completes (dispatched in
+// waves, tickets released between them), none is spuriously shed, and
+// the call does not serialize MaxWait timeouts.
+func TestBatchLargerThanGate(t *testing.T) {
+	node, err := OpenNode(P9Node(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxWait generous on purpose: the old behavior (queueing behind the
+	// batch's own tickets) would stall ~28 × 250ms here; the fixed path
+	// never queues against itself, so the test also acts as a timing
+	// canary via the deadline below.
+	ctrl := node.EnableAdmission(overloadConfig(4, 250*time.Millisecond))
+	acc := node.View()
+	defer acc.Close()
+
+	const nreq = 32
+	reqs := make([]*BatchRequest, nreq)
+	for i := range reqs {
+		reqs[i] = &BatchRequest{Src: corpus.Generate(corpus.JSONLogs, 2048, int64(i+1))}
+	}
+	start := time.Now()
+	acc.CompressBatch(reqs)
+	elapsed := time.Since(start)
+
+	for i, r := range reqs {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		plain, err := SoftwareGunzip(r.Out)
+		if err != nil || !bytes.Equal(plain, r.Src) {
+			t.Fatalf("request %d roundtrip: %v", i, err)
+		}
+	}
+	st := ctrl.StatusNow()
+	if shed := st.Shed[admission.Interactive]; shed != 0 {
+		t.Fatalf("idle node shed %d of its own batch requests", shed)
+	}
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("gate leaked state after batch: %+v", st)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("batch of %d vs ceiling 4 took %v — queued behind its own tickets?", nreq, elapsed)
+	}
+}
+
+// TestEnableAdmissionConcurrent: concurrent first calls must agree on a
+// single controller (one construction, one shed hook, shared counters).
+func TestEnableAdmissionConcurrent(t *testing.T) {
+	node, err := OpenNode(P9Node(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	ctrls := make([]*admission.Controller, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctrls[g] = node.EnableAdmission(admission.Config{})
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < callers; g++ {
+		if ctrls[g] != ctrls[0] {
+			t.Fatalf("caller %d got a different controller", g)
+		}
+	}
+	if node.Admission() != ctrls[0] {
+		t.Fatal("installed controller differs from the one returned")
+	}
+}
+
 // TestAdmissionTenantWeights: SetQuotaWeight registers the view at the
 // gate; the registration is visible via quota enforcement under load
 // (covered unit-side) — here we only pin that the root plumbing reaches

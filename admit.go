@@ -56,9 +56,12 @@ func (n *Node) admissionProbe() admission.Load {
 // policy with MaxInflight derived from topology capacity (devices ×
 // FIFO depth / 4). Shed decisions publish obs.EventShed (events are
 // enabled implicitly) and digest as OutcomeShed when the flight
-// recorder is attached. Idempotent — repeated calls return the first
-// controller.
+// recorder is attached. Idempotent — repeated (and concurrent) calls
+// return the first controller; exactly one is ever constructed per
+// node, so its instruments own the shared registry entries they share.
 func (n *Node) EnableAdmission(cfg admission.Config) *admission.Controller {
+	n.admMu.Lock()
+	defer n.admMu.Unlock()
 	if ctrl := n.adm.Load(); ctrl != nil {
 		return ctrl
 	}
@@ -73,9 +76,7 @@ func (n *Node) EnableAdmission(cfg admission.Config) *admission.Controller {
 		bus.Publish(obs.Event{Type: obs.EventShed,
 			Detail: fmt.Sprintf("%s request shed (%s), retry after %v", class, reason, retryAfter)})
 	})
-	if !n.adm.CompareAndSwap(nil, ctrl) {
-		return n.adm.Load()
-	}
+	n.adm.Store(ctrl)
 	return ctrl
 }
 
@@ -183,6 +184,18 @@ func (a *Accelerator) admissionCtrl() *admission.Controller {
 // admitOp presents one root-level operation at the gate. The returned
 // ticket is nil unless the decision is DecisionAdmit.
 func (a *Accelerator) admitOp(deadline time.Time, cancel <-chan struct{}) (*admission.Ticket, admission.Decision, error) {
+	return a.admit(deadline, cancel, false)
+}
+
+// admitOpNoWait is admitOp for callers that hold outstanding tickets of
+// their own (the batch path): a saturated gate returns
+// admission.ErrWouldWait immediately instead of queueing the request
+// behind slots the caller itself must free.
+func (a *Accelerator) admitOpNoWait(deadline time.Time, cancel <-chan struct{}) (*admission.Ticket, admission.Decision, error) {
+	return a.admit(deadline, cancel, true)
+}
+
+func (a *Accelerator) admit(deadline time.Time, cancel <-chan struct{}, noWait bool) (*admission.Ticket, admission.Decision, error) {
 	ctrl := a.admissionCtrl()
 	if ctrl == nil {
 		return nil, admission.DecisionAdmit, nil
@@ -192,5 +205,6 @@ func (a *Accelerator) admitOp(deadline time.Time, cancel <-chan struct{}) (*admi
 		Tenant:   a.nctx.ID(),
 		Deadline: deadline,
 		Cancel:   cancel,
+		NoWait:   noWait,
 	})
 }

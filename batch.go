@@ -11,6 +11,7 @@ package nxzip
 // crossover against the per-request path and software.
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -40,9 +41,12 @@ type BatchRequest struct {
 	// Out receives the gzip frame.
 	Out []byte
 	// Metrics receives the request accounting. The first request of each
-	// device's group additionally carries the batch-level paste
+	// device's group additionally carries the group-level paste
 	// accounting (PasteRejects/BackoffWaits/BackoffTime) — there is one
-	// paste per device per batch, not one per request.
+	// paste per device per dispatch wave, not one per request. (Without
+	// admission a batch is a single wave; with admission enabled a batch
+	// larger than the gate's in-flight ceiling dispatches in waves of at
+	// most that many requests.)
 	Metrics Metrics
 	// Err reports a terminal per-request failure. Requests whose device
 	// flaked mid-batch are transparently completed by the software
@@ -80,11 +84,15 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 	owners := make([][]*BatchRequest, n)
 	spans := make([][][2]uint64, n)
 	var soft []*BatchRequest
-	// Admission tickets are held until the whole batch settles: the batch
-	// is one synchronous call, so its requests are in flight together and
-	// the gate sees them as such. Release is idempotent and nil-safe.
+	// Admission tickets are held per dispatch wave, not for the whole
+	// batch: a batch larger than the gate's in-flight ceiling would
+	// otherwise saturate the gate with its own earlier tickets and park
+	// later requests behind slots nothing can free until the batch ends.
+	// Requests admit with NoWait; when the gate reports full, the wave
+	// accumulated so far is dispatched and its tickets released before
+	// admission continues. Release is idempotent and nil-safe.
 	var tickets []*admission.Ticket
-	defer func() {
+	defer func() { // safety net; flush releases on the normal path
 		for _, t := range tickets {
 			t.Release()
 		}
@@ -110,6 +118,67 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 		}
 		return true
 	}
+	// flush dispatches the accumulated wave — one envelope per device
+	// with queued entries — settles its results (failing requests over to
+	// soft where eligible), then releases the wave's tickets so the next
+	// wave or concurrent traffic can take the slots.
+	flush := func() {
+		waved := false
+		for i := range groups {
+			if len(groups[i]) > 0 {
+				waved = true
+				break
+			}
+		}
+		if waved {
+			errs := a.nctx.SubmitBatch(groups)
+			for i := range groups {
+				if len(groups[i]) == 0 {
+					continue
+				}
+				ctx := a.nctx.At(i)
+				for k := range groups[i] {
+					en := &groups[i][k]
+					r := owners[i][k]
+					ctx.ReleaseVA(spans[i][k][0])
+					ctx.ReleaseVA(spans[i][k][1])
+					err := errs[i] // device-level failure drops the whole group
+					if err == nil {
+						err = en.Err
+					}
+					if err == nil && en.CSB.CC != nx.CCSuccess {
+						err = ccFail("batch compress", &en.CSB)
+					}
+					if err == nil {
+						r.Out = en.CSB.Output
+						fillMetrics(&r.Metrics, &en.Rep, &en.CSB)
+						r.Device = i
+						a.completeDigest(rec, r.req, "batch-compress", "deflate", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeOK)
+						continue
+					}
+					if !failoverEligible(err) {
+						r.Err = err
+						a.completeDigest(rec, r.req, "batch-compress", "deflate", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeError)
+						if rec != nil {
+							r.Err = reqError(r.req, r.Err)
+						}
+						continue
+					}
+					r.devAttempt = true
+					soft = append(soft, r)
+				}
+			}
+		}
+		for _, t := range tickets {
+			t.Release()
+		}
+		tickets = tickets[:0]
+		for i := range groups {
+			groups[i] = groups[i][:0]
+			owners[i] = owners[i][:0]
+			spans[i] = spans[i][:0]
+		}
+	}
 	for _, r := range reqs {
 		if r == nil {
 			continue
@@ -124,7 +193,15 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 		// Overload gate, per request: a shed fails the request with
 		// ErrOverloaded before any device work; a brownout degrade routes
 		// it straight to the software fallback.
-		ticket, dec, aerr := a.admitOp(r.Deadline, r.Cancel)
+		ticket, dec, aerr := a.admitOpNoWait(r.Deadline, r.Cancel)
+		if errors.Is(aerr, admission.ErrWouldWait) {
+			// The gate is full — possibly with this batch's own wave. Make
+			// room by dispatching and releasing what we hold, then present
+			// again, this time willing to queue: any further wait is
+			// genuine contention with other traffic, not self-inflicted.
+			flush()
+			ticket, dec, aerr = a.admitOp(r.Deadline, r.Cancel)
+		}
 		if aerr != nil {
 			r.Err = aerr
 			a.completeDigest(rec, r.req, "batch-compress", "deflate", "admission", &r.Metrics, start, 0, telemetry.OutcomeShed)
@@ -171,43 +248,7 @@ func (a *Accelerator) CompressBatch(reqs []*BatchRequest) {
 		owners[i] = append(owners[i], r)
 		spans[i] = append(spans[i], [2]uint64{srcVA, dstVA})
 	}
-	errs := a.nctx.SubmitBatch(groups)
-	for i := range groups {
-		if len(groups[i]) == 0 {
-			continue
-		}
-		ctx := a.nctx.At(i)
-		for k := range groups[i] {
-			en := &groups[i][k]
-			r := owners[i][k]
-			ctx.ReleaseVA(spans[i][k][0])
-			ctx.ReleaseVA(spans[i][k][1])
-			err := errs[i] // device-level failure drops the whole group
-			if err == nil {
-				err = en.Err
-			}
-			if err == nil && en.CSB.CC != nx.CCSuccess {
-				err = ccFail("batch compress", &en.CSB)
-			}
-			if err == nil {
-				r.Out = en.CSB.Output
-				fillMetrics(&r.Metrics, &en.Rep, &en.CSB)
-				r.Device = i
-				a.completeDigest(rec, r.req, "batch-compress", "deflate", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeOK)
-				continue
-			}
-			if !failoverEligible(err) {
-				r.Err = err
-				a.completeDigest(rec, r.req, "batch-compress", "deflate", a.node.Label(i), &r.Metrics, start, 1, telemetry.OutcomeError)
-				if rec != nil {
-					r.Err = reqError(r.req, r.Err)
-				}
-				continue
-			}
-			r.devAttempt = true
-			soft = append(soft, r)
-		}
-	}
+	flush()
 	for _, r := range soft {
 		attempts := 1
 		if r.devAttempt {

@@ -250,8 +250,12 @@ func TestTenantQuota(t *testing.T) {
 	for _, tk := range all {
 		tk.Release()
 	}
+	// Tenant 2 issues traffic so it counts as active: quotas divide only
+	// among tenants in the activity window, not every tenant ever seen.
+	admitN(t, c, Interactive, 2, 1)[0].Release()
 
-	// Brownout: tenant 1's quota is ceil(1/2 · 4) = 2.
+	// Brownout: both tenants are active, so tenant 1's quota is
+	// ceil(1/2 · 4) = 2.
 	mu.Lock()
 	occ = 0.80
 	mu.Unlock()
@@ -332,6 +336,134 @@ func TestCoDelEviction(t *testing.T) {
 	if got := c.StatusNow().Evicted; got != int64(evicted) {
 		t.Fatalf("evicted counter = %d, want %d", got, evicted)
 	}
+}
+
+// TestAdmitNoWait: with every slot held, a NoWait attempt returns
+// ErrWouldWait immediately — neither queued nor counted as a shed — and
+// succeeds again once a slot frees.
+func TestAdmitNoWait(t *testing.T) {
+	c := NewController(Config{MaxInflight: 1}, nil, nil)
+	tk := admitN(t, c, Interactive, 1, 1)[0]
+
+	_, _, err := c.Admit(AdmitRequest{Class: Interactive, NoWait: true})
+	if !errors.Is(err, ErrWouldWait) {
+		t.Fatalf("NoWait on saturated gate: err = %v, want ErrWouldWait", err)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatal("ErrWouldWait must not read as an overload shed")
+	}
+	s := c.StatusNow()
+	if s.Queued != 0 || s.Shed[Interactive] != 0 {
+		t.Fatalf("NoWait left state behind: %+v", s)
+	}
+
+	tk.Release()
+	tk2, dec, err := c.Admit(AdmitRequest{Class: Interactive, NoWait: true})
+	if err != nil || dec != DecisionAdmit {
+		t.Fatalf("NoWait with a free slot: dec=%v err=%v", dec, err)
+	}
+	tk2.Release()
+}
+
+// TestCancelGrantRaceReturnsCanceled: a waiter whose slot grant races
+// its cancellation must still observe ErrCanceled, with the granted
+// slot handed back — the caller has abandoned the request and must not
+// dispatch it. White-box: the race is staged deterministically by
+// granting a hand-queued waiter before invoking its abandon path.
+func TestCancelGrantRaceReturnsCanceled(t *testing.T) {
+	c := NewController(Config{MaxInflight: 1}, nil, nil)
+	tk := admitN(t, c, Interactive, 1, 1)[0]
+
+	w := &waiter{class: Interactive, tenant: 7, enq: c.now(), grant: make(chan error, 1)}
+	c.mu.Lock()
+	w.elem = c.queues[Interactive].PushBack(w)
+	c.queued++
+	c.mu.Unlock()
+
+	tk.Release() // grants w: the slot transfers before the cancel lands
+	if _, _, err := c.abandon(w, "", ErrCanceled); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled waiter after racing grant: err = %v, want ErrCanceled", err)
+	}
+	s := c.StatusNow()
+	if s.Inflight != 0 || s.Queued != 0 {
+		t.Fatalf("granted slot not handed back after cancel: %+v", s)
+	}
+	// The freed slot must be usable again.
+	admitN(t, c, Interactive, 1, 1)[0].Release()
+}
+
+// TestTenantChurnQuota: a long-running node that has seen many
+// short-lived tenants must not collapse a live tenant's brownout quota —
+// the denominator covers only active tenants, and idle entries are
+// swept so the map stays bounded.
+func TestTenantChurnQuota(t *testing.T) {
+	var mu sync.Mutex
+	occ := 0.0
+	probe := func() Load {
+		mu.Lock()
+		defer mu.Unlock()
+		return Load{Queued: occ, Capacity: 1}
+	}
+	c := NewController(Config{MaxInflight: 4, ShedBackground: 0.76, ShedBatch: 0.95,
+		PressureAlpha: 1, PressurePeriod: time.Nanosecond}, probe, nil)
+	cur := time.Now()
+	c.now = func() time.Time { return cur }
+
+	// 100 one-shot tenants come and go.
+	for id := uint64(100); id < 200; id++ {
+		tk, dec, err := c.Admit(AdmitRequest{Class: Interactive, Tenant: id})
+		if err != nil || dec != DecisionAdmit {
+			t.Fatalf("churn tenant %d: dec=%v err=%v", id, dec, err)
+		}
+		tk.Release()
+	}
+	// They fall out of the activity window; brownout hits with only
+	// tenant 1 live — its quota must be the whole node, not 1/101 of it.
+	cur = cur.Add(2 * tenantActiveWindow)
+	mu.Lock()
+	occ = 0.80
+	mu.Unlock()
+	held := admitN(t, c, Interactive, 1, 4)
+	for _, tk := range held {
+		tk.Release()
+	}
+
+	// Past the idle age the sweep reaps the churned entries.
+	cur = cur.Add(2 * tenantIdleEvict)
+	admitN(t, c, Interactive, 1, 1)[0].Release()
+	c.mu.Lock()
+	n := len(c.tenants)
+	c.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("tenant map holds %d entries after sweep, want <= 2", n)
+	}
+}
+
+// TestUnregisterTenant: unregistering removes an idle tenant entry
+// outright and demotes a busy one for the sweep to reap once drained.
+func TestUnregisterTenant(t *testing.T) {
+	c := NewController(Config{MaxInflight: 4}, nil, nil)
+	c.RegisterTenant(1, 3)
+	c.RegisterTenant(2, 1)
+
+	c.UnregisterTenant(2) // idle: gone immediately
+	c.mu.Lock()
+	_, ok := c.tenants[2]
+	c.mu.Unlock()
+	if ok {
+		t.Fatal("idle tenant still present after UnregisterTenant")
+	}
+
+	tk := admitN(t, c, Interactive, 1, 1)[0]
+	c.UnregisterTenant(1) // busy: kept until its work drains
+	c.mu.Lock()
+	t1, ok := c.tenants[1]
+	c.mu.Unlock()
+	if !ok || t1.registered {
+		t.Fatalf("busy tenant entry = %+v, ok=%v; want demoted but present", t1, ok)
+	}
+	tk.Release()
+	c.UnregisterTenant(99) // unknown: no-op
 }
 
 func TestShedHookFires(t *testing.T) {

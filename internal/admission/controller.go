@@ -15,6 +15,13 @@ import (
 // errors.Is(err, ErrOverloaded) is false.
 var ErrCanceled = errors.New("admission: request canceled while queued")
 
+// ErrWouldWait reports a NoWait admission attempt that found no free
+// slot: the gate would have parked the request in the pending queue.
+// It is not a shed — nothing is counted and no hook fires — the caller
+// is expected to make progress (dispatch and release tickets it already
+// holds) and present the request again.
+var ErrWouldWait = errors.New("admission: would wait for a slot")
+
 // Load is one sample of the dispatch tier's congestion, produced by the
 // probe closure the owner wires in (the root samples every device's
 // receive-FIFO occupancy and the health scoreboard):
@@ -51,6 +58,12 @@ type AdmitRequest struct {
 	Deadline time.Time
 	// Cancel aborts a queued wait when closed.
 	Cancel <-chan struct{}
+	// NoWait makes a saturated gate return ErrWouldWait instead of
+	// parking the request in the pending queue. Batch submission uses
+	// it: the batch path holds a ticket per request it has accepted so
+	// far, and parking behind slots it holds itself would stall until
+	// MaxWait with no possible granter.
+	NoWait bool
 }
 
 // Ticket is an admitted request's in-flight slot. Release it exactly
@@ -71,10 +84,24 @@ func (t *Ticket) Release() {
 	t.once.Do(func() { t.c.release(t.tenant) })
 }
 
+// tenantActiveWindow is how long an idle tenant keeps counting toward
+// the quota denominator after its last admission: long enough that a
+// tenant issuing serial requests holds a stable share, short enough
+// that a departed tenant stops diluting everyone else's.
+const tenantActiveWindow = time.Second
+
+// tenantIdleEvict is both the sweep cadence and the idle age at which
+// an unregistered tenant entry is deleted, bounding the tenants map on
+// nodes with view churn. Explicitly registered tenants are removed by
+// UnregisterTenant (the root wires it to view Close).
+const tenantIdleEvict = 10 * time.Second
+
 // tenantState is one tenant's quota accounting.
 type tenantState struct {
-	weight   int
-	inflight int
+	weight     int
+	inflight   int
+	registered bool      // declared via RegisterTenant; exempt from the idle sweep
+	lastSeen   time.Time // last Admit; drives the active window and the sweep
 }
 
 // waiter is one queued request, parked in Admit until a slot frees, a
@@ -97,12 +124,12 @@ type Controller struct {
 	probe func() Load
 	now   func() time.Time // injectable for deterministic queue tests
 
-	mu        sync.Mutex
-	inflight  int
-	pressure  float64
-	sampled   time.Time
-	tenants   map[uint64]*tenantState
-	weightTot int
+	mu       sync.Mutex
+	inflight int
+	pressure float64
+	sampled  time.Time
+	tenants  map[uint64]*tenantState
+	swept    time.Time // last idle-tenant sweep
 
 	// Pending queue: one FIFO per class, granted in class order so a
 	// freed slot always goes to the oldest waiter of the best class.
@@ -176,32 +203,79 @@ func (c *Controller) SetShedHook(fn func(class Class, reason string, retryAfter 
 
 // RegisterTenant declares a tenant's quota weight (default 1 when a
 // tenant first appears unregistered). Quotas divide capacity by weight
-// share, enforced only under brownout — the gate is work-conserving at
-// normal load.
+// share among currently active tenants, enforced only under brownout —
+// the gate is work-conserving at normal load.
 func (c *Controller) RegisterTenant(id uint64, weight int) {
 	if weight < 1 {
 		weight = 1
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if t, ok := c.tenants[id]; ok {
-		c.weightTot += weight - t.weight
-		t.weight = weight
-		return
+	t, ok := c.tenants[id]
+	if !ok {
+		t = &tenantState{}
+		c.tenants[id] = t
 	}
-	c.tenants[id] = &tenantState{weight: weight}
-	c.weightTot += weight
+	t.weight = weight
+	t.registered = true
 }
 
-// tenantLocked returns (auto-registering) the tenant's state.
-func (c *Controller) tenantLocked(id uint64) *tenantState {
+// UnregisterTenant removes a tenant's registration — the root calls it
+// when a view closes. An entry with requests still in flight is only
+// demoted to unregistered (so release accounting stays balanced); the
+// idle sweep reaps it once it drains.
+func (c *Controller) UnregisterTenant(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tenants[id]
+	if !ok {
+		return
+	}
+	t.registered = false
+	if t.inflight == 0 {
+		delete(c.tenants, id)
+	}
+}
+
+// tenantLocked returns (auto-registering) the tenant's state, stamping
+// its activity for the quota window.
+func (c *Controller) tenantLocked(id uint64, now time.Time) *tenantState {
 	t, ok := c.tenants[id]
 	if !ok {
 		t = &tenantState{weight: 1}
 		c.tenants[id] = t
-		c.weightTot++
 	}
+	t.lastSeen = now
 	return t
+}
+
+// activeWeightLocked sums the quota weights of tenants currently
+// active — holding in-flight work or seen within tenantActiveWindow.
+// Quotas divide by this, not by every tenant ever seen, so view churn
+// on a long-running node cannot collapse live tenants' shares.
+func (c *Controller) activeWeightLocked(now time.Time) int {
+	w := 0
+	for _, t := range c.tenants {
+		if t.inflight > 0 || now.Sub(t.lastSeen) <= tenantActiveWindow {
+			w += t.weight
+		}
+	}
+	return w
+}
+
+// sweepTenantsLocked evicts long-idle unregistered tenant entries, rate
+// limited to one scan per tenantIdleEvict, bounding the map under view
+// churn.
+func (c *Controller) sweepTenantsLocked(now time.Time) {
+	if !c.swept.IsZero() && now.Sub(c.swept) < tenantIdleEvict {
+		return
+	}
+	c.swept = now
+	for id, t := range c.tenants {
+		if t.inflight == 0 && !t.registered && now.Sub(t.lastSeen) > tenantIdleEvict {
+			delete(c.tenants, id)
+		}
+	}
 }
 
 // samplePressureLocked advances the EWMA pressure estimate, rate
@@ -278,6 +352,9 @@ func (c *Controller) rejectLocked(class Class, reason string) (error, func()) {
 //	nil, DecisionDegrade, nil    — brownout: run the software fallback.
 //	nil, _, err                  — shed (errors.Is(err, ErrOverloaded)) or
 //	                               canceled while queued (ErrCanceled).
+//	                               With NoWait set, a saturated gate
+//	                               returns ErrWouldWait (neither a shed
+//	                               nor counted) instead of queueing.
 //
 // A nil *Controller admits everything (no gate configured): callers on
 // the hot path pay a single nil check.
@@ -293,6 +370,7 @@ func (c *Controller) Admit(req AdmitRequest) (*Ticket, Decision, error) {
 
 	c.mu.Lock()
 	c.samplePressureLocked(now)
+	c.sweepTenantsLocked(now)
 	level := c.levelLocked()
 
 	// Brownout ladder, top rung first. Background is denied at the first
@@ -312,18 +390,32 @@ func (c *Controller) Admit(req AdmitRequest) (*Ticket, Decision, error) {
 		return nil, DecisionDegrade, nil
 	}
 
+	// A NoWait caller asks only "is there a free slot right now": a full
+	// gate answers ErrWouldWait, checked before quota enforcement — the
+	// caller's own outstanding tickets are usually what holds the slots,
+	// and a quota shed here would misread self-occupancy as overload.
+	if req.NoWait && c.inflight >= c.cfg.MaxInflight {
+		c.mu.Unlock()
+		return nil, 0, ErrWouldWait
+	}
+
 	// Weighted tenant quota, enforced only under brownout so the gate is
 	// work-conserving: at normal load any tenant may use the whole node.
-	t := c.tenantLocked(req.Tenant)
-	if level > LevelNormal && c.weightTot > 0 {
-		quota := int(math.Ceil(float64(t.weight) / float64(c.weightTot) * float64(c.cfg.MaxInflight)))
-		if t.inflight >= quota {
-			err, hook := c.rejectLocked(class, "quota")
-			c.mu.Unlock()
-			if hook != nil {
-				hook()
+	// The denominator is the weight of *active* tenants (this one just
+	// stamped itself active), so a lone live tenant keeps the whole node
+	// no matter how many others came and went.
+	t := c.tenantLocked(req.Tenant, now)
+	if level > LevelNormal {
+		if aw := c.activeWeightLocked(now); aw > 0 {
+			quota := int(math.Ceil(float64(t.weight) / float64(aw) * float64(c.cfg.MaxInflight)))
+			if t.inflight >= quota {
+				err, hook := c.rejectLocked(class, "quota")
+				c.mu.Unlock()
+				if hook != nil {
+					hook()
+				}
+				return nil, 0, err
 			}
-			return nil, 0, err
 		}
 	}
 
@@ -338,8 +430,9 @@ func (c *Controller) Admit(req AdmitRequest) (*Ticket, Decision, error) {
 	}
 
 	// No slot: level was LevelSaturated (the lock pins inflight), so the
-	// ladder above already denied background and degraded batch — only
-	// interactive reaches here. Park it in the bounded pending queue.
+	// ladder above already denied background and degraded batch, and a
+	// NoWait caller was already answered — only blocking interactive
+	// work reaches here. Park it in the bounded pending queue.
 	if c.queued >= c.cfg.QueueLimit {
 		err, hook := c.rejectLocked(class, "queue-full")
 		c.mu.Unlock()
@@ -387,13 +480,20 @@ func (c *Controller) wait(w *waiter, req AdmitRequest) (*Ticket, Decision, error
 }
 
 // abandon removes a waiter that gave up (timer, deadline, cancel). If a
-// grant raced in first, the grant wins — the slot is already ours.
+// grant raced in first and the waiter merely timed out, the grant wins —
+// the slot is already ours. A *canceled* waiter must never dispatch,
+// so a racing grant is handed straight back and the caller still sees
+// ErrCanceled.
 func (c *Controller) abandon(w *waiter, reason string, cause error) (*Ticket, Decision, error) {
 	c.mu.Lock()
 	if w.done {
 		c.mu.Unlock()
 		if err := <-w.grant; err != nil {
 			return nil, 0, err
+		}
+		if cause != nil {
+			(&Ticket{c: c, tenant: w.tenant}).Release()
+			return nil, 0, cause
 		}
 		return &Ticket{c: c, tenant: w.tenant}, DecisionAdmit, nil
 	}
@@ -469,7 +569,7 @@ func (c *Controller) grantLocked(now time.Time, hooks *[]func()) bool {
 			continue
 		}
 		c.waitHist.Observe(float64(sojourn.Microseconds()))
-		c.tenantLocked(w.tenant).inflight++
+		c.tenantLocked(w.tenant, now).inflight++
 		c.admitted[w.class].Inc()
 		w.grant <- nil // slot transfers: c.inflight is unchanged
 		return true

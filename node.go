@@ -2,6 +2,7 @@ package nxzip
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"nxzip/internal/admission"
@@ -70,8 +71,12 @@ type Node struct {
 	view atomic.Pointer[Accelerator]
 
 	// adm is the admission controller, nil until EnableAdmission. Same
-	// hook discipline as rec: one atomic load on the hot path.
-	adm atomic.Pointer[admission.Controller]
+	// hook discipline as rec: one atomic load on the hot path. admMu
+	// serializes EnableAdmission so concurrent first calls construct
+	// exactly one controller (its instruments live in the shared
+	// topology registry).
+	admMu sync.Mutex
+	adm   atomic.Pointer[admission.Controller]
 }
 
 // defaultView returns the node's shared accelerator view, creating it

@@ -252,6 +252,12 @@ func (a *Accelerator) StopTrace() error { return a.node.StopTrace() }
 // Accelerator must not submit work afterwards.
 func (a *Accelerator) Close() {
 	if a.closed.CompareAndSwap(false, true) {
+		// Retire this view's tenant entry at the admission gate so closed
+		// views neither dilute live tenants' quota shares nor accumulate
+		// in the controller's tenant map.
+		if ctrl := a.admissionCtrl(); ctrl != nil {
+			ctrl.UnregisterTenant(a.nctx.ID())
+		}
 		a.nctx.Close()
 	}
 }
