@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check test race chaos bench bench-alloc bench-json fuzz-smoke nxbench parallel trace-demo obs-demo flightrec-demo drain-demo
+.PHONY: check build vet fmt-check test race chaos bench bench-alloc bench-json fuzz-smoke nxbench parallel trace-demo obs-demo flightrec-demo drain-demo tenants-demo
 
 ## check: the tier-1 gate — build, vet, gofmt, the full test suite under
 ## the race detector, the fault-injection chaos suite, the zero-alloc
 ## hot-path gate, the parser/decoder fuzz smoke, and the observability +
-## flight-recorder + graceful-drain self-checks. CI and pre-merge runs
-## use this target.
-check: build vet fmt-check race chaos bench-alloc fuzz-smoke obs-demo flightrec-demo drain-demo
+## flight-recorder + graceful-drain + tenant-accounting self-checks. CI
+## and pre-merge runs use this target.
+check: build vet fmt-check race chaos bench-alloc fuzz-smoke obs-demo flightrec-demo drain-demo tenants-demo
 
 build:
 	$(GO) build ./...
@@ -27,9 +27,10 @@ race:
 ## chaos: the fault-injection suite under the race detector — injected
 ## CC errors, fault/paste storms, credit leaks, engine hangs, device
 ## kill/revive, failover, software fallback, graceful drain (including
-## the kill-mid-drain race), overload shedding and the parallel soak.
+## the kill-mid-drain race), overload shedding, tenant-series churn and
+## burn-rate evaluation, and the parallel soak.
 chaos:
-	$(GO) test -race -run 'Chaos|Inject|FaultStorm|EngineHang|Offline|Deadline|Cancel|CreditLeak|Backoff|Resume|Drain|Overload|Admission' . ./internal/nx ./internal/faultinject ./internal/topology ./internal/admission
+	$(GO) test -race -run 'Chaos|Inject|FaultStorm|EngineHang|Offline|Deadline|Cancel|CreditLeak|Backoff|Resume|Drain|Overload|Admission|Tenant|Burn' . ./internal/nx ./internal/faultinject ./internal/topology ./internal/admission ./internal/obs
 
 ## bench: regenerate the paper's tables/figures as Go benchmarks.
 bench:
@@ -49,8 +50,9 @@ bench-alloc:
 ## count, claim C6), the E19 chaos sweep (throughput/p99 vs injected
 ## fault rate), the E20 observability-overhead measurement, the E21
 ## batched small-request sweep, the E22 flight-recorder overhead
-## measurement, the E23 codec shoot-out and the E24 overload-protection
-## sweep, exporting the raw points to BENCH_*.json.
+## measurement, the E23 codec shoot-out, the E24 overload-protection
+## sweep and the E25 tenant-interference run (burn-rate paging on the
+## offender's label), exporting the raw points to BENCH_*.json.
 bench-json:
 	$(GO) run ./cmd/nxbench -json BENCH_topology.json
 	$(GO) run ./cmd/nxbench -chaos sweep -json BENCH_chaos.json
@@ -59,18 +61,22 @@ bench-json:
 	$(GO) run ./cmd/nxbench -flightrec-overhead -json BENCH_flightrec.json
 	$(GO) run ./cmd/nxbench -codecs -json BENCH_codecs.json
 	$(GO) run ./cmd/nxbench -overload -json BENCH_overload.json
+	$(GO) run ./cmd/nxbench -tenants -json BENCH_tenants.json
 
 ## fuzz-smoke: 30 s of coverage-guided fuzzing over each attack surface
 ## fed by untrusted or operator input — the block decoders (LZ4 block
-## decode, 842 decode) and the CLI-facing parsers (format names, the
-## admission -key=value policy). Finds panics/OOMs in the bounds-checked
-## decode loops and parser edge cases; go test -fuzz accepts one fuzz
-## target per invocation, hence one run each.
+## decode, 842 decode), the CLI-facing parsers (format names, the
+## admission -key=value policy) and the Prometheus exposition round-trip
+## (WriteProm output with adversarial tenant labels must always
+## ParseProm back). Finds panics/OOMs in the bounds-checked decode loops
+## and parser edge cases; go test -fuzz accepts one fuzz target per
+## invocation, hence one run each.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBlockDecode -fuzztime 30s ./internal/lz4
 	$(GO) test -run '^$$' -fuzz FuzzDecompressRobust -fuzztime 30s ./internal/x842
 	$(GO) test -run '^$$' -fuzz FuzzParseFormat -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime 30s ./internal/admission
+	$(GO) test -run '^$$' -fuzz FuzzPromRoundTrip -fuzztime 30s ./internal/obs
 
 ## obs-demo: observability self-check — run a workload behind an
 ## ephemeral exposition server, scrape /metrics, verify the Prometheus
@@ -95,7 +101,15 @@ flightrec-demo:
 drain-demo:
 	$(GO) run ./cmd/nxbench -drain-demo
 
-## nxbench: render every experiment table (E1–E24 + ablations).
+## tenants-demo: tenant accounting-plane self-check — two prioritised
+## tenants behind an ephemeral server: /tenants carries both rows with
+## quota standing, /metrics exposes the labeled latency families, every
+## exemplar RequestID resolves to a flight-recorder digest, and the
+## burn-rate evaluation stays quiet on the healthy node.
+tenants-demo:
+	$(GO) run ./cmd/nxbench -tenants-demo
+
+## nxbench: render every experiment table (E1–E25 + ablations).
 nxbench:
 	$(GO) run ./cmd/nxbench
 

@@ -72,9 +72,9 @@ func (n *Node) EnableAdmission(cfg admission.Config) *admission.Controller {
 	}
 	bus := n.EnableEvents()
 	ctrl := admission.NewController(cfg, n.admissionProbe, n.topo.Registry())
-	ctrl.SetShedHook(func(class admission.Class, reason string, retryAfter time.Duration) {
-		bus.Publish(obs.Event{Type: obs.EventShed,
-			Detail: fmt.Sprintf("%s request shed (%s), retry after %v", class, reason, retryAfter)})
+	ctrl.SetShedHook(func(s admission.ShedInfo) {
+		bus.Publish(obs.Event{Type: obs.EventShed, Tenant: s.Tenant,
+			Detail: fmt.Sprintf("%s request shed (%s), retry after %v", s.Class, s.Reason, s.RetryAfter)})
 	})
 	n.adm.Store(ctrl)
 	return ctrl
@@ -109,6 +109,25 @@ func (n *Node) AdmissionStatus() *obs.AdmissionStatus {
 		})
 	}
 	return doc
+}
+
+// TenantQuotas converts the gate's per-tenant quota table into the obs
+// document shape (nil before EnableAdmission — /tenants rows then come
+// from the accounting-plane windows alone).
+func (n *Node) TenantQuotas() []obs.TenantQuota {
+	ctrl := n.adm.Load()
+	if ctrl == nil {
+		return nil
+	}
+	ts := ctrl.TenantsNow()
+	out := make([]obs.TenantQuota, len(ts))
+	for i, t := range ts {
+		out[i] = obs.TenantQuota{
+			ID: t.ID, Weight: t.Weight, Inflight: t.Inflight,
+			Share: t.Share, Active: t.Active,
+		}
+	}
+	return out
 }
 
 // DefaultDrainTimeout bounds how long Drain waits for in-flight work.
@@ -152,6 +171,8 @@ func (n *Node) Draining(i int) bool { return n.topo.Draining(i) }
 // Safe to call at any time; requests in flight keep their class.
 func (a *Accelerator) SetPriority(class admission.Class) {
 	a.class.Store(int32(class))
+	// Propagate the class name to the device contexts so spans carry it.
+	a.nctx.SetPriorityName(class.String())
 }
 
 // Priority returns the view's admission class.

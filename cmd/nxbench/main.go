@@ -1,5 +1,5 @@
 // Command nxbench regenerates every table and figure of the reproduction
-// (experiments E1–E24 per DESIGN.md) plus the design-choice ablations,
+// (experiments E1–E25 per DESIGN.md) plus the design-choice ablations,
 // printing them as formatted text tables.
 //
 // Usage:
@@ -24,6 +24,8 @@
 //	nxbench -flightrec-overhead -json BENCH_flightrec.json   # E22 recorder overhead
 //	nxbench -overload -json BENCH_overload.json   # E24 overload-protection sweep
 //	nxbench -drain-demo                           # graceful-drain end-to-end self check
+//	nxbench -tenants -json BENCH_tenants.json     # E25 tenant-interference experiment
+//	nxbench -tenants-demo                         # tenant accounting plane self check
 package main
 
 import (
@@ -38,7 +40,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment id (E1..E24, A1..A11)")
+	only := flag.String("only", "", "run a single experiment id (E1..E25, A1..A11)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation sweeps")
 	host := flag.Bool("host", false, "also measure the host software baseline")
 	parallel := flag.Bool("parallel", false, "measure serial vs parallel Writer/Reader throughput scaling")
@@ -58,9 +60,11 @@ func main() {
 	flightOverhead := flag.Bool("flightrec-overhead", false, "run the E22 flight-recorder-overhead experiment (export points with -json)")
 	overload := flag.Bool("overload", false, "run the E24 overload-protection sweep (export points with -json)")
 	drainDemoFlag := flag.Bool("drain-demo", false, "self-check: graceful drain under live traffic — zero dropped in-flight, byte-exact results, clean undrain")
+	tenants := flag.Bool("tenants", false, "run the E25 tenant-interference experiment (export result with -json)")
+	tenantsDemoFlag := flag.Bool("tenants-demo", false, "self-check: labeled tenant rows over /tenants, exemplars resolved against the flight recorder")
 	flag.Parse()
 
-	if *serve != "" || *obsDemoFlag || *obsOverhead || *flightDemoFlag || *flightOverhead || *overload || *drainDemoFlag {
+	if *serve != "" || *obsDemoFlag || *obsOverhead || *flightDemoFlag || *flightOverhead || *overload || *drainDemoFlag || *tenants || *tenantsDemoFlag {
 		var err error
 		switch {
 		case *obsDemoFlag:
@@ -75,6 +79,10 @@ func main() {
 			err = overloadRun(*jsonPath)
 		case *drainDemoFlag:
 			err = drainDemo()
+		case *tenants:
+			err = tenantsRun(*jsonPath)
+		case *tenantsDemoFlag:
+			err = tenantsDemo()
 		default:
 			err = obsServe(*serve, *serveDur, *chaos)
 		}
@@ -196,6 +204,8 @@ func runOne(id string) []*experiments.Table {
 		return []*experiments.Table{experiments.E23CodecShootout()}
 	case "E24":
 		return []*experiments.Table{experiments.E24OverloadProtection()}
+	case "E25":
+		return []*experiments.Table{experiments.E25TenantInterference()}
 	case "A1":
 		return []*experiments.Table{experiments.A1Banks()}
 	case "A2":

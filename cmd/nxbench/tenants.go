@@ -1,0 +1,177 @@
+package main
+
+// tenants.go is nxbench's tenant-accounting side: `-tenants` runs the
+// E25 interference experiment (burn-rate paging on the offender's
+// label), `-tenants-demo` is the fast end-to-end self-check behind
+// `make check` — two labeled tenants, /tenants rows verified, every
+// /metrics exemplar RequestID resolved against the flight recorder's
+// digest ring.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"time"
+
+	"nxzip"
+	"nxzip/internal/admission"
+	"nxzip/internal/corpus"
+	"nxzip/internal/experiments"
+	"nxzip/internal/obs"
+)
+
+// tenantsRun drives E25 and optionally exports the result as JSON
+// (BENCH_tenants.json in make bench-json).
+func tenantsRun(jsonPath string) error {
+	t, result := experiments.TenantInterference()
+	t.Render(os.Stdout)
+	if !result.Summary.BurnFired {
+		return fmt.Errorf("tenants: no burn-rate alert fired during interference")
+	}
+	if !result.Summary.OffenderIsAbuser {
+		return fmt.Errorf("tenants: burn alert named %q, not the abusive tenant", result.Summary.Offender)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}
+
+// exemplarRe extracts the RequestIDs WriteProm renders as OpenMetrics
+// exemplar suffixes.
+var exemplarRe = regexp.MustCompile(`# \{req_id="(\d+)"\}`)
+
+// tenantsDemo is the in-process self-check: run labeled traffic from
+// two prioritised tenants behind an ephemeral server, then verify that
+// /tenants carries both tenants' rows with quota standing, that the
+// labeled latency series appear in /metrics with exemplars, and that
+// every exemplar RequestID resolves to a digest in the flight
+// recorder's ring.
+func tenantsDemo() error {
+	cfg := nxzip.P9Node(1)
+	cfg.TableMode = nxzip.TableFixed
+	node, err := nxzip.OpenNode(cfg)
+	if err != nil {
+		return err
+	}
+
+	node.EnableAdmission(admission.Config{})
+	rec := node.EnableFlightRecorder("")
+	srv, err := node.ServeObsConfig("127.0.0.1:0", nxzip.ObsConfig{
+		SampleInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	inter := node.View()
+	defer inter.Close()
+	inter.SetPriority(admission.Interactive)
+	inter.SetQuotaWeight(2)
+	batch := node.View()
+	defer batch.Close()
+	batch.SetPriority(admission.Batch)
+	batch.SetQuotaWeight(1)
+
+	const chunk = 32 << 10
+	src := corpus.Generate(corpus.JSONLogs, 8*chunk, experiments.Seed)
+	for i := 0; i < 64; i++ {
+		view := inter
+		if i%2 == 1 {
+			view = batch
+		}
+		off := (i % 8) * chunk
+		if _, _, cerr := view.CompressGzip(src[off : off+chunk]); cerr != nil {
+			return cerr
+		}
+	}
+	// Let the sampler produce a window covering the traffic.
+	time.Sleep(120 * time.Millisecond)
+
+	base := "http://" + srv.Addr()
+	resp, err := http.Get(base + "/tenants")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("tenants-demo: /tenants status %d", resp.StatusCode)
+	}
+	var doc obs.TenantsDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("tenants-demo: /tenants not parseable: %w", err)
+	}
+	for _, v := range []*nxzip.Accelerator{inter, batch} {
+		label := nxzip.TenantLabel(v.TenantID())
+		found := false
+		for _, row := range doc.Tenants {
+			if row.Tenant != label {
+				continue
+			}
+			found = true
+			if row.Weight == 0 {
+				return fmt.Errorf("tenants-demo: row %s missing quota weight", label)
+			}
+		}
+		if !found {
+			return fmt.Errorf("tenants-demo: /tenants has no row for %s (rows: %d)", label, len(doc.Tenants))
+		}
+	}
+	if len(doc.Burn) == 0 {
+		return fmt.Errorf("tenants-demo: /tenants carries no burn-rate evaluation")
+	}
+	for _, a := range doc.Burn {
+		if a.Firing {
+			return fmt.Errorf("tenants-demo: burn alert %s/%s firing on an idle healthy node", a.SLO, a.Speed)
+		}
+	}
+
+	// /metrics must expose the labeled latency family with exemplars,
+	// and every exemplar RequestID must resolve to a held digest.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	text := string(mbody)
+	if !regexp.MustCompile(`nxzip_tenant_latency_us_bucket\{label="t\d+/`).MatchString(text) {
+		return fmt.Errorf("tenants-demo: /metrics has no labeled tenant latency buckets")
+	}
+	matches := exemplarRe.FindAllStringSubmatch(text, -1)
+	if len(matches) == 0 {
+		return fmt.Errorf("tenants-demo: /metrics carries no exemplars")
+	}
+	held := make(map[uint64]bool)
+	for _, d := range rec.Digests(0) {
+		held[d.Req] = true
+	}
+	for _, m := range matches {
+		req, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil || req == 0 {
+			return fmt.Errorf("tenants-demo: bad exemplar req_id %q", m[1])
+		}
+		if !held[req] {
+			return fmt.Errorf("tenants-demo: exemplar req %d resolves to no digest", req)
+		}
+	}
+	fmt.Printf("tenants-demo: PASS — %d tenant rows, %d exemplars all resolved to digests, burn evaluation quiet\n",
+		len(doc.Tenants), len(matches))
+	return nil
+}

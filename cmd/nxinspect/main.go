@@ -14,6 +14,7 @@
 //	nxzip corpus.txt | nxinspect
 //	nxinspect -postmortem /var/tmp/nx-postmortems            # newest bundle in dir
 //	nxinspect -postmortem postmortem-0...1.jsonl -req 42     # one request
+//	nxinspect -postmortem postmortem-0...1.jsonl -tenant 3   # one tenant's rows
 //	nxinspect -postmortem http://127.0.0.1:8090/debug/postmortems/postmortem-0...1.jsonl
 package main
 
@@ -38,10 +39,11 @@ func run() error {
 	maxOut := flag.Int("max", 1<<30, "decompressed size bound")
 	postmortem := flag.String("postmortem", "", "read a postmortem bundle (file, directory of bundles, '-', or URL) instead of a stream")
 	reqID := flag.Uint64("req", 0, "with -postmortem: narrow the report to one RequestID")
+	tenant := flag.Uint64("tenant", 0, "with -postmortem: narrow digests, spans and events to one tenant (view identity)")
 	flag.Parse()
 
 	if *postmortem != "" {
-		return runPostmortem(*postmortem, *reqID)
+		return runPostmortem(*postmortem, *reqID, *tenant)
 	}
 
 	in := os.Stdin

@@ -32,6 +32,8 @@ type pmSpan struct {
 	ID           uint64 `json:"id"`
 	Req          uint64 `json:"req"`
 	Hop          int    `json:"hop"`
+	Tenant       uint64 `json:"tenant"`
+	Priority     string `json:"priority"`
 	Op           string `json:"op"`
 	Engine       int    `json:"engine"`
 	HostNs       int64  `json:"host_ns"`
@@ -110,8 +112,9 @@ func openBundle(source string) (io.ReadCloser, string, error) {
 }
 
 // runPostmortem reads and renders one bundle; req narrows the report to
-// a single RequestID when nonzero.
-func runPostmortem(source string, req uint64) error {
+// a single RequestID when nonzero; tenant narrows digests, spans and
+// events to one view identity when nonzero.
+func runPostmortem(source string, req, tenant uint64) error {
 	in, name, err := openBundle(source)
 	if err != nil {
 		return err
@@ -161,7 +164,34 @@ func runPostmortem(source string, req uint64) error {
 		return err
 	}
 
+	if tenant != 0 {
+		dg := digests[:0]
+		for _, d := range digests {
+			if d.Tenant == tenant {
+				dg = append(dg, d)
+			}
+		}
+		digests = dg
+		sp := spans[:0]
+		for _, s := range spans {
+			if s.Tenant == tenant {
+				sp = append(sp, s)
+			}
+		}
+		spans = sp
+		ev := events[:0]
+		for _, e := range events {
+			if e.Tenant == tenant {
+				ev = append(ev, e)
+			}
+		}
+		events = ev
+	}
+
 	fmt.Printf("postmortem: %s\n", name)
+	if tenant != 0 {
+		fmt.Printf("tenant:     t%d (rows filtered)\n", tenant)
+	}
 	if meta != nil {
 		fmt.Printf("triggered:  %s  (#%d, %d requests digested)\n",
 			meta.Time.Format(time.RFC3339), meta.Ordinal, meta.Seq)
@@ -227,15 +257,16 @@ func runPostmortem(source string, req uint64) error {
 		show = show[len(show)-20:]
 	}
 	if len(show) > 0 {
-		fmt.Printf("\n%s:\n%-8s %-16s %-12s %-14s %10s %10s %8s %4s %-8s\n",
-			header, "req", "op", "codec", "device", "total-µs", "queue-µs", "in", "att", "outcome")
+		fmt.Printf("\n%s:\n%-8s %-16s %-12s %-14s %-7s %-11s %10s %10s %8s %4s %-8s\n",
+			header, "req", "op", "codec", "device", "tenant", "prio", "total-µs", "queue-µs", "in", "att", "outcome")
 		for _, d := range show {
 			codec := d.Codec
 			if codec == "" {
 				codec = "-"
 			}
-			fmt.Printf("%-8d %-16s %-12s %-14s %10.0f %10.0f %8s %4d %-8s\n",
-				d.Req, d.Op, codec, d.Device, d.TotalUS, d.QueueUS,
+			fmt.Printf("%-8d %-16s %-12s %-14s %-7s %-11s %10.0f %10.0f %8s %4d %-8s\n",
+				d.Req, d.Op, codec, d.Device, tenantCol(d.Tenant), prioCol(d.Priority),
+				d.TotalUS, d.QueueUS,
 				stats.Bytes(int64(d.InBytes)), d.Attempts, d.Outcome.String())
 		}
 	}
@@ -254,6 +285,22 @@ func runPostmortem(source string, req uint64) error {
 	return nil
 }
 
+// tenantCol / prioCol render the digest identity columns ("-" when the
+// request predates tenant stamping or came from a raw context).
+func tenantCol(id uint64) string {
+	if id == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("t%d", id)
+}
+
+func prioCol(p string) string {
+	if p == "" {
+		return "-"
+	}
+	return p
+}
+
 // printRequest renders one request's chained history: its digest, each
 // dispatch attempt's span (ordered by hop), and its events.
 func printRequest(req uint64, digests []*telemetry.Digest, spans []*pmSpan, events []*obs.Event) {
@@ -264,8 +311,8 @@ func printRequest(req uint64, digests []*telemetry.Digest, spans []*pmSpan, even
 			continue
 		}
 		found = true
-		fmt.Printf("  digest: op=%s codec=%s device=%s total=%.0fµs queue=%.0fµs in=%s out=%s cycles=%d attempts=%d outcome=%s\n",
-			d.Op, d.Codec, d.Device, d.TotalUS, d.QueueUS,
+		fmt.Printf("  digest: op=%s codec=%s device=%s tenant=%s prio=%s total=%.0fµs queue=%.0fµs in=%s out=%s cycles=%d attempts=%d outcome=%s\n",
+			d.Op, d.Codec, d.Device, tenantCol(d.Tenant), prioCol(d.Priority), d.TotalUS, d.QueueUS,
 			stats.Bytes(int64(d.InBytes)), stats.Bytes(int64(d.OutBytes)),
 			d.EngineCycles, d.Attempts, d.Outcome.String())
 	}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nxzip/internal/admission"
 	"nxzip/internal/flightrec"
 	"nxzip/internal/telemetry"
 )
@@ -109,10 +110,17 @@ func (a *Accelerator) recorder() *flightrec.Recorder {
 	return a.root.rec.Load()
 }
 
-// completeDigest records one finished root-level request into the
-// recorder (a no-op without one). The Digest is stack-built and copied
-// by Complete, so the call allocates nothing.
+// completeDigest finishes one root-level request: it bumps the view's
+// tenant accounting plane (always on — see tenant.go) and records a
+// digest into the recorder when one is attached. The Digest is
+// stack-built and copied by Complete, so the call allocates nothing.
 func (a *Accelerator) completeDigest(rec *flightrec.Recorder, req uint64, op, codec, device string, m *Metrics, start time.Time, attempts int, outcome telemetry.Outcome) {
+	cls := admission.Class(a.class.Load())
+	queueUS := float64(m.QueueWait) / float64(time.Microsecond)
+	totalUS := float64(time.Since(start)) / float64(time.Microsecond)
+	if tp := a.tplane; tp != nil {
+		tp.observe(cls, outcome, totalUS, queueUS, req)
+	}
 	if rec == nil {
 		return
 	}
@@ -121,8 +129,10 @@ func (a *Accelerator) completeDigest(rec *flightrec.Recorder, req uint64, op, co
 		Op:           op,
 		Codec:        codec,
 		Device:       device,
-		QueueUS:      float64(m.QueueWait) / float64(time.Microsecond),
-		TotalUS:      float64(time.Since(start)) / float64(time.Microsecond),
+		Tenant:       a.nctx.ID(),
+		Priority:     cls.String(),
+		QueueUS:      queueUS,
+		TotalUS:      totalUS,
 		InBytes:      m.InBytes,
 		OutBytes:     m.OutBytes,
 		EngineCycles: m.DeviceCycles,

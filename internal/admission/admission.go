@@ -85,15 +85,23 @@ func ParseClass(s string) (Class, error) {
 var ErrOverloaded = errors.New("admission: node overloaded")
 
 // OverloadError is the concrete shed error: which class was refused,
-// why, and how long the caller should wait before retrying (the
-// retry-after hint an HTTP front end maps to Retry-After).
+// for which tenant, why, and how long the caller should wait before
+// retrying (the retry-after hint an HTTP front end maps to Retry-After).
 type OverloadError struct {
-	Class      Class
+	Class Class
+	// Tenant is the refused request's view identity (0 when the caller
+	// presented no tenant), so shed errors correlate with the
+	// tenant-labeled accounting plane and per-tenant quotas.
+	Tenant     uint64
 	Reason     string // "brownout", "quota", "queue-full", "codel-evict", "queue-timeout", "deadline", "draining"
 	RetryAfter time.Duration
 }
 
 func (e *OverloadError) Error() string {
+	if e.Tenant != 0 {
+		return fmt.Sprintf("admission: node overloaded: %s request shed (%s, tenant t%d), retry after %v",
+			e.Class, e.Reason, e.Tenant, e.RetryAfter)
+	}
 	return fmt.Sprintf("admission: node overloaded: %s request shed (%s), retry after %v",
 		e.Class, e.Reason, e.RetryAfter)
 }

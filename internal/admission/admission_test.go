@@ -470,9 +470,9 @@ func TestShedHookFires(t *testing.T) {
 	c := NewController(Config{MaxInflight: 1}, nil, nil)
 	var mu sync.Mutex
 	var calls []string
-	c.SetShedHook(func(cl Class, reason string, retry time.Duration) {
+	c.SetShedHook(func(s ShedInfo) {
 		mu.Lock()
-		calls = append(calls, fmt.Sprintf("%v/%s/%v", cl, reason, retry > 0))
+		calls = append(calls, fmt.Sprintf("%v/%s/%v", s.Class, s.Reason, s.RetryAfter > 0))
 		mu.Unlock()
 	})
 	tk := admitN(t, c, Interactive, 1, 1)[0]

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -142,7 +143,7 @@ type Controller struct {
 	dropCount  int
 	dropNext   time.Time
 
-	shedHook func(Class, string, time.Duration)
+	shedHook func(ShedInfo)
 
 	admitted [ClassCount]*telemetry.Counter // admission.admitted{class}
 	shed     [ClassCount]*telemetry.Counter // admission.shed{class}
@@ -192,10 +193,20 @@ func NewController(cfg Config, probe func() Load, reg *telemetry.Registry) *Cont
 	return c
 }
 
+// ShedInfo describes one shed decision for the hook: the refused class
+// and tenant, the ladder rung that refused it, and the retry-after
+// hint the caller was given.
+type ShedInfo struct {
+	Class      Class
+	Tenant     uint64
+	Reason     string
+	RetryAfter time.Duration
+}
+
 // SetShedHook installs a callback invoked (outside the controller lock)
 // for every shed decision — the root publishes obs.EventShed through
 // it. Call before traffic.
-func (c *Controller) SetShedHook(fn func(class Class, reason string, retryAfter time.Duration)) {
+func (c *Controller) SetShedHook(fn func(ShedInfo)) {
 	c.mu.Lock()
 	c.shedHook = fn
 	c.mu.Unlock()
@@ -335,15 +346,16 @@ func (c *Controller) retryAfterLocked() time.Duration {
 
 // rejectLocked mints the shed error, counts it, and returns the hook to
 // run after unlock.
-func (c *Controller) rejectLocked(class Class, reason string) (error, func()) {
+func (c *Controller) rejectLocked(class Class, tenant uint64, reason string) (error, func()) {
 	retry := c.retryAfterLocked()
 	c.shed[class].Inc()
-	err := &OverloadError{Class: class, Reason: reason, RetryAfter: retry}
+	err := &OverloadError{Class: class, Tenant: tenant, Reason: reason, RetryAfter: retry}
 	hook := c.shedHook
 	if hook == nil {
 		return err, nil
 	}
-	return err, func() { hook(class, reason, retry) }
+	info := ShedInfo{Class: class, Tenant: tenant, Reason: reason, RetryAfter: retry}
+	return err, func() { hook(info) }
 }
 
 // Admit presents one request at the gate. Outcomes:
@@ -377,7 +389,7 @@ func (c *Controller) Admit(req AdmitRequest) (*Ticket, Decision, error) {
 	// rung; batch re-routes to software at the second; interactive rides
 	// through to the slot check and, past saturation, the pending queue.
 	if level >= LevelShedBackground && class == Background {
-		err, hook := c.rejectLocked(class, "brownout")
+		err, hook := c.rejectLocked(class, req.Tenant, "brownout")
 		c.mu.Unlock()
 		if hook != nil {
 			hook()
@@ -409,7 +421,7 @@ func (c *Controller) Admit(req AdmitRequest) (*Ticket, Decision, error) {
 		if aw := c.activeWeightLocked(now); aw > 0 {
 			quota := int(math.Ceil(float64(t.weight) / float64(aw) * float64(c.cfg.MaxInflight)))
 			if t.inflight >= quota {
-				err, hook := c.rejectLocked(class, "quota")
+				err, hook := c.rejectLocked(class, req.Tenant, "quota")
 				c.mu.Unlock()
 				if hook != nil {
 					hook()
@@ -434,7 +446,7 @@ func (c *Controller) Admit(req AdmitRequest) (*Ticket, Decision, error) {
 	// NoWait caller was already answered — only blocking interactive
 	// work reaches here. Park it in the bounded pending queue.
 	if c.queued >= c.cfg.QueueLimit {
-		err, hook := c.rejectLocked(class, "queue-full")
+		err, hook := c.rejectLocked(class, req.Tenant, "queue-full")
 		c.mu.Unlock()
 		if hook != nil {
 			hook()
@@ -506,7 +518,7 @@ func (c *Controller) abandon(w *waiter, reason string, cause error) (*Ticket, De
 		return nil, 0, cause
 	}
 	c.evicted.Inc()
-	err, hook := c.rejectLocked(w.class, reason)
+	err, hook := c.rejectLocked(w.class, w.tenant, reason)
 	c.mu.Unlock()
 	if hook != nil {
 		hook()
@@ -561,7 +573,7 @@ func (c *Controller) grantLocked(now time.Time, hooks *[]func()) bool {
 		sojourn := now.Sub(w.enq)
 		if c.codelDropLocked(sojourn, now) {
 			c.evicted.Inc()
-			err, hook := c.rejectLocked(w.class, "codel-evict")
+			err, hook := c.rejectLocked(w.class, w.tenant, "codel-evict")
 			if hook != nil {
 				*hooks = append(*hooks, hook)
 			}
@@ -645,6 +657,51 @@ func (c *Controller) StatusNow() Status {
 		s.Degraded[cl] = c.degraded[cl].Value()
 	}
 	return s
+}
+
+// TenantStatus is one tenant's quota standing at the gate.
+type TenantStatus struct {
+	ID       uint64 `json:"id"`
+	Weight   int    `json:"weight"`
+	Inflight int    `json:"inflight"`
+	// Registered marks tenants declared via RegisterTenant (exempt from
+	// the idle sweep); auto-registered tenants show false.
+	Registered bool `json:"registered,omitempty"`
+	// Active marks tenants currently counting toward the quota
+	// denominator (in-flight work or seen within the active window).
+	Active bool `json:"active"`
+	// Share is the tenant's weight fraction of the active weight — the
+	// capacity fraction quotas guarantee it under brownout. 0 for
+	// inactive tenants.
+	Share float64 `json:"share"`
+}
+
+// TenantsNow samples every tenant the gate currently tracks, sorted by
+// ID. Nil-safe (nil slice).
+func (c *Controller) TenantsNow() []TenantStatus {
+	if c == nil {
+		return nil
+	}
+	now := c.now()
+	c.mu.Lock()
+	aw := c.activeWeightLocked(now)
+	out := make([]TenantStatus, 0, len(c.tenants))
+	for id, t := range c.tenants {
+		ts := TenantStatus{
+			ID:         id,
+			Weight:     t.weight,
+			Inflight:   t.inflight,
+			Registered: t.registered,
+			Active:     t.inflight > 0 || now.Sub(t.lastSeen) <= tenantActiveWindow,
+		}
+		if ts.Active && aw > 0 {
+			ts.Share = float64(t.weight) / float64(aw)
+		}
+		out = append(out, ts)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Config returns the active (defaulted) configuration.

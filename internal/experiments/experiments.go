@@ -512,6 +512,7 @@ func All() []*Table {
 		E22FlightRecorderOverhead(),
 		E23CodecShootout(),
 		E24OverloadProtection(),
+		E25TenantInterference(),
 	}
 }
 

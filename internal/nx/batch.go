@@ -71,6 +71,8 @@ func (c *Context) SubmitBatch(entries []BatchEntry) error {
 			sp := tr.Start(en.CRB.Func.String(), int(c.pid), c.window)
 			sp.ReqID = en.CRB.ReqID
 			sp.Hop = en.CRB.Hop
+			sp.Tenant = c.tenant
+			sp.Priority = c.priorityName()
 			en.span = sp
 		}
 	}

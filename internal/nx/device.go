@@ -403,6 +403,17 @@ type Context struct {
 	window int
 	closed atomic.Bool
 
+	// tenant is the node-level view identity this context submits under
+	// (topology.Context.ID): stamped onto every span so traces join with
+	// admission quotas and tenant-labeled latency series. 0 for raw
+	// single-device contexts opened outside a node view.
+	tenant uint64
+	// prio points at the admission-class name the owning view currently
+	// carries ("interactive", "batch", "background"); nil when the view
+	// never set one. A pointer to a static name keeps the span-start
+	// read allocation-free.
+	prio atomic.Pointer[string]
+
 	mu     sync.Mutex
 	nextVA uint64
 	// Reusable VA arena: released spans pool in per-size-class free
@@ -452,6 +463,27 @@ func (c *Context) PID() nmmu.PID { return c.pid }
 // Window returns the context's VAS send-window id (tests and tools
 // inspect credits through it).
 func (c *Context) Window() int { return c.window }
+
+// SetTenant stamps the node-level view identity this context submits
+// under. Setup-time configuration: call before concurrent submission
+// begins (the topology layer sets it at context open).
+func (c *Context) SetTenant(id uint64) { c.tenant = id }
+
+// Tenant returns the context's view identity (0 when unset).
+func (c *Context) Tenant() uint64 { return c.tenant }
+
+// SetPriorityName publishes the admission-class name this context's
+// requests carry; spans started afterwards are stamped with it. Safe
+// to call concurrently with submission.
+func (c *Context) SetPriorityName(name string) { c.prio.Store(&name) }
+
+// priorityName reads the current class name without allocating.
+func (c *Context) priorityName() string {
+	if p := c.prio.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
 
 // MapBuffer reserves a buffer VA range. resident=false maps it
 // demand-paged, so the engine faults on first access (experiment E12).
@@ -708,6 +740,8 @@ func (c *Context) SubmitInto(crb *CRB, csb *CSB, rep *Report) error {
 	if span != nil {
 		span.ReqID = crb.ReqID
 		span.Hop = crb.Hop
+		span.Tenant = c.tenant
+		span.Priority = c.priorityName()
 	}
 	var (
 		retries      int
@@ -1058,6 +1092,8 @@ func (c *Context) SyncCall(crb *CRB) (*CSB, *Report, error) {
 	if span != nil {
 		span.ReqID = crb.ReqID
 		span.Hop = crb.Hop
+		span.Tenant = c.tenant
+		span.Priority = c.priorityName()
 	}
 	var (
 		retries int

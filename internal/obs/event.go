@@ -54,6 +54,11 @@ const (
 	// EventDrain: a device entered or completed graceful drain (Detail
 	// distinguishes the phases).
 	EventDrain EventType = "drain"
+	// EventBurnRate: a multi-window burn-rate alert changed state — an
+	// SLO error budget is burning fast enough to exhaust within its
+	// window (or stopped). Tenant carries the top offender when one
+	// stands out; Detail carries the windows, rates and budget.
+	EventBurnRate EventType = "burn-rate"
 )
 
 // Event is one typed record on the bus. Device carries the topology
@@ -66,7 +71,11 @@ type Event struct {
 	// Req links the event to the root-level request that triggered it
 	// (the CRB.ReqID minted by the public API); 0 for events with no
 	// originating request (periodic probes, sampler-driven transitions).
-	Req    uint64 `json:"req,omitempty"`
+	Req uint64 `json:"req,omitempty"`
+	// Tenant is the view identity the event concerns: the refused
+	// request's tenant on EventShed, the top-offending tenant on
+	// EventBurnRate. 0 for tenant-blind events.
+	Tenant uint64 `json:"tenant,omitempty"`
 	Device string `json:"device,omitempty"`
 	Detail string `json:"detail,omitempty"`
 }

@@ -115,12 +115,28 @@ func WriteProm(w io.Writer, snap *telemetry.Snapshot) error {
 		name := promName(snap.Histograms[i].Name)
 		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
 		for _, h := range snap.Histograms[i:j] {
+			// Exemplars render as OpenMetrics-style suffixes on the bucket
+			// lines: `… # {req_id="42"} <value>` — the RequestID of the most
+			// recent request to land in the bucket, resolvable against the
+			// flight recorder's digest ring.
+			ex := h.Exemplars
+			if len(ex) != len(bounds)+1 {
+				ex = nil
+			}
 			if len(h.Buckets) == len(bounds) {
 				for k, b := range bounds {
-					fmt.Fprintf(bw, "%s %d\n", series(name+"_bucket", h.Label, "le", promFloat(b)), h.Buckets[k])
+					fmt.Fprintf(bw, "%s %d", series(name+"_bucket", h.Label, "le", promFloat(b)), h.Buckets[k])
+					if ex != nil && ex[k].Req != 0 {
+						fmt.Fprintf(bw, " # {req_id=\"%d\"} %s", ex[k].Req, promFloat(ex[k].Value))
+					}
+					fmt.Fprintln(bw)
 				}
 			}
-			fmt.Fprintf(bw, "%s %d\n", series(name+"_bucket", h.Label, "le", "+Inf"), h.Count)
+			fmt.Fprintf(bw, "%s %d", series(name+"_bucket", h.Label, "le", "+Inf"), h.Count)
+			if ex != nil && ex[len(bounds)].Req != 0 {
+				fmt.Fprintf(bw, " # {req_id=\"%d\"} %s", ex[len(bounds)].Req, promFloat(ex[len(bounds)].Value))
+			}
+			fmt.Fprintln(bw)
 			fmt.Fprintf(bw, "%s %s\n", series(name+"_sum", h.Label, "", ""), promFloat(h.Sum))
 			fmt.Fprintf(bw, "%s %d\n", series(name+"_count", h.Label, "", ""), h.Count)
 		}
@@ -143,11 +159,54 @@ func WriteProm(w io.Writer, snap *telemetry.Snapshot) error {
 	return bw.Flush()
 }
 
+// promScan walks a sample line tracking quote state (with proper
+// backslash-escape handling — a label value ending in an escaped
+// backslash must not be read as an escaped quote) and brace depth,
+// reporting the last space and the first '#' seen outside both. Either
+// is -1 when absent.
+func promScan(line string) (lastSpace, comment int) {
+	lastSpace, comment = -1, -1
+	depth := 0
+	inQuote, esc := false, false
+	for i := 0; i < len(line); i++ {
+		ch := line[i]
+		if inQuote {
+			switch {
+			case esc:
+				esc = false
+			case ch == '\\':
+				esc = true
+			case ch == '"':
+				inQuote = false
+			}
+			continue
+		}
+		switch ch {
+		case '"':
+			inQuote = true
+		case '{':
+			depth++
+		case '}':
+			depth--
+		case ' ':
+			if depth == 0 {
+				lastSpace = i
+			}
+		case '#':
+			if depth == 0 {
+				return lastSpace, i
+			}
+		}
+	}
+	return lastSpace, -1
+}
+
 // ParseProm reads Prometheus text exposition and returns every sample
 // keyed by its series text exactly as WriteProm renders it (name plus
 // sorted-as-written label set). It understands the subset WriteProm
-// emits — enough for the round-trip checks and the obs-demo parse
-// gate — and rejects malformed sample lines.
+// emits — including the OpenMetrics exemplar suffixes on bucket lines,
+// which are stripped — enough for the round-trip checks and the
+// obs-demo parse gate — and rejects malformed sample lines.
 func ParseProm(r io.Reader) (map[string]float64, error) {
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(r)
@@ -159,31 +218,14 @@ func ParseProm(r io.Reader) (map[string]float64, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		// An exemplar rides the sample line after a '#' outside quotes and
+		// braces; the sample itself ends there.
+		if _, comment := promScan(line); comment >= 0 {
+			line = strings.TrimSpace(line[:comment])
+		}
 		// The series may contain spaces inside quoted label values; the
 		// value is everything after the last space outside braces.
-		cut := -1
-		depth := 0
-		inQuote := false
-		for i := 0; i < len(line); i++ {
-			switch line[i] {
-			case '"':
-				if i == 0 || line[i-1] != '\\' {
-					inQuote = !inQuote
-				}
-			case '{':
-				if !inQuote {
-					depth++
-				}
-			case '}':
-				if !inQuote {
-					depth--
-				}
-			case ' ':
-				if !inQuote && depth == 0 {
-					cut = i
-				}
-			}
-		}
+		cut, _ := promScan(line)
 		if cut < 0 {
 			return nil, fmt.Errorf("obs: prom line %d: no value: %q", lineNo, line)
 		}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"nxzip/internal/telemetry"
+)
+
+// FuzzPromRoundTrip drives WriteProm → ParseProm with adversarial label
+// values and float values: everything WriteProm emits must parse back,
+// and the counter/histogram-count samples must round-trip exactly. The
+// seeds pin the historically tricky escapes — a label ending in a
+// backslash (which must not swallow the closing quote), embedded
+// quotes, newlines, '#' and '}' inside quoted values (which must not
+// truncate the series at the exemplar-comment or brace scan), and
+// non-finite histogram sums.
+func FuzzPromRoundTrip(f *testing.F) {
+	f.Add("t5/interactive/ok", int64(7), 123.5, uint64(42))
+	f.Add(`trailing\`, int64(-1), math.Inf(1), uint64(1))
+	f.Add(`quo"te`, int64(0), math.NaN(), uint64(0))
+	f.Add("new\nline", int64(1<<40), -0.0, uint64(9))
+	f.Add(`br}ace{#`, int64(-1<<40), 1e-300, uint64(3))
+	f.Add(" spaced out ", int64(5), 2.25, uint64(7))
+	f.Fuzz(func(t *testing.T, label string, cval int64, hval float64, req uint64) {
+		bounds := telemetry.BucketBounds()
+		h := telemetry.HistogramSnapshot{
+			Name: "nx.fuzz_us", Label: label,
+			Count: 3, Sum: hval, P50: hval, P95: hval, P99: hval,
+			Buckets:   make([]int64, len(bounds)),
+			Exemplars: make([]telemetry.Exemplar, len(bounds)+1),
+		}
+		for i := range h.Buckets {
+			h.Buckets[i] = 3
+		}
+		h.Exemplars[len(bounds)] = telemetry.Exemplar{Req: req, Value: hval}
+		snap := &telemetry.Snapshot{
+			Counters:   []telemetry.CounterSnapshot{{Name: "nx.fuzz", Label: label, Value: cval}},
+			Gauges:     []telemetry.GaugeSnapshot{{Name: "nx.fuzzg", Label: label, Value: cval, Max: cval}},
+			Histograms: []telemetry.HistogramSnapshot{h},
+		}
+		var buf bytes.Buffer
+		if err := WriteProm(&buf, snap); err != nil {
+			t.Fatalf("WriteProm: %v", err)
+		}
+		out, err := ParseProm(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ParseProm rejected WriteProm output: %v\n%s", err, buf.String())
+		}
+		ckey := PromSeries("nx.fuzz", label)
+		got, ok := out[ckey]
+		if !ok {
+			t.Fatalf("counter series %q missing from %d parsed samples\n%s", ckey, len(out), buf.String())
+		}
+		if got != float64(cval) {
+			t.Fatalf("counter %q = %v, want %v", ckey, got, float64(cval))
+		}
+		hkey := series(promName("nx.fuzz_us")+"_count", label, "", "")
+		if got, ok := out[hkey]; !ok || got != 3 {
+			t.Fatalf("histogram count %q = %v (present %v), want 3", hkey, got, ok)
+		}
+	})
+}

@@ -50,6 +50,14 @@ type Options struct {
 	// Admission returns the admission gate's status for /snapshot (nil
 	// closure or nil result → no admission section).
 	Admission func() *AdmissionStatus
+	// Tenants returns the admission gate's per-tenant quota table for
+	// /tenants and /snapshot (nil → rows come from the accounting-plane
+	// windows alone).
+	Tenants func() []TenantQuota
+	// Burn parameterises the multi-window burn-rate evaluator (zero →
+	// DefaultBurnConfig). Evaluated on every watcher tick; state changes
+	// publish EventBurnRate on Bus.
+	Burn BurnConfig
 	// Postmortems, when non-nil, is mounted at /debug/postmortems — the
 	// flight recorder's bundle browser.
 	Postmortems http.Handler
@@ -76,6 +84,12 @@ type Server struct {
 	stopWatch   chan struct{}
 	stopOnce    sync.Once
 
+	// burnMu guards the edge-trigger state and the latest evaluation of
+	// the burn-rate alerts.
+	burnMu     sync.Mutex
+	burnFiring map[string]bool
+	burnLast   []BurnAlert
+
 	mu sync.Mutex
 	ln net.Listener
 }
@@ -95,6 +109,7 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/tenants", s.handleTenants)
 	if opts.Postmortems != nil {
 		mux.Handle("/debug/postmortems", opts.Postmortems)
 		mux.Handle("/debug/postmortems/", opts.Postmortems)
@@ -136,8 +151,61 @@ func (s *Server) watchHealth() {
 			return
 		case <-t.C:
 			s.noteHealth(Evaluate(s.inputs(s.opt.Snapshot()), s.opt.Rules))
+			s.noteBurn(EvaluateBurn(s.sampler.Windows(), s.opt.Burn, time.Now()))
 		}
 	}
+}
+
+// noteBurn records the latest burn evaluation and publishes
+// EventBurnRate on each state edge (firing and resolving) — once per
+// (SLO, speed) pair, never per tick.
+func (s *Server) noteBurn(alerts []BurnAlert) {
+	s.burnMu.Lock()
+	if s.burnFiring == nil {
+		s.burnFiring = make(map[string]bool)
+	}
+	var edges []BurnAlert
+	for _, a := range alerts {
+		key := string(a.SLO) + "/" + a.Speed
+		// A missing map entry reads as not-firing, so the initial
+		// not-firing evaluation produces no resolve edge.
+		if s.burnFiring[key] != a.Firing {
+			s.burnFiring[key] = a.Firing
+			edges = append(edges, a)
+		}
+	}
+	s.burnLast = alerts
+	s.burnMu.Unlock()
+	for _, a := range edges {
+		e := Event{Type: EventBurnRate, Detail: a.Detail()}
+		if id, ok := parseTenantID(a.Tenant); ok {
+			e.Tenant = id
+		}
+		s.opt.Bus.Publish(e)
+	}
+}
+
+// BurnAlerts returns the latest burn-rate evaluation (nil before the
+// first watcher tick).
+func (s *Server) BurnAlerts() []BurnAlert {
+	s.burnMu.Lock()
+	defer s.burnMu.Unlock()
+	out := make([]BurnAlert, len(s.burnLast))
+	copy(out, s.burnLast)
+	return out
+}
+
+// tenantRows assembles the joined tenant table for /tenants and
+// /snapshot from the last window, the quota closure, and the latest
+// burn alerts.
+func (s *Server) tenantRows() ([]TenantDoc, Window, []BurnAlert) {
+	var quotas []TenantQuota
+	if s.opt.Tenants != nil {
+		quotas = s.opt.Tenants()
+	}
+	last := s.sampler.Last()
+	burn := s.BurnAlerts()
+	return BuildTenants(last, quotas, burn), last, burn
 }
 
 // noteHealth records the verdict and fires OnTransition on each edge.
@@ -216,6 +284,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.opt.Admission != nil {
 		doc.Admission = s.opt.Admission()
 	}
+	doc.Tenants, _, doc.Burn = s.tenantRows()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -230,6 +299,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	json.NewEncoder(w).Encode(rep)
+}
+
+// handleTenants serves the per-tenant accounting view: windowed rates
+// from the tenant plane joined with admission quota standing and the
+// burn-rate verdict.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	rows, last, burn := s.tenantRows()
+	doc := TenantsDoc{
+		Name: s.opt.Name, Time: time.Now(),
+		Window: last, Tenants: rows, Burn: burn,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
 }
 
 // handleEvents streams the bus as JSON lines until the client

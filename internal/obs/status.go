@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"nxzip/internal/stats"
@@ -77,6 +78,130 @@ type AdmissionStatus struct {
 	Classes     []AdmissionClassStatus `json:"classes,omitempty"`
 }
 
+// TenantQuota is one tenant's standing at the admission gate: weight,
+// fair share and inflight occupancy. Produced by the root package from
+// the admission controller (obs only defines the shape).
+type TenantQuota struct {
+	ID       uint64  `json:"id"`
+	Weight   int     `json:"weight"`
+	Inflight int     `json:"inflight"`
+	Share    float64 `json:"share"`
+	Active   bool    `json:"active"`
+}
+
+// TenantDoc is one tenant's row in the /tenants document and nxtop's
+// tenant panel: the accounting plane's windowed rates joined with the
+// admission gate's quota standing and the burn-rate verdict.
+type TenantDoc struct {
+	// Tenant is the series label ("t5", or the shared overflow label).
+	Tenant string `json:"tenant"`
+	// ID is the numeric view identity (0 for the overflow label).
+	ID        uint64  `json:"id,omitempty"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	Requests  int64   `json:"requests"`
+	Shed      int64   `json:"shed"`
+	ShedRatio float64 `json:"shed_ratio"`
+	QueueP50  float64 `json:"queue_p50_us"`
+	QueueP99  float64 `json:"queue_p99_us"`
+	// Quota standing (zero before EnableAdmission or for tenants the
+	// gate has evicted as idle).
+	Weight   int     `json:"weight,omitempty"`
+	Inflight int     `json:"inflight,omitempty"`
+	Share    float64 `json:"share,omitempty"`
+	// Burning lists the SLOs of firing burn alerts naming this tenant as
+	// top offender.
+	Burning []BurnSLO `json:"burning,omitempty"`
+}
+
+// TenantsDoc is the /tenants JSON document.
+type TenantsDoc struct {
+	Name string    `json:"name"`
+	Time time.Time `json:"time"`
+	// Window is the sampling window the rates cover.
+	Window  Window      `json:"window"`
+	Tenants []TenantDoc `json:"tenants"`
+	// Burn is the latest multi-window burn-rate evaluation (all four
+	// SLO/speed pairs, firing or not).
+	Burn []BurnAlert `json:"burn,omitempty"`
+}
+
+// parseTenantID recovers the numeric view identity from a tenant label
+// ("t5" → 5). The overflow label and malformed labels return (0,
+// false).
+func parseTenantID(label string) (uint64, bool) {
+	if len(label) < 2 || label[0] != 't' {
+		return 0, false
+	}
+	var id uint64
+	for i := 1; i < len(label); i++ {
+		if label[i] < '0' || label[i] > '9' {
+			return 0, false
+		}
+		id = id*10 + uint64(label[i]-'0')
+	}
+	return id, true
+}
+
+// BuildTenants joins one window's per-tenant breakdown with the
+// admission gate's quota table and the current burn alerts into the
+// /tenants rows. Tenants known only to the gate (registered but idle
+// this window) still get a row, so quota standing is never hidden by a
+// quiet interval.
+func BuildTenants(w Window, quotas []TenantQuota, burn []BurnAlert) []TenantDoc {
+	byID := make(map[uint64]*TenantQuota, len(quotas))
+	for i := range quotas {
+		byID[quotas[i].ID] = &quotas[i]
+	}
+	seen := make(map[uint64]bool)
+	out := make([]TenantDoc, 0, len(w.Tenants)+len(quotas))
+	for _, tw := range w.Tenants {
+		d := TenantDoc{
+			Tenant: tw.Tenant, ReqPerSec: tw.ReqPerSec,
+			Requests: tw.Requests, Shed: tw.Shed, ShedRatio: tw.ShedRatio,
+			QueueP50: tw.QueueP50, QueueP99: tw.QueueP99,
+		}
+		if id, ok := parseTenantID(tw.Tenant); ok {
+			d.ID = id
+			seen[id] = true
+			if q := byID[id]; q != nil {
+				d.Weight, d.Inflight, d.Share = q.Weight, q.Inflight, q.Share
+			}
+		}
+		out = append(out, d)
+	}
+	for i := range quotas {
+		q := &quotas[i]
+		if seen[q.ID] {
+			continue
+		}
+		out = append(out, TenantDoc{
+			Tenant: fmt.Sprintf("t%d", q.ID), ID: q.ID,
+			Weight: q.Weight, Inflight: q.Inflight, Share: q.Share,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	for _, a := range burn {
+		if !a.Firing || a.Tenant == "" {
+			continue
+		}
+		for i := range out {
+			if out[i].Tenant != a.Tenant {
+				continue
+			}
+			dup := false
+			for _, s := range out[i].Burning {
+				if s == a.SLO {
+					dup = true
+				}
+			}
+			if !dup {
+				out[i].Burning = append(out[i].Burning, a.SLO)
+			}
+		}
+	}
+	return out
+}
+
 // FlightStatus digests the flight recorder for /snapshot and nxtop:
 // how much history is in memory, the rolling tail thresholds, the
 // postmortem trail, and the slowest recent requests. Produced by
@@ -110,6 +235,8 @@ type StatusDoc struct {
 	Totals        Totals              `json:"totals"`
 	Admission     *AdmissionStatus    `json:"admission,omitempty"`
 	Flight        *FlightStatus       `json:"flight,omitempty"`
+	Tenants       []TenantDoc         `json:"tenants,omitempty"`
+	Burn          []BurnAlert         `json:"burn,omitempty"`
 	Windows       []Window            `json:"windows,omitempty"`
 	Events        []Event             `json:"events,omitempty"`
 	EventsDropped int64               `json:"events_dropped"`
@@ -190,6 +317,34 @@ func RenderText(w io.Writer, prev, cur *StatusDoc) {
 			fmt.Sprintf("%.0f", lw.QueueP50), fmt.Sprintf("%.0f", lw.QueueP95), fmt.Sprintf("%.0f", lw.QueueP99))
 	}
 
+	// Burn-rate panel: any firing multi-window alert, top offender named.
+	for _, a := range cur.Burn {
+		if a.Firing {
+			fmt.Fprintf(w, "BURN %s\n", a.Detail())
+		}
+	}
+
+	// Tenant panel: the accounting plane's per-tenant windowed rates
+	// joined with quota standing (only when tenant series exist).
+	if len(cur.Tenants) > 0 {
+		fmt.Fprintf(w, "\n%-8s %8s %8s %6s %7s %10s %-10s\n",
+			"tenant", "req/s", "shed%", "share", "weight", "p99-queue", "burn")
+		for _, td := range cur.Tenants {
+			burn := "-"
+			if len(td.Burning) > 0 {
+				burn = ""
+				for i, s := range td.Burning {
+					if i > 0 {
+						burn += ","
+					}
+					burn += string(s)
+				}
+			}
+			fmt.Fprintf(w, "%-8s %8.0f %8.1f %6.2f %7d %8.0fµs %-10s\n",
+				td.Tenant, td.ReqPerSec, 100*td.ShedRatio, td.Share, td.Weight, td.QueueP99, burn)
+		}
+	}
+
 	var prevDevs map[string]*DeviceStatus
 	if prev != nil {
 		prevDevs = make(map[string]*DeviceStatus, len(prev.Devices))
@@ -221,11 +376,19 @@ func RenderText(w io.Writer, prev, cur *StatusDoc) {
 		}
 		fmt.Fprintln(w)
 		if len(f.Slowest) > 0 {
-			fmt.Fprintf(w, "%-8s %-16s %-14s %10s %10s %8s %4s %-8s\n",
-				"req", "op", "device", "total-µs", "queue-µs", "in", "att", "outcome")
+			fmt.Fprintf(w, "%-8s %-16s %-14s %-7s %-11s %10s %10s %8s %4s %-8s\n",
+				"req", "op", "device", "tenant", "prio", "total-µs", "queue-µs", "in", "att", "outcome")
 			for _, d := range f.Slowest {
-				fmt.Fprintf(w, "%-8d %-16s %-14s %10.0f %10.0f %8s %4d %-8s\n",
-					d.Req, d.Op, d.Device, d.TotalUS, d.QueueUS,
+				tenant := "-"
+				if d.Tenant != 0 {
+					tenant = fmt.Sprintf("t%d", d.Tenant)
+				}
+				prio := d.Priority
+				if prio == "" {
+					prio = "-"
+				}
+				fmt.Fprintf(w, "%-8d %-16s %-14s %-7s %-11s %10.0f %10.0f %8s %4d %-8s\n",
+					d.Req, d.Op, d.Device, tenant, prio, d.TotalUS, d.QueueUS,
 					stats.Bytes(int64(d.InBytes)), d.Attempts, d.Outcome.String())
 			}
 		}

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +31,9 @@ type Window struct {
 	Fallbacks    int64 `json:"fallbacks"`
 	Redispatches int64 `json:"redispatches"`
 	Quarantines  int64 `json:"quarantines"`
+	// Admission-gate deltas (0 when no gate is enabled).
+	Admitted int64 `json:"admitted,omitempty"`
+	Shed     int64 `json:"shed,omitempty"`
 	// Derived rates.
 	ReqPerSec float64 `json:"req_per_sec"`
 	GBs       float64 `json:"gbs"` // uncompressed-side bytes per second / 1e9
@@ -37,11 +42,163 @@ type Window struct {
 	QueueP50    float64 `json:"queue_p50_us"`
 	QueueP95    float64 `json:"queue_p95_us"`
 	QueueP99    float64 `json:"queue_p99_us"`
+	// QueueOver / QueueObs are the within-window queue-wait observations
+	// above QueueBudgetUS and in total, from the delta bucket rows — the
+	// numerator and denominator of the queue-wait burn SLI.
+	QueueOver int64 `json:"queue_over,omitempty"`
+	QueueObs  int64 `json:"queue_obs,omitempty"`
+	// Tenants breaks the window down per tenant label, from the delta of
+	// the tenant accounting plane's labeled rows. Sorted by label; nil
+	// when no tenant series exist.
+	Tenants []TenantWindow `json:"tenants,omitempty"`
+}
+
+// TenantWindow is one tenant's share of a sampling window.
+type TenantWindow struct {
+	// Tenant is the series label ("t5", or the shared overflow label).
+	Tenant string `json:"tenant"`
+	// Requests / Shed are the tenant's within-window completions and
+	// admission-gate refusals (from the latency vec's outcome cells).
+	Requests  int64   `json:"requests"`
+	Shed      int64   `json:"shed"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	// ShedRatio is Shed over the tenant's total presented work
+	// (completions + sheds).
+	ShedRatio float64 `json:"shed_ratio"`
+	// Queue-wait percentiles (µs) of the tenant's sample ring at window
+	// end (recent-biased, like the global percentiles).
+	QueueP50 float64 `json:"queue_p50_us"`
+	QueueP99 float64 `json:"queue_p99_us"`
+	// QueueOver / QueueObs mirror the window-level burn SLI per tenant.
+	QueueOver int64 `json:"queue_over,omitempty"`
+	QueueObs  int64 `json:"queue_obs,omitempty"`
 }
 
 // defaultRingCap bounds the window ring: at the server's default
 // 1-second interval this keeps the most recent two minutes.
 const defaultRingCap = 120
+
+// QueueBudgetUS is the queue-wait SLO threshold: a request whose queue
+// wait exceeds this many microseconds counts against the latency error
+// budget. It must sit exactly on a telemetry bucket bound so the
+// violation count falls out of the delta bucket rows. Matches the
+// MaxHistogramP99 objective in DefaultRules.
+const QueueBudgetUS = 100_000
+
+// Metric names of the root package's tenant accounting plane. Spelled
+// here (rather than imported) because obs sits below the root package;
+// the root-level acceptance tests pin both spellings.
+const (
+	tenantLatencyMetric   = "nxzip.tenant.latency_us"
+	tenantQueueWaitMetric = "nxzip.tenant.queue_wait_us"
+)
+
+// queueBudgetIdx locates QueueBudgetUS in the fixed bucket ladder once.
+var queueBudgetIdx = sort.SearchFloat64s(telemetry.BucketBounds(), QueueBudgetUS)
+
+// overBudget returns how many of a histogram's (delta) observations
+// exceeded QueueBudgetUS, from the cumulative bucket rows.
+func overBudget(h telemetry.HistogramSnapshot) int64 {
+	if queueBudgetIdx >= len(h.Buckets) {
+		return 0
+	}
+	return h.Count - h.Buckets[queueBudgetIdx]
+}
+
+// tenantOf extracts the tenant segment of a tenant-plane row label:
+// latency rows are "t<id>/<class>/<outcome>", queue-wait rows are bare
+// "t<id>". Returns "" for labels that are not tenant rows (defensive —
+// the two metric families only ever carry these shapes).
+func tenantOf(label string) string {
+	t := label
+	if i := strings.IndexByte(label, '/'); i >= 0 {
+		if strings.Count(label, "/") != 2 {
+			return ""
+		}
+		t = label[:i]
+	}
+	if t == "" {
+		return ""
+	}
+	if t[0] != 't' {
+		return ""
+	}
+	for i := 1; i < len(t); i++ {
+		if t[i] < '0' || t[i] > '9' {
+			// The overflow label ("tover") is a valid tenant bucket too.
+			if t[i] < 'a' || t[i] > 'z' {
+				return ""
+			}
+		}
+	}
+	return t
+}
+
+// outcomeOf returns the outcome segment of a latency-row label, "" when
+// absent.
+func outcomeOf(label string) string {
+	if i := strings.LastIndexByte(label, '/'); i >= 0 {
+		return label[i+1:]
+	}
+	return ""
+}
+
+// tenantWindows derives the per-tenant breakdown of one window from the
+// delta's tenant-plane rows. dur is the window length in seconds.
+func tenantWindows(d *telemetry.Snapshot, dur float64) []TenantWindow {
+	byTenant := make(map[string]*TenantWindow)
+	get := func(label string) *TenantWindow {
+		t := tenantOf(label)
+		if t == "" {
+			return nil
+		}
+		tw := byTenant[t]
+		if tw == nil {
+			tw = &TenantWindow{Tenant: t}
+			byTenant[t] = tw
+		}
+		return tw
+	}
+	for _, h := range d.Histograms {
+		switch h.Name {
+		case tenantLatencyMetric:
+			tw := get(h.Label)
+			if tw == nil {
+				continue
+			}
+			if outcomeOf(h.Label) == "shed" {
+				tw.Shed += h.Count
+			} else {
+				tw.Requests += h.Count
+			}
+		case tenantQueueWaitMetric:
+			tw := get(h.Label)
+			if tw == nil {
+				continue
+			}
+			tw.QueueObs += h.Count
+			tw.QueueOver += overBudget(h)
+			// The delta keeps the current snapshot's ring percentiles —
+			// recent-biased, same contract as the window-level percentiles.
+			tw.QueueP50, tw.QueueP99 = h.P50, h.P99
+		}
+	}
+	if len(byTenant) == 0 {
+		return nil
+	}
+	out := make([]TenantWindow, 0, len(byTenant))
+	for _, tw := range byTenant {
+		if total := tw.Requests + tw.Shed; total > 0 {
+			tw.ShedRatio = float64(tw.Shed) / float64(total)
+		}
+		if dur > 0 {
+			tw.ReqPerSec = float64(tw.Requests) / dur
+		}
+		out = append(out, *tw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
 
 // Sampler computes Windows from a snapshot source. Drive it manually
 // with Tick (tests, one-shot tools) or start the interval goroutine
@@ -86,11 +243,14 @@ func (s *Sampler) Tick() Window {
 		Fallbacks:    d.Counter("nxzip.fallbacks", ""),
 		Redispatches: d.Counter("nxzip.redispatches", ""),
 		Quarantines:  d.CounterSum("topology.quarantines"),
+		Admitted:     d.CounterSum("admission.admitted"),
+		Shed:         d.CounterSum("admission.shed"),
 	}
 	if s.prevT.IsZero() {
 		w.Start = now
 	}
-	if dur := w.End.Sub(w.Start).Seconds(); dur > 0 {
+	dur := w.End.Sub(w.Start).Seconds()
+	if dur > 0 {
 		bytes := w.InBytes
 		if w.OutBytes > bytes {
 			bytes = w.OutBytes
@@ -101,7 +261,10 @@ func (s *Sampler) Tick() Window {
 	if h, ok := d.Histogram("nx.queue_wait_us", ""); ok {
 		w.MeanQueueUS = h.Mean
 		w.QueueP50, w.QueueP95, w.QueueP99 = h.P50, h.P95, h.P99
+		w.QueueObs = h.Count
+		w.QueueOver = overBudget(h)
 	}
+	w.Tenants = tenantWindows(d, dur)
 	s.prev, s.prevT = cur, now
 	if len(s.ring) >= s.cap {
 		copy(s.ring, s.ring[1:])

@@ -20,7 +20,9 @@ package telemetry
 //     within-window mean Sum/Count); Min/Max/P50/P95/P99 cannot be
 //     recovered from two cumulative summaries and keep the current
 //     snapshot's values, which the bounded sample ring already biases
-//     toward recent observations.
+//     toward recent observations. Exemplars likewise carry the current
+//     snapshot's slots (each is already the most recent request to
+//     cross its bucket).
 //
 // Both snapshots are left unmodified. A nil prev yields a copy of s.
 func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {

@@ -25,6 +25,9 @@ const (
 	// OutcomeShed is a request refused by the admission gate under
 	// overload — no device or software cycles were spent on it.
 	OutcomeShed
+
+	// OutcomeCount sizes per-outcome arrays.
+	OutcomeCount
 )
 
 var outcomeNames = [...]string{"ok", "error", "degraded", "shed"}
@@ -54,7 +57,14 @@ type Digest struct {
 	Codec string `json:"codec,omitempty"`
 	// Device is the serving device's label, "software" for fallback
 	// results, "" when the request failed before any device ran it.
-	Device   string `json:"device"`
+	Device string `json:"device"`
+	// Tenant is the VAS context ID of the view that issued the request —
+	// the same identity the admission gate quotas on. 0 in digests
+	// recorded before tenant accounting existed.
+	Tenant uint64 `json:"tenant,omitempty"`
+	// Priority is the admission class the request carried ("interactive",
+	// "batch", "background"). Empty in pre-tenant digests.
+	Priority string `json:"priority,omitempty"`
 	InBytes  int    `json:"in_bytes"`
 	OutBytes int    `json:"out_bytes"`
 	// QueueUS is receive-FIFO residency (paste accept to dequeue) in

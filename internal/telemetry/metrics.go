@@ -95,17 +95,32 @@ var bucketBounds = []float64{
 // not modify it). HistogramSnapshot.Buckets is indexed the same way.
 func BucketBounds() []float64 { return bucketBounds }
 
+// Exemplar links one histogram bucket back to a concrete request: the
+// most recent root-minted RequestID whose observation landed in the
+// bucket, plus the observed value. Req 0 means the bucket has no
+// exemplar (RequestIDs start at 1). Exemplars are the OpenMetrics
+// bridge from an aggregate latency series to the flight recorder's
+// per-request digests.
+type Exemplar struct {
+	Req   uint64  `json:"req"`
+	Value float64 `json:"value"`
+}
+
 // Histogram records a distribution: an exact streaming summary
 // (stats.Summary), per-bucket counts over the fixed ladder, plus a
 // bounded ring of recent samples for percentile queries (stats.Samples
 // at snapshot time). Observe never allocates after construction; a short
-// mutex keeps snapshot-during-update tear-free.
+// mutex keeps snapshot-during-update tear-free. Exemplar slots (one per
+// bucket, last slot = +Inf) are allocated lazily on the first
+// ObserveExemplar call, so histograms bumped only via Observe pay
+// nothing for the feature.
 type Histogram struct {
 	mu     sync.Mutex
 	sum    stats.Summary
 	ring   []float64
 	n      int64 // total observations (ring writes wrap at histogramWindow)
 	counts []int64
+	ex     []Exemplar // len(bucketBounds)+1 slots, nil until first ObserveExemplar
 }
 
 func newHistogram() *Histogram {
@@ -118,6 +133,26 @@ func newHistogram() *Histogram {
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
+	h.observeLocked(v)
+	h.mu.Unlock()
+}
+
+// ObserveExemplar records one observation and stamps req as the
+// exemplar of the bucket it lands in (the implicit +Inf bucket for
+// values above the ladder). Allocation-free after the first call.
+func (h *Histogram) ObserveExemplar(v float64, req uint64) {
+	h.mu.Lock()
+	i := h.observeLocked(v)
+	if h.ex == nil {
+		h.ex = make([]Exemplar, len(bucketBounds)+1)
+	}
+	h.ex[i] = Exemplar{Req: req, Value: v}
+	h.mu.Unlock()
+}
+
+// observeLocked is the shared bump body; it returns the bucket index the
+// observation landed in (len(bucketBounds) for +Inf).
+func (h *Histogram) observeLocked(v float64) int {
 	h.sum.Add(v)
 	if len(h.ring) < cap(h.ring) {
 		h.ring = append(h.ring, v)
@@ -125,10 +160,11 @@ func (h *Histogram) Observe(v float64) {
 		h.ring[h.n%histogramWindow] = v
 	}
 	h.n++
-	if i := sort.SearchFloat64s(bucketBounds, v); i < len(h.counts) {
+	i := sort.SearchFloat64s(bucketBounds, v)
+	if i < len(h.counts) {
 		h.counts[i]++
 	}
-	h.mu.Unlock()
+	return i
 }
 
 // snapshot captures the histogram under its lock.
@@ -151,6 +187,9 @@ func (h *Histogram) snapshot(name, label string) HistogramSnapshot {
 			cum += c
 			s.Buckets[i] = cum
 		}
+	}
+	if h.ex != nil {
+		s.Exemplars = append([]Exemplar(nil), h.ex...)
 	}
 	if len(h.ring) > 0 {
 		var ps stats.Samples
@@ -207,6 +246,58 @@ func (v *HistogramVec) With(label string) *Histogram {
 	}
 	h, _ := v.m.LoadOrStore(label, newHistogram())
 	return h.(*Histogram)
+}
+
+// retireMatch reports whether a series label belongs to the retired
+// prefix: an exact match, or prefix followed by a "/" segment separator
+// ("t5" retires "t5" and "t5/batch/ok", never "t51").
+func retireMatch(label, prefix string) bool {
+	if label == prefix {
+		return true
+	}
+	return len(label) > len(prefix) && label[:len(prefix)] == prefix && label[len(prefix)] == '/'
+}
+
+// Retire deletes every series whose label matches prefix (see
+// retireMatch), returning how many were removed. Callers holding stale
+// *Counter pointers keep bumping a detached instrument — harmless, it
+// just never appears in a snapshot again.
+func (v *CounterVec) Retire(prefix string) int {
+	var n int
+	v.m.Range(func(k, _ any) bool {
+		if retireMatch(k.(string), prefix) {
+			v.m.Delete(k)
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Retire deletes every series whose label matches prefix.
+func (v *GaugeVec) Retire(prefix string) int {
+	var n int
+	v.m.Range(func(k, _ any) bool {
+		if retireMatch(k.(string), prefix) {
+			v.m.Delete(k)
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Retire deletes every series whose label matches prefix.
+func (v *HistogramVec) Retire(prefix string) int {
+	var n int
+	v.m.Range(func(k, _ any) bool {
+		if retireMatch(k.(string), prefix) {
+			v.m.Delete(k)
+			n++
+		}
+		return true
+	})
+	return n
 }
 
 // Registry is a named set of instruments. Lookup methods get-or-create;
@@ -273,6 +364,43 @@ func (r *Registry) HistogramVec(name string) *HistogramVec {
 // Histogram returns the unlabeled histogram name.
 func (r *Registry) Histogram(name string) *Histogram { return r.HistogramVec(name).With("") }
 
+// RetireLabelPrefix deletes, across every instrument family, each series
+// whose label is prefix or begins with prefix+"/". It is the series
+// garbage collector behind tenant retirement: when a tenant's views are
+// closed and its admission entry swept, retiring "t<id>" drops its
+// labeled rows from future snapshots so the exposition does not grow
+// without bound under view churn. Returns the number of series removed.
+func (r *Registry) RetireLabelPrefix(prefix string) int {
+	if prefix == "" {
+		return 0
+	}
+	r.mu.Lock()
+	cvecs := make([]*CounterVec, 0, len(r.counters))
+	for _, v := range r.counters {
+		cvecs = append(cvecs, v)
+	}
+	gvecs := make([]*GaugeVec, 0, len(r.gauges))
+	for _, v := range r.gauges {
+		gvecs = append(gvecs, v)
+	}
+	hvecs := make([]*HistogramVec, 0, len(r.histograms))
+	for _, v := range r.histograms {
+		hvecs = append(hvecs, v)
+	}
+	r.mu.Unlock()
+	var n int
+	for _, v := range cvecs {
+		n += v.Retire(prefix)
+	}
+	for _, v := range gvecs {
+		n += v.Retire(prefix)
+	}
+	for _, v := range hvecs {
+		n += v.Retire(prefix)
+	}
+	return n
+}
+
 // CounterSnapshot is one counter's value at snapshot time.
 type CounterSnapshot struct {
 	Name  string `json:"name"`
@@ -308,6 +436,11 @@ type HistogramSnapshot struct {
 	// <= BucketBounds()[i]; the implicit +Inf bucket is Count). Nil on
 	// snapshots assembled without bucket data.
 	Buckets []int64 `json:"buckets,omitempty"`
+	// Exemplars holds one entry per bucket (len(BucketBounds())+1; the
+	// last is the +Inf bucket): the most recent RequestID whose
+	// observation crossed that bucket. Req 0 = no exemplar. Nil on
+	// histograms never bumped via ObserveExemplar.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time view of every instrument, sorted by name
@@ -481,10 +614,14 @@ func MergeSnapshots(sources []LabeledSnapshot) *Snapshot {
 			a := hagg[k]
 			if a == nil {
 				cp := h
-				// The aggregate row owns its bucket slice: merging in
-				// later sources must not mutate the per-source row.
+				// The aggregate row owns its bucket and exemplar slices:
+				// merging in later sources must not mutate the per-source
+				// row.
 				if h.Buckets != nil {
 					cp.Buckets = append([]int64(nil), h.Buckets...)
+				}
+				if h.Exemplars != nil {
+					cp.Exemplars = append([]Exemplar(nil), h.Exemplars...)
 				}
 				hagg[k] = &cp
 				horder = append(horder, k)
@@ -518,6 +655,9 @@ func mergeHistogram(a *HistogramSnapshot, h HistogramSnapshot) {
 		if h.Buckets != nil {
 			a.Buckets = append([]int64(nil), h.Buckets...)
 		}
+		if h.Exemplars != nil {
+			a.Exemplars = append([]Exemplar(nil), h.Exemplars...)
+		}
 		return
 	}
 	n := a.Count + h.Count
@@ -538,6 +678,20 @@ func mergeHistogram(a *HistogramSnapshot, h HistogramSnapshot) {
 	// elementwise.
 	for i := 0; i < len(a.Buckets) && i < len(h.Buckets); i++ {
 		a.Buckets[i] += h.Buckets[i]
+	}
+	// RequestIDs are minted by one process-wide monotone counter, so the
+	// larger Req is the more recent exemplar: merge slots elementwise by
+	// max-Req.
+	if h.Exemplars != nil {
+		if a.Exemplars == nil {
+			a.Exemplars = append([]Exemplar(nil), h.Exemplars...)
+		} else {
+			for i := 0; i < len(a.Exemplars) && i < len(h.Exemplars); i++ {
+				if h.Exemplars[i].Req > a.Exemplars[i].Req {
+					a.Exemplars[i] = h.Exemplars[i]
+				}
+			}
+		}
 	}
 }
 

@@ -109,6 +109,8 @@ type spanJSON struct {
 	ID           uint64      `json:"id"`
 	Req          uint64      `json:"req,omitempty"`
 	Hop          int         `json:"hop,omitempty"`
+	Tenant       uint64      `json:"tenant,omitempty"`
+	Priority     string      `json:"priority,omitempty"`
 	Op           string      `json:"op"`
 	PID          int         `json:"pid"`
 	Window       int         `json:"window"`
@@ -137,6 +139,7 @@ type stageJSON struct {
 func spanToJSON(s *Span) spanJSON {
 	j := spanJSON{
 		ID: s.ID, Req: s.ReqID, Hop: s.Hop,
+		Tenant: s.Tenant, Priority: s.Priority,
 		Op: s.Op, PID: s.PID, Window: s.Window, Engine: s.Engine,
 		StartUnixNs: s.Start.UnixNano(), HostNs: s.End.Sub(s.Start).Nanoseconds(),
 		InBytes: s.InBytes, OutBytes: s.OutBytes, CC: s.CC,

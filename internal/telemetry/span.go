@@ -87,7 +87,14 @@ type Span struct {
 	ReqID uint64
 	// Hop is the dispatch attempt ordinal under one ReqID: 0 for the
 	// original dispatch, 1.. for failover re-dispatches.
-	Hop      int
+	Hop int
+	// Tenant is the node-level view identity (topology context ID) the
+	// submitting context carries — the admission gate's quota key. 0 for
+	// raw single-device contexts.
+	Tenant uint64
+	// Priority is the admission-class name the view carried at span
+	// start ("interactive", "batch", "background"); empty when unset.
+	Priority string
 	Op       string // function code
 	PID      int
 	Window   int

@@ -348,8 +348,21 @@ func (n *Node) OpenContext(pid nmmu.PID) *Context {
 	}
 	for i, d := range n.devs {
 		c.ctxs[i] = d.OpenContext(pid)
+		// The node context's ID is the tenant identity the admission gate
+		// quotas on; stamping it into each device context threads it onto
+		// every span this view produces.
+		c.ctxs[i].SetTenant(c.id)
 	}
 	return c
+}
+
+// SetPriorityName publishes the admission-class name this view's
+// requests carry to every device context, so spans started afterwards
+// are stamped with it.
+func (c *Context) SetPriorityName(name string) {
+	for _, ctx := range c.ctxs {
+		ctx.SetPriorityName(name)
+	}
 }
 
 // PID returns the context's address-space id.

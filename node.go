@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nxzip/internal/admission"
 	"nxzip/internal/faultinject"
@@ -27,6 +28,11 @@ type NodeConfig struct {
 	Dispatch string
 	// TableMode is the Huffman strategy views of this node use.
 	TableMode TableMode
+	// DisableTenantAccounting turns off the per-tenant labeled latency
+	// plane (tenant.go). The default (false) accounts every request under
+	// its view's tenant label; experiments measuring the plane's own
+	// overhead flip this for an A/B baseline.
+	DisableTenantAccounting bool
 }
 
 // P9Node returns the node configuration of a POWER9 system with the
@@ -77,6 +83,13 @@ type Node struct {
 	// topology registry).
 	admMu sync.Mutex
 	adm   atomic.Pointer[admission.Controller]
+
+	// tmu guards the tenant plane's label bookkeeping (tenant.go):
+	// which tenant IDs own live labeled series, and which closed views
+	// await series retirement. Both maps are lazily created.
+	tmu          sync.Mutex
+	tenantLive   map[uint64]string    // tenant id -> its series label
+	tenantClosed map[uint64]time.Time // closed views pending retirement
 }
 
 // defaultView returns the node's shared accelerator view, creating it
@@ -114,13 +127,14 @@ func OpenNode(cfg NodeConfig) (*Node, error) {
 func (n *Node) View() *Accelerator {
 	nctx := n.topo.OpenContext(1)
 	return &Accelerator{
-		cfg:  Config{Device: n.cfg.Shape.Devices[0].Config, TableMode: n.cfg.TableMode},
-		root: n,
-		node: n.topo,
-		nctx: nctx,
-		dev:  n.topo.Device(0),
-		ctx:  nctx.Primary(),
-		met:  newAccMetrics(n.topo.Registry()),
+		cfg:    Config{Device: n.cfg.Shape.Devices[0].Config, TableMode: n.cfg.TableMode},
+		root:   n,
+		node:   n.topo,
+		nctx:   nctx,
+		dev:    n.topo.Device(0),
+		ctx:    nctx.Primary(),
+		met:    newAccMetrics(n.topo.Registry()),
+		tplane: n.tenantPlaneFor(nctx.ID()),
 	}
 }
 
@@ -140,8 +154,13 @@ func (n *Node) Dispatched(i int) int64 { return n.topo.Dispatched(i) }
 
 // Metrics returns the merged node snapshot: per-device rows under
 // device-prefixed labels plus aggregate rows under the original names
-// (see topology.Node.MetricsSnapshot).
-func (n *Node) Metrics() *telemetry.Snapshot { return n.topo.MetricsSnapshot() }
+// (see topology.Node.MetricsSnapshot). The snapshot path doubles as the
+// tenant-series garbage collector: closed views' labeled series retire
+// here once their grace period lapses.
+func (n *Node) Metrics() *telemetry.Snapshot {
+	n.sweepTenantSeries()
+	return n.topo.MetricsSnapshot()
+}
 
 // VASStats aggregates every device switchboard's counters.
 func (n *Node) VASStats() vas.Stats { return n.topo.VASStats() }

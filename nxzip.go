@@ -158,6 +158,9 @@ type Accelerator struct {
 	// class is this view's admission priority (admission.Class), set by
 	// SetPriority. Zero value is Interactive.
 	class atomic.Int32
+	// tplane is this view's pre-resolved handle matrix into the tenant
+	// accounting plane (tenant.go); nil when the node disables it.
+	tplane *tenantPlane
 }
 
 // accMetrics holds the host-side (stream-layer) instruments, registered
@@ -232,7 +235,12 @@ func Open(cfg Config) *Accelerator {
 // nxzip.writer.members counts gzip members, and so on. On a
 // multi-device node the snapshot carries per-device rows under
 // device-prefixed labels plus aggregate rows under the original names.
-func (a *Accelerator) Metrics() *telemetry.Snapshot { return a.node.MetricsSnapshot() }
+func (a *Accelerator) Metrics() *telemetry.Snapshot {
+	if a.root != nil {
+		return a.root.Metrics()
+	}
+	return a.node.MetricsSnapshot()
+}
 
 // StartTrace enables request-lifecycle tracing: every request from now
 // until StopTrace carries a trace span (paste attempts, credit waits,
@@ -257,6 +265,12 @@ func (a *Accelerator) Close() {
 		// in the controller's tenant map.
 		if ctrl := a.admissionCtrl(); ctrl != nil {
 			ctrl.UnregisterTenant(a.nctx.ID())
+		}
+		// Queue the view's labeled series for retirement once the grace
+		// period lapses (tenant.go), so view churn does not grow the
+		// exposition without bound.
+		if a.root != nil {
+			a.root.noteTenantClosed(a.nctx.ID())
 		}
 		a.nctx.Close()
 	}

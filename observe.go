@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"nxzip/internal/obs"
 )
@@ -78,6 +79,20 @@ func (n *Node) DeviceStatuses() []obs.DeviceStatus {
 	return out
 }
 
+// ObsConfig tunes ServeObsConfig beyond the listen address. The zero
+// value matches ServeObs: 1-second sampling, default ring, the shipped
+// SRE-workbook burn-rate policy.
+type ObsConfig struct {
+	// Burn parameterises the multi-window burn-rate evaluator (zero →
+	// obs.DefaultBurnConfig). Tests and experiments compress the windows
+	// to seconds.
+	Burn obs.BurnConfig
+	// SampleInterval is the window sampler period (<=0 → 1s).
+	SampleInterval time.Duration
+	// RingCap bounds the window ring (<=0 → default 120).
+	RingCap int
+}
+
 // ServeObs starts the observability HTTP server on addr (":8090", or
 // "127.0.0.1:0" for an ephemeral port — read the bound address from
 // Server.Addr). Events are enabled implicitly so /events and the
@@ -87,14 +102,23 @@ func (n *Node) DeviceStatuses() []obs.DeviceStatus {
 // healthy→unhealthy SLO transition triggers a postmortem bundle. The
 // caller owns the returned server and closes it when done.
 func (n *Node) ServeObs(addr string) (*obs.Server, error) {
+	return n.ServeObsConfig(addr, ObsConfig{})
+}
+
+// ServeObsConfig is ServeObs with sampler and burn-rate tuning.
+func (n *Node) ServeObsConfig(addr string, cfg ObsConfig) (*obs.Server, error) {
 	bus := n.EnableEvents()
 	srv := obs.NewServer(obs.Options{
-		Addr:     addr,
-		Name:     n.cfg.Shape.Name,
-		Snapshot: n.Metrics,
-		Devices:  n.DeviceStatuses,
-		Health:   func() (healthy, total int) { return n.HealthyDevices(), n.Devices() },
-		Bus:      bus,
+		Addr:           addr,
+		Name:           n.cfg.Shape.Name,
+		Snapshot:       n.Metrics,
+		Devices:        n.DeviceStatuses,
+		SampleInterval: cfg.SampleInterval,
+		RingCap:        cfg.RingCap,
+		Burn:           cfg.Burn,
+		Tenants:        n.TenantQuotas,
+		Health:         func() (healthy, total int) { return n.HealthyDevices(), n.Devices() },
+		Bus:            bus,
 		Flight: func() *obs.FlightStatus {
 			if rec := n.rec.Load(); rec != nil {
 				return rec.Status()
